@@ -1,0 +1,95 @@
+package dlvp
+
+import "testing"
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	w, ok := WorkloadByName("perlbmk")
+	if !ok {
+		t.Fatal("perlbmk missing from the registry")
+	}
+	// Warmup matters: the APT needs ~8 observations per site and the LSCD
+	// a few conflicts before DLVP turns profitable.
+	const n = 60_000
+	base := Run(Baseline(), w, n)
+	fast := Run(DLVP(), w, n)
+	if base.Instructions != n || fast.Instructions != n {
+		t.Fatalf("commits: base %d, dlvp %d", base.Instructions, fast.Instructions)
+	}
+	if SpeedupPct(base, fast) <= 0 {
+		t.Errorf("DLVP speedup on perlbmk = %.2f%%, want positive", SpeedupPct(base, fast))
+	}
+}
+
+func TestPublicAPICustomProgram(t *testing.T) {
+	b := NewProgram("api")
+	addr := b.AllocWords("cell", []uint64{3})
+	b.MovImm(1, addr)
+	b.Label("loop")
+	b.Ldr(2, 1, 0, 3)
+	b.Add(3, 3, 2)
+	b.Br("loop")
+	core := NewCore(Baseline(), b.Build(), 5_000)
+	s := core.Run(0)
+	if s.Instructions != 5_000 {
+		t.Fatalf("committed %d", s.Instructions)
+	}
+	if s.Loads == 0 {
+		t.Error("no loads observed")
+	}
+}
+
+func TestPublicAPIStandalonePredictors(t *testing.T) {
+	p := NewPAP(DefaultPAPConfig())
+	for i := 0; i < 40; i++ {
+		lk := p.Lookup(0x400100)
+		p.Train(lk, 0xBEEF00, 3, -1)
+		p.PushLoad(0x400100)
+	}
+	if !p.Lookup(0x400100).Confident {
+		t.Error("PAP not confident after 40 stable observations")
+	}
+	c := NewCAP(DefaultCAPConfig())
+	if c.Config().Confidence != 24 {
+		t.Errorf("CAP default confidence = %d, paper sweep winner is 24", c.Config().Confidence)
+	}
+	v := NewVTAGE(DefaultVTAGEConfig())
+	if !v.Config().LoadsOnly {
+		t.Error("default VTAGE must be loads-only")
+	}
+	l := NewLVP(LVPConfig{})
+	lk := l.Predict(0x400200)
+	l.Train(lk, 1)
+	st := NewStride(StrideConfig{})
+	sk := st.Predict(0x400300)
+	st.Train(sk, 100)
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	if len(Experiments()) < 14 {
+		t.Errorf("experiment registry too small: %d", len(Experiments()))
+	}
+	e, ok := ExperimentByID("tab4")
+	if !ok {
+		t.Fatal("tab4 missing")
+	}
+	tables := e.Run(DefaultExperimentParams())
+	if len(tables) == 0 || tables[0].Title == "" {
+		t.Error("tab4 produced nothing")
+	}
+}
+
+func TestPublicAPIProfilers(t *testing.T) {
+	w, _ := WorkloadByName("mcf")
+	cp := NewConflictProfiler(64)
+	rp := NewRepeatProfiler()
+	cpu := NewCPU(w.Build())
+	cpu.MaxInstrs = 10_000
+	var rec TraceRec
+	for cpu.Next(&rec) {
+		cp.Observe(&rec)
+		rp.Observe(&rec)
+	}
+	if cp.Stats().Loads == 0 || rp.Stats().Loads == 0 {
+		t.Error("profilers saw no loads")
+	}
+}

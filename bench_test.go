@@ -1,0 +1,124 @@
+// Benchmark harness: one benchmark per paper table/figure (regenerating the
+// artifact at reduced instruction budgets — run cmd/experiments for the
+// full-size reproduction) plus component microbenchmarks for the simulator
+// and the predictors.
+package dlvp
+
+import (
+	"testing"
+
+	"dlvp/internal/experiments"
+	"dlvp/internal/trace"
+)
+
+// benchParams shrinks the per-workload budget so a full -bench=. sweep
+// stays laptop-sized; the printed tables use the same drivers as the CLI.
+func benchParams() experiments.Params {
+	return experiments.Params{Instrs: 20_000, Parallel: true}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	p := benchParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(p)
+		if len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
+func BenchmarkFig1_LoadStoreConflicts(b *testing.B)  { benchExperiment(b, "fig1") }
+func BenchmarkFig2_Repeatability(b *testing.B)       { benchExperiment(b, "fig2") }
+func BenchmarkTab1_APTEntry(b *testing.B)            { benchExperiment(b, "tab1") }
+func BenchmarkTab2_VPEDesigns(b *testing.B)          { benchExperiment(b, "tab2") }
+func BenchmarkTab3_Applications(b *testing.B)        { benchExperiment(b, "tab3") }
+func BenchmarkTab4_CoreConfig(b *testing.B)          { benchExperiment(b, "tab4") }
+func BenchmarkFig4_AddressPrediction(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig5_Prefetch(b *testing.B)            { benchExperiment(b, "fig5") }
+func BenchmarkFig6_SchemeComparison(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkFig7_VTAGEFlavours(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig8_Tournament(b *testing.B)          { benchExperiment(b, "fig8") }
+func BenchmarkFig9_SelectedBenchmarks(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFig10_RecoveryMechanisms(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkAblations_DesignChoices(b *testing.B)  { benchExperiment(b, "ablations") }
+
+// --- component microbenchmarks ------------------------------------------------
+
+// BenchmarkEmulator measures raw functional-emulation throughput
+// (instructions per op).
+func BenchmarkEmulator(b *testing.B) {
+	w, _ := WorkloadByName("perlbmk")
+	prog := w.Build()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cpu := NewCPU(prog)
+		cpu.MaxInstrs = 10_000
+		var rec TraceRec
+		for cpu.Next(&rec) {
+		}
+	}
+}
+
+// BenchmarkTimingBaseline measures cycle-level simulation throughput on the
+// baseline core.
+func BenchmarkTimingBaseline(b *testing.B) {
+	w, _ := WorkloadByName("perlbmk")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Run(Baseline(), w, 10_000)
+	}
+}
+
+// BenchmarkTimingDLVP measures cycle-level simulation throughput with the
+// full DLVP machinery engaged.
+func BenchmarkTimingDLVP(b *testing.B) {
+	w, _ := WorkloadByName("perlbmk")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Run(DLVP(), w, 10_000)
+	}
+}
+
+// BenchmarkPAPLookup measures the predictor's lookup+train cost.
+func BenchmarkPAPLookup(b *testing.B) {
+	p := NewPAP(DefaultPAPConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pc := 0x400000 + uint64(i%64)*4
+		lk := p.Lookup(pc)
+		p.Train(lk, 0x10000+uint64(i%8)*64, 3, 0)
+		p.PushLoad(pc)
+	}
+}
+
+// BenchmarkVTAGEPredict measures VTAGE's probe+train cost.
+func BenchmarkVTAGEPredict(b *testing.B) {
+	p := NewVTAGE(DefaultVTAGEConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pc := 0x400000 + uint64(i%64)*4
+		lk := p.Predict(pc, 0)
+		p.Train(lk, OpADD, uint64(i%8))
+		p.PushBranch(i%3 == 0)
+	}
+}
+
+// BenchmarkConflictProfiler measures the Figure 1 profiler throughput.
+func BenchmarkConflictProfiler(b *testing.B) {
+	w, _ := WorkloadByName("mcf")
+	recs := trace.Collect(w.Reader(20_000), 0)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prof := trace.NewConflictProfiler(288)
+		for j := range recs {
+			prof.Observe(&recs[j])
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Command dlvpsim runs one workload on the cycle-level core under a chosen
+// value-prediction scheme and prints the run statistics.
+//
+// Usage:
+//
+//	dlvpsim -workload perlbmk -scheme dlvp -instrs 300000
+//	dlvpsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dlvp/internal/config"
+	"dlvp/internal/metrics"
+	"dlvp/internal/uarch"
+	"dlvp/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workload", "perlbmk", "workload to simulate")
+	scheme := flag.String("scheme", "dlvp", "baseline | dlvp | cap | vtage | dvtage | tournament")
+	instrs := flag.Uint64("instrs", 300_000, "dynamic instruction budget")
+	compare := flag.Bool("compare", false, "also run the baseline and report speedup")
+	list := flag.Bool("list", false, "list available workloads")
+	disasm := flag.Bool("disasm", false, "print the workload's disassembly and exit")
+	pipeview := flag.Int("pipeview", 0, "record and print the pipeline timeline of N instructions (after warmup)")
+	asJSON := flag.Bool("json", false, "emit the run statistics as JSON")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-12s [%-7s] %s\n", w.Name, w.Suite, w.Description)
+		}
+		return
+	}
+
+	w, ok := workloads.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (use -list)\n", *name)
+		os.Exit(2)
+	}
+	if *disasm {
+		fmt.Print(w.Build().Disasm())
+		return
+	}
+
+	var cfg config.Core
+	switch *scheme {
+	case "baseline":
+		cfg = config.Baseline()
+	case "dlvp":
+		cfg = config.DLVP()
+	case "cap":
+		cfg = config.CAPDLVP()
+	case "vtage":
+		cfg = config.VTAGE()
+	case "tournament":
+		cfg = config.Tournament()
+	case "dvtage":
+		cfg = config.DVTAGE()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+
+	core := uarch.New(cfg, w.Build(), w.Reader(*instrs))
+	if *pipeview > 0 {
+		core.EnableStageTrace(*instrs/2, *pipeview) // after warmup
+	}
+	s := core.Run(0)
+	if *pipeview > 0 {
+		fmt.Print(uarch.FormatStageTraces(core.StageTraces()))
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("workload      %s (%s)\n", s.Workload, s.Scheme)
+	fmt.Printf("instructions  %d (loads %d, stores %d)\n", s.Instructions, s.Loads, s.Stores)
+	fmt.Printf("cycles        %d  (IPC %.3f)\n", s.Cycles, s.IPC())
+	fmt.Printf("flushes       branch %d, value %d, ordering %d\n", s.BranchFlushes, s.ValueFlushes, s.OrderFlushes)
+	fmt.Printf("caches        L1D miss %.2f%%, L2 miss %.2f%%, TLB miss %.3f%%\n", s.L1DMissRate, s.L2MissRate, s.TLBMissRate)
+	if cfg.VP.Scheme != config.VPNone {
+		fmt.Printf("value pred    coverage %.1f%%, accuracy %.2f%% (%d of %d eligible)\n",
+			s.VP.Coverage(), s.VP.Accuracy(), s.VP.Predicted, s.VP.Eligible)
+	}
+	if s.PAQAllocated > 0 {
+		fmt.Printf("DLVP          PAQ alloc %d (drop %.2f%%), probes %d (hit %d), prefetches %d\n",
+			s.PAQAllocated, s.PAQDropRate(), s.Probes, s.ProbeHits, s.Prefetches)
+		fmt.Printf("              LSCD inserts %d / filtered %d, way mispredicts %d\n",
+			s.LSCDInserts, s.LSCDFiltered, s.WayMispredicts)
+	}
+	fmt.Printf("core energy   %.3g units\n", s.CoreEnergy)
+
+	if *compare {
+		base := uarch.New(config.Baseline(), w.Build(), w.Reader(*instrs)).Run(0)
+		fmt.Printf("speedup       %+.2f%% over baseline (IPC %.3f -> %.3f)\n",
+			metrics.SpeedupPct(base, s), base.IPC(), s.IPC())
+		fmt.Printf("energy ratio  %.3f of baseline\n", s.CoreEnergy/base.CoreEnergy)
+	}
+}

@@ -1,0 +1,71 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-run fig6] [-instrs 300000] [-workloads perlbmk,gcc] [-serial]
+//
+// Without -run, every experiment is regenerated in paper order. Experiment
+// ids: fig1 fig2 tab1 tab2 tab3 tab4 fig4 fig5 fig6 fig7 fig8 fig9 fig10.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dlvp/internal/experiments"
+	"dlvp/internal/tabletext"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	instrs := flag.Uint64("instrs", 300_000, "dynamic instructions per workload")
+	wl := flag.String("workloads", "", "comma-separated workload subset (default: all)")
+	serial := flag.Bool("serial", false, "disable parallel simulation")
+	charts := flag.Bool("charts", false, "also render per-workload tables as ASCII bar charts")
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	p.Instrs = *instrs
+	p.Parallel = !*serial
+	if *wl != "" {
+		p.Workloads = strings.Split(*wl, ",")
+	}
+
+	var selected []experiments.Experiment
+	if *run == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known ids:\n", id)
+				for _, e := range experiments.All() {
+					fmt.Fprintf(os.Stderr, "  %-6s %s\n", e.ID, e.Name)
+				}
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tables := e.Run(p)
+		fmt.Printf("### %s  [%s, %d instrs/workload, %v]\n\n", e.ID, e.Name, p.Instrs, time.Since(start).Round(time.Millisecond))
+		for _, t := range tables {
+			fmt.Println(t.String())
+			if *charts && len(t.Header) > 1 && t.Header[0] == "workload" {
+				// One chart per numeric series column.
+				for col := 1; col < len(t.Header); col++ {
+					c := tabletext.ChartFromColumn(t, col, t.Title+" — "+t.Header[col], "")
+					if len(c.Bars) > 0 {
+						fmt.Println(c.String())
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package dlvp is the public API of the DLVP reproduction: a cycle-level
+// out-of-order core simulator with Decoupled Load Value Prediction
+// (Sheikh, Cain & Damodaran, MICRO 2017), the Path-based Address Predictor
+// it is built on, and the baselines the paper compares against (CAP, VTAGE,
+// a last-value predictor and a stride predictor).
+//
+// The package re-exports the library's building blocks:
+//
+//   - workload construction: NewProgram (an assembler-like builder for the
+//     mini ARM-flavoured ISA) and the registry of bundled benchmark kernels
+//     (Workloads, WorkloadByName);
+//   - simulation: Baseline/DLVP/CAPDLVP/VTAGE/Tournament configurations,
+//     NewCore and Run;
+//   - standalone predictors: NewPAP, NewCAP, NewVTAGE, NewLVP, NewStride;
+//   - analysis: the Figure 1/Figure 2 trace profilers and the experiment
+//     drivers that regenerate every table and figure of the paper
+//     (Experiments, ExperimentByID).
+//
+// Quick start:
+//
+//	w, _ := dlvp.WorkloadByName("perlbmk")
+//	base := dlvp.Run(dlvp.Baseline(), w, 300_000)
+//	fast := dlvp.Run(dlvp.DLVP(), w, 300_000)
+//	fmt.Printf("speedup: %.1f%%\n", dlvp.SpeedupPct(base, fast))
+package dlvp
+
+import (
+	"dlvp/internal/config"
+	"dlvp/internal/emu"
+	"dlvp/internal/experiments"
+	"dlvp/internal/isa"
+	"dlvp/internal/metrics"
+	"dlvp/internal/predictor"
+	"dlvp/internal/predictor/cap"
+	"dlvp/internal/predictor/lvp"
+	"dlvp/internal/predictor/pap"
+	"dlvp/internal/predictor/stride"
+	"dlvp/internal/predictor/vtage"
+	"dlvp/internal/program"
+	"dlvp/internal/trace"
+	"dlvp/internal/uarch"
+	"dlvp/internal/workloads"
+)
+
+// --- ISA and program construction -------------------------------------------
+
+// Reg is an architectural register of the mini ISA (x0..x30, xzr, v0..).
+type Reg = isa.Reg
+
+// Op is an instruction opcode.
+type Op = isa.Op
+
+// Inst is one decoded instruction.
+type Inst = isa.Inst
+
+// ProgramBuilder assembles programs for the functional emulator.
+type ProgramBuilder = program.Builder
+
+// Program is a built, immutable program image.
+type Program = program.Program
+
+// NewProgram returns an empty program builder.
+func NewProgram(name string) *ProgramBuilder { return program.NewBuilder(name) }
+
+// Commonly used opcodes, re-exported for program authors; the full set
+// lives in the builder's convenience emitters (Ldr, Str, Add, ...).
+const (
+	OpADD  = isa.ADD
+	OpSUB  = isa.SUB
+	OpAND  = isa.AND
+	OpORR  = isa.ORR
+	OpEOR  = isa.EOR
+	OpADDI = isa.ADDI
+	OpSUBI = isa.SUBI
+	OpANDI = isa.ANDI
+	OpORRI = isa.ORRI
+	OpEORI = isa.EORI
+	OpLSLI = isa.LSLI
+	OpLSRI = isa.LSRI
+	OpMUL  = isa.MUL
+	OpMADD = isa.MADD
+	OpBLT  = isa.BLT
+	OpBGEU = isa.BGEU
+	OpBNE  = isa.BNE
+)
+
+// XZR is the hard-wired zero register.
+const XZR = isa.XZR
+
+// --- workloads ---------------------------------------------------------------
+
+// Workload is a named benchmark kernel from the bundled pool.
+type Workload = workloads.Workload
+
+// Workloads returns every bundled kernel (the Table 3 stand-ins).
+func Workloads() []Workload { return workloads.All() }
+
+// WorkloadByName looks up a bundled kernel.
+func WorkloadByName(name string) (Workload, bool) { return workloads.ByName(name) }
+
+// --- simulation ----------------------------------------------------------------
+
+// CoreConfig is the full simulated-core configuration (Table 4 baseline by
+// default).
+type CoreConfig = config.Core
+
+// RunStats is the statistics bundle produced by a simulation.
+type RunStats = metrics.RunStats
+
+// Core is a cycle-level core instance.
+type Core = uarch.Core
+
+// Baseline returns the Table 4 core without value prediction.
+func Baseline() CoreConfig { return config.Baseline() }
+
+// DLVP returns the paper's proposal: PAP + cache probing.
+func DLVP() CoreConfig { return config.DLVP() }
+
+// CAPDLVP returns DLVP with the CAP address predictor.
+func CAPDLVP() CoreConfig { return config.CAPDLVP() }
+
+// VTAGE returns conventional value prediction with VTAGE (static filter,
+// loads only — the paper's best configuration).
+func VTAGE() CoreConfig { return config.VTAGE() }
+
+// Tournament returns the combined DLVP+VTAGE configuration.
+func Tournament() CoreConfig { return config.Tournament() }
+
+// NewCore builds a core for an arbitrary program with a fresh functional
+// stream bounded to maxInstrs dynamic instructions.
+func NewCore(cfg CoreConfig, p *Program, maxInstrs uint64) *Core {
+	cpu := emu.New(p)
+	cpu.MaxInstrs = maxInstrs
+	return uarch.New(cfg, p, cpu)
+}
+
+// Run simulates workload w for maxInstrs dynamic instructions under cfg.
+func Run(cfg CoreConfig, w Workload, maxInstrs uint64) RunStats {
+	return uarch.New(cfg, w.Build(), w.Reader(maxInstrs)).Run(0)
+}
+
+// SpeedupPct returns the percentage speedup of r over base.
+func SpeedupPct(base, r RunStats) float64 { return metrics.SpeedupPct(base, r) }
+
+// --- emulation and tracing ----------------------------------------------------
+
+// CPU is the functional emulator (implements TraceReader).
+type CPU = emu.CPU
+
+// NewCPU returns a functional emulator for p.
+func NewCPU(p *Program) *CPU { return emu.New(p) }
+
+// TraceRec is one dynamic instruction record.
+type TraceRec = trace.Rec
+
+// TraceReader streams dynamic instruction records.
+type TraceReader = trace.Reader
+
+// ConflictProfiler reproduces the paper's Figure 1 measurement.
+type ConflictProfiler = trace.ConflictProfiler
+
+// NewConflictProfiler returns a Figure 1 profiler with the given in-flight
+// instruction window.
+func NewConflictProfiler(window uint64) *ConflictProfiler {
+	return trace.NewConflictProfiler(window)
+}
+
+// RepeatProfiler reproduces the paper's Figure 2 measurement.
+type RepeatProfiler = trace.RepeatProfiler
+
+// NewRepeatProfiler returns a Figure 2 profiler.
+func NewRepeatProfiler() *RepeatProfiler { return trace.NewRepeatProfiler() }
+
+// --- standalone predictors ------------------------------------------------------
+
+// PAP is the Path-based Address Predictor (the paper's contribution).
+type PAP = pap.Predictor
+
+// PAPConfig parameterises PAP.
+type PAPConfig = pap.Config
+
+// NewPAP returns a PAP with the paper's default configuration when cfg is
+// the zero value.
+func NewPAP(cfg PAPConfig) *PAP { return pap.New(cfg) }
+
+// DefaultPAPConfig returns the paper's Table 1/Table 4 APT parameters.
+func DefaultPAPConfig() PAPConfig { return pap.DefaultConfig() }
+
+// CAP is the Correlated Address Predictor baseline.
+type CAP = cap.Predictor
+
+// CAPConfig parameterises CAP.
+type CAPConfig = cap.Config
+
+// NewCAP returns a CAP predictor.
+func NewCAP(cfg CAPConfig) *CAP { return cap.New(cfg) }
+
+// DefaultCAPConfig returns the paper's CAP parameters (confidence 24).
+func DefaultCAPConfig() CAPConfig { return cap.DefaultConfig() }
+
+// VTAGEPredictor is the VTAGE value-prediction baseline.
+type VTAGEPredictor = vtage.Predictor
+
+// VTAGEConfig parameterises VTAGE.
+type VTAGEConfig = vtage.Config
+
+// NewVTAGE returns a VTAGE predictor.
+func NewVTAGE(cfg VTAGEConfig) *VTAGEPredictor { return vtage.New(cfg) }
+
+// DefaultVTAGEConfig returns the paper's best VTAGE configuration.
+func DefaultVTAGEConfig() VTAGEConfig { return vtage.DefaultConfig() }
+
+// LVP is the classic last-value predictor.
+type LVP = lvp.Predictor
+
+// LVPConfig parameterises LVP (the zero value selects the defaults).
+type LVPConfig = lvp.Config
+
+// NewLVP returns a last-value predictor.
+func NewLVP(cfg LVPConfig) *LVP { return lvp.New(cfg) }
+
+// StridePredictor is the computation-based stride predictor.
+type StridePredictor = stride.Predictor
+
+// StrideConfig parameterises the stride predictor.
+type StrideConfig = stride.Config
+
+// NewStride returns a stride predictor.
+func NewStride(cfg StrideConfig) *StridePredictor { return stride.New(cfg) }
+
+// PredictorStats is the coverage/accuracy bundle shared by all predictors.
+type PredictorStats = predictor.Stats
+
+// --- experiments -----------------------------------------------------------------
+
+// Experiment regenerates one of the paper's tables or figures.
+type Experiment = experiments.Experiment
+
+// ExperimentParams bounds an experiment run.
+type ExperimentParams = experiments.Params
+
+// Experiments returns every table/figure driver in paper order.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID returns the driver for one artifact (e.g. "fig6").
+func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) }
+
+// DefaultExperimentParams returns the standard experiment sizing.
+func DefaultExperimentParams() ExperimentParams { return experiments.DefaultParams() }

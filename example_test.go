@@ -1,0 +1,68 @@
+package dlvp_test
+
+import (
+	"fmt"
+
+	"dlvp"
+)
+
+// ExampleRun measures DLVP against the baseline on a bundled workload.
+func ExampleRun() {
+	w, _ := dlvp.WorkloadByName("vortex")
+	base := dlvp.Run(dlvp.Baseline(), w, 50_000)
+	fast := dlvp.Run(dlvp.DLVP(), w, 50_000)
+	fmt.Println(base.Instructions == fast.Instructions) // timing-only speculation
+	fmt.Println(fast.VP.Predicted > 0)
+	// Output:
+	// true
+	// true
+}
+
+// ExampleNewPAP trains the standalone Path-based Address Predictor on a
+// stable load and reads the prediction back.
+func ExampleNewPAP() {
+	p := dlvp.NewPAP(dlvp.DefaultPAPConfig())
+	for i := 0; i < 40; i++ {
+		lk := p.Lookup(0x400100)
+		p.Train(lk, 0x7000, 3, -1)
+		p.PushLoad(0x400100)
+	}
+	lk := p.Lookup(0x400100)
+	fmt.Println(lk.Confident, lk.Addr == 0x7000)
+	// Output:
+	// true true
+}
+
+// ExampleNewProgram builds and runs a custom program on the cycle-level
+// core.
+func ExampleNewProgram() {
+	b := dlvp.NewProgram("example")
+	cell := b.AllocWords("cell", []uint64{41})
+	b.MovImm(1, cell)
+	b.Ldr(2, 1, 0, 3)
+	b.AddI(2, 2, 1)
+	b.Str(2, 1, 0, 3)
+	b.Halt()
+	core := dlvp.NewCore(dlvp.Baseline(), b.Build(), 100)
+	stats := core.Run(0)
+	fmt.Println(stats.Instructions, stats.Loads, stats.Stores)
+	// Output:
+	// 5 1 1
+}
+
+// ExampleNewConflictProfiler reproduces the paper's Figure 1 measurement on
+// one workload.
+func ExampleNewConflictProfiler() {
+	w, _ := dlvp.WorkloadByName("mcf")
+	prof := dlvp.NewConflictProfiler(64)
+	cpu := dlvp.NewCPU(w.Build())
+	cpu.MaxInstrs = 20_000
+	var rec dlvp.TraceRec
+	for cpu.Next(&rec) {
+		prof.Observe(&rec)
+	}
+	s := prof.Stats()
+	fmt.Println(s.Loads > 0, s.CommittedPct > 0)
+	// Output:
+	// true true
+}

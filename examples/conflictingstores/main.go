@@ -1,0 +1,91 @@
+// Conflictingstores: the paper's headline scenario in isolation. A program
+// repeatedly reloads a set of cells whose values are rewritten every pass
+// (stable addresses, fresh values). A last-value predictor goes stale on
+// every rewrite — the paper's Challenge #1 — while DLVP's address
+// prediction plus cache probing keeps delivering the current value.
+package main
+
+import (
+	"fmt"
+
+	"dlvp"
+)
+
+// buildRewriteLoop: each pass reads 8 parameter cells (fixed addresses),
+// does a long stretch of dependent arithmetic, then rewrites all 8 cells —
+// far enough ahead of the next pass's reads that the stores commit first.
+func buildRewriteLoop() *dlvp.Program {
+	b := dlvp.NewProgram("rewriteloop")
+	base := b.AllocWords("cells", []uint64{1, 2, 3, 4, 5, 6, 7, 8})
+
+	const acc, tmp, ptr, n = dlvp.Reg(20), dlvp.Reg(21), dlvp.Reg(22), dlvp.Reg(23)
+	b.MovImm(acc, 1)
+	b.Label("pass")
+	// Rewrite every cell with a fresh value first...
+	for i := 0; i < 8; i++ {
+		b.OpImm(dlvp.OpEORI, tmp, acc, int64(i+1))
+		b.MovImm(ptr, base+uint64(i*8))
+		b.Str(tmp, ptr, 0, 3)
+	}
+	// ...then a long stretch of work, so the stores are committed — not in
+	// flight — by the time the reloads below are fetched and probed.
+	b.MovImm(n, 100)
+	b.Label("mix")
+	b.Madd(acc, acc, acc, tmp)
+	b.OpImm(dlvp.OpLSRI, acc, acc, 5)
+	b.OpImm(dlvp.OpORRI, acc, acc, 1)
+	b.SubI(n, n, 1)
+	b.Cbnz(n, "mix")
+	// Reload the cells: stable addresses, fresh values.
+	for i := 0; i < 8; i++ {
+		b.MovImm(ptr, base+uint64(i*8))
+		b.Ldr(tmp, ptr, 0, 3)
+		b.Add(acc, acc, tmp)
+	}
+	b.Br("pass")
+	return b.Build()
+}
+
+func main() {
+	prog := buildRewriteLoop()
+	const instrs = 120_000
+
+	// Standalone comparison: LVP (stale values) vs PAP (stable addresses).
+	lvpPred := dlvp.NewLVP(dlvp.LVPConfig{})
+	papPred := dlvp.NewPAP(dlvp.DefaultPAPConfig())
+	var lvpStats, papStats dlvp.PredictorStats
+
+	cpu := dlvp.NewCPU(prog)
+	cpu.MaxInstrs = instrs
+	var rec dlvp.TraceRec
+	for cpu.Next(&rec) {
+		if !rec.IsLoad() {
+			continue
+		}
+		llk := lvpPred.Predict(rec.PC)
+		lvpStats.Record(llk.Confident, llk.Confident && llk.Value == rec.Value())
+		lvpPred.Train(llk, rec.Value())
+
+		plk := papPred.Lookup(rec.PC)
+		papStats.Record(plk.Confident, plk.Confident && plk.Addr == rec.Addr)
+		papPred.Train(plk, rec.Addr, 3, -1)
+		papPred.PushLoad(rec.PC)
+	}
+	fmt.Println("standalone predictors on the rewrite loop:")
+	fmt.Printf("  last-value: coverage %5.1f%%, accuracy %6.2f%%  (stale after every rewrite)\n",
+		lvpStats.Coverage(), lvpStats.Accuracy())
+	fmt.Printf("  PAP (addr): coverage %5.1f%%, accuracy %6.2f%%  (addresses never change)\n",
+		papStats.Coverage(), papStats.Accuracy())
+
+	// Full pipeline: DLVP turns the address predictions into correct value
+	// predictions by probing the cache, which holds the committed data.
+	w := dlvp.Workload{Name: "rewriteloop", Suite: "custom", Build: buildRewriteLoop}
+	base := dlvp.Run(dlvp.Baseline(), w, instrs)
+	d := dlvp.Run(dlvp.DLVP(), w, instrs)
+	v := dlvp.Run(dlvp.VTAGE(), w, instrs)
+	fmt.Println("\nfull pipeline:")
+	fmt.Printf("  DLVP:  %+6.2f%% speedup, coverage %5.1f%%, accuracy %6.2f%%, %d value flushes\n",
+		dlvp.SpeedupPct(base, d), d.VP.Coverage(), d.VP.Accuracy(), d.ValueFlushes)
+	fmt.Printf("  VTAGE: %+6.2f%% speedup, coverage %5.1f%%, accuracy %6.2f%%, %d value flushes\n",
+		dlvp.SpeedupPct(base, v), v.VP.Coverage(), v.VP.Accuracy(), v.ValueFlushes)
+}

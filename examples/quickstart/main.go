@@ -1,0 +1,31 @@
+// Quickstart: run one bundled workload on the baseline core and on the
+// DLVP core, and report the headline numbers — the minimal end-to-end use
+// of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dlvp"
+)
+
+func main() {
+	w, ok := dlvp.WorkloadByName("perlbmk")
+	if !ok {
+		log.Fatal("perlbmk not registered")
+	}
+	const instrs = 200_000
+
+	base := dlvp.Run(dlvp.Baseline(), w, instrs)
+	fast := dlvp.Run(dlvp.DLVP(), w, instrs)
+
+	fmt.Printf("workload: %s (%s)\n", w.Name, w.Description)
+	fmt.Printf("baseline: %d cycles, IPC %.3f\n", base.Cycles, base.IPC())
+	fmt.Printf("DLVP:     %d cycles, IPC %.3f\n", fast.Cycles, fast.IPC())
+	fmt.Printf("speedup:  %+.2f%%\n", dlvp.SpeedupPct(base, fast))
+	fmt.Printf("coverage: %.1f%% of loads predicted at %.2f%% accuracy\n",
+		fast.VP.Coverage(), fast.VP.Accuracy())
+	fmt.Printf("flushes:  %d value mispredictions triggered pipeline flushes\n",
+		fast.ValueFlushes)
+}

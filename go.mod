@@ -1,0 +1,3 @@
+module dlvp
+
+go 1.22

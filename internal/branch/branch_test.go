@@ -1,0 +1,206 @@
+package branch
+
+import (
+	"testing"
+
+	"dlvp/internal/predictor"
+)
+
+func TestTAGELearnsAlwaysTaken(t *testing.T) {
+	tg := NewTAGE(DefaultTAGEConfig())
+	var g predictor.GlobalHistory
+	wrong := 0
+	for i := 0; i < 200; i++ {
+		if !tg.Predict(0x400100, g.Value()) && i > 10 {
+			wrong++
+		}
+		tg.Update(0x400100, g.Value(), true)
+		g.Push(true)
+	}
+	if wrong > 2 {
+		t.Errorf("always-taken mispredicted %d times after warmup", wrong)
+	}
+}
+
+func TestTAGELearnsHistoryCorrelation(t *testing.T) {
+	// Branch outcome equals the outcome two branches ago: impossible for
+	// bimodal, learnable with history.
+	tg := NewTAGE(DefaultTAGEConfig())
+	var g predictor.GlobalHistory
+	pattern := []bool{true, true, false, false} // period 4
+	wrong := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		taken := pattern[i%len(pattern)]
+		if tg.Predict(0x400100, g.Value()) != taken && i > n/2 {
+			wrong++
+		}
+		tg.Update(0x400100, g.Value(), taken)
+		g.Push(taken)
+	}
+	if rate := float64(wrong) / float64(n/2); rate > 0.05 {
+		t.Errorf("period-4 pattern mispredict rate = %v after warmup", rate)
+	}
+}
+
+func TestTAGEBimodalFallback(t *testing.T) {
+	// With no history signal (random-ish history, fixed outcome), the
+	// predictor must still converge via the bimodal base.
+	tg := NewTAGE(DefaultTAGEConfig())
+	seed := uint64(7)
+	wrong := 0
+	for i := 0; i < 2000; i++ {
+		seed = seed*6364136223846793005 + 1
+		hist := seed
+		if tg.Predict(0x400200, hist) != true && i > 1000 {
+			wrong++
+		}
+		tg.Update(0x400200, hist, true)
+	}
+	if wrong > 100 {
+		t.Errorf("bimodal fallback mispredicted %d/1000", wrong)
+	}
+}
+
+func TestTAGEMispredictRateTracked(t *testing.T) {
+	tg := NewTAGE(DefaultTAGEConfig())
+	tg.Update(0x400100, 0, true)
+	if tg.Predictions != 1 {
+		t.Errorf("predictions = %d", tg.Predictions)
+	}
+	if tg.MispredictRate() < 0 || tg.MispredictRate() > 100 {
+		t.Error("mispredict rate out of range")
+	}
+	if NewTAGE(DefaultTAGEConfig()).MispredictRate() != 0 {
+		t.Error("empty rate must be 0")
+	}
+}
+
+func TestTAGEStorageBits(t *testing.T) {
+	tg := NewTAGE(DefaultTAGEConfig())
+	// ~32KB class: between 16k and 64k bytes.
+	bytes := tg.StorageBits() / 8
+	if bytes < 8<<10 || bytes > 64<<10 {
+		t.Errorf("TAGE budget = %d bytes, want 32KB class", bytes)
+	}
+}
+
+func TestTAGEValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cfg := DefaultTAGEConfig()
+	cfg.TableEntries = 1000
+	NewTAGE(cfg)
+}
+
+func TestITTAGELearnsMonomorphicTarget(t *testing.T) {
+	it := NewITTAGE(DefaultITTAGEConfig())
+	const target = 0x400800
+	for i := 0; i < 50; i++ {
+		it.Update(0x400100, 0, target)
+	}
+	got, ok := it.Predict(0x400100, 0)
+	if !ok || got != target {
+		t.Errorf("prediction = %#x,%v, want %#x", got, ok, target)
+	}
+}
+
+func TestITTAGELearnsHistoryCorrelatedTargets(t *testing.T) {
+	// Target alternates with branch history: a polymorphic call site.
+	it := NewITTAGE(DefaultITTAGEConfig())
+	histA, histB := uint64(0b1111), uint64(0b0000)
+	for i := 0; i < 400; i++ {
+		it.Update(0x400100, histA, 0xAAAA00)
+		it.Update(0x400100, histB, 0xBBBB00)
+	}
+	if got, ok := it.Predict(0x400100, histA); !ok || got != 0xAAAA00 {
+		t.Errorf("hist A target = %#x,%v", got, ok)
+	}
+	if got, ok := it.Predict(0x400100, histB); !ok || got != 0xBBBB00 {
+		t.Errorf("hist B target = %#x,%v", got, ok)
+	}
+}
+
+func TestITTAGEColdMiss(t *testing.T) {
+	it := NewITTAGE(DefaultITTAGEConfig())
+	if _, ok := it.Predict(0x400100, 0); ok {
+		t.Error("cold predictor must not claim a target")
+	}
+}
+
+func TestITTAGEMispredictTracking(t *testing.T) {
+	it := NewITTAGE(DefaultITTAGEConfig())
+	it.Update(0x400100, 0, 0x1000)
+	it.Update(0x400100, 0, 0x1000)
+	it.Update(0x400100, 0, 0x2000) // mispredict
+	if it.Mispredicts < 2 {        // first (cold) + change
+		t.Errorf("mispredicts = %d, want >= 2", it.Mispredicts)
+	}
+	if it.MispredictRate() <= 0 {
+		t.Error("rate must be positive")
+	}
+}
+
+func TestRASPushPop(t *testing.T) {
+	var r RAS
+	r.Push(0x100)
+	r.Push(0x200)
+	if got, ok := r.Pop(); !ok || got != 0x200 {
+		t.Errorf("pop = %#x,%v", got, ok)
+	}
+	if got, ok := r.Pop(); !ok || got != 0x100 {
+		t.Errorf("pop = %#x,%v", got, ok)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("empty pop must fail")
+	}
+}
+
+func TestRASOverflowKeepsNewest(t *testing.T) {
+	var r RAS
+	for i := 1; i <= 20; i++ {
+		r.Push(uint64(i * 0x10))
+	}
+	got, ok := r.Pop()
+	if !ok || got != 20*0x10 {
+		t.Errorf("top after overflow = %#x", got)
+	}
+	// 16 entries deep: the oldest 4 were lost.
+	depth := 1
+	for {
+		if _, ok := r.Pop(); !ok {
+			break
+		}
+		depth++
+	}
+	if depth != 16 {
+		t.Errorf("depth = %d, want 16", depth)
+	}
+}
+
+func TestRASSnapshotRestore(t *testing.T) {
+	var r RAS
+	r.Push(0x100)
+	r.Push(0x200)
+	s := r.Snapshot()
+	r.Pop()
+	r.Push(0x999)
+	r.Restore(s)
+	if got, ok := r.Pop(); !ok || got != 0x200 {
+		t.Errorf("restored pop = %#x,%v, want 0x200", got, ok)
+	}
+}
+
+func TestITTAGEValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cfg := DefaultITTAGEConfig()
+	cfg.BaseEntries = 77
+	NewITTAGE(cfg)
+}

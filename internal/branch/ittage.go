@@ -1,0 +1,220 @@
+package branch
+
+import "dlvp/internal/predictor"
+
+// ITTAGEConfig describes the indirect-target predictor geometry.
+type ITTAGEConfig struct {
+	BaseEntries  int // PC-indexed last-target table
+	TableEntries int
+	Histories    []uint8
+	TagBits      uint8
+	Seed         uint64
+}
+
+// DefaultITTAGEConfig returns a 32KB-class ITTAGE.
+func DefaultITTAGEConfig() ITTAGEConfig {
+	return ITTAGEConfig{
+		BaseEntries:  2048,
+		TableEntries: 512,
+		Histories:    []uint8{4, 10, 22, 44},
+		TagBits:      11,
+		Seed:         0x177a,
+	}
+}
+
+type ittageEntry struct {
+	tag    uint16
+	target uint64
+	conf   int8 // 0..3
+	valid  bool
+}
+
+type ittageBase struct {
+	target uint64
+	valid  bool
+}
+
+// ITTAGE predicts indirect branch targets (BR through a register) using
+// tagged tables indexed with PC and increasing global-history slices over a
+// PC-indexed last-target base.
+type ITTAGE struct {
+	cfg    ITTAGEConfig
+	base   []ittageBase
+	tables [][]ittageEntry
+	rng    *predictor.Rand
+
+	Predictions uint64
+	Mispredicts uint64
+}
+
+// NewITTAGE returns an ITTAGE predictor.
+func NewITTAGE(cfg ITTAGEConfig) *ITTAGE {
+	if cfg.BaseEntries == 0 {
+		cfg = DefaultITTAGEConfig()
+	}
+	if cfg.BaseEntries&(cfg.BaseEntries-1) != 0 || cfg.TableEntries&(cfg.TableEntries-1) != 0 {
+		panic("branch: table sizes must be powers of two")
+	}
+	it := &ITTAGE{
+		cfg:  cfg,
+		base: make([]ittageBase, cfg.BaseEntries),
+		rng:  predictor.NewRand(cfg.Seed),
+	}
+	for range cfg.Histories {
+		it.tables = append(it.tables, make([]ittageEntry, cfg.TableEntries))
+	}
+	return it
+}
+
+func (it *ITTAGE) indexTag(table int, pc, hist uint64) (uint32, uint16) {
+	hb := it.cfg.Histories[table]
+	idxBits := uint8(0)
+	for n := it.cfg.TableEntries; n > 1; n >>= 1 {
+		idxBits++
+	}
+	m := predictor.MixPC(pc) + uint64(table)*0x60bd
+	idx := (uint32(m) ^ uint32(predictor.Fold(hist, hb, idxBits))) & uint32(it.cfg.TableEntries-1)
+	tag := (uint16(m>>15) ^ uint16(predictor.Fold(hist, hb, it.cfg.TagBits))) &
+		uint16(1<<it.cfg.TagBits-1)
+	return idx, tag
+}
+
+func (it *ITTAGE) baseIndex(pc uint64) uint32 {
+	return uint32(predictor.MixPC(pc)) & uint32(it.cfg.BaseEntries-1)
+}
+
+// Predict returns the predicted target for the indirect branch at pc, or
+// ok=false when the predictor has no information (the pipeline then stalls
+// the redirect until resolution, modelled as a misprediction).
+func (it *ITTAGE) Predict(pc, hist uint64) (target uint64, ok bool) {
+	for i := len(it.tables) - 1; i >= 0; i-- {
+		idx, tag := it.indexTag(i, pc, hist)
+		e := &it.tables[i][idx]
+		if e.valid && e.tag == tag {
+			return e.target, true
+		}
+	}
+	b := it.base[it.baseIndex(pc)]
+	return b.target, b.valid
+}
+
+// Update trains the predictor with the resolved target.
+func (it *ITTAGE) Update(pc, hist uint64, actual uint64) {
+	it.Predictions++
+	pred, ok := it.Predict(pc, hist)
+	correct := ok && pred == actual
+	if !correct {
+		it.Mispredicts++
+	}
+
+	// Provider update.
+	provider := -1
+	for i := len(it.tables) - 1; i >= 0; i-- {
+		idx, tag := it.indexTag(i, pc, hist)
+		e := &it.tables[i][idx]
+		if e.valid && e.tag == tag {
+			provider = i
+			if e.target == actual {
+				if e.conf < 3 {
+					e.conf++
+				}
+			} else {
+				if e.conf > 0 {
+					e.conf--
+				} else {
+					e.target = actual
+				}
+			}
+			break
+		}
+	}
+	// The base table always tracks the last target when no tagged table
+	// provided (it is the fallback for cold and monomorphic sites).
+	b := &it.base[it.baseIndex(pc)]
+	if !b.valid || provider < 0 {
+		*b = ittageBase{target: actual, valid: true}
+	}
+
+	// Allocate a longer-history entry on a misprediction.
+	if !correct && provider < len(it.tables)-1 {
+		start := provider + 1
+		n := len(it.tables) - start
+		first := start + int(it.rng.Next()%uint64(n))
+		for k := 0; k < n; k++ {
+			ti := start + (first-start+k)%n
+			idx, tag := it.indexTag(ti, pc, hist)
+			e := &it.tables[ti][idx]
+			if !e.valid || e.conf == 0 {
+				*e = ittageEntry{tag: tag, target: actual, conf: 1, valid: true}
+				return
+			}
+		}
+		for ti := start; ti < len(it.tables); ti++ {
+			idx, _ := it.indexTag(ti, pc, hist)
+			if e := &it.tables[ti][idx]; e.conf > 0 {
+				e.conf--
+			}
+		}
+	}
+}
+
+// MispredictRate returns mispredictions per update, in percent.
+func (it *ITTAGE) MispredictRate() float64 {
+	if it.Predictions == 0 {
+		return 0
+	}
+	return 100 * float64(it.Mispredicts) / float64(it.Predictions)
+}
+
+// RAS is the return address stack (Table 4: 16 entries). It is
+// checkpointable: the pipeline snapshots it at every call/return fetch and
+// restores on squash.
+type RAS struct {
+	entries [16]uint64
+	top     int // number of live entries (0..16); pushes wrap
+	Pushes  uint64
+	Pops    uint64
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(ret uint64) {
+	r.Pushes++
+	if r.top < len(r.entries) {
+		r.entries[r.top] = ret
+		r.top++
+		return
+	}
+	// Overflow: shift (oldest entry lost), standard RAS behaviour.
+	copy(r.entries[:], r.entries[1:])
+	r.entries[len(r.entries)-1] = ret
+}
+
+// Pop predicts a return target.
+func (r *RAS) Pop() (uint64, bool) {
+	r.Pops++
+	if r.top == 0 {
+		return 0, false
+	}
+	r.top--
+	return r.entries[r.top], true
+}
+
+// Snapshot captures the full stack state.
+func (r *RAS) Snapshot() RASState {
+	var s RASState
+	s.top = r.top
+	s.entries = r.entries
+	return s
+}
+
+// Restore rewinds to a snapshot.
+func (r *RAS) Restore(s RASState) {
+	r.top = s.top
+	r.entries = s.entries
+}
+
+// RASState is an opaque RAS checkpoint.
+type RASState struct {
+	entries [16]uint64
+	top     int
+}

@@ -1,0 +1,222 @@
+// Package branch implements the baseline core's control-flow predictors
+// (Table 4): a TAGE conditional-direction predictor, an ITTAGE indirect
+// target predictor (Seznec), and a 16-entry return address stack. The
+// predictors are stateless with respect to global history — the pipeline
+// owns the history register and passes snapshots in, which makes squash
+// recovery a single register restore.
+package branch
+
+import "dlvp/internal/predictor"
+
+// TAGEConfig describes the direction predictor geometry.
+type TAGEConfig struct {
+	BimodalEntries    int
+	TableEntries      int     // entries per tagged table
+	Histories         []uint8 // history length per tagged table, ascending
+	TagBits           uint8
+	UsefulResetPeriod uint64 // predictions between u-bit halvings
+	Seed              uint64
+}
+
+// DefaultTAGEConfig returns a 32KB-class TAGE: an 8k-entry bimodal base and
+// five 1k-entry tagged tables with geometric histories.
+func DefaultTAGEConfig() TAGEConfig {
+	return TAGEConfig{
+		BimodalEntries:    8192,
+		TableEntries:      1024,
+		Histories:         []uint8{4, 8, 16, 32, 64},
+		TagBits:           11,
+		UsefulResetPeriod: 256 * 1024,
+		Seed:              0x7a9e,
+	}
+}
+
+type tageEntry struct {
+	tag   uint16
+	ctr   int8 // -4..3 signed direction counter
+	u     uint8
+	valid bool
+}
+
+// TAGE is the conditional branch direction predictor.
+type TAGE struct {
+	cfg     TAGEConfig
+	bimodal []int8 // 2-bit counters, -2..1
+	tables  [][]tageEntry
+	rng     *predictor.Rand
+	preds   uint64
+
+	Predictions uint64
+	Mispredicts uint64
+}
+
+// NewTAGE returns a TAGE predictor.
+func NewTAGE(cfg TAGEConfig) *TAGE {
+	if cfg.BimodalEntries == 0 {
+		cfg = DefaultTAGEConfig()
+	}
+	if cfg.BimodalEntries&(cfg.BimodalEntries-1) != 0 ||
+		cfg.TableEntries&(cfg.TableEntries-1) != 0 {
+		panic("branch: table sizes must be powers of two")
+	}
+	t := &TAGE{
+		cfg:     cfg,
+		bimodal: make([]int8, cfg.BimodalEntries),
+		rng:     predictor.NewRand(cfg.Seed),
+	}
+	for range cfg.Histories {
+		t.tables = append(t.tables, make([]tageEntry, cfg.TableEntries))
+	}
+	return t
+}
+
+func (t *TAGE) indexTag(table int, pc, hist uint64) (uint32, uint16) {
+	hb := t.cfg.Histories[table]
+	idxBits := uint8(0)
+	for n := t.cfg.TableEntries; n > 1; n >>= 1 {
+		idxBits++
+	}
+	m := predictor.MixPC(pc) + uint64(table)*0xabcd
+	idx := (uint32(m) ^ uint32(predictor.Fold(hist, hb, idxBits))) & uint32(t.cfg.TableEntries-1)
+	tag := (uint16(m>>14) ^ uint16(predictor.Fold(hist, hb, t.cfg.TagBits))) &
+		uint16(1<<t.cfg.TagBits-1)
+	return idx, tag
+}
+
+func (t *TAGE) bimodalIndex(pc uint64) uint32 {
+	return uint32(pc>>2) & uint32(t.cfg.BimodalEntries-1)
+}
+
+// Predict returns the predicted direction for the conditional branch at pc
+// under global history hist.
+func (t *TAGE) Predict(pc, hist uint64) bool {
+	taken, _, _ := t.predictInternal(pc, hist)
+	return taken
+}
+
+// predictInternal returns (prediction, provider table index or -1 for
+// bimodal, alternate prediction).
+func (t *TAGE) predictInternal(pc, hist uint64) (bool, int, bool) {
+	provider, alt := -1, -1
+	for i := len(t.tables) - 1; i >= 0; i-- {
+		idx, tag := t.indexTag(i, pc, hist)
+		e := &t.tables[i][idx]
+		if e.valid && e.tag == tag {
+			if provider < 0 {
+				provider = i
+			} else {
+				alt = i
+				break
+			}
+		}
+	}
+	bimodalPred := t.bimodal[t.bimodalIndex(pc)] >= 0
+	altPred := bimodalPred
+	if alt >= 0 {
+		idx, _ := t.indexTag(alt, pc, hist)
+		altPred = t.tables[alt][idx].ctr >= 0
+	}
+	if provider < 0 {
+		return bimodalPred, -1, altPred
+	}
+	idx, _ := t.indexTag(provider, pc, hist)
+	e := &t.tables[provider][idx]
+	// Weak, newly allocated entries defer to the alternate prediction.
+	if (e.ctr == 0 || e.ctr == -1) && e.u == 0 {
+		return altPred, provider, altPred
+	}
+	return e.ctr >= 0, provider, altPred
+}
+
+// Update trains the predictor with the resolved outcome. pc/hist must be
+// the fetch-time values (the pipeline re-supplies its snapshots).
+func (t *TAGE) Update(pc, hist uint64, taken bool) {
+	t.Predictions++
+	pred, provider, altPred := t.predictInternal(pc, hist)
+	if pred != taken {
+		t.Mispredicts++
+	}
+
+	// Periodic graceful u-bit aging.
+	t.preds++
+	if t.cfg.UsefulResetPeriod > 0 && t.preds%t.cfg.UsefulResetPeriod == 0 {
+		for i := range t.tables {
+			for j := range t.tables[i] {
+				t.tables[i][j].u >>= 1
+			}
+		}
+	}
+
+	bump := func(c int8, up bool, lo, hi int8) int8 {
+		if up && c < hi {
+			return c + 1
+		}
+		if !up && c > lo {
+			return c - 1
+		}
+		return c
+	}
+
+	if provider >= 0 {
+		idx, _ := t.indexTag(provider, pc, hist)
+		e := &t.tables[provider][idx]
+		providerPred := e.ctr >= 0
+		if providerPred != altPred {
+			if providerPred == taken {
+				if e.u < 3 {
+					e.u++
+				}
+			} else if e.u > 0 {
+				e.u--
+			}
+		}
+		e.ctr = bump(e.ctr, taken, -4, 3)
+	} else {
+		bi := t.bimodalIndex(pc)
+		t.bimodal[bi] = bump(t.bimodal[bi], taken, -2, 1)
+	}
+
+	// On a misprediction, allocate in one longer-history table.
+	if pred != taken && provider < len(t.tables)-1 {
+		start := provider + 1
+		// Try a randomly chosen longer table first, then scan.
+		n := len(t.tables) - start
+		first := start + int(t.rng.Next()%uint64(n))
+		for k := 0; k < n; k++ {
+			ti := start + (first-start+k)%n
+			idx, tag := t.indexTag(ti, pc, hist)
+			e := &t.tables[ti][idx]
+			if !e.valid || e.u == 0 {
+				ctr := int8(0)
+				if !taken {
+					ctr = -1
+				}
+				*e = tageEntry{tag: tag, ctr: ctr, u: 0, valid: true}
+				return
+			}
+		}
+		// All victims useful: decay them so future allocations succeed.
+		for ti := start; ti < len(t.tables); ti++ {
+			idx, _ := t.indexTag(ti, pc, hist)
+			if e := &t.tables[ti][idx]; e.u > 0 {
+				e.u--
+			}
+		}
+	}
+}
+
+// MispredictRate returns mispredictions per update, in percent.
+func (t *TAGE) MispredictRate() float64 {
+	if t.Predictions == 0 {
+		return 0
+	}
+	return 100 * float64(t.Mispredicts) / float64(t.Predictions)
+}
+
+// StorageBits returns the approximate predictor budget in bits.
+func (t *TAGE) StorageBits() int {
+	bits := t.cfg.BimodalEntries * 2
+	per := int(t.cfg.TagBits) + 3 + 2
+	bits += len(t.tables) * t.cfg.TableEntries * per
+	return bits
+}

@@ -1,0 +1,86 @@
+package config
+
+import "testing"
+
+func TestBaselineMatchesTable4(t *testing.T) {
+	c := Baseline()
+	if c.FetchWidth != 4 || c.IssueWidth != 8 || c.LSLanes != 2 {
+		t.Errorf("widths = %d/%d/%d", c.FetchWidth, c.IssueWidth, c.LSLanes)
+	}
+	if c.ROBSize != 224 || c.IQSize != 97 || c.LDQSize != 72 || c.STQSize != 56 {
+		t.Errorf("queues = %d/%d/%d/%d (Table 4: 224/97/72/56)",
+			c.ROBSize, c.IQSize, c.LDQSize, c.STQSize)
+	}
+	if c.PhysRegs != 348 {
+		t.Errorf("phys regs = %d, Table 4: 348", c.PhysRegs)
+	}
+	if c.VP.Scheme != VPNone {
+		t.Error("baseline must not value-predict")
+	}
+	if c.Mem.L1D.SizeBytes != 64<<10 || c.Mem.L1D.Ways != 4 || c.Mem.L1D.Latency != 2 {
+		t.Errorf("L1D = %+v", c.Mem.L1D)
+	}
+	if c.Mem.MemLatency != 200 {
+		t.Errorf("memory latency = %d", c.Mem.MemLatency)
+	}
+	if c.PVTEntries != 32 || c.PAQEntries != 32 {
+		t.Errorf("PVT/PAQ = %d/%d", c.PVTEntries, c.PAQEntries)
+	}
+	if c.VP.LSCDEntries != 4 {
+		t.Errorf("LSCD = %d, paper: 4", c.VP.LSCDEntries)
+	}
+	if c.VP.MaxPredictionsPerCycle != 2 {
+		t.Errorf("predictions/cycle = %d, paper: 2", c.VP.MaxPredictionsPerCycle)
+	}
+}
+
+func TestSchemePresets(t *testing.T) {
+	cases := map[VPScheme]Core{
+		VPDLVP:       DLVP(),
+		VPCAP:        CAPDLVP(),
+		VPVTAGE:      VTAGE(),
+		VPTournament: Tournament(),
+	}
+	for want, c := range cases {
+		if c.VP.Scheme != want {
+			t.Errorf("preset scheme = %v, want %v", c.VP.Scheme, want)
+		}
+		// Presets must not disturb the Table 4 substrate.
+		if c.ROBSize != 224 {
+			t.Errorf("%v preset changed ROB", want)
+		}
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	names := map[VPScheme]string{
+		VPNone: "baseline", VPDLVP: "dlvp", VPCAP: "cap",
+		VPVTAGE: "vtage", VPTournament: "tournament",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestPAPBudgetIs8KBClass(t *testing.T) {
+	// The paper's abstract: "a modest 8KB prediction table".
+	c := Baseline()
+	bits := c.VP.PAP.Entries * 69 // ARMv8 entry with way field
+	kb := bits / 8 / 1024
+	if kb < 6 || kb > 10 {
+		t.Errorf("APT budget = %dKB, want the paper's ~8KB class", kb)
+	}
+}
+
+func TestVTAGEDefaultsMatchPaper(t *testing.T) {
+	c := VTAGE()
+	v := c.VP.VTAGE
+	if !v.LoadsOnly {
+		t.Error("paper's final VTAGE config is loads-only")
+	}
+	if v.TableEntries != 256 || len(v.Histories) != 3 {
+		t.Errorf("VTAGE geometry = %d entries x %d tables", v.TableEntries, len(v.Histories))
+	}
+}

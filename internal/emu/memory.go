@@ -1,0 +1,115 @@
+// Package emu implements the functional emulator for the mini ISA. It
+// executes a program.Program instruction by instruction and streams dynamic
+// trace records; the cycle-level core model consumes that stream.
+package emu
+
+import "dlvp/internal/program"
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+type page [pageSize]byte
+
+// Memory is a sparse, page-granular byte-addressable memory. The zero value
+// is not usable; call NewMemory or NewMemoryFromProgram.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// NewMemory returns an empty memory (all bytes read as zero).
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+// NewMemoryFromProgram returns a memory initialised with the program's data
+// segments. Callers that need an independent committed-state image (the
+// timing model) construct their own copy from the same program.
+func NewMemoryFromProgram(p *program.Program) *Memory {
+	m := NewMemory()
+	for _, seg := range p.Data {
+		m.WriteBytes(seg.Base, seg.Data)
+	}
+	return m
+}
+
+func (m *Memory) pageFor(addr uint64, create bool) *page {
+	pn := addr >> pageShift
+	pg := m.pages[pn]
+	if pg == nil && create {
+		pg = new(page)
+		m.pages[pn] = pg
+	}
+	return pg
+}
+
+// ByteAt returns the byte at addr.
+func (m *Memory) ByteAt(addr uint64) byte {
+	pg := m.pageFor(addr, false)
+	if pg == nil {
+		return 0
+	}
+	return pg[addr&pageMask]
+}
+
+// SetByteAt stores b at addr.
+func (m *Memory) SetByteAt(addr uint64, b byte) {
+	m.pageFor(addr, true)[addr&pageMask] = b
+}
+
+// Read reads size bytes at addr as a little-endian unsigned integer.
+// size must be 1, 2, 4 or 8.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	// Fast path: access within one page.
+	off := addr & pageMask
+	if off+uint64(size) <= pageSize {
+		pg := m.pageFor(addr, false)
+		if pg == nil {
+			return 0
+		}
+		var v uint64
+		for i := size - 1; i >= 0; i-- {
+			v = v<<8 | uint64(pg[off+uint64(i)])
+		}
+		return v
+	}
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(m.ByteAt(addr+uint64(i)))
+	}
+	return v
+}
+
+// Write stores the low size bytes of v at addr, little-endian.
+func (m *Memory) Write(addr uint64, v uint64, size int) {
+	off := addr & pageMask
+	if off+uint64(size) <= pageSize {
+		pg := m.pageFor(addr, true)
+		for i := 0; i < size; i++ {
+			pg[off+uint64(i)] = byte(v >> (8 * i))
+		}
+		return
+	}
+	for i := 0; i < size; i++ {
+		m.SetByteAt(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// ReadBytes copies len(dst) bytes starting at addr into dst.
+func (m *Memory) ReadBytes(addr uint64, dst []byte) {
+	for i := range dst {
+		dst[i] = m.ByteAt(addr + uint64(i))
+	}
+}
+
+// WriteBytes copies src into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, src []byte) {
+	for i, b := range src {
+		m.SetByteAt(addr+uint64(i), b)
+	}
+}
+
+// Pages returns the number of resident pages (useful for footprint stats).
+func (m *Memory) Pages() int { return len(m.pages) }

@@ -1,0 +1,197 @@
+// Package energy provides the analytic area/energy model standing in for
+// the paper's RTL-PTPX-validated 28nm model. Structures are modelled as
+// multi-ported RAMs whose area and per-access energy scale with capacity
+// and port count; the constants are calibrated so the *normalized* ratios
+// of the paper's Table 2 (PVT vs PRF designs) are approximated. The package
+// also aggregates total core energy (Figure 6c) from cycle counts,
+// committed instructions, and per-structure access counts.
+package energy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RAMSpec describes one multi-ported RAM structure.
+type RAMSpec struct {
+	Name       string
+	Bits       int
+	ReadPorts  int
+	WritePorts int
+}
+
+// Calibration constants for the analytic model. Area grows with capacity
+// and quadratically with total ports (wire-dominated multi-port RAMs);
+// per-access energy grows with the square root of capacity (bitline halves)
+// and with port loading.
+const (
+	areaPortConst = 169.0
+	readPortConst = 4.0
+)
+
+func (s RAMSpec) ports() float64 { return float64(s.ReadPorts + s.WritePorts) }
+
+// Area returns the structure's area in arbitrary units.
+func (s RAMSpec) Area() float64 {
+	p := s.ports()
+	return float64(s.Bits) * (areaPortConst + p*p)
+}
+
+// ReadEnergy returns the energy of one read access in arbitrary units.
+func (s RAMSpec) ReadEnergy() float64 {
+	return math.Sqrt(float64(s.Bits)) * (readPortConst + s.ports())
+}
+
+// WriteEnergy returns the energy of one write access in arbitrary units.
+func (s RAMSpec) WriteEnergy() float64 {
+	return math.Sqrt(float64(s.Bits)) *
+		math.Pow(float64(s.WritePorts), 1.5) * math.Pow(s.ports(), 0.33)
+}
+
+// Meter accumulates per-structure access counts against registered specs.
+type Meter struct {
+	specs  map[string]RAMSpec
+	reads  map[string]uint64
+	writes map[string]uint64
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter {
+	return &Meter{
+		specs:  make(map[string]RAMSpec),
+		reads:  make(map[string]uint64),
+		writes: make(map[string]uint64),
+	}
+}
+
+// Register declares a structure. Registering the same name twice replaces
+// the spec but keeps the counts.
+func (m *Meter) Register(spec RAMSpec) { m.specs[spec.Name] = spec }
+
+// AddReads records n read accesses to the named structure.
+func (m *Meter) AddReads(name string, n uint64) { m.reads[name] += n }
+
+// AddWrites records n write accesses to the named structure.
+func (m *Meter) AddWrites(name string, n uint64) { m.writes[name] += n }
+
+// DynamicEnergy returns the total access energy across all structures.
+func (m *Meter) DynamicEnergy() float64 {
+	var e float64
+	for name, spec := range m.specs {
+		e += float64(m.reads[name]) * spec.ReadEnergy()
+		e += float64(m.writes[name]) * spec.WriteEnergy()
+	}
+	return e
+}
+
+// Breakdown returns per-structure dynamic energy, sorted by name.
+func (m *Meter) Breakdown() []StructureEnergy {
+	var out []StructureEnergy
+	for name, spec := range m.specs {
+		out = append(out, StructureEnergy{
+			Name:   name,
+			Reads:  m.reads[name],
+			Writes: m.writes[name],
+			Energy: float64(m.reads[name])*spec.ReadEnergy() + float64(m.writes[name])*spec.WriteEnergy(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// StructureEnergy is one row of a Meter breakdown.
+type StructureEnergy struct {
+	Name   string
+	Reads  uint64
+	Writes uint64
+	Energy float64
+}
+
+// CoreModel aggregates total core energy: a static component per cycle, a
+// base dynamic component per committed instruction (covering the
+// un-modelled logic), and the metered structure accesses.
+type CoreModel struct {
+	StaticPerCycle float64
+	PerInstruction float64
+}
+
+// DefaultCoreModel returns constants sized so that leakage plus base
+// dynamic power dominates structure-access energy — a speedup of a few
+// percent then visibly reduces total energy, as in the paper's Figure 6c.
+func DefaultCoreModel() CoreModel {
+	return CoreModel{StaticPerCycle: 3.0e5, PerInstruction: 1.0e5}
+}
+
+// Total returns the run's core energy.
+func (c CoreModel) Total(cycles, instructions uint64, meter *Meter) float64 {
+	e := c.StaticPerCycle*float64(cycles) + c.PerInstruction*float64(instructions)
+	if meter != nil {
+		e += meter.DynamicEnergy()
+	}
+	return e
+}
+
+// --- Table 2: VPE design comparison ----------------------------------------
+
+// VPEDesign is one row of the paper's Table 2, normalized to Design #1.
+type VPEDesign struct {
+	Name        string
+	Area        float64
+	ReadEnergy  float64
+	WriteEnergy float64
+}
+
+// PVTSpec returns the Predicted Values Table structure: 32 entries, each a
+// physical-register tag (9 bits for 348 registers) plus a 64-bit value,
+// with 2 read and 2 write ports (two predictions per cycle).
+func PVTSpec() RAMSpec {
+	return RAMSpec{Name: "PVT", Bits: 32 * (9 + 64), ReadPorts: 2, WritePorts: 2}
+}
+
+// PRFSpec returns the baseline physical register file: 348 64-bit
+// registers with the given port counts.
+func PRFSpec(readPorts, writePorts int) RAMSpec {
+	return RAMSpec{Name: "PRF", Bits: 348 * 64, ReadPorts: readPorts, WritePorts: writePorts}
+}
+
+// VPEDesigns reproduces Table 2: Design #1 arbitrates on the baseline PRF
+// (8r/8w), Design #2 widens the PRF to 10 write ports, Design #3 keeps the
+// baseline PRF and adds the PVT. predictedFrac is the fraction of register
+// reads/writes that are predicted values (the paper assumes 30%). Energies
+// are per-average-access, normalized to Design #1; the PVT row reports the
+// raw structure ratios.
+func VPEDesigns(predictedFrac float64) []VPEDesign {
+	if predictedFrac < 0 || predictedFrac > 1 {
+		panic(fmt.Sprintf("energy: predictedFrac %v out of [0,1]", predictedFrac))
+	}
+	base := PRFSpec(8, 8)
+	wide := PRFSpec(8, 10)
+	pvt := PVTSpec()
+
+	baseArea, baseRead, baseWrite := base.Area(), base.ReadEnergy(), base.WriteEnergy()
+
+	d1 := VPEDesign{Name: "Design #1 (PRF 8r/8w, arbitrated)", Area: 1, ReadEnergy: 1, WriteEnergy: 1}
+	d2 := VPEDesign{
+		Name:        "Design #2 (PRF 8r/10w)",
+		Area:        wide.Area() / baseArea,
+		ReadEnergy:  wide.ReadEnergy() / baseRead,
+		WriteEnergy: wide.WriteEnergy() / baseWrite,
+	}
+	// Design #3: predicted values are read from the PVT instead of the PRF
+	// (cheaper reads); they are written to the PVT *in addition to* the
+	// eventual architectural PRF write (costlier writes).
+	d3 := VPEDesign{
+		Name:        "Design #3 (PRF 8r/8w + PVT 2r/2w)",
+		Area:        (base.Area() + pvt.Area()) / baseArea,
+		ReadEnergy:  ((1-predictedFrac)*baseRead + predictedFrac*pvt.ReadEnergy()) / baseRead,
+		WriteEnergy: (baseWrite + predictedFrac*pvt.WriteEnergy()) / baseWrite,
+	}
+	pv := VPEDesign{
+		Name:        "PVT (2r/2w)",
+		Area:        pvt.Area() / baseArea,
+		ReadEnergy:  pvt.ReadEnergy() / baseRead,
+		WriteEnergy: pvt.WriteEnergy() / baseWrite,
+	}
+	return []VPEDesign{pv, d1, d2, d3}
+}

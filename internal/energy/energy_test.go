@@ -1,0 +1,137 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAreaGrowsWithBitsAndPorts(t *testing.T) {
+	a := RAMSpec{Bits: 1000, ReadPorts: 2, WritePorts: 2}
+	b := RAMSpec{Bits: 2000, ReadPorts: 2, WritePorts: 2}
+	c := RAMSpec{Bits: 1000, ReadPorts: 8, WritePorts: 8}
+	if b.Area() <= a.Area() {
+		t.Error("area must grow with bits")
+	}
+	if c.Area() <= a.Area() {
+		t.Error("area must grow with ports")
+	}
+	if b.Area()/a.Area() != 2 {
+		t.Error("area must be linear in bits")
+	}
+}
+
+func TestEnergyMonotonic(t *testing.T) {
+	small := RAMSpec{Bits: 1000, ReadPorts: 2, WritePorts: 2}
+	big := RAMSpec{Bits: 1000, ReadPorts: 8, WritePorts: 10}
+	if big.ReadEnergy() <= small.ReadEnergy() {
+		t.Error("read energy must grow with ports")
+	}
+	if big.WriteEnergy() <= small.WriteEnergy() {
+		t.Error("write energy must grow with write ports")
+	}
+}
+
+func TestVPEDesignsShape(t *testing.T) {
+	rows := VPEDesigns(0.30)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	pvt, d1, d2, d3 := rows[0], rows[1], rows[2], rows[3]
+	// Table 2's qualitative shape:
+	// PVT is tiny relative to the PRF.
+	if pvt.Area > 0.15 {
+		t.Errorf("PVT relative area = %v, want << 1 (paper: 0.06)", pvt.Area)
+	}
+	// Design #1 is the reference.
+	if d1.Area != 1 || d1.ReadEnergy != 1 || d1.WriteEnergy != 1 {
+		t.Errorf("design 1 must be 1.0 across: %+v", d1)
+	}
+	// Design #2 (more write ports) costs more area than Design #3 (PVT).
+	if d2.Area <= d3.Area {
+		t.Errorf("design2 area (%v) must exceed design3 (%v)", d2.Area, d3.Area)
+	}
+	if d3.Area <= 1 || d3.Area > 1.15 {
+		t.Errorf("design3 area = %v, want slightly above 1 (paper: 1.06)", d3.Area)
+	}
+	// Design #3 reads get cheaper (PVT reads replace PRF reads)...
+	if d3.ReadEnergy >= 1 {
+		t.Errorf("design3 read energy = %v, want < 1 (paper: 0.80)", d3.ReadEnergy)
+	}
+	// ...and writes slightly costlier (extra PVT writes).
+	if d3.WriteEnergy <= 1 || d3.WriteEnergy > 1.2 {
+		t.Errorf("design3 write energy = %v, want slightly above 1 (paper: 1.07)", d3.WriteEnergy)
+	}
+	// Design #2 write energy is the most expensive.
+	if d2.WriteEnergy <= d3.WriteEnergy {
+		t.Errorf("design2 writes (%v) must exceed design3 (%v)", d2.WriteEnergy, d3.WriteEnergy)
+	}
+	// Paper's headline ratios within loose tolerance.
+	approx := func(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+	if !approx(d2.Area, 1.16, 0.08) {
+		t.Errorf("design2 area = %v, paper 1.16", d2.Area)
+	}
+	if !approx(d2.ReadEnergy, 1.10, 0.06) {
+		t.Errorf("design2 read = %v, paper 1.10", d2.ReadEnergy)
+	}
+	if !approx(d2.WriteEnergy, 1.51, 0.15) {
+		t.Errorf("design2 write = %v, paper 1.51", d2.WriteEnergy)
+	}
+}
+
+func TestVPEDesignsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	VPEDesigns(1.5)
+}
+
+func TestMeterAccounting(t *testing.T) {
+	m := NewMeter()
+	spec := RAMSpec{Name: "APT", Bits: 1024 * 69, ReadPorts: 2, WritePorts: 1}
+	m.Register(spec)
+	m.AddReads("APT", 10)
+	m.AddWrites("APT", 5)
+	want := 10*spec.ReadEnergy() + 5*spec.WriteEnergy()
+	if got := m.DynamicEnergy(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("dynamic energy = %v, want %v", got, want)
+	}
+	br := m.Breakdown()
+	if len(br) != 1 || br[0].Name != "APT" || br[0].Reads != 10 || br[0].Writes != 5 {
+		t.Errorf("breakdown = %+v", br)
+	}
+}
+
+func TestMeterUnregisteredCountsIgnored(t *testing.T) {
+	m := NewMeter()
+	m.AddReads("ghost", 100)
+	if m.DynamicEnergy() != 0 {
+		t.Error("counts without a spec must not contribute energy")
+	}
+}
+
+func TestCoreModelSpeedupReducesEnergy(t *testing.T) {
+	// The Figure 6c mechanism: fewer cycles at the same instruction count
+	// must reduce total energy even with extra structure activity.
+	cm := DefaultCoreModel()
+	meterBase := NewMeter()
+	meterFast := NewMeter()
+	probe := RAMSpec{Name: "L1D", Bits: 64 << 13, ReadPorts: 2, WritePorts: 1}
+	meterBase.Register(probe)
+	meterFast.Register(probe)
+	meterBase.AddReads("L1D", 100_000)
+	meterFast.AddReads("L1D", 200_000) // DLVP probes twice
+	base := cm.Total(1_000_000, 500_000, meterBase)
+	fast := cm.Total(952_000, 500_000, meterFast) // 4.8% fewer cycles
+	if fast >= base {
+		t.Errorf("4.8%% speedup with double probes should still save energy: %v vs %v", fast, base)
+	}
+}
+
+func TestCoreModelNilMeter(t *testing.T) {
+	cm := CoreModel{StaticPerCycle: 1, PerInstruction: 2}
+	if got := cm.Total(10, 5, nil); got != 20 {
+		t.Errorf("total = %v, want 20", got)
+	}
+}

@@ -1,0 +1,151 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section 4-5). Each driver regenerates the artifact's
+// rows/series from the simulator and returns them as renderable tables plus
+// structured results, so both the CLI (cmd/experiments) and the benchmark
+// harness (bench_test.go) can replay them.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"dlvp/internal/config"
+	"dlvp/internal/metrics"
+	"dlvp/internal/tabletext"
+	"dlvp/internal/uarch"
+	"dlvp/internal/workloads"
+)
+
+// Params bounds an experiment run.
+type Params struct {
+	// Instrs is the dynamic-instruction budget per workload (the paper used
+	// 100M-instruction SimPoints; these kernels converge far earlier).
+	Instrs uint64
+	// Workloads restricts the pool (nil = every registered workload).
+	Workloads []string
+	// Parallel enables running workloads across CPUs.
+	Parallel bool
+}
+
+// DefaultParams returns the standard experiment sizing.
+func DefaultParams() Params {
+	return Params{Instrs: 300_000, Parallel: true}
+}
+
+// pool resolves the workload list.
+func (p Params) pool() []workloads.Workload {
+	if len(p.Workloads) == 0 {
+		return workloads.All()
+	}
+	var out []workloads.Workload
+	for _, name := range p.Workloads {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			panic(fmt.Sprintf("experiments: unknown workload %q", name))
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// runOne simulates one workload under one configuration.
+func runOne(w workloads.Workload, cfg config.Core, instrs uint64) metrics.RunStats {
+	core := uarch.New(cfg, w.Build(), w.Reader(instrs))
+	return core.Run(0)
+}
+
+// schemeRun is a (workload, scheme) simulation request.
+type schemeRun struct {
+	workload workloads.Workload
+	scheme   string
+	cfg      config.Core
+}
+
+// runMatrix simulates every workload under every named configuration,
+// returning results[workloadName][schemeName]. Runs are independent, so
+// they fan out across CPUs when p.Parallel is set.
+func runMatrix(p Params, cfgs map[string]config.Core) map[string]map[string]metrics.RunStats {
+	var reqs []schemeRun
+	for _, w := range p.pool() {
+		for name, cfg := range cfgs {
+			reqs = append(reqs, schemeRun{workload: w, scheme: name, cfg: cfg})
+		}
+	}
+	results := make(map[string]map[string]metrics.RunStats)
+	for _, w := range p.pool() {
+		results[w.Name] = make(map[string]metrics.RunStats)
+	}
+	var mu sync.Mutex
+	workers := 1
+	if p.Parallel {
+		workers = runtime.NumCPU()
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, r := range reqs {
+		r := r
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			stats := runOne(r.workload, r.cfg, p.Instrs)
+			mu.Lock()
+			results[r.workload.Name][r.scheme] = stats
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// sortedNames returns the workload names of a result matrix in order.
+func sortedNames(results map[string]map[string]metrics.RunStats) []string {
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Experiment identifies one regenerable artifact.
+type Experiment struct {
+	ID   string // "fig1" .. "fig10", "tab1" .. "tab4"
+	Name string
+	Run  func(Params) []*tabletext.Table
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "fig1", Name: "Figure 1: loads consuming values produced by stores since their prior instance", Run: Fig1},
+		{ID: "fig2", Name: "Figure 2: repeatability of load addresses vs values", Run: Fig2},
+		{ID: "tab1", Name: "Table 1: APT entry fields and storage", Run: Tab1},
+		{ID: "tab2", Name: "Table 2: VPE design area/energy", Run: Tab2},
+		{ID: "tab3", Name: "Table 3: application pool", Run: Tab3},
+		{ID: "tab4", Name: "Table 4: baseline core configuration", Run: Tab4},
+		{ID: "fig4", Name: "Figure 4: standalone address prediction accuracy and coverage (PAP vs CAP)", Run: Fig4},
+		{ID: "fig5", Name: "Figure 5: benefit of DLVP-generated prefetches", Run: Fig5},
+		{ID: "fig6", Name: "Figure 6: CAP vs VTAGE vs DLVP (speedup, coverage, energy, predictor cost)", Run: Fig6},
+		{ID: "fig7", Name: "Figure 7: VTAGE flavours (filters, loads-only vs all instructions)", Run: Fig7},
+		{ID: "fig8", Name: "Figure 8: combining DLVP and VTAGE (tournament)", Run: Fig8},
+		{ID: "fig9", Name: "Figure 9: selected benchmarks where speedup and coverage decouple", Run: Fig9},
+		{ID: "fig10", Name: "Figure 10: flush vs oracle-replay recovery", Run: Fig10},
+		{ID: "ablations", Name: "Extension: design-choice ablations the paper describes but does not tabulate", Run: Ablations},
+		{ID: "dvtage", Name: "Extension: the differential D-VTAGE related-work predictor vs VTAGE and DLVP", Run: DVTAGEComparison},
+		{ID: "summary", Name: "Headline paper-vs-measured digest (the EXPERIMENTS.md numbers)", Run: Summary},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

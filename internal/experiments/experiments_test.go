@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// tinyParams keeps experiment tests fast: two contrasting workloads, small
+// budgets.
+func tinyParams() Params {
+	return Params{
+		Instrs:    8_000,
+		Workloads: []string{"perlbmk", "nat"},
+		Parallel:  true,
+	}
+}
+
+func TestAllExperimentsProduceTables(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tables := e.Run(tinyParams())
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				out := tb.String()
+				if len(out) == 0 || tb.Title == "" {
+					t.Errorf("empty table render for %s", e.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig6"); !ok {
+		t.Error("fig6 missing")
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Error("phantom experiment")
+	}
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if ids[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	if len(ids) != 16 {
+		t.Errorf("experiment count = %d, want 16 (figures + tables + extensions + summary)", len(ids))
+	}
+}
+
+func TestUnknownWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p := Params{Instrs: 100, Workloads: []string{"ghost"}}
+	p.pool()
+}
+
+func TestFig1ShapeCommittedDominates(t *testing.T) {
+	// Across the full pool, committed conflicts must dominate in-flight
+	// ones (the paper's ~2:1 split is the motivation for DLVP).
+	p := Params{Instrs: 20_000, Parallel: true}
+	tables := Fig1(p)
+	out := tables[0].String()
+	if !strings.Contains(out, "AVERAGE") {
+		t.Fatalf("no average row:\n%s", out)
+	}
+	// Structural check on the last data row.
+	rows := tables[0].Rows
+	avg := rows[len(rows)-1]
+	if avg[0] != "AVERAGE" {
+		t.Fatal("last row is not the average")
+	}
+	committed := parsePct(t, avg[1])
+	inflight := parsePct(t, avg[2])
+	if committed <= 0 {
+		t.Error("no committed conflicts found across the pool")
+	}
+	if inflight <= 0 {
+		t.Error("no in-flight conflicts found across the pool")
+	}
+	if committed <= inflight {
+		t.Errorf("committed (%v%%) should dominate in-flight (%v%%) per Figure 1", committed, inflight)
+	}
+}
+
+func TestFig2ShapeAddressesVsValues(t *testing.T) {
+	p := Params{Instrs: 20_000, Parallel: true}
+	tb := Fig2(p)[0]
+	// Cumulative columns must be non-increasing down the table.
+	prevA, prevV := 101.0, 101.0
+	for _, row := range tb.Rows {
+		a := parsePct(t, row[3])
+		v := parsePct(t, row[4])
+		if a > prevA+1e-9 || v > prevV+1e-9 {
+			t.Fatalf("cumulative curves must be non-increasing:\n%s", tb.String())
+		}
+		prevA, prevV = a, v
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	p := Params{Instrs: 30_000, Parallel: true}
+	tb := Fig4(p)[0]
+	if len(tb.Rows) != 7 {
+		t.Fatalf("rows = %d, want PAP + 6 CAP sweep points", len(tb.Rows))
+	}
+	// CAP coverage must fall as confidence rises.
+	var prev float64 = 101
+	for _, row := range tb.Rows[1:] {
+		cov := parsePct(t, row[2])
+		if cov > prev+1e-9 {
+			t.Errorf("CAP coverage must fall with confidence:\n%s", tb.String())
+		}
+		prev = cov
+	}
+	// CAP accuracy at 64 must be >= accuracy at 3.
+	acc3 := parsePct(t, tb.Rows[1][3])
+	acc64 := parsePct(t, tb.Rows[6][3])
+	if acc64 < acc3 {
+		t.Errorf("CAP accuracy should rise with confidence: %v -> %v", acc3, acc64)
+	}
+	// PAP accuracy must clear the paper's 99% bar.
+	if acc := parsePct(t, tb.Rows[0][3]); acc < 99 {
+		t.Errorf("PAP standalone accuracy = %v%%, want >= 99%%", acc)
+	}
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmt.Sscan(s, &v); err != nil {
+		t.Fatalf("cannot parse %q: %v", s, err)
+	}
+	return v
+}

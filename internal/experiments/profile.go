@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dlvp/internal/tabletext"
+	"dlvp/internal/trace"
+)
+
+// conflictWindow approximates the paper's in-flight horizon — the number
+// of instructions between a store and a load below which the store has
+// typically not yet committed when the load is fetched. The ROB bounds this
+// at 224+64, but occupancy that deep only occurs under long stalls; the
+// observed fetch-to-commit distance in this model's steady state is the
+// ~13-cycle pipeline depth times the sustained width, plus queueing. The
+// timing simulator itself decides each case exactly (its committed-memory
+// image is updated at commit); this constant only calibrates the
+// trace-level classification to match what the pipeline actually does.
+const conflictWindow = 64
+
+// Fig1 reproduces Figure 1: the fraction of dynamic loads that consume a
+// value produced by a store that occurred since the prior dynamic instance
+// of the same static load, split by whether that store would have committed
+// by the time the load is fetched.
+func Fig1(p Params) []*tabletext.Table {
+	t := &tabletext.Table{
+		Title:  "Figure 1: dynamic loads whose value was produced since their prior instance (%)",
+		Header: []string{"workload", "Ld->St->Ld (committed)", "Ld->inflight-St->Ld", "total", "value changed"},
+	}
+	var sumC, sumI, sumV float64
+	pool := p.pool()
+	for _, w := range pool {
+		prof := trace.NewConflictProfiler(conflictWindow)
+		r := w.Reader(p.Instrs)
+		var rec trace.Rec
+		for r.Next(&rec) {
+			prof.Observe(&rec)
+		}
+		s := prof.Stats()
+		t.AddRow(w.Name, s.CommittedPct, s.InFlightPct, s.CommittedPct+s.InFlightPct, s.ChangedPct)
+		sumC += s.CommittedPct
+		sumI += s.InFlightPct
+		sumV += s.ChangedPct
+	}
+	n := float64(len(pool))
+	t.AddRow("AVERAGE", sumC/n, sumI/n, (sumC+sumI)/n, sumV/n)
+	frac := 0.0
+	if sumC+sumI > 0 {
+		frac = 100 * sumC / (sumC + sumI)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("committed share of all conflicts: %.1f%% (paper: ~67%% are with previously committed stores)", frac),
+		fmt.Sprintf("in-flight horizon: %d instructions (typical fetch-to-commit distance; see conflictWindow)", conflictWindow))
+	return []*tabletext.Table{t}
+}
+
+// Fig2 reproduces Figure 2: the breakdown of dynamic loads by how often the
+// observed address (value) repeats for that static load, averaged across
+// workloads, plus the cumulative curves behind the paper's "91% of loads
+// repeat an address >= 8 times vs 80% repeating a value >= 64 times".
+func Fig2(p Params) []*tabletext.Table {
+	var all []trace.RepeatStats
+	for _, w := range p.pool() {
+		prof := trace.NewRepeatProfiler()
+		r := w.Reader(p.Instrs)
+		var rec trace.Rec
+		for r.Next(&rec) {
+			prof.Observe(&rec)
+		}
+		all = append(all, prof.Stats())
+	}
+	m := trace.MeanRepeatStats(all)
+
+	t := &tabletext.Table{
+		Title:  "Figure 2: breakdown of dynamic loads by repeat count (mean across workloads, %)",
+		Header: []string{"repeats", "addresses", "values", "addr cum >=", "value cum >="},
+	}
+	for i, b := range trace.RepeatBuckets {
+		label := fmt.Sprint(b)
+		if i == len(trace.RepeatBuckets)-1 {
+			label += "+"
+		}
+		t.AddRow(label, m.AddrPct[i], m.ValuePct[i], m.AddrCumPct[i], m.ValueCumPct[i])
+	}
+	// The paper's two headline points: addresses repeating >= 8, values >= 64.
+	idx8, idx64 := 3, 6
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("loads with addresses repeating >= 8 times: %.1f%% (paper: 91%%)", m.AddrCumPct[idx8]),
+		fmt.Sprintf("loads with values repeating >= 64 times: %.1f%% (paper: 80%%)", m.ValueCumPct[idx64]),
+	)
+	return []*tabletext.Table{t}
+}

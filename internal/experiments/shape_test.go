@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"testing"
+
+	"dlvp/internal/config"
+	"dlvp/internal/metrics"
+)
+
+// TestHeadlineShape locks the paper's central qualitative claims on a
+// representative subset at a moderate budget: DLVP beats VTAGE on average,
+// its accuracy clears the 99% bar, and the per-workload winners land where
+// the paper says they land. This is the regression gate for the whole
+// reproduction — if a change flips one of these orderings, it changed the
+// science, not just a number.
+func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("headline shape needs warmup-scale runs")
+	}
+	p := Params{
+		Instrs: 120_000,
+		Workloads: []string{
+			"perlbmk",  // the paper's maximum-speedup workload
+			"aifirf",   // DLVP-favoured (fresh values, stable addresses)
+			"nat",      // VTAGE-favoured (value > address repeatability)
+			"soplex",   // VTAGE-favoured (sparse zeros)
+			"vortex",   // multi-destination loads
+			"v8crypto", // committed conflicts
+			"gap",      // in-flight conflicts (LSCD)
+			"twolf",    // unpredictable control
+		},
+		Parallel: true,
+	}
+	results := runMatrix(p, map[string]config.Core{
+		"base":  config.Baseline(),
+		"dlvp":  config.DLVP(),
+		"vtage": config.VTAGE(),
+	})
+	names := sortedNames(results)
+
+	var spD, spV float64
+	var predD, corrD uint64
+	for _, n := range names {
+		r := results[n]
+		spD += metrics.SpeedupPct(r["base"], r["dlvp"])
+		spV += metrics.SpeedupPct(r["base"], r["vtage"])
+		predD += r["dlvp"].VP.Predicted
+		corrD += r["dlvp"].VP.Correct
+	}
+	k := float64(len(names))
+	if spD/k <= spV/k {
+		t.Errorf("average speedup ordering flipped: DLVP %.2f%% vs VTAGE %.2f%%", spD/k, spV/k)
+	}
+	if spD/k <= 0 {
+		t.Errorf("DLVP average speedup non-positive: %.2f%%", spD/k)
+	}
+	if acc := 100 * float64(corrD) / float64(predD); acc < 98.5 {
+		t.Errorf("DLVP aggregate accuracy = %.2f%%, paper requires ~99%%", acc)
+	}
+
+	// Per-workload winners from the paper's narrative.
+	spOf := func(wl, scheme string) float64 {
+		return metrics.SpeedupPct(results[wl]["base"], results[wl][scheme])
+	}
+	if spOf("perlbmk", "dlvp") < 10 {
+		t.Errorf("perlbmk DLVP speedup = %.2f%%, should be the standout", spOf("perlbmk", "dlvp"))
+	}
+	if spOf("perlbmk", "dlvp") <= spOf("perlbmk", "vtage") {
+		t.Error("perlbmk must favour DLVP")
+	}
+	if spOf("soplex", "vtage") < spOf("soplex", "dlvp") {
+		t.Error("soplex must favour VTAGE (value repeatability)")
+	}
+	// gap: DLVP must stay roughly neutral thanks to the LSCD.
+	if spOf("gap", "dlvp") < -3 {
+		t.Errorf("gap DLVP = %.2f%%; LSCD protection failed", spOf("gap", "dlvp"))
+	}
+	// VTAGE must not predict vortex's LDPs (static filter).
+	if cov := results["vortex"]["vtage"].VP.Coverage(); cov > 20 {
+		t.Errorf("vortex VTAGE coverage = %.1f%%; static filter leak?", cov)
+	}
+	if cov := results["vortex"]["dlvp"].VP.Coverage(); cov < 20 {
+		t.Errorf("vortex DLVP coverage = %.1f%%; multi-dest address prediction broken?", cov)
+	}
+}

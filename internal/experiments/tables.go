@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dlvp/internal/config"
+	"dlvp/internal/energy"
+	"dlvp/internal/predictor/pap"
+	"dlvp/internal/tabletext"
+)
+
+// Tab1 reproduces Table 1: the fields of an APT entry and the resulting
+// storage budget.
+func Tab1(Params) []*tabletext.Table {
+	v8 := pap.New(pap.DefaultConfig())
+	v7cfg := pap.DefaultConfig()
+	v7cfg.AddrBits = 32
+	v7cfg.WayPredict = false
+	v7 := pap.New(v7cfg)
+
+	t := &tabletext.Table{
+		Title:  "Table 1: fields of the address predictor (APT) entry",
+		Header: []string{"field", "bits", "notes"},
+	}
+	t.AddRow("Tag", 14, "XOR of low-order load-PC bits and folded load-path history")
+	t.AddRow("Memory Address", "32 / 49", "ARMv7 / ARMv8 virtual address")
+	t.AddRow("Confidence", 2, "forward probabilistic counter, probabilities {1, 1/2, 1/4}")
+	t.AddRow("Size", 2, "encodes access bytes")
+	t.AddRow("Cache Way", 2, "optional; log2(L1D associativity)")
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("entry: %d bits (ARMv7, no way field) / %d bits (ARMv8 incl. way)", v7.EntryBits(), v8.EntryBits()),
+		fmt.Sprintf("1k entries: %d / %d kbit total (paper: 50k / 67k bits plus optional way)",
+			v7.StorageBits()/1024, v8.StorageBits()/1024),
+	)
+	return []*tabletext.Table{t}
+}
+
+// Tab2 reproduces Table 2: area and per-access energy of the three value
+// prediction engine designs, normalized to Design #1, assuming 30% of
+// register values read/written are predicted.
+func Tab2(Params) []*tabletext.Table {
+	t := &tabletext.Table{
+		Title:  "Table 2: VPE designs, area and energy normalized to Design #1 (30% predicted)",
+		Header: []string{"design", "area", "read energy", "write energy"},
+	}
+	for _, d := range energy.VPEDesigns(0.30) {
+		t.AddRow(d.Name, d.Area, d.ReadEnergy, d.WriteEnergy)
+	}
+	t.Notes = append(t.Notes,
+		"paper: PVT 0.06/0.10/0.07; design #2 1.16/1.10/1.51; design #3 1.06/0.80/1.07",
+		"shape to check: the PVT is tiny; widening the PRF (design #2) costs more than adding the PVT (design #3); design #3 cuts read energy and slightly raises write energy")
+	return []*tabletext.Table{t}
+}
+
+// Tab3 reproduces Table 3: the application pool (here, the synthetic
+// kernels standing in for the paper's benchmark suites, with the phenomena
+// each one exercises).
+func Tab3(p Params) []*tabletext.Table {
+	t := &tabletext.Table{
+		Title:  "Table 3: applications used in the evaluation",
+		Header: []string{"workload", "suite", "exercises"},
+	}
+	for _, w := range p.pool() {
+		desc := w.Description
+		if len(desc) > 96 {
+			desc = desc[:93] + "..."
+		}
+		t.AddRow(w.Name, w.Suite, desc)
+	}
+	return []*tabletext.Table{t}
+}
+
+// Tab4 reproduces Table 4: the baseline core configuration.
+func Tab4(Params) []*tabletext.Table {
+	c := config.Baseline()
+	t := &tabletext.Table{
+		Title:  "Table 4: baseline core configuration",
+		Header: []string{"component", "configuration"},
+	}
+	t.AddRow("Branch prediction", fmt.Sprintf("TAGE (%d KB class) + ITTAGE, 16-entry RAS",
+		NewTAGEBudgetKB()))
+	t.AddRow("L1", fmt.Sprintf("split, %dKB each, %d-way, %d/%d-cycle (I/D)",
+		c.Mem.L1I.SizeBytes>>10, c.Mem.L1I.Ways, c.Mem.L1I.Latency, c.Mem.L1D.Latency))
+	t.AddRow("L2", fmt.Sprintf("%dKB, %d-way, %d-cycle", c.Mem.L2.SizeBytes>>10, c.Mem.L2.Ways, c.Mem.L2.Latency))
+	t.AddRow("L3", fmt.Sprintf("%dMB, %d-way, %d-cycle", c.Mem.L3.SizeBytes>>20, c.Mem.L3.Ways, c.Mem.L3.Latency))
+	t.AddRow("Memory", fmt.Sprintf("%d-cycle", c.Mem.MemLatency))
+	t.AddRow("TLB", fmt.Sprintf("%d-entry, %d-way, %d-cycle walk", c.Mem.TLB.Entries, c.Mem.TLB.Ways, c.Mem.TLB.WalkLatency))
+	t.AddRow("Prefetcher", "per-PC stride, distance 2")
+	t.AddRow("Fetch-Rename width", c.FetchWidth)
+	t.AddRow("Issue-Commit width", fmt.Sprintf("%d (%d lanes, %d load-store)", c.IssueWidth, c.IssueWidth, c.LSLanes))
+	t.AddRow("ROB/IQ/LDQ/STQ", fmt.Sprintf("%d/%d/%d/%d", c.ROBSize, c.IQSize, c.LDQSize, c.STQSize))
+	t.AddRow("Physical registers", c.PhysRegs)
+	t.AddRow("Fetch-to-execute", "13 cycles (fetch 5, decode 3, rename/RF/alloc/issue 4, execute)")
+	t.AddRow("MDP", "21264-style store-wait table")
+	t.AddRow("DLVP", fmt.Sprintf("1k-entry APT, 16-bit load-path history, %d-entry PAQ, %d-entry PVT, 4-entry LSCD",
+		c.PAQEntries, c.PVTEntries))
+	return []*tabletext.Table{t}
+}
+
+// NewTAGEBudgetKB reports the direction predictor's storage class in KB.
+func NewTAGEBudgetKB() int {
+	cfg := config.Baseline().TAGE
+	bits := cfg.BimodalEntries*2 + len(cfg.Histories)*cfg.TableEntries*(int(cfg.TagBits)+5)
+	return bits / 8 / 1024
+}

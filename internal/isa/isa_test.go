@@ -1,0 +1,234 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		ADD: "add", LDR: "ldr", LDP: "ldp", LDM: "ldm", VLD: "vld",
+		STR: "str", B: "b", BL: "bl", RET: "ret", HALT: "halt",
+		LDAR: "ldar", STLR: "stlr",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(200).String(); got != "op(200)" {
+		t.Errorf("unknown op string = %q", got)
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if got := Reg(0).String(); got != "x0" {
+		t.Errorf("x0 = %q", got)
+	}
+	if got := XZR.String(); got != "xzr" {
+		t.Errorf("xzr = %q", got)
+	}
+	if got := Reg(32).String(); got != "v0" {
+		t.Errorf("v0 = %q", got)
+	}
+	if got := Reg(63).String(); got != "v31" {
+		t.Errorf("v31 = %q", got)
+	}
+}
+
+func TestClassPartitions(t *testing.T) {
+	for op := Op(0); op < Op(NumOps); op++ {
+		if op.IsLoad() && op.IsStore() {
+			t.Errorf("%v is both load and store", op)
+		}
+		if op.IsMem() && op.IsBranch() {
+			t.Errorf("%v is both mem and branch", op)
+		}
+		if op.IsCondBranch() && !op.IsBranch() {
+			t.Errorf("%v cond branch but not branch", op)
+		}
+		if op.ExecLatency() < 1 {
+			t.Errorf("%v latency < 1", op)
+		}
+	}
+}
+
+func TestLoadStoreClasses(t *testing.T) {
+	loads := []Op{LDR, LDRS, LDRPOST, LDP, LDM, VLD, LDAR}
+	for _, op := range loads {
+		if !op.IsLoad() {
+			t.Errorf("%v should be a load", op)
+		}
+	}
+	stores := []Op{STR, STRPOST, STP, STLR}
+	for _, op := range stores {
+		if !op.IsStore() {
+			t.Errorf("%v should be a store", op)
+		}
+	}
+	if !LDAR.IsOrdered() || !STLR.IsOrdered() {
+		t.Error("LDAR/STLR must be ordered")
+	}
+	if LDR.IsOrdered() || STR.IsOrdered() {
+		t.Error("LDR/STR must not be ordered")
+	}
+}
+
+func TestBranchClasses(t *testing.T) {
+	for _, op := range []Op{B, BEQ, BNE, BLT, BGE, BLTU, BGEU, CBZ, CBNZ, BL, RET, BR} {
+		if !op.IsBranch() {
+			t.Errorf("%v should be a branch", op)
+		}
+	}
+	for _, op := range []Op{BEQ, BNE, BLT, BGE, BLTU, BGEU, CBZ, CBNZ} {
+		if !op.IsCondBranch() {
+			t.Errorf("%v should be conditional", op)
+		}
+	}
+	for _, op := range []Op{B, BL, RET, BR} {
+		if op.IsCondBranch() {
+			t.Errorf("%v should be unconditional", op)
+		}
+	}
+}
+
+func TestDests(t *testing.T) {
+	var buf [MaxLDMRegs]Reg
+	tests := []struct {
+		inst Inst
+		want []Reg
+	}{
+		{Inst{Op: ADD, Rd: 3, Rn: 1, Rm: 2}, []Reg{3}},
+		{Inst{Op: ADD, Rd: XZR, Rn: 1, Rm: 2}, nil},
+		{Inst{Op: LDP, Rd: 4, Rd2: 5, Rn: 1}, []Reg{4, 5}},
+		{Inst{Op: LDM, Rd: 8, NReg: 4, Rn: 1}, []Reg{8, 9, 10, 11}},
+		{Inst{Op: LDRPOST, Rd: 2, Rn: 3}, []Reg{2, 3}},
+		{Inst{Op: STRPOST, Rt: 2, Rn: 3}, []Reg{3}},
+		{Inst{Op: STR, Rt: 2, Rn: 3}, nil},
+		{Inst{Op: BL, Rd: 30}, []Reg{30}},
+		{Inst{Op: B}, nil},
+		{Inst{Op: VLD, Rd: 32, Rd2: 33, Rn: 1}, []Reg{32, 33}},
+	}
+	for _, tc := range tests {
+		got := tc.inst.Dests(buf[:0])
+		if !regsEqual(got, tc.want) {
+			t.Errorf("%s: Dests = %v, want %v", tc.inst.String(), got, tc.want)
+		}
+	}
+}
+
+func TestSrcs(t *testing.T) {
+	var buf [8]Reg
+	tests := []struct {
+		inst Inst
+		want []Reg
+	}{
+		{Inst{Op: ADD, Rd: 3, Rn: 1, Rm: 2}, []Reg{1, 2}},
+		{Inst{Op: ADDI, Rd: 3, Rn: 1}, []Reg{1}},
+		{Inst{Op: MOVZ, Rd: 3}, nil},
+		{Inst{Op: LDR, Rd: 3, Rn: 1, Rm: XZR}, []Reg{1}},
+		{Inst{Op: LDR, Rd: 3, Rn: 1, Rm: 2}, []Reg{1, 2}},
+		{Inst{Op: STR, Rt: 5, Rn: 1, Rm: XZR}, []Reg{1, 5}},
+		{Inst{Op: STP, Rt: 5, Rt2: 6, Rn: 1, Rm: XZR}, []Reg{1, 5, 6}},
+		{Inst{Op: CBZ, Rn: 7}, []Reg{7}},
+		{Inst{Op: BEQ, Rn: 7, Rm: 8}, []Reg{7, 8}},
+		{Inst{Op: B}, nil},
+		{Inst{Op: RET, Rn: 30}, []Reg{30}},
+		{Inst{Op: MADD, Rd: 1, Rn: 2, Rm: 3, Rt: 4}, []Reg{2, 3, 4}},
+	}
+	for _, tc := range tests {
+		got := tc.inst.Srcs(buf[:0])
+		if !regsEqual(got, tc.want) {
+			t.Errorf("%s: Srcs = %v, want %v", tc.inst.String(), got, tc.want)
+		}
+	}
+}
+
+func TestAccessBytes(t *testing.T) {
+	tests := []struct {
+		inst Inst
+		want int
+	}{
+		{Inst{Op: LDR, Size: 0}, 1},
+		{Inst{Op: LDR, Size: 2}, 4},
+		{Inst{Op: LDR, Size: 3}, 8},
+		{Inst{Op: LDP}, 16},
+		{Inst{Op: VLD}, 16},
+		{Inst{Op: LDM, NReg: 4}, 32},
+		{Inst{Op: STP}, 16},
+		{Inst{Op: ADD}, 0},
+	}
+	for _, tc := range tests {
+		if got := tc.inst.AccessBytes(); got != tc.want {
+			t.Errorf("%v: AccessBytes = %d, want %d", tc.inst.Op, got, tc.want)
+		}
+	}
+}
+
+func TestNumDests(t *testing.T) {
+	tests := []struct {
+		inst Inst
+		want int
+	}{
+		{Inst{Op: LDR, Rd: 1}, 1},
+		{Inst{Op: LDP}, 2},
+		{Inst{Op: VLD}, 2},
+		{Inst{Op: LDM, NReg: 7}, 7},
+		{Inst{Op: LDRPOST}, 2},
+		{Inst{Op: STR}, 0},
+		{Inst{Op: B}, 0},
+		{Inst{Op: ADD}, 1},
+	}
+	for _, tc := range tests {
+		if got := tc.inst.NumDests(); got != tc.want {
+			t.Errorf("%v: NumDests = %d, want %d", tc.inst.Op, got, tc.want)
+		}
+	}
+}
+
+// Property: Dests never returns XZR and never exceeds MaxLDMRegs entries.
+func TestDestsProperty(t *testing.T) {
+	f := func(opRaw, rd, rd2, rn, nreg uint8) bool {
+		op := Op(opRaw % uint8(NumOps))
+		inst := Inst{
+			Op: op, Rd: Reg(rd % NumRegs), Rd2: Reg(rd2 % NumRegs),
+			Rn: Reg(rn % NumRegs), NReg: 2 + nreg%(MaxLDMRegs-1),
+		}
+		var buf [MaxLDMRegs + 2]Reg
+		got := inst.Dests(buf[:0])
+		if len(got) > MaxLDMRegs {
+			return false
+		}
+		for _, r := range got {
+			if r == XZR {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: instruction String never panics and is non-empty for all opcodes.
+func TestStringTotal(t *testing.T) {
+	for op := Op(0); op < Op(NumOps); op++ {
+		inst := Inst{Op: op, Rd: 1, Rd2: 2, Rn: 3, Rm: 4, Rt: 5, Rt2: 6, NReg: 2, Size: 3}
+		if s := inst.String(); s == "" {
+			t.Errorf("empty disassembly for %v", op)
+		}
+	}
+}
+
+func regsEqual(a, b []Reg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

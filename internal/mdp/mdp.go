@@ -1,0 +1,72 @@
+// Package mdp implements the baseline memory dependence predictor: the
+// Alpha 21264-style store-wait table (Kessler 1999; Table 4's "MDP similar
+// to Alpha 21264"). A load that once violated memory ordering — executed
+// before an older store to the same address — sets a wait bit indexed by
+// its PC; future instances of that load are held until all older stores
+// have resolved their addresses. The table is periodically cleared so
+// stale wait bits do not throttle loads forever.
+//
+// The paper's DLVP cannot reuse this structure for probe filtering because
+// it is coupled to the back end (Section 2.3); DLVP carries its own tiny
+// LSCD filter instead (package pap).
+package mdp
+
+// Config describes the store-wait table.
+type Config struct {
+	Entries     int
+	ClearPeriod uint64 // loads observed between full clears
+}
+
+// DefaultConfig returns a 2k-entry table cleared every 64k loads.
+func DefaultConfig() Config {
+	return Config{Entries: 2048, ClearPeriod: 64 * 1024}
+}
+
+// Predictor is the store-wait-bit memory dependence predictor.
+type Predictor struct {
+	cfg  Config
+	wait []bool
+	seen uint64
+
+	Violations uint64 // ordering violations reported
+	Waits      uint64 // loads held back
+}
+
+// New returns an MDP.
+func New(cfg Config) *Predictor {
+	if cfg.Entries == 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.Entries&(cfg.Entries-1) != 0 {
+		panic("mdp: Entries must be a power of two")
+	}
+	return &Predictor{cfg: cfg, wait: make([]bool, cfg.Entries)}
+}
+
+func (p *Predictor) index(pc uint64) uint32 {
+	return uint32(pc>>2) & uint32(p.cfg.Entries-1)
+}
+
+// ShouldWait reports whether the load at pc must wait for all older stores
+// to resolve before issuing. Each call counts one dynamic load toward the
+// periodic clear.
+func (p *Predictor) ShouldWait(pc uint64) bool {
+	p.seen++
+	if p.cfg.ClearPeriod > 0 && p.seen%p.cfg.ClearPeriod == 0 {
+		for i := range p.wait {
+			p.wait[i] = false
+		}
+	}
+	if p.wait[p.index(pc)] {
+		p.Waits++
+		return true
+	}
+	return false
+}
+
+// RecordViolation marks the load at pc after it caused a memory-ordering
+// violation (it speculatively executed before a conflicting older store).
+func (p *Predictor) RecordViolation(pc uint64) {
+	p.Violations++
+	p.wait[p.index(pc)] = true
+}

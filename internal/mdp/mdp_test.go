@@ -1,0 +1,49 @@
+package mdp
+
+import "testing"
+
+func TestNoWaitUntilViolation(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.ShouldWait(0x400100) {
+		t.Error("fresh load must not wait")
+	}
+	p.RecordViolation(0x400100)
+	if !p.ShouldWait(0x400100) {
+		t.Error("violating load must wait afterwards")
+	}
+	if p.ShouldWait(0x400104) {
+		t.Error("other loads unaffected")
+	}
+	if p.Violations != 1 || p.Waits != 1 {
+		t.Errorf("counters = %d/%d", p.Violations, p.Waits)
+	}
+}
+
+func TestPeriodicClear(t *testing.T) {
+	p := New(Config{Entries: 64, ClearPeriod: 100})
+	p.RecordViolation(0x400100)
+	for i := 0; i < 100; i++ {
+		p.ShouldWait(0x500000)
+	}
+	if p.ShouldWait(0x400100) {
+		t.Error("wait bit must clear after the period")
+	}
+}
+
+func TestAliasing(t *testing.T) {
+	p := New(Config{Entries: 4, ClearPeriod: 0})
+	p.RecordViolation(0x400100)
+	// A PC 4 entries away aliases to the same slot.
+	if !p.ShouldWait(0x400100 + 4*4) {
+		t.Error("aliased PC should share the wait bit (destructive aliasing is part of the design)")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Entries: 3})
+}

@@ -1,0 +1,169 @@
+// Package mem models the baseline core's memory hierarchy (Table 4):
+// split 64KB 4-way L1 caches, a private 512KB 8-way L2, a shared 8MB 16-way
+// L3, a 512-entry 8-way TLB, and per-PC stride prefetchers. The model is
+// latency-oriented: every structure tracks hit/miss counts and access
+// energy events, misses install lines with a readiness timestamp (so a
+// demand access shortly after a prefetch still pays the remaining latency),
+// and bandwidth/MSHR contention is intentionally not modelled.
+package mem
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name       string
+	SizeBytes  int
+	BlockBytes int
+	Ways       int
+	Latency    int // access latency in cycles on a hit
+}
+
+type line struct {
+	tag   uint64
+	ready uint64 // cycle at which the fill completes
+	used  uint64 // LRU stamp
+	valid bool
+}
+
+// Cache is one set-associative cache level.
+type Cache struct {
+	cfg      CacheConfig
+	sets     [][]line
+	setMask  uint64
+	blkShift uint8
+	stamp    uint64
+
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+	// LateHits are accesses that found the line present but still in
+	// flight (a prefetch or earlier miss had not completed).
+	LateHits uint64
+}
+
+// NewCache returns a cache with the given geometry.
+func NewCache(cfg CacheConfig) *Cache {
+	if cfg.BlockBytes&(cfg.BlockBytes-1) != 0 {
+		panic("mem: block size must be a power of two")
+	}
+	numSets := cfg.SizeBytes / (cfg.BlockBytes * cfg.Ways)
+	if numSets <= 0 || numSets&(numSets-1) != 0 {
+		panic("mem: set count must be a positive power of two")
+	}
+	c := &Cache{cfg: cfg, setMask: uint64(numSets - 1)}
+	for b := cfg.BlockBytes; b > 1; b >>= 1 {
+		c.blkShift++
+	}
+	c.sets = make([][]line, numSets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+func (c *Cache) setAndTag(addr uint64) (int, uint64) {
+	blk := addr >> c.blkShift
+	return int(blk & c.setMask), blk >> popcount(c.setMask)
+}
+
+func popcount(m uint64) uint8 {
+	var n uint8
+	for ; m != 0; m >>= 1 {
+		n += uint8(m & 1)
+	}
+	return n
+}
+
+// LookupResult describes one cache access.
+type LookupResult struct {
+	Hit   bool
+	Way   int    // hitting or filled way
+	Ready uint64 // cycle the data is available (>= now)
+}
+
+// Access looks up addr at cycle now, updating LRU on a hit. A line that is
+// present but not yet ready counts as a hit whose data arrives at its fill
+// time (the "late hit" case).
+func (c *Cache) Access(now uint64, addr uint64) LookupResult {
+	c.Accesses++
+	set, tag := c.setAndTag(addr)
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		if l.valid && l.tag == tag {
+			c.Hits++
+			c.stamp++
+			l.used = c.stamp
+			ready := now
+			if l.ready > now {
+				c.LateHits++
+				ready = l.ready
+			}
+			return LookupResult{Hit: true, Way: w, Ready: ready}
+		}
+	}
+	c.Misses++
+	return LookupResult{Hit: false, Way: -1}
+}
+
+// Peek looks up addr without touching LRU or statistics; the DLVP probe
+// path uses it when only presence matters.
+func (c *Cache) Peek(addr uint64) (hit bool, way int) {
+	set, tag := c.setAndTag(addr)
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		if l.valid && l.tag == tag {
+			return true, w
+		}
+	}
+	return false, -1
+}
+
+// Fill installs the block containing addr, ready at cycle ready, and
+// returns the way chosen (LRU victim). Filling an already-present block
+// refreshes its readiness if the new fill completes sooner.
+func (c *Cache) Fill(addr uint64, ready uint64) int {
+	set, tag := c.setAndTag(addr)
+	victim, oldest := 0, ^uint64(0)
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		if l.valid && l.tag == tag {
+			if ready < l.ready {
+				l.ready = ready
+			}
+			return w
+		}
+		if !l.valid {
+			victim, oldest = w, 0
+			continue
+		}
+		if l.used < oldest {
+			victim, oldest = w, l.used
+		}
+	}
+	c.stamp++
+	c.sets[set][victim] = line{tag: tag, ready: ready, used: c.stamp, valid: true}
+	return victim
+}
+
+// Invalidate drops the block containing addr if present (used by tests and
+// by way-misprediction experiments that force re-insertion at a new way).
+func (c *Cache) Invalidate(addr uint64) bool {
+	set, tag := c.setAndTag(addr)
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		if l.valid && l.tag == tag {
+			l.valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// MissRate returns misses/accesses in percent.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return 100 * float64(c.Misses) / float64(c.Accesses)
+}

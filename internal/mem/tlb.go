@@ -1,0 +1,99 @@
+package mem
+
+// TLBConfig describes the translation lookaside buffer (Table 4: 512-entry,
+// 8-way set-associative).
+type TLBConfig struct {
+	Entries     int
+	Ways        int
+	PageBytes   int
+	WalkLatency int // page-walk penalty in cycles on a miss
+}
+
+// DefaultTLBConfig returns the Table 4 TLB with a conventional walk cost.
+func DefaultTLBConfig() TLBConfig {
+	return TLBConfig{Entries: 512, Ways: 8, PageBytes: 4096, WalkLatency: 20}
+}
+
+type tlbEntry struct {
+	vpn   uint64
+	used  uint64
+	valid bool
+}
+
+// TLB models the translation lookaside buffer. Only timing matters here
+// (the simulator is virtually addressed), so an entry is just a virtual
+// page number.
+type TLB struct {
+	cfg       TLBConfig
+	sets      [][]tlbEntry
+	setMask   uint64
+	pageShift uint8
+	stamp     uint64
+
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+}
+
+// NewTLB returns a TLB with the given geometry.
+func NewTLB(cfg TLBConfig) *TLB {
+	if cfg.Entries == 0 {
+		cfg = DefaultTLBConfig()
+	}
+	numSets := cfg.Entries / cfg.Ways
+	if numSets <= 0 || numSets&(numSets-1) != 0 {
+		panic("mem: TLB set count must be a positive power of two")
+	}
+	t := &TLB{cfg: cfg, setMask: uint64(numSets - 1)}
+	for b := cfg.PageBytes; b > 1; b >>= 1 {
+		t.pageShift++
+	}
+	t.sets = make([][]tlbEntry, numSets)
+	for i := range t.sets {
+		t.sets[i] = make([]tlbEntry, cfg.Ways)
+	}
+	return t
+}
+
+// Config returns the TLB geometry.
+func (t *TLB) Config() TLBConfig { return t.cfg }
+
+// Access translates addr: it returns the added latency (0 on a hit, the
+// walk penalty on a miss) and fills on a miss.
+func (t *TLB) Access(addr uint64) int {
+	t.Accesses++
+	vpn := addr >> t.pageShift
+	set := int(vpn & t.setMask)
+	for w := range t.sets[set] {
+		e := &t.sets[set][w]
+		if e.valid && e.vpn == vpn {
+			t.Hits++
+			t.stamp++
+			e.used = t.stamp
+			return 0
+		}
+	}
+	t.Misses++
+	victim, oldest := 0, ^uint64(0)
+	for w := range t.sets[set] {
+		e := &t.sets[set][w]
+		if !e.valid {
+			victim, oldest = w, 0
+			break
+		}
+		if e.used < oldest {
+			victim, oldest = w, e.used
+		}
+	}
+	t.stamp++
+	t.sets[set][victim] = tlbEntry{vpn: vpn, used: t.stamp, valid: true}
+	return t.cfg.WalkLatency
+}
+
+// MissRate returns misses/accesses in percent.
+func (t *TLB) MissRate() float64 {
+	if t.Accesses == 0 {
+		return 0
+	}
+	return 100 * float64(t.Misses) / float64(t.Accesses)
+}

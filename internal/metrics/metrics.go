@@ -1,0 +1,123 @@
+// Package metrics defines the statistics produced by a timing-simulation
+// run and the aggregation helpers (speedup, means) the experiment drivers
+// use to reproduce the paper's figures.
+package metrics
+
+import (
+	"math"
+
+	"dlvp/internal/predictor"
+)
+
+// RunStats summarises one timing simulation.
+type RunStats struct {
+	Workload string
+	Scheme   string
+
+	Cycles       uint64
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+
+	// Value prediction accounting (eligible = dynamic loads for address
+	// schemes; for VTAGE-all it counts all value-producing instructions).
+	VP predictor.Stats
+	// ValueFlushes counts pipeline flushes triggered by value
+	// mispredictions; BranchFlushes by branch mispredictions;
+	// OrderFlushes by memory-ordering violations.
+	ValueFlushes  uint64
+	BranchFlushes uint64
+	OrderFlushes  uint64
+	// ValueReplays counts value mispredictions recovered by selective
+	// replay (dependents re-executed, no flush).
+	ValueReplays uint64
+
+	// DLVP-specific.
+	Probes          uint64
+	ProbeHits       uint64
+	PAQDropped      uint64
+	PAQAllocated    uint64
+	PAQFull         uint64 // confident predictions lost to a full PAQ
+	GroupSlotMissed uint64 // loads beyond the two predicted slots per fetch group
+	VPDropLate      uint64 // probe result arrived after the load renamed
+	VPDropBudget    uint64 // predictions lost to the per-cycle PVT write budget
+	VPDropPVTFull   uint64 // predictions lost to PVT capacity
+	Prefetches      uint64
+	LSCDFiltered    uint64
+	LSCDInserts     uint64
+	WayMispredicts  uint64
+	TournamentDLVP  uint64 // final predictions delivered by DLVP
+	TournamentVTAGE uint64 // final predictions delivered by VTAGE
+
+	// Memory system.
+	L1DMissRate float64
+	L2MissRate  float64
+	TLBMissRate float64
+	TLBMisses   uint64
+
+	// Energy (arbitrary units; normalize against a baseline run).
+	CoreEnergy float64
+}
+
+// IPC returns instructions per cycle.
+func (r RunStats) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// SpeedupPct returns the percentage speedup of r over base, measured the
+// way the paper plots it: cycles(base)/cycles(r) - 1.
+func SpeedupPct(base, r RunStats) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return 100 * (float64(base.Cycles)/float64(r.Cycles) - 1)
+}
+
+// PAQDropRate returns dropped/allocated PAQ entries in percent (the paper
+// reports < 0.1%).
+func (r RunStats) PAQDropRate() float64 {
+	if r.PAQAllocated == 0 {
+		return 0
+	}
+	return 100 * float64(r.PAQDropped) / float64(r.PAQAllocated)
+}
+
+// Mean returns the arithmetic mean of xs (the paper's "average speedup"
+// is an arithmetic mean across workloads).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMeanSpeedup returns the geometric mean of (1 + x/100) minus one, in
+// percent — a robustness check alongside the arithmetic mean.
+func GeoMeanSpeedup(pcts []float64) float64 {
+	if len(pcts) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, p := range pcts {
+		logSum += math.Log(1 + p/100)
+	}
+	return 100 * (math.Exp(logSum/float64(len(pcts))) - 1)
+}
+
+// Max returns the maximum element of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	var m float64
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}

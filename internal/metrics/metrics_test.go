@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIPC(t *testing.T) {
+	r := RunStats{Cycles: 1000, Instructions: 2500}
+	if r.IPC() != 2.5 {
+		t.Errorf("IPC = %v", r.IPC())
+	}
+	if (RunStats{}).IPC() != 0 {
+		t.Error("zero-cycle IPC must be 0")
+	}
+}
+
+func TestSpeedupPct(t *testing.T) {
+	base := RunStats{Cycles: 1100}
+	fast := RunStats{Cycles: 1000}
+	if got := SpeedupPct(base, fast); math.Abs(got-10) > 1e-9 {
+		t.Errorf("speedup = %v, want 10", got)
+	}
+	slow := RunStats{Cycles: 1375}
+	if got := SpeedupPct(base, slow); math.Abs(got+20) > 1e-9 {
+		t.Errorf("slowdown = %v, want -20", got)
+	}
+	if SpeedupPct(base, RunStats{}) != 0 {
+		t.Error("zero-cycle run must not divide by zero")
+	}
+}
+
+func TestPAQDropRate(t *testing.T) {
+	r := RunStats{PAQAllocated: 200, PAQDropped: 3}
+	if got := r.PAQDropRate(); got != 1.5 {
+		t.Errorf("drop rate = %v", got)
+	}
+	if (RunStats{}).PAQDropRate() != 0 {
+		t.Error("empty drop rate must be 0")
+	}
+}
+
+func TestMeanAndMax(t *testing.T) {
+	xs := []float64{1, 2, 3, 10}
+	if Mean(xs) != 4 {
+		t.Errorf("mean = %v", Mean(xs))
+	}
+	if Max(xs) != 10 {
+		t.Errorf("max = %v", Max(xs))
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty aggregates must be 0")
+	}
+	if Max([]float64{-5, -2}) != -2 {
+		t.Error("max of negatives")
+	}
+}
+
+func TestGeoMeanSpeedup(t *testing.T) {
+	// (1.1 * 1.1)^0.5 - 1 = 10%
+	if got := GeoMeanSpeedup([]float64{10, 10}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("geomean = %v", got)
+	}
+	// geomean of +100% and -50%: sqrt(2*0.5)=1 -> 0%
+	if got := GeoMeanSpeedup([]float64{100, -50}); math.Abs(got) > 1e-9 {
+		t.Errorf("geomean = %v, want 0", got)
+	}
+	if GeoMeanSpeedup(nil) != 0 {
+		t.Error("empty geomean must be 0")
+	}
+}

@@ -1,0 +1,195 @@
+package cap
+
+import (
+	"testing"
+)
+
+// drive runs one load's address sequence through the predictor, returning
+// per-observation predictions (confident ones only).
+func drive(p *Predictor, pc uint64, addrs []uint64) (predicted, correct int) {
+	for _, a := range addrs {
+		lk := p.Lookup(pc)
+		if lk.Confident {
+			predicted++
+			if lk.Addr == a {
+				correct++
+			}
+		}
+		p.Train(lk, pc, a)
+	}
+	return
+}
+
+func TestLearnsConstantAddress(t *testing.T) {
+	p := New(DefaultConfig())
+	addrs := make([]uint64, 200)
+	for i := range addrs {
+		addrs[i] = 0x10000
+	}
+	predicted, correct := drive(p, 0x400100, addrs)
+	if predicted == 0 {
+		t.Fatal("never predicted a constant address")
+	}
+	if correct != predicted {
+		t.Errorf("correct=%d predicted=%d for constant address", correct, predicted)
+	}
+}
+
+func TestLearnsAlternatingPattern(t *testing.T) {
+	// CAP's context is the address history, so an A,B,A,B pattern is
+	// learnable (each history state maps to the following address).
+	p := New(DefaultConfig())
+	addrs := make([]uint64, 400)
+	for i := range addrs {
+		if i%2 == 0 {
+			addrs[i] = 0xA000
+		} else {
+			addrs[i] = 0xB000
+		}
+	}
+	predicted, correct := drive(p, 0x400100, addrs)
+	if predicted < 100 {
+		t.Fatalf("alternating pattern barely predicted: %d", predicted)
+	}
+	if acc := float64(correct) / float64(predicted); acc < 0.95 {
+		t.Errorf("alternating accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestLearnsStridePattern(t *testing.T) {
+	// Strided addresses produce a per-load history sequence that revisits
+	// the same (hist -> next) bindings each time the loop restarts, so a
+	// repeating strided walk is learnable after enough iterations.
+	p := New(DefaultConfig())
+	var addrs []uint64
+	for rep := 0; rep < 60; rep++ {
+		for i := uint64(0); i < 8; i++ {
+			addrs = append(addrs, 0x10000+i*8)
+		}
+	}
+	predicted, correct := drive(p, 0x400100, addrs)
+	if predicted == 0 {
+		t.Fatal("strided loop never predicted")
+	}
+	if acc := float64(correct) / float64(predicted); acc < 0.9 {
+		t.Errorf("stride accuracy = %v (predicted %d)", acc, predicted)
+	}
+}
+
+func TestConfidenceSweepTradesCoverageForAccuracy(t *testing.T) {
+	// Figure 4's mechanism: raising CAP's confidence requirement must not
+	// increase coverage on a noisy pattern.
+	noisy := make([]uint64, 0, 1200)
+	seed := uint64(12345)
+	for i := 0; i < 1200; i++ {
+		// Mostly constant with occasional jumps.
+		seed = seed*6364136223846793005 + 1
+		if seed>>60 == 0 {
+			noisy = append(noisy, seed%4096*8)
+		} else {
+			noisy = append(noisy, 0x10000)
+		}
+	}
+	coverage := func(conf int) float64 {
+		cfg := DefaultConfig()
+		cfg.Confidence = conf
+		p := New(cfg)
+		predicted, _ := drive(p, 0x400100, noisy)
+		return float64(predicted) / float64(len(noisy))
+	}
+	lo, hi := coverage(3), coverage(64)
+	if hi > lo {
+		t.Errorf("confidence 64 coverage (%v) must not exceed confidence 3 coverage (%v)", hi, lo)
+	}
+}
+
+func TestConfidenceVectorMonotone(t *testing.T) {
+	prev := 0.0
+	for _, level := range []int{3, 8, 16, 24, 32, 64} {
+		vec := ConfidenceVector(level)
+		var exp float64
+		for _, d := range vec {
+			exp += float64(d)
+		}
+		if exp < prev {
+			t.Errorf("expected observations must grow with level: %d -> %v", level, exp)
+		}
+		if exp > float64(level)+8 || exp < float64(level)/2 {
+			t.Errorf("level %d: expected observations %v too far from level", level, exp)
+		}
+		prev = exp
+	}
+}
+
+func TestDistinctLoadsDoNotInterfereViaLoadBuffer(t *testing.T) {
+	p := New(DefaultConfig())
+	a := make([]uint64, 200)
+	b := make([]uint64, 200)
+	for i := range a {
+		a[i] = 0xA000
+		b[i] = 0xB000
+	}
+	// Interleave two loads at different PCs.
+	for i := 0; i < 200; i++ {
+		lk := p.Lookup(0x400100)
+		if lk.Confident && lk.Addr != 0xA000 {
+			t.Fatalf("load A predicted %#x", lk.Addr)
+		}
+		p.Train(lk, 0x400100, a[i])
+		lk = p.Lookup(0x400800)
+		if lk.Confident && lk.Addr != 0xB000 {
+			t.Fatalf("load B predicted %#x", lk.Addr)
+		}
+		p.Train(lk, 0x400800, b[i])
+	}
+}
+
+func TestAddressChangeDrainsConfidence(t *testing.T) {
+	p := New(DefaultConfig())
+	addrs := make([]uint64, 300)
+	for i := range addrs {
+		addrs[i] = 0x10000
+	}
+	drive(p, 0x400100, addrs)
+	// Phase change: new constant address. The first few predictions may be
+	// wrong; confidence must fall back and re-train before predicting again.
+	lk := p.Lookup(0x400100)
+	p.Train(lk, 0x400100, 0x90000)
+	lk = p.Lookup(0x400100)
+	if lk.Confident && lk.Addr == 0x10000 {
+		// One wrong observation resets confidence in Train; a still-confident
+		// stale prediction would mean Train didn't reset.
+		t.Error("confidence must reset after a mispredicted phase change")
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	p := New(DefaultConfig())
+	// Paper: 78k bits (ARMv7, 24-bit link) / 95k bits (ARMv8, 41-bit link).
+	if got := p.LoadBufferEntryBits(); got != 40 {
+		t.Errorf("LB entry bits = %d, want 40 (14+2+8+16)", got)
+	}
+	if got := p.LinkEntryBits(); got != 55 {
+		t.Errorf("link entry bits = %d, want 55 (14+41)", got)
+	}
+	want := 1024*40 + 1024*55
+	if got := p.StorageBits(); got != want {
+		t.Errorf("storage = %d, want %d", got, want)
+	}
+	v7 := DefaultConfig()
+	v7.AddrBits = 32
+	if got := New(v7).StorageBits(); got != 1024*40+1024*38 {
+		t.Errorf("ARMv7 storage = %d", got)
+	}
+}
+
+func TestPowerOfTwoValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.LinkEntries = 1000
+	New(cfg)
+}

@@ -1,0 +1,140 @@
+package dvtage
+
+import (
+	"testing"
+
+	"dlvp/internal/isa"
+)
+
+func drive(p *Predictor, pc uint64, vals []uint64) (predicted, correct int) {
+	for _, v := range vals {
+		lk := p.PredictWith(pc, 0, 0)
+		if lk.Confident {
+			predicted++
+			if lk.Value == v {
+				correct++
+			}
+		}
+		p.Train(lk, v)
+	}
+	return
+}
+
+func TestLearnsConstant(t *testing.T) {
+	p := New(DefaultConfig())
+	vals := make([]uint64, 500)
+	for i := range vals {
+		vals[i] = 42
+	}
+	pred, corr := drive(p, 0x400100, vals)
+	if pred == 0 {
+		t.Fatal("constant never predicted")
+	}
+	if corr != pred {
+		t.Errorf("constant accuracy %d/%d", corr, pred)
+	}
+}
+
+func TestLearnsStridedValues(t *testing.T) {
+	// The differential design's raison d'être: v(i) = v(i-1) + k is
+	// predictable, which a plain last-value scheme can never sustain.
+	p := New(DefaultConfig())
+	vals := make([]uint64, 600)
+	for i := range vals {
+		vals[i] = 1000 + uint64(i)*24
+	}
+	pred, corr := drive(p, 0x400100, vals)
+	if pred < 100 {
+		t.Fatalf("strided values barely predicted: %d", pred)
+	}
+	if acc := float64(corr) / float64(pred); acc < 0.95 {
+		t.Errorf("strided accuracy = %.3f", acc)
+	}
+}
+
+func TestDeltaRequiresLVTHit(t *testing.T) {
+	p := New(DefaultConfig())
+	lk := p.PredictWith(0x400100, 0, 0)
+	if lk.Confident {
+		t.Error("cold predictor must not be confident")
+	}
+	if lk.LVTHit {
+		t.Error("cold LVT must miss")
+	}
+}
+
+func TestHugeDeltasDoNotAllocate(t *testing.T) {
+	// Random 64-bit jumps exceed the 16-bit delta field; the predictor must
+	// stay quiet rather than thrash.
+	p := New(DefaultConfig())
+	seed := uint64(9)
+	pred := 0
+	for i := 0; i < 800; i++ {
+		seed = seed*6364136223846793005 + 1
+		lk := p.PredictWith(0x400100, 0, 0)
+		if lk.Confident {
+			pred++
+		}
+		p.Train(lk, seed)
+	}
+	if pred > 8 {
+		t.Errorf("random walk predicted %d times", pred)
+	}
+}
+
+func TestEligibility(t *testing.T) {
+	p := New(DefaultConfig())
+	if !p.Eligible(isa.LDR, 1) || p.Eligible(isa.STR, 0) || p.Eligible(isa.ADD, 1) {
+		t.Error("loads-only eligibility wrong")
+	}
+	cfg := DefaultConfig()
+	cfg.LoadsOnly = false
+	p2 := New(cfg)
+	if !p2.Eligible(isa.ADD, 1) {
+		t.Error("all-instructions mode must accept ALU ops")
+	}
+	if p2.Eligible(isa.LDAR, 1) {
+		t.Error("ordered loads never eligible")
+	}
+}
+
+func TestPerDestinationSeparation(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 0; i < 400; i++ {
+		lk0 := p.PredictWith(0x400100, 0, 0)
+		p.Train(lk0, 10)
+		lk1 := p.PredictWith(0x400100, 1, 0)
+		p.Train(lk1, 999)
+	}
+	lk0 := p.PredictWith(0x400100, 0, 0)
+	lk1 := p.PredictWith(0x400100, 1, 0)
+	if lk0.Confident && lk0.Value != 10 {
+		t.Errorf("dest 0 = %d", lk0.Value)
+	}
+	if lk1.Confident && lk1.Value != 999 {
+		t.Errorf("dest 1 = %d", lk1.Value)
+	}
+	if !lk0.Confident || !lk1.Confident {
+		t.Error("both destinations should train")
+	}
+}
+
+func TestStorageBudget(t *testing.T) {
+	p := New(DefaultConfig())
+	// Should be in the same ballpark as the paper's 8KB-class predictors.
+	kb := p.StorageBits() / 8 / 1024
+	if kb < 4 || kb > 16 {
+		t.Errorf("budget = %dKB, want 8KB class", kb)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.TableEntries = 100
+	New(cfg)
+}

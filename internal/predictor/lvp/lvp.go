@@ -1,0 +1,111 @@
+// Package lvp implements the classic last-value predictor of Lipasti,
+// Wilkerson & Shen (1996): a PC-indexed table recording the last value each
+// static instruction produced, predicting the same value will recur. It is
+// the simplest context-based value predictor and the scheme most exposed to
+// the paper's Challenge #1 — a store that modifies a loaded location leaves
+// the table stale until the next misprediction retrains it.
+package lvp
+
+import "dlvp/internal/predictor"
+
+// Config parameterises the last-value predictor.
+type Config struct {
+	Entries int
+	TagBits uint8
+	// ConfidenceVector is the FPC probability vector; defaults to the
+	// VTAGE-style high-confidence vector.
+	ConfidenceVector []uint32
+	Seed             uint64
+}
+
+// DefaultConfig returns a tagged 1k-entry LVP with high-confidence FPC.
+func DefaultConfig() Config {
+	return Config{Entries: 1024, TagBits: 14, Seed: 0x17f}
+}
+
+type entry struct {
+	tag   uint16
+	value uint64
+	conf  uint8
+	valid bool
+}
+
+// Predictor is the last-value predictor.
+type Predictor struct {
+	cfg   Config
+	table []entry
+	fpc   *predictor.FPC
+}
+
+// New returns an LVP.
+func New(cfg Config) *Predictor {
+	if cfg.Entries == 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.Entries&(cfg.Entries-1) != 0 {
+		panic("lvp: Entries must be a power of two")
+	}
+	rng := predictor.NewRand(cfg.Seed)
+	var fpc *predictor.FPC
+	if len(cfg.ConfidenceVector) > 0 {
+		fpc = predictor.NewFPC(rng, cfg.ConfidenceVector...)
+	} else {
+		fpc = predictor.VTAGEConfidenceFPC(rng)
+	}
+	return &Predictor{cfg: cfg, table: make([]entry, cfg.Entries), fpc: fpc}
+}
+
+// Lookup is a probe result.
+type Lookup struct {
+	Index     uint32
+	Tag       uint16
+	Hit       bool
+	Confident bool
+	Value     uint64
+}
+
+func (p *Predictor) indexTag(pc uint64) (uint32, uint16) {
+	m := predictor.MixPC(pc)
+	return uint32(m) & uint32(p.cfg.Entries-1),
+		uint16(m>>20) & uint16(1<<p.cfg.TagBits-1)
+}
+
+// Predict probes the table for pc.
+func (p *Predictor) Predict(pc uint64) Lookup {
+	idx, tag := p.indexTag(pc)
+	lk := Lookup{Index: idx, Tag: tag}
+	e := &p.table[idx]
+	if e.valid && e.tag == tag {
+		lk.Hit = true
+		lk.Value = e.value
+		lk.Confident = p.fpc.Saturated(e.conf)
+	}
+	return lk
+}
+
+// Train updates the table with the executed value.
+func (p *Predictor) Train(lk Lookup, actual uint64) {
+	e := &p.table[lk.Index]
+	if !e.valid || e.tag != lk.Tag {
+		if e.valid && e.conf > 0 {
+			e.conf--
+			return
+		}
+		*e = entry{tag: lk.Tag, value: actual, valid: true}
+		return
+	}
+	if e.value == actual {
+		e.conf = p.fpc.Bump(e.conf)
+		return
+	}
+	if e.conf == 0 {
+		e.value = actual
+	} else {
+		e.conf = 0
+	}
+}
+
+// StorageBits returns the total budget in bits.
+func (p *Predictor) StorageBits() int {
+	return p.cfg.Entries * (int(p.cfg.TagBits) + 64 + int(p.fpc.Max()))
+}

@@ -1,0 +1,89 @@
+package lvp
+
+import "testing"
+
+func TestLearnsConstant(t *testing.T) {
+	p := New(DefaultConfig())
+	var lk Lookup
+	for i := 0; i < 400; i++ {
+		lk = p.Predict(0x400100)
+		p.Train(lk, 7)
+	}
+	lk = p.Predict(0x400100)
+	if !lk.Confident || lk.Value != 7 {
+		t.Errorf("lookup = %+v, want confident 7", lk)
+	}
+}
+
+func TestStaleAfterStore(t *testing.T) {
+	// The paper's Challenge #1 in miniature: once the value changes (a store
+	// modified the location), LVP keeps predicting the stale value until a
+	// misprediction retrains it.
+	p := New(DefaultConfig())
+	for i := 0; i < 400; i++ {
+		lk := p.Predict(0x400100)
+		p.Train(lk, 7)
+	}
+	lk := p.Predict(0x400100)
+	if !lk.Confident || lk.Value != 7 {
+		t.Fatal("setup failed")
+	}
+	// Value changes; the very next prediction is stale and wrong.
+	if lk.Value == 8 {
+		t.Fatal("impossible")
+	}
+	p.Train(lk, 8)
+	lk = p.Predict(0x400100)
+	if lk.Confident && lk.Value == 7 {
+		t.Error("confidence must reset after value change")
+	}
+}
+
+func TestFastConfidenceVector(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ConfidenceVector = []uint32{1, 1, 1}
+	p := New(cfg)
+	for i := 0; i < 4; i++ {
+		lk := p.Predict(0x400100)
+		p.Train(lk, 7)
+	}
+	if !p.Predict(0x400100).Confident {
+		t.Error("deterministic 3-step vector must be confident after 4 observations")
+	}
+}
+
+func TestTagConflictDecaysFirst(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Entries = 1
+	cfg.ConfidenceVector = []uint32{1, 1}
+	p := New(cfg)
+	for i := 0; i < 10; i++ {
+		lk := p.Predict(0x400100)
+		p.Train(lk, 7)
+	}
+	// Colliding PC with a different tag must not immediately evict.
+	lk := p.Predict(0x900900)
+	if lk.Hit {
+		t.Fatal("tag must mismatch")
+	}
+	p.Train(lk, 9)
+	if got := p.Predict(0x400100); !got.Hit {
+		t.Error("confident entry evicted by a single collision")
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.StorageBits() != 1024*(14+64+7) {
+		t.Errorf("storage = %d", p.StorageBits())
+	}
+}
+
+func TestPowerOfTwoValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Entries: 3})
+}

@@ -1,0 +1,107 @@
+// Package stride implements a computation-based stride predictor (Eickemeyer
+// & Vassiliadis 1993; Gabbay 1996): per static instruction it records the
+// last observed address (or value) and the delta between the last two
+// observations, predicting last + stride. It serves as the related-work
+// computation-based baseline for both address and value prediction, and
+// powers the baseline core's L1 stride prefetcher.
+package stride
+
+import "dlvp/internal/predictor"
+
+// Config parameterises the stride predictor.
+type Config struct {
+	Entries int
+	TagBits uint8
+	// Confidence is the number of consecutive confirmed strides required
+	// before predicting (plain saturating counter; strides are cheap to
+	// verify so classic designs use 2-3).
+	Confidence uint8
+	Seed       uint64
+}
+
+// DefaultConfig returns a 1k-entry stride predictor with confidence 3.
+func DefaultConfig() Config {
+	return Config{Entries: 1024, TagBits: 12, Confidence: 3, Seed: 0x57de}
+}
+
+type entry struct {
+	tag    uint16
+	last   uint64
+	stride int64
+	conf   uint8
+	valid  bool
+}
+
+// Predictor is the stride predictor.
+type Predictor struct {
+	cfg   Config
+	table []entry
+}
+
+// New returns a stride predictor.
+func New(cfg Config) *Predictor {
+	if cfg.Entries == 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.Entries&(cfg.Entries-1) != 0 {
+		panic("stride: Entries must be a power of two")
+	}
+	if cfg.Confidence == 0 {
+		cfg.Confidence = 3
+	}
+	return &Predictor{cfg: cfg, table: make([]entry, cfg.Entries)}
+}
+
+// Lookup is a probe result.
+type Lookup struct {
+	Index     uint32
+	Tag       uint16
+	Hit       bool
+	Confident bool
+	Value     uint64 // last + stride
+	Stride    int64
+}
+
+func (p *Predictor) indexTag(pc uint64) (uint32, uint16) {
+	m := predictor.MixPC(pc)
+	return uint32(m) & uint32(p.cfg.Entries-1),
+		uint16(m>>18) & uint16(1<<p.cfg.TagBits-1)
+}
+
+// Predict probes the table for pc; Value is the predicted next observation.
+func (p *Predictor) Predict(pc uint64) Lookup {
+	idx, tag := p.indexTag(pc)
+	lk := Lookup{Index: idx, Tag: tag}
+	e := &p.table[idx]
+	if e.valid && e.tag == tag {
+		lk.Hit = true
+		lk.Stride = e.stride
+		lk.Value = e.last + uint64(e.stride)
+		lk.Confident = e.conf >= p.cfg.Confidence
+	}
+	return lk
+}
+
+// Train updates the entry with the executed observation.
+func (p *Predictor) Train(lk Lookup, actual uint64) {
+	e := &p.table[lk.Index]
+	if !e.valid || e.tag != lk.Tag {
+		*e = entry{tag: lk.Tag, last: actual, valid: true}
+		return
+	}
+	newStride := int64(actual - e.last)
+	if newStride == e.stride {
+		if e.conf < p.cfg.Confidence {
+			e.conf++
+		}
+	} else {
+		e.stride = newStride
+		e.conf = 0
+	}
+	e.last = actual
+}
+
+// StorageBits returns the total budget in bits (tag + last + stride + conf).
+func (p *Predictor) StorageBits() int {
+	return p.cfg.Entries * (int(p.cfg.TagBits) + 64 + 16 + 2)
+}

@@ -1,0 +1,91 @@
+package stride
+
+import "testing"
+
+func TestLearnsStride(t *testing.T) {
+	p := New(DefaultConfig())
+	addr := uint64(0x10000)
+	var lk Lookup
+	for i := 0; i < 10; i++ {
+		lk = p.Predict(0x400100)
+		p.Train(lk, addr)
+		addr += 64
+	}
+	lk = p.Predict(0x400100)
+	if !lk.Confident || lk.Value != addr {
+		t.Errorf("prediction = %+v, want confident %#x", lk, addr)
+	}
+	if lk.Stride != 64 {
+		t.Errorf("stride = %d, want 64", lk.Stride)
+	}
+}
+
+func TestNegativeStride(t *testing.T) {
+	p := New(DefaultConfig())
+	addr := uint64(0x20000)
+	for i := 0; i < 10; i++ {
+		lk := p.Predict(0x400100)
+		p.Train(lk, addr)
+		addr -= 8
+	}
+	lk := p.Predict(0x400100)
+	if !lk.Confident || lk.Stride != -8 || lk.Value != addr {
+		t.Errorf("negative stride prediction = %+v, want %#x", lk, addr)
+	}
+}
+
+func TestZeroStrideIsLastValue(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 0; i < 10; i++ {
+		lk := p.Predict(0x400100)
+		p.Train(lk, 0x1234)
+	}
+	lk := p.Predict(0x400100)
+	if !lk.Confident || lk.Value != 0x1234 || lk.Stride != 0 {
+		t.Errorf("constant prediction = %+v", lk)
+	}
+}
+
+func TestStrideChangeResetsConfidence(t *testing.T) {
+	p := New(DefaultConfig())
+	addr := uint64(0x10000)
+	for i := 0; i < 10; i++ {
+		lk := p.Predict(0x400100)
+		p.Train(lk, addr)
+		addr += 64
+	}
+	if !p.Predict(0x400100).Confident {
+		t.Fatal("setup failed")
+	}
+	lk := p.Predict(0x400100)
+	p.Train(lk, addr+1000) // break the stride
+	if p.Predict(0x400100).Confident {
+		t.Error("confidence must reset on stride break")
+	}
+}
+
+func TestIrregularNeverConfident(t *testing.T) {
+	p := New(DefaultConfig())
+	seed := uint64(99)
+	for i := 0; i < 500; i++ {
+		lk := p.Predict(0x400100)
+		seed = seed*6364136223846793005 + 1442695040888963407
+		p.Train(lk, seed)
+		if lk.Confident {
+			t.Fatal("random walk must not reach confidence")
+		}
+	}
+}
+
+func TestStorageBitsAndValidation(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.StorageBits() != 1024*(12+64+16+2) {
+		t.Errorf("storage = %d", p.StorageBits())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Entries: 5})
+}

@@ -1,0 +1,30 @@
+package vtage
+
+import "testing"
+
+// Reproduces the pipeline's fetch-train separation: all lookups of a frame
+// happen before any training of that frame.
+func TestDelayedTrainingManySites(t *testing.T) {
+	p := New(DefaultConfig())
+	const sites = 96
+	for round := 0; round < 900; round++ {
+		lks := make([]Lookup, sites)
+		for s := 0; s < sites; s++ {
+			lks[s] = p.Predict(0x400000+uint64(s)*28, 0)
+		}
+		for s := 0; s < sites; s++ {
+			p.Train(lks[s], 0, uint64(1000+s))
+		}
+		p.PushBranch(round%32 == 0)
+	}
+	confident := 0
+	for s := 0; s < sites; s++ {
+		if p.Predict(0x400000+uint64(s)*28, 0).Confident {
+			confident++
+		}
+	}
+	if confident < sites/2 {
+		t.Errorf("only %d/%d sites confident with delayed training", confident, sites)
+	}
+	t.Logf("allocs=%d hits=%d lookups=%d", p.Allocations, p.Hits, p.Lookups)
+}

@@ -1,0 +1,24 @@
+package vtage
+
+import "testing"
+
+func TestManyConstantKeysTrain(t *testing.T) {
+	p := New(DefaultConfig())
+	const sites = 96
+	confident := 0
+	for round := 0; round < 900; round++ {
+		confident = 0
+		for s := 0; s < sites; s++ {
+			pc := 0x400000 + uint64(s)*24
+			lk := p.Predict(pc, 0)
+			if lk.Confident {
+				confident++
+			}
+			p.Train(lk, 0, uint64(1000+s)) // constant per site (op LDR=0? use real)
+		}
+		p.PushBranch(round%32 == 0) // drifting history like eon's frame loop
+	}
+	if confident < sites/2 {
+		t.Errorf("only %d/%d sites confident after 900 rounds", confident, sites)
+	}
+}

@@ -1,0 +1,255 @@
+package vtage
+
+import (
+	"testing"
+
+	"dlvp/internal/isa"
+)
+
+// driveConstant trains (pc, destIdx) with a constant value n times and
+// returns the final prediction state.
+func driveConstant(p *Predictor, pc uint64, val uint64, n int) Lookup {
+	var lk Lookup
+	for i := 0; i < n; i++ {
+		lk = p.Predict(pc, 0)
+		p.Train(lk, isa.LDR, val)
+	}
+	return p.Predict(pc, 0)
+}
+
+func TestLearnsConstantValueSlowly(t *testing.T) {
+	p := New(DefaultConfig())
+	// After a handful of observations VTAGE must NOT be confident (the
+	// paper's Challenge #2: confidence needs 64-128 observations).
+	lk := driveConstant(p, 0x400100, 42, 10)
+	if lk.Confident {
+		t.Error("VTAGE confident after only 10 observations; FPC vector too aggressive")
+	}
+	lk = driveConstant(p, 0x400100, 42, 400)
+	if !lk.Confident || lk.Value != 42 {
+		t.Errorf("VTAGE not confident after 410 observations: %+v", lk)
+	}
+}
+
+func TestHistoryContextDisambiguates(t *testing.T) {
+	p := New(DefaultConfig())
+	const pc = 0x400100
+	// Value correlates with the preceding branch outcome.
+	setHist := func(taken bool) {
+		p.RestoreHistory(0)
+		for i := 0; i < 13; i++ {
+			p.PushBranch(taken)
+		}
+	}
+	for i := 0; i < 600; i++ {
+		setHist(true)
+		lk := p.Predict(pc, 0)
+		p.Train(lk, isa.LDR, 111)
+		setHist(false)
+		lk = p.Predict(pc, 0)
+		p.Train(lk, isa.LDR, 222)
+	}
+	setHist(true)
+	lkT := p.Predict(pc, 0)
+	setHist(false)
+	lkF := p.Predict(pc, 0)
+	if !lkT.Confident || lkT.Value != 111 {
+		t.Errorf("taken-context prediction = %+v, want confident 111", lkT)
+	}
+	if !lkF.Confident || lkF.Value != 222 {
+		t.Errorf("not-taken-context prediction = %+v, want confident 222", lkF)
+	}
+}
+
+func TestLongestHistoryProvides(t *testing.T) {
+	p := New(DefaultConfig())
+	// Train with a fixed history so all tables allocate eventually.
+	p.RestoreHistory(0b1010101)
+	var lk Lookup
+	for i := 0; i < 800; i++ {
+		lk = p.Predict(0x400100, 0)
+		p.Train(lk, isa.LDR, 7)
+	}
+	lk = p.Predict(0x400100, 0)
+	if lk.Provider < 0 {
+		t.Fatal("no provider after training")
+	}
+	// With a stable history and repeated mispredict-free training the base
+	// table should hit; after mispredictions longer tables allocate. Force
+	// allocations by alternating values.
+	for i := 0; i < 400; i++ {
+		lk = p.Predict(0x400100, 0)
+		p.Train(lk, isa.LDR, uint64(7+i%2))
+	}
+	lk = p.Predict(0x400100, 0)
+	if lk.Provider < 0 {
+		t.Fatal("lost all entries")
+	}
+}
+
+func TestPerDestinationEntries(t *testing.T) {
+	p := New(Config{
+		TableEntries: 256, Histories: []uint8{0, 5, 13}, TagBits: 16,
+		Filter: FilterNone, LoadsOnly: true, Seed: 1,
+	})
+	const pc = 0x400100
+	for i := 0; i < 600; i++ {
+		lk0 := p.Predict(pc, 0)
+		p.Train(lk0, isa.LDP, 10)
+		lk1 := p.Predict(pc, 1)
+		p.Train(lk1, isa.LDP, 20)
+	}
+	lk0 := p.Predict(pc, 0)
+	lk1 := p.Predict(pc, 1)
+	if !lk0.Confident || lk0.Value != 10 {
+		t.Errorf("dest 0 = %+v, want 10", lk0)
+	}
+	if !lk1.Confident || lk1.Value != 20 {
+		t.Errorf("dest 1 = %+v, want 20", lk1)
+	}
+}
+
+func TestStaticFilterBlocksMultiDestLoads(t *testing.T) {
+	p := New(DefaultConfig()) // static filter
+	for _, op := range []isa.Op{isa.LDP, isa.LDM, isa.VLD} {
+		if p.Eligible(op, 2) {
+			t.Errorf("static filter must block %v", op)
+		}
+	}
+	if !p.Eligible(isa.LDR, 1) {
+		t.Error("static filter must not block LDR")
+	}
+}
+
+func TestVanillaAllowsMultiDestLoads(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Filter = FilterNone
+	p := New(cfg)
+	for _, op := range []isa.Op{isa.LDP, isa.LDM, isa.VLD, isa.LDR} {
+		if !p.Eligible(op, 2) {
+			t.Errorf("vanilla must allow %v", op)
+		}
+	}
+}
+
+func TestDynamicFilterLearnsToBlock(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Filter = FilterDynamic
+	cfg.DynamicFilterMinSamples = 64
+	// Fast confidence so the noisy opcode keeps making (wrong) predictions.
+	cfg.ConfidenceVector = []uint32{1, 1}
+	p := New(cfg)
+	if p.Blocked(isa.LDP) {
+		t.Fatal("dynamic filter must start open")
+	}
+	// LDP values persist just long enough to regain confidence, then change:
+	// a large fraction of confident predictions are wrong.
+	for i := 0; i < 4000 && !p.Blocked(isa.LDP); i++ {
+		lk := p.Predict(0x400100, 0)
+		p.Train(lk, isa.LDP, uint64(i/4)) // value changes every 4 observations
+	}
+	if !p.Blocked(isa.LDP) {
+		t.Error("dynamic filter never blocked a low-accuracy opcode")
+	}
+	if p.Eligible(isa.LDP, 2) {
+		t.Error("blocked opcode must be ineligible")
+	}
+	// A well-behaved opcode stays open.
+	for i := 0; i < 500; i++ {
+		lk := p.Predict(0x400200, 0)
+		p.Train(lk, isa.LDR, 5)
+	}
+	if p.Blocked(isa.LDR) {
+		t.Error("high-accuracy opcode must stay open")
+	}
+}
+
+func TestLoadsOnlyMode(t *testing.T) {
+	p := New(DefaultConfig()) // LoadsOnly: true
+	if p.Eligible(isa.ADD, 1) {
+		t.Error("loads-only mode must not predict ALU ops")
+	}
+	cfg := DefaultConfig()
+	cfg.LoadsOnly = false
+	p2 := New(cfg)
+	if !p2.Eligible(isa.ADD, 1) {
+		t.Error("all-instructions mode must predict ALU ops")
+	}
+	if p2.Eligible(isa.STR, 0) {
+		t.Error("stores produce no register value")
+	}
+	if p2.Eligible(isa.B, 0) {
+		t.Error("branches produce no value")
+	}
+}
+
+func TestOrderedLoadsNeverEligible(t *testing.T) {
+	for _, loadsOnly := range []bool{true, false} {
+		cfg := DefaultConfig()
+		cfg.LoadsOnly = loadsOnly
+		cfg.Filter = FilterNone
+		p := New(cfg)
+		if p.Eligible(isa.LDAR, 1) {
+			t.Error("load-acquire must never be predicted")
+		}
+	}
+}
+
+func TestMispredictionDrainsConfidence(t *testing.T) {
+	p := New(DefaultConfig())
+	lk := driveConstant(p, 0x400100, 42, 500)
+	if !lk.Confident {
+		t.Fatal("setup: not confident")
+	}
+	lk = p.Predict(0x400100, 0)
+	p.Train(lk, isa.LDR, 99)
+	lk = p.Predict(0x400100, 0)
+	if lk.Confident && lk.Value == 42 {
+		t.Error("stale value still confidently predicted after misprediction")
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	p := New(DefaultConfig())
+	// Paper: 3 x 256 x 83 = 63744 bits (62.3k).
+	if got := p.EntryBits(); got != 83 {
+		t.Errorf("entry bits = %d, want 83", got)
+	}
+	if got := p.StorageBits(); got != 3*256*83 {
+		t.Errorf("storage = %d, want %d", got, 3*256*83)
+	}
+}
+
+func TestFilterKindString(t *testing.T) {
+	if FilterNone.String() != "vanilla" || FilterDynamic.String() != "dynamic" || FilterStatic.String() != "static" {
+		t.Error("FilterKind strings wrong")
+	}
+}
+
+func TestHistorySnapshotRoundTrip(t *testing.T) {
+	p := New(DefaultConfig())
+	p.PushBranch(true)
+	p.PushBranch(false)
+	s := p.HistorySnapshot()
+	p.PushBranch(true)
+	p.RestoreHistory(s)
+	if p.HistorySnapshot() != s {
+		t.Error("restore failed")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, bad := range []Config{
+		{TableEntries: 100, Histories: []uint8{0}, TagBits: 8},
+		{TableEntries: 256, Histories: nil, TagBits: 8},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", bad)
+				}
+			}()
+			New(bad)
+		}()
+	}
+}

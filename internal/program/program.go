@@ -1,0 +1,358 @@
+// Package program provides an assembler-like builder for constructing
+// mini-ISA programs: instruction emission with label resolution, a data
+// segment allocator, and the resulting Program image consumed by the
+// functional emulator.
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"dlvp/internal/isa"
+)
+
+// Memory layout constants. Code starts at CodeBase and every instruction
+// occupies 4 bytes; the data segment grows upward from DataBase; each
+// program gets a downward-growing stack topped at StackTop.
+const (
+	CodeBase = 0x0000_0000_0040_0000
+	DataBase = 0x0000_0000_1000_0000
+	StackTop = 0x0000_0000_7fff_f000
+)
+
+// Program is a fully resolved program image: code, initialised data, and the
+// entry point. It is immutable once built.
+type Program struct {
+	Name  string
+	Code  []isa.Inst
+	Entry uint64
+	Data  []Segment
+	// Symbols maps data symbol names to base addresses.
+	Symbols map[string]uint64
+	// Labels maps code label names to instruction addresses.
+	Labels map[string]uint64
+}
+
+// Segment is one initialised region of the data segment.
+type Segment struct {
+	Name string
+	Base uint64
+	Data []byte
+}
+
+// PCOf returns the address of instruction index idx.
+func (p *Program) PCOf(idx int) uint64 { return CodeBase + uint64(idx)*4 }
+
+// InstAt returns the instruction at address pc, or nil if pc is outside the
+// code segment.
+func (p *Program) InstAt(pc uint64) *isa.Inst {
+	if pc < CodeBase || (pc-CodeBase)%4 != 0 {
+		return nil
+	}
+	idx := (pc - CodeBase) / 4
+	if idx >= uint64(len(p.Code)) {
+		return nil
+	}
+	return &p.Code[idx]
+}
+
+// Builder incrementally assembles a Program. Methods panic on misuse
+// (duplicate labels, unresolved references at Build time): workload kernels
+// are static, compiled-in programs, so construction errors are programmer
+// errors, matching the fail-fast convention of text/template.Must.
+type Builder struct {
+	name    string
+	code    []isa.Inst
+	labels  map[string]int // label -> instruction index
+	symbols map[string]uint64
+	data    []Segment
+	dataTop uint64
+}
+
+// NewBuilder returns an empty Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:    name,
+		labels:  make(map[string]int),
+		symbols: make(map[string]uint64),
+		dataTop: DataBase,
+	}
+}
+
+// Label defines a code label at the current emission point.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("program %q: duplicate label %q", b.name, name))
+	}
+	b.labels[name] = len(b.code)
+}
+
+// PC returns the address the next emitted instruction will occupy.
+func (b *Builder) PC() uint64 { return CodeBase + uint64(len(b.code))*4 }
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(i isa.Inst) {
+	b.code = append(b.code, i)
+}
+
+// Alloc reserves size bytes in the data segment under a symbol name and
+// returns the base address. The region is zero-initialised. Alignment is
+// 64 bytes (one cache line) so that independently named arrays never share
+// lines, keeping workload conflict behaviour intentional.
+func (b *Builder) Alloc(name string, size int) uint64 {
+	return b.AllocInit(name, make([]byte, size))
+}
+
+// AllocInit reserves len(init) bytes initialised with init.
+func (b *Builder) AllocInit(name string, init []byte) uint64 {
+	if _, dup := b.symbols[name]; dup {
+		panic(fmt.Sprintf("program %q: duplicate symbol %q", b.name, name))
+	}
+	const align = 64
+	base := (b.dataTop + align - 1) &^ (align - 1)
+	b.symbols[name] = base
+	b.data = append(b.data, Segment{Name: name, Base: base, Data: init})
+	b.dataTop = base + uint64(len(init))
+	return base
+}
+
+// AllocWords reserves a symbol initialised with 8-byte little-endian words.
+func (b *Builder) AllocWords(name string, words []uint64) uint64 {
+	buf := make([]byte, len(words)*8)
+	for i, w := range words {
+		putUint64(buf[i*8:], w)
+	}
+	return b.AllocInit(name, buf)
+}
+
+// SetWords replaces the contents of a previously allocated symbol with
+// 8-byte little-endian words. It allows self-referential data (linked
+// structures storing absolute addresses) to be filled in after the symbol's
+// base address is known. The new content must fit the allocation.
+func (b *Builder) SetWords(name string, words []uint64) {
+	for i := range b.data {
+		if b.data[i].Name != name {
+			continue
+		}
+		if len(words)*8 > len(b.data[i].Data) {
+			panic(fmt.Sprintf("program %q: SetWords(%q): %d words exceed allocation of %d bytes",
+				b.name, name, len(words), len(b.data[i].Data)))
+		}
+		for j, w := range words {
+			putUint64(b.data[i].Data[j*8:], w)
+		}
+		return
+	}
+	panic(fmt.Sprintf("program %q: SetWords: unknown symbol %q", b.name, name))
+}
+
+// Sym returns the address of a previously allocated data symbol.
+func (b *Builder) Sym(name string) uint64 {
+	a, ok := b.symbols[name]
+	if !ok {
+		panic(fmt.Sprintf("program %q: unknown symbol %q", b.name, name))
+	}
+	return a
+}
+
+// Build resolves all label references and returns the finished Program.
+func (b *Builder) Build() *Program {
+	p := &Program{
+		Name:    b.name,
+		Code:    b.code,
+		Entry:   CodeBase,
+		Data:    b.data,
+		Symbols: b.symbols,
+		Labels:  make(map[string]uint64, len(b.labels)),
+	}
+	for name, idx := range b.labels {
+		p.Labels[name] = p.PCOf(idx)
+	}
+	for i := range p.Code {
+		inst := &p.Code[i]
+		if inst.Label == "" {
+			continue
+		}
+		idx, ok := b.labels[inst.Label]
+		if !ok {
+			panic(fmt.Sprintf("program %q: unresolved label %q at instruction %d",
+				b.name, inst.Label, i))
+		}
+		inst.Target = p.PCOf(idx)
+		inst.Label = ""
+	}
+	return p
+}
+
+// --- convenience emitters ---------------------------------------------------
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.Emit(isa.Inst{Op: isa.NOP}) }
+
+// Halt emits a HALT.
+func (b *Builder) Halt() { b.Emit(isa.Inst{Op: isa.HALT}) }
+
+// MovImm loads a 64-bit immediate into rd. Large immediates are synthesised
+// from MOVZ plus shift/or pairs, like a real assembler would.
+func (b *Builder) MovImm(rd isa.Reg, v uint64) {
+	// MOVZ immediates ride in Imm (int64), so any value up to 1<<63-1 fits in
+	// one instruction; only the top bit forces the synthesis path.
+	if v <= 1<<62 {
+		b.Emit(isa.Inst{Op: isa.MOVZ, Rd: rd, Imm: int64(v)})
+		return
+	}
+	b.Emit(isa.Inst{Op: isa.MOVZ, Rd: rd, Imm: int64(v >> 32)})
+	b.Emit(isa.Inst{Op: isa.LSLI, Rd: rd, Rn: rd, Imm: 32})
+	b.Emit(isa.Inst{Op: isa.ORRI, Rd: rd, Rn: rd, Imm: int64(v & 0xffff_ffff)})
+}
+
+// MovSym loads the address of a data symbol into rd.
+func (b *Builder) MovSym(rd isa.Reg, sym string) { b.MovImm(rd, b.Sym(sym)) }
+
+// Op3 emits a three-register ALU operation.
+func (b *Builder) Op3(op isa.Op, rd, rn, rm isa.Reg) {
+	b.Emit(isa.Inst{Op: op, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// OpImm emits a register-immediate ALU operation.
+func (b *Builder) OpImm(op isa.Op, rd, rn isa.Reg, imm int64) {
+	b.Emit(isa.Inst{Op: op, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// Add emits rd = rn + rm.
+func (b *Builder) Add(rd, rn, rm isa.Reg) { b.Op3(isa.ADD, rd, rn, rm) }
+
+// AddI emits rd = rn + imm.
+func (b *Builder) AddI(rd, rn isa.Reg, imm int64) { b.OpImm(isa.ADDI, rd, rn, imm) }
+
+// SubI emits rd = rn - imm.
+func (b *Builder) SubI(rd, rn isa.Reg, imm int64) { b.OpImm(isa.SUBI, rd, rn, imm) }
+
+// Madd emits rd = rn*rm + ra.
+func (b *Builder) Madd(rd, rn, rm, ra isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.MADD, Rd: rd, Rn: rn, Rm: rm, Rt: ra})
+}
+
+// Ldr emits a load of 1<<sizeLog2 bytes: rd = mem[rn + imm].
+func (b *Builder) Ldr(rd, rn isa.Reg, imm int64, sizeLog2 uint8) {
+	b.Emit(isa.Inst{Op: isa.LDR, Rd: rd, Rn: rn, Rm: isa.XZR, Imm: imm, Size: sizeLog2})
+}
+
+// LdrIdx emits rd = mem[rn + (rm << scale)] of 1<<sizeLog2 bytes.
+func (b *Builder) LdrIdx(rd, rn, rm isa.Reg, scale, sizeLog2 uint8) {
+	b.Emit(isa.Inst{Op: isa.LDR, Rd: rd, Rn: rn, Rm: rm, Scale: scale, Size: sizeLog2})
+}
+
+// LdrPost emits rd = mem[rn] (8 bytes); rn += imm.
+func (b *Builder) LdrPost(rd, rn isa.Reg, imm int64) {
+	b.Emit(isa.Inst{Op: isa.LDRPOST, Rd: rd, Rn: rn, Rm: isa.XZR, Imm: imm, Size: 3})
+}
+
+// Ldp emits rd,rd2 = mem[rn+imm], mem[rn+imm+8].
+func (b *Builder) Ldp(rd, rd2, rn isa.Reg, imm int64) {
+	b.Emit(isa.Inst{Op: isa.LDP, Rd: rd, Rd2: rd2, Rn: rn, Rm: isa.XZR, Imm: imm, Size: 3})
+}
+
+// Ldm emits an n-register load-multiple into rd..rd+n-1 from rn+imm.
+func (b *Builder) Ldm(rd isa.Reg, n uint8, rn isa.Reg, imm int64) {
+	if n < 2 || n > isa.MaxLDMRegs {
+		panic(fmt.Sprintf("ldm: register count %d out of range", n))
+	}
+	b.Emit(isa.Inst{Op: isa.LDM, Rd: rd, Rn: rn, Rm: isa.XZR, Imm: imm, NReg: n, Size: 3})
+}
+
+// Vld emits a 128-bit vector load into vd,vd2.
+func (b *Builder) Vld(vd, vd2, rn isa.Reg, imm int64) {
+	b.Emit(isa.Inst{Op: isa.VLD, Rd: vd, Rd2: vd2, Rn: rn, Rm: isa.XZR, Imm: imm, Size: 3})
+}
+
+// Ldar emits a load-acquire: rd = mem[rn+imm].
+func (b *Builder) Ldar(rd, rn isa.Reg, imm int64, sizeLog2 uint8) {
+	b.Emit(isa.Inst{Op: isa.LDAR, Rd: rd, Rn: rn, Rm: isa.XZR, Imm: imm, Size: sizeLog2})
+}
+
+// Str emits mem[rn+imm] = rt (1<<sizeLog2 bytes).
+func (b *Builder) Str(rt, rn isa.Reg, imm int64, sizeLog2 uint8) {
+	b.Emit(isa.Inst{Op: isa.STR, Rt: rt, Rn: rn, Rm: isa.XZR, Imm: imm, Size: sizeLog2})
+}
+
+// StrIdx emits mem[rn + (rm<<scale)] = rt.
+func (b *Builder) StrIdx(rt, rn, rm isa.Reg, scale, sizeLog2 uint8) {
+	b.Emit(isa.Inst{Op: isa.STR, Rt: rt, Rn: rn, Rm: rm, Scale: scale, Size: sizeLog2})
+}
+
+// Stp emits mem[rn+imm],mem[rn+imm+8] = rt,rt2.
+func (b *Builder) Stp(rt, rt2, rn isa.Reg, imm int64) {
+	b.Emit(isa.Inst{Op: isa.STP, Rt: rt, Rt2: rt2, Rn: rn, Rm: isa.XZR, Imm: imm, Size: 3})
+}
+
+// Br emits an unconditional branch to label.
+func (b *Builder) Br(label string) {
+	b.Emit(isa.Inst{Op: isa.B, Label: label})
+}
+
+// CondBr emits a two-register conditional branch to label.
+func (b *Builder) CondBr(op isa.Op, rn, rm isa.Reg, label string) {
+	if !op.IsCondBranch() {
+		panic(fmt.Sprintf("CondBr: %v is not a conditional branch", op))
+	}
+	b.Emit(isa.Inst{Op: op, Rn: rn, Rm: rm, Label: label})
+}
+
+// Cbz emits a compare-and-branch-if-zero to label.
+func (b *Builder) Cbz(rn isa.Reg, label string) {
+	b.Emit(isa.Inst{Op: isa.CBZ, Rn: rn, Label: label})
+}
+
+// Cbnz emits a compare-and-branch-if-nonzero to label.
+func (b *Builder) Cbnz(rn isa.Reg, label string) {
+	b.Emit(isa.Inst{Op: isa.CBNZ, Rn: rn, Label: label})
+}
+
+// Call emits a BL to label with the link in lr.
+func (b *Builder) Call(label string, lr isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.BL, Rd: lr, Label: label})
+}
+
+// Ret emits a return through lr.
+func (b *Builder) Ret(lr isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.RET, Rn: lr})
+}
+
+// BrReg emits an indirect jump through rn.
+func (b *Builder) BrReg(rn isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.BR, Rn: rn})
+}
+
+// Disasm returns a listing of the program with addresses and labels, useful
+// in tests and for debugging workloads.
+func (p *Program) Disasm() string {
+	byAddr := make(map[uint64][]string)
+	for name, addr := range p.Labels {
+		byAddr[addr] = append(byAddr[addr], name)
+	}
+	out := make([]byte, 0, len(p.Code)*32)
+	for i := range p.Code {
+		pc := p.PCOf(i)
+		if names := byAddr[pc]; len(names) > 0 {
+			sort.Strings(names)
+			for _, n := range names {
+				out = append(out, fmt.Sprintf("%s:\n", n)...)
+			}
+		}
+		out = append(out, fmt.Sprintf("  %08x: %s\n", pc, p.Code[i].String())...)
+	}
+	return string(out)
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

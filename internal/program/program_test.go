@@ -1,0 +1,211 @@
+package program
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dlvp/internal/isa"
+)
+
+func TestLabelsResolve(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("start")
+	b.MovImm(0, 7)
+	b.Label("loop")
+	b.SubI(0, 0, 1)
+	b.Cbnz(0, "loop")
+	b.Halt()
+	p := b.Build()
+
+	if p.Labels["start"] != CodeBase {
+		t.Errorf("start = %#x, want %#x", p.Labels["start"], uint64(CodeBase))
+	}
+	loopPC := p.Labels["loop"]
+	var found bool
+	for i := range p.Code {
+		if p.Code[i].Op == isa.CBNZ {
+			found = true
+			if p.Code[i].Target != loopPC {
+				t.Errorf("cbnz target = %#x, want %#x", p.Code[i].Target, loopPC)
+			}
+			if p.Code[i].Label != "" {
+				t.Error("label not cleared after resolution")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("cbnz not emitted")
+	}
+}
+
+func TestUnresolvedLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unresolved label")
+		}
+	}()
+	b := NewBuilder("t")
+	b.Br("nowhere")
+	b.Build()
+}
+
+func TestDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for duplicate label")
+		}
+	}()
+	b := NewBuilder("t")
+	b.Label("x")
+	b.Label("x")
+}
+
+func TestDuplicateSymbolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for duplicate symbol")
+		}
+	}()
+	b := NewBuilder("t")
+	b.Alloc("a", 8)
+	b.Alloc("a", 8)
+}
+
+func TestUnknownSymbolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown symbol")
+		}
+	}()
+	b := NewBuilder("t")
+	b.Sym("missing")
+}
+
+func TestAllocAlignmentAndLayout(t *testing.T) {
+	b := NewBuilder("t")
+	a1 := b.Alloc("a", 3)
+	a2 := b.Alloc("b", 100)
+	a3 := b.Alloc("c", 1)
+	if a1%64 != 0 || a2%64 != 0 || a3%64 != 0 {
+		t.Errorf("allocations not 64-byte aligned: %#x %#x %#x", a1, a2, a3)
+	}
+	if a2 <= a1 || a3 <= a2 {
+		t.Errorf("allocations not monotonically increasing: %#x %#x %#x", a1, a2, a3)
+	}
+	if a2-a1 < 3 || a3-a2 < 100 {
+		t.Error("allocations overlap")
+	}
+	if b.Sym("b") != a2 {
+		t.Error("Sym lookup mismatch")
+	}
+}
+
+func TestAllocWords(t *testing.T) {
+	b := NewBuilder("t")
+	base := b.AllocWords("w", []uint64{0x1122334455667788, 42})
+	p := b.Build()
+	if len(p.Data) != 1 {
+		t.Fatalf("segments = %d, want 1", len(p.Data))
+	}
+	seg := p.Data[0]
+	if seg.Base != base || len(seg.Data) != 16 {
+		t.Fatalf("segment base/len = %#x/%d", seg.Base, len(seg.Data))
+	}
+	if seg.Data[0] != 0x88 || seg.Data[7] != 0x11 || seg.Data[8] != 42 {
+		t.Errorf("little-endian encoding wrong: % x", seg.Data)
+	}
+}
+
+func TestInstAt(t *testing.T) {
+	b := NewBuilder("t")
+	b.Nop()
+	b.Halt()
+	p := b.Build()
+	if inst := p.InstAt(CodeBase); inst == nil || inst.Op != isa.NOP {
+		t.Error("InstAt(CodeBase) wrong")
+	}
+	if inst := p.InstAt(CodeBase + 4); inst == nil || inst.Op != isa.HALT {
+		t.Error("InstAt(CodeBase+4) wrong")
+	}
+	if p.InstAt(CodeBase+8) != nil {
+		t.Error("InstAt past end should be nil")
+	}
+	if p.InstAt(CodeBase+2) != nil {
+		t.Error("InstAt unaligned should be nil")
+	}
+	if p.InstAt(0) != nil {
+		t.Error("InstAt(0) should be nil")
+	}
+}
+
+func TestMovImmSmallAndLarge(t *testing.T) {
+	b := NewBuilder("t")
+	b.MovImm(1, 12345)
+	n := len(buildCode(b))
+	if n != 1 {
+		t.Errorf("small immediate used %d instructions, want 1", n)
+	}
+	b2 := NewBuilder("t2")
+	b2.MovImm(1, 0xffff_ffff_ffff_ffff)
+	if n := len(buildCode(b2)); n != 3 {
+		t.Errorf("large immediate used %d instructions, want 3", n)
+	}
+}
+
+func TestDisasmContainsLabels(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("entry")
+	b.MovImm(0, 1)
+	b.Label("done")
+	b.Halt()
+	p := b.Build()
+	d := p.Disasm()
+	for _, want := range []string{"entry:", "done:", "movz", "halt"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestCondBrRejectsNonBranch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := NewBuilder("t")
+	b.CondBr(isa.ADD, 0, 1, "x")
+}
+
+func TestLdmRangeChecked(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for NReg=1")
+		}
+	}()
+	b := NewBuilder("t")
+	b.Ldm(0, 1, 1, 0)
+}
+
+// Property: PCOf is strictly increasing by 4 and InstAt(PCOf(i)) returns
+// instruction i.
+func TestPCOfInstAtRoundTrip(t *testing.T) {
+	b := NewBuilder("t")
+	for i := 0; i < 50; i++ {
+		b.AddI(1, 1, int64(i))
+	}
+	p := b.Build()
+	f := func(idx uint16) bool {
+		i := int(idx) % len(p.Code)
+		inst := p.InstAt(p.PCOf(i))
+		return inst == &p.Code[i]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildCode(b *Builder) []isa.Inst {
+	return b.Build().Code
+}

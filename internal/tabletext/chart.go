@@ -1,0 +1,116 @@
+package tabletext
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders a horizontal ASCII bar chart — the closest a terminal gets
+// to the paper's figures. Negative values extend left of the axis.
+type Chart struct {
+	Title string
+	// Unit is appended to the printed values (e.g. "%").
+	Unit  string
+	Bars  []Bar
+	Notes []string
+	// Width is the maximum bar length in characters (default 40).
+	Width int
+}
+
+// Bar is one labelled value.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// Add appends a bar.
+func (c *Chart) Add(label string, value float64) {
+	c.Bars = append(c.Bars, Bar{Label: label, Value: value})
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	var maxAbs float64
+	labelW := 0
+	anyNeg := false
+	for _, b := range c.Bars {
+		if a := math.Abs(b.Value); a > maxAbs {
+			maxAbs = a
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+		if b.Value < 0 {
+			anyNeg = true
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Repeat("=", len(c.Title)))
+		sb.WriteByte('\n')
+	}
+	negW := 0
+	if anyNeg {
+		negW = width / 2
+	}
+	for _, b := range c.Bars {
+		n := int(math.Round(math.Abs(b.Value) / maxAbs * float64(width-negW)))
+		if n == 0 && b.Value != 0 {
+			n = 1
+		}
+		sb.WriteString(pad(b.Label, labelW, false))
+		sb.WriteString("  ")
+		if anyNeg {
+			if b.Value < 0 {
+				if n > negW {
+					n = negW
+				}
+				sb.WriteString(strings.Repeat(" ", negW-n))
+				sb.WriteString(strings.Repeat("▒", n))
+				sb.WriteByte('|')
+			} else {
+				sb.WriteString(strings.Repeat(" ", negW))
+				sb.WriteByte('|')
+				sb.WriteString(strings.Repeat("█", n))
+			}
+		} else {
+			sb.WriteString(strings.Repeat("█", n))
+		}
+		sb.WriteString(fmt.Sprintf(" %.2f%s\n", b.Value, c.Unit))
+	}
+	for _, n := range c.Notes {
+		sb.WriteString("note: ")
+		sb.WriteString(n)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ChartFromColumn builds a chart from a table column (1-based value column
+// index), using column 0 as labels. Rows whose value cell does not parse
+// are skipped.
+func ChartFromColumn(t *Table, col int, title, unit string) *Chart {
+	c := &Chart{Title: title, Unit: unit}
+	for _, row := range t.Rows {
+		if col >= len(row) {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscan(row[col], &v); err != nil {
+			continue
+		}
+		c.Add(row[0], v)
+	}
+	return c
+}

@@ -1,0 +1,70 @@
+package tabletext
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendering(t *testing.T) {
+	c := &Chart{Title: "Speedup", Unit: "%", Width: 20}
+	c.Add("alpha", 10)
+	c.Add("beta", 5)
+	c.Add("gamma", 0)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + rule + 3 bars
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	alpha := strings.Count(lines[2], "█")
+	beta := strings.Count(lines[3], "█")
+	gamma := strings.Count(lines[4], "█")
+	if alpha != 20 || beta != 10 || gamma != 0 {
+		t.Errorf("bar lengths = %d/%d/%d, want 20/10/0:\n%s", alpha, beta, gamma, out)
+	}
+	if !strings.Contains(lines[2], "10.00%") {
+		t.Errorf("value missing: %s", lines[2])
+	}
+}
+
+func TestChartNegativeValues(t *testing.T) {
+	c := &Chart{Width: 20}
+	c.Add("up", 4)
+	c.Add("down", -2)
+	out := c.String()
+	if !strings.Contains(out, "▒") {
+		t.Errorf("negative bar glyph missing:\n%s", out)
+	}
+	if !strings.Contains(out, "|") {
+		t.Errorf("axis missing:\n%s", out)
+	}
+}
+
+func TestChartTinyNonZeroVisible(t *testing.T) {
+	c := &Chart{Width: 10}
+	c.Add("big", 1000)
+	c.Add("tiny", 0.01)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Count(lines[1], "█") == 0 {
+		t.Error("non-zero value rendered invisible")
+	}
+}
+
+func TestChartFromColumn(t *testing.T) {
+	tb := &Table{Header: []string{"workload", "CAP", "DLVP"}}
+	tb.AddRow("a", 1.0, 2.0)
+	tb.AddRow("b", 3.0, 4.0)
+	tb.AddRow("hdrish", "n/a", "n/a") // unparsable -> skipped
+	c := ChartFromColumn(tb, 2, "DLVP", "%")
+	if len(c.Bars) != 2 || c.Bars[1].Value != 4 {
+		t.Fatalf("bars = %+v", c.Bars)
+	}
+}
+
+func TestChartEmptyAllZero(t *testing.T) {
+	c := &Chart{}
+	c.Add("z", 0)
+	if out := c.String(); !strings.Contains(out, "0.00") {
+		t.Errorf("zero chart broken:\n%s", out)
+	}
+}

@@ -1,0 +1,63 @@
+package tabletext
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRendering(t *testing.T) {
+	tb := &Table{
+		Title:  "Demo",
+		Header: []string{"name", "value"},
+		Notes:  []string{"a note"},
+	}
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 42)
+	out := tb.String()
+	for _, want := range []string{"Demo", "====", "name", "alpha", "1.50", "42", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + underline + header + separator + 2 rows + note
+	if len(lines) != 7 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	tb := &Table{Header: []string{"n", "v"}}
+	tb.AddRow("longname", 1)
+	tb.AddRow("x", 100)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// All data lines must have equal width.
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("rows not aligned:\n%s", out)
+	}
+	// Numbers right-aligned: the last character of both rows is a digit.
+	if lines[2][len(lines[2])-1] != '1' || lines[3][len(lines[3])-1] != '0' {
+		t.Errorf("numeric column not right-aligned:\n%s", out)
+	}
+}
+
+func TestUntitledNoHeader(t *testing.T) {
+	tb := &Table{}
+	tb.AddRow("only", "row")
+	out := tb.String()
+	if strings.Contains(out, "=") || strings.Contains(out, "-") {
+		t.Errorf("untitled table must have no rules:\n%s", out)
+	}
+}
+
+func TestMixedCellTypes(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b", "c", "d"}}
+	tb.AddRow("s", 3, 2.25, uint64(7))
+	out := tb.String()
+	for _, want := range []string{"s", "3", "2.25", "7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %s", want, out)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dlvp/internal/isa"
+)
+
+// Binary trace format: a 16-byte header (magic, version, record count)
+// followed by fixed-width little-endian records. The format exists so
+// traces can be captured once and replayed into the timing model or
+// external tooling without re-running the emulator.
+const (
+	traceMagic   = 0x50564c44 // "DLVP"
+	traceVersion = 1
+)
+
+// recWireSize is the fixed on-disk record size: see writeRec for the layout.
+const recWireSize = 8 + 8 + 8 + 1 + 1 + 1 + 1 + 8 + 1 + 1 + 2 +
+	MaxDests + MaxSrcs + MaxDests*8
+
+// Writer serialises dynamic records.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+	base  io.WriteSeeker
+}
+
+// NewWriter returns a Writer emitting to ws. The header is finalised by
+// Close (the record count is back-patched), so ws must be seekable.
+func NewWriter(ws io.WriteSeeker) (*Writer, error) {
+	w := &Writer{w: bufio.NewWriter(ws), base: ws}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], traceVersion)
+	// count written on Close
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r *Rec) error {
+	var buf [recWireSize]byte
+	o := 0
+	put64 := func(v uint64) { binary.LittleEndian.PutUint64(buf[o:], v); o += 8 }
+	put64(r.Seq)
+	put64(r.PC)
+	put64(r.Next)
+	buf[o] = uint8(r.Op)
+	o++
+	buf[o] = r.NDst
+	o++
+	buf[o] = r.NSrc
+	o++
+	buf[o] = r.Bytes
+	o++
+	put64(r.Addr)
+	if r.Taken {
+		buf[o] = 1
+	}
+	o++
+	o++ // reserved
+	o += 2
+	for i := 0; i < MaxDests; i++ {
+		buf[o] = uint8(r.Dst[i])
+		o++
+	}
+	for i := 0; i < MaxSrcs; i++ {
+		buf[o] = uint8(r.Src[i])
+		o++
+	}
+	for i := 0; i < MaxDests; i++ {
+		put64(r.Vals[i])
+	}
+	if _, err := w.w.Write(buf[:]); err != nil {
+		return err
+	}
+	// The branch target trails the fixed block as one more 64-bit word.
+	var tgt [8]byte
+	binary.LittleEndian.PutUint64(tgt[:], r.Target)
+	if _, err := w.w.Write(tgt[:]); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Close flushes and back-patches the record count.
+func (w *Writer) Close() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if _, err := w.base.Seek(8, io.SeekStart); err != nil {
+		return err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], w.count)
+	_, err := w.base.Write(cnt[:])
+	return err
+}
+
+// FileReader streams records from a serialised trace; it implements Reader.
+type FileReader struct {
+	r      *bufio.Reader
+	remain uint64
+	err    error
+}
+
+// NewFileReader validates the header and returns a streaming reader.
+func NewFileReader(r io.Reader) (*FileReader, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != traceMagic {
+		return nil, errors.New("trace: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	return &FileReader{r: br, remain: binary.LittleEndian.Uint64(hdr[8:])}, nil
+}
+
+// Err returns the first decode error encountered (nil on clean EOF).
+func (f *FileReader) Err() error { return f.err }
+
+// Next implements Reader.
+func (f *FileReader) Next(rec *Rec) bool {
+	if f.remain == 0 || f.err != nil {
+		return false
+	}
+	var buf [recWireSize + 8]byte
+	if _, err := io.ReadFull(f.r, buf[:]); err != nil {
+		f.err = fmt.Errorf("trace: truncated record: %w", err)
+		return false
+	}
+	o := 0
+	get64 := func() uint64 { v := binary.LittleEndian.Uint64(buf[o:]); o += 8; return v }
+	rec.Seq = get64()
+	rec.PC = get64()
+	rec.Next = get64()
+	rec.Op = isa.Op(buf[o])
+	o++
+	rec.NDst = buf[o]
+	o++
+	rec.NSrc = buf[o]
+	o++
+	rec.Bytes = buf[o]
+	o++
+	rec.Addr = get64()
+	rec.Taken = buf[o] == 1
+	o += 2
+	o += 2
+	for i := 0; i < MaxDests; i++ {
+		rec.Dst[i] = isa.Reg(buf[o])
+		o++
+	}
+	for i := 0; i < MaxSrcs; i++ {
+		rec.Src[i] = isa.Reg(buf[o])
+		o++
+	}
+	for i := 0; i < MaxDests; i++ {
+		rec.Vals[i] = get64()
+	}
+	rec.Target = get64()
+	f.remain--
+	return true
+}

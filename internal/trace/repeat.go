@@ -1,0 +1,143 @@
+package trace
+
+// RepeatBuckets are the x-axis points of the paper's Figure 2: how often an
+// address or value repeats. A dynamic load falls in bucket k when the
+// address (value) it observes occurs at least Buckets[k] times — and fewer
+// than Buckets[k+1] times — across all dynamic instances of its static load.
+var RepeatBuckets = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// RepeatProfiler reproduces the paper's Figure 2: the breakdown of dynamic
+// load instructions according to the repeatability of the observed memory
+// addresses versus the observed loaded values. The paper's headline numbers
+// from this figure: loads whose address repeats >= 8 times cover 91% of
+// dynamic loads, while loads whose value repeats >= 64 times cover 80% —
+// the gap PAP's relaxed confidence exploits.
+type RepeatProfiler struct {
+	// per static load: occurrence count per address and per value.
+	addrCounts map[uint64]map[uint64]uint32
+	valCounts  map[uint64]map[uint64]uint32
+	loads      uint64
+}
+
+// NewRepeatProfiler returns an empty profiler.
+func NewRepeatProfiler() *RepeatProfiler {
+	return &RepeatProfiler{
+		addrCounts: make(map[uint64]map[uint64]uint32),
+		valCounts:  make(map[uint64]map[uint64]uint32),
+	}
+}
+
+// Observe feeds one record; non-loads are ignored.
+func (p *RepeatProfiler) Observe(r *Rec) {
+	if !r.IsLoad() {
+		return
+	}
+	p.loads++
+	ac := p.addrCounts[r.PC]
+	if ac == nil {
+		ac = make(map[uint64]uint32)
+		p.addrCounts[r.PC] = ac
+	}
+	ac[r.Addr]++
+	vc := p.valCounts[r.PC]
+	if vc == nil {
+		vc = make(map[uint64]uint32)
+		p.valCounts[r.PC] = vc
+	}
+	vc[r.Vals[0]]++
+}
+
+// RepeatStats is the Figure 2 result: for each bucket, the fraction (percent)
+// of dynamic loads whose address/value repeats a number of times that falls
+// in that bucket, plus cumulative "repeats at least k" curves.
+type RepeatStats struct {
+	Loads uint64
+	// AddrPct[i] / ValuePct[i]: percent of dynamic loads whose address/value
+	// total occurrence count c satisfies RepeatBuckets[i] <= c <
+	// RepeatBuckets[i+1] (last bucket unbounded).
+	AddrPct  []float64
+	ValuePct []float64
+	// AddrCumPct[i] / ValueCumPct[i]: percent with c >= RepeatBuckets[i].
+	AddrCumPct  []float64
+	ValueCumPct []float64
+}
+
+func bucketIndex(c uint32) int {
+	for i := len(RepeatBuckets) - 1; i >= 0; i-- {
+		if int(c) >= RepeatBuckets[i] {
+			return i
+		}
+	}
+	return 0
+}
+
+// Stats computes the breakdown.
+func (p *RepeatProfiler) Stats() RepeatStats {
+	n := len(RepeatBuckets)
+	s := RepeatStats{
+		Loads:       p.loads,
+		AddrPct:     make([]float64, n),
+		ValuePct:    make([]float64, n),
+		AddrCumPct:  make([]float64, n),
+		ValueCumPct: make([]float64, n),
+	}
+	if p.loads == 0 {
+		return s
+	}
+	tally := func(counts map[uint64]map[uint64]uint32, pct []float64) {
+		for _, m := range counts {
+			for _, c := range m {
+				// c dynamic loads observed this (addr|value), all of which
+				// fall in the same bucket.
+				pct[bucketIndex(c)] += float64(c)
+			}
+		}
+		for i := range pct {
+			pct[i] = 100 * pct[i] / float64(p.loads)
+		}
+	}
+	tally(p.addrCounts, s.AddrPct)
+	tally(p.valCounts, s.ValuePct)
+	cum := func(pct, out []float64) {
+		acc := 0.0
+		for i := n - 1; i >= 0; i-- {
+			acc += pct[i]
+			out[i] = acc
+		}
+	}
+	cum(s.AddrPct, s.AddrCumPct)
+	cum(s.ValuePct, s.ValueCumPct)
+	return s
+}
+
+// MeanRepeatStats averages several workloads' stats point-wise, reproducing
+// the "averaged across all of our workloads" presentation of Figure 2.
+func MeanRepeatStats(all []RepeatStats) RepeatStats {
+	n := len(RepeatBuckets)
+	m := RepeatStats{
+		AddrPct:     make([]float64, n),
+		ValuePct:    make([]float64, n),
+		AddrCumPct:  make([]float64, n),
+		ValueCumPct: make([]float64, n),
+	}
+	if len(all) == 0 {
+		return m
+	}
+	for _, s := range all {
+		m.Loads += s.Loads
+		for i := 0; i < n; i++ {
+			m.AddrPct[i] += s.AddrPct[i]
+			m.ValuePct[i] += s.ValuePct[i]
+			m.AddrCumPct[i] += s.AddrCumPct[i]
+			m.ValueCumPct[i] += s.ValueCumPct[i]
+		}
+	}
+	k := float64(len(all))
+	for i := 0; i < n; i++ {
+		m.AddrPct[i] /= k
+		m.ValuePct[i] /= k
+		m.AddrCumPct[i] /= k
+		m.ValueCumPct[i] /= k
+	}
+	return m
+}

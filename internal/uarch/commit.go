@@ -1,0 +1,111 @@
+package uarch
+
+import (
+	"dlvp/internal/config"
+	"dlvp/internal/isa"
+	"dlvp/internal/predictor/tournament"
+)
+
+// commitStage retires up to CommitWidth completed instructions per cycle in
+// program order. Stores write the committed-memory image and the data cache
+// here (through the store buffer); value-prediction coverage and accuracy
+// are accounted on the committed path only, matching how the paper counts
+// dynamic loads.
+func (c *Core) commitStage() {
+	for n := 0; n < c.cfg.CommitWidth; n++ {
+		if c.headSeq >= c.fetchSeq {
+			return
+		}
+		e := c.ent(c.headSeq)
+		if !e.valid {
+			return
+		}
+		if !e.renamed || !e.completed || e.execDone > c.now {
+			return
+		}
+		rec := &e.rec
+
+		c.captureStageTrace(e)
+		c.stats.Instructions++
+		switch {
+		case rec.IsLoad():
+			c.stats.Loads++
+		case rec.IsStore():
+			c.stats.Stores++
+			c.commitStore(e)
+		}
+		c.accountPrediction(e)
+
+		// Architectural history state advances with the committed stream.
+		c.committedGhist = e.ghistAfter
+		c.committedLphist = e.lphistAfter
+		if e.hasRasAfter {
+			c.rasBase = e.rasAfter
+		}
+
+		c.freeRegs += int(rec.NDst)
+		c.robCount--
+		if rec.IsLoad() {
+			c.ldqCount--
+		}
+		if rec.IsStore() {
+			c.stqCount--
+		}
+		e.valid = false
+		c.headSeq++
+	}
+}
+
+// commitStore applies a committing store to the committed-memory image (the
+// state DLVP probes observe) and to the cache hierarchy.
+func (c *Core) commitStore(e *entry) {
+	rec := &e.rec
+	switch rec.Op {
+	case isa.STP:
+		c.cmem.Write(rec.Addr, rec.Vals[0], 8)
+		c.cmem.Write(rec.Addr+8, rec.Vals[1], 8)
+	default: // STR, STRPOST, STLR
+		c.cmem.Write(rec.Addr, rec.Vals[0], int(rec.Bytes))
+	}
+	c.hier.Store(c.now, rec.Addr)
+}
+
+// accountPrediction tallies coverage/accuracy at commit.
+func (c *Core) accountPrediction(e *entry) {
+	rec := &e.rec
+	if !c.eligibleForStats(rec.Op, int(rec.NDst)) {
+		return
+	}
+	predicted := e.vpMade || e.vpOracleDropped
+	correct := false
+	if e.vpMade {
+		correct = true
+		for j := 0; j < int(rec.NDst); j++ {
+			if e.vpPerDest[j] && e.vpVals[j] != rec.DestValue(j) {
+				correct = false
+				break
+			}
+		}
+	}
+	c.stats.VP.Record(predicted, correct)
+	if e.vpMade {
+		switch e.vpSource {
+		case tournament.SideDLVP:
+			c.stats.TournamentDLVP++
+		case tournament.SideVTAGE:
+			c.stats.TournamentVTAGE++
+		}
+	}
+}
+
+// eligibleForStats defines the coverage denominator: dynamic loads for the
+// address-prediction schemes and loads-only VTAGE; every value-producing
+// instruction for all-instructions VTAGE.
+func (c *Core) eligibleForStats(op isa.Op, nDests int) bool {
+	if (c.cfg.VP.Scheme == config.VPVTAGE && !c.cfg.VP.VTAGE.LoadsOnly) ||
+		(c.cfg.VP.Scheme == config.VPDVTAGE && !c.cfg.VP.DVTAGE.LoadsOnly) {
+		return nDests > 0 && !op.IsStore() && !op.IsOrdered() &&
+			(!op.IsBranch() || op == isa.BL)
+	}
+	return op.IsLoad()
+}

@@ -1,0 +1,360 @@
+// Package uarch is the cycle-level out-of-order core model. It consumes the
+// functional emulator's dynamic instruction stream and models the Table 4
+// baseline pipeline — a 4-wide in-order front end feeding an 8-wide
+// out-of-order engine (2 load-store lanes) through a 13-cycle
+// fetch-to-execute pipe — plus the paper's value-prediction machinery:
+//
+//   - the Value Prediction Engine (PVT + predicted bits, Section 3.2.1),
+//   - DLVP: PAP (or CAP) address prediction at fetch, the Predicted Address
+//     Queue, opportunistic L1D probes on load-store lane bubbles, probe-miss
+//     prefetching, the LSCD in-flight-store filter, and way prediction
+//     (Section 3.2.2),
+//   - conventional VTAGE value prediction, and the DLVP+VTAGE tournament.
+//
+// Being trace-driven, the model executes no wrong-path instructions;
+// mispredictions are modelled as fetch redirect penalties, which is the
+// standard trace-driven treatment. Probe staleness is modelled exactly: the
+// core maintains its own committed-memory image, updated at store commit,
+// and a DLVP probe reads that image — so a store committing between probe
+// and load execution (or still in flight) yields a stale probed value and a
+// genuine value misprediction, the paper's Challenge #1.
+package uarch
+
+import (
+	"fmt"
+
+	"dlvp/internal/branch"
+	"dlvp/internal/config"
+	"dlvp/internal/emu"
+	"dlvp/internal/energy"
+	"dlvp/internal/mdp"
+	"dlvp/internal/mem"
+	"dlvp/internal/metrics"
+	"dlvp/internal/predictor"
+	"dlvp/internal/predictor/cap"
+	"dlvp/internal/predictor/dvtage"
+	"dlvp/internal/predictor/pap"
+	"dlvp/internal/predictor/tournament"
+	"dlvp/internal/predictor/vtage"
+	"dlvp/internal/program"
+	"dlvp/internal/trace"
+)
+
+// windowCap bounds in-flight instructions (ROB + front-end queue); it must
+// be a power of two and comfortably exceed ROBSize + front-end depth.
+const windowCap = 1024
+
+// frontQCap bounds fetched-but-unrenamed instructions (the decode queue).
+const frontQCap = 64
+
+type entry struct {
+	rec   trace.Rec
+	valid bool
+
+	fetchCycle  uint64
+	renameReady uint64 // earliest rename cycle (fetch + front latency + icache)
+	renamed     bool
+	renameCycle uint64
+	issued      bool
+	issueCycle  uint64
+	execDone    uint64 // cycle the result is available
+	completed   bool
+
+	deps [trace.MaxSrcs]uint64 // producer seq+1 per source (0 = already ready)
+
+	// Branch state.
+	brMispredict bool
+	ghistBefore  uint64 // fetch-time history (for trainer re-indexing)
+
+	// History snapshots *after* this instruction (for squash recovery).
+	ghistAfter  uint64
+	lphistAfter uint64
+
+	// Address prediction context.
+	papLk      pap.Lookup
+	papLkValid bool
+	capLk      cap.Lookup
+	capLkValid bool
+	lscdSkip   bool // LSCD filtered: neither predict nor train
+
+	// DLVP probe state.
+	paqIssued    bool // an address prediction was enqueued for this load
+	probeDone    bool
+	probeHit     bool
+	probeDeliver uint64 // cycle the probed value reaches the VPE
+	probeVals    [trace.MaxDests]uint64
+
+	// VTAGE state (shared by VTAGE and D-VTAGE; dvLks carries the
+	// differential predictor's training context).
+	dvLks   []dvtage.Lookup
+	vtLks   []vtage.Lookup
+	vtVals  [trace.MaxDests]uint64
+	vtValid [trace.MaxDests]bool
+	vtAny   bool
+
+	// Final value prediction installed in the PVT at rename.
+	vpMade     bool
+	vpSource   tournament.Side
+	vpVals     [trace.MaxDests]uint64
+	vpPerDest  [trace.MaxDests]bool
+	vpNumDests int
+	// vpOracleDropped marks a prediction suppressed by the oracle-replay
+	// model (counted as a misprediction without a flush).
+	vpOracleDropped bool
+
+	l1Way   int8 // way the demand access found/filled (trains way prediction)
+	mdpWait bool
+
+	// One-shot guards for execution side effects (an instruction may
+	// execute more than once under selective replay).
+	trained   bool
+	validated bool
+	// notBefore delays (re-)issue until the replay penalty has elapsed.
+	notBefore uint64
+
+	// RAS snapshot after this instruction (calls/returns only).
+	rasAfter    branch.RASState
+	hasRasAfter bool
+}
+
+type flushKind uint8
+
+const (
+	flushBranch flushKind = iota
+	flushValue
+	flushOrder
+)
+
+type flushReq struct {
+	seq       uint64 // squash everything with seq > this (flushOrder: >=)
+	resume    uint64 // cycle fetch restarts
+	kind      flushKind
+	refetchAt uint64 // first seq to refetch
+}
+
+// Core is one simulated core instance bound to a program and its functional
+// stream.
+type Core struct {
+	cfg    config.Core
+	prog   *program.Program
+	reader trace.Reader
+
+	// Committed architectural memory image (probe staleness model).
+	cmem *emu.Memory
+
+	hier   *mem.Hierarchy
+	tage   *branch.TAGE
+	ittage *branch.ITTAGE
+	ras    branch.RAS
+	// rasBase is the RAS state at the commit head (squash fallback).
+	rasBase branch.RASState
+	ghist   predictor.GlobalHistory
+	mdp     *mdp.Predictor
+
+	papPred *pap.Predictor
+	capPred *cap.Predictor
+	vtPred  *vtage.Predictor
+	dvPred  *dvtage.Predictor
+	chooser *tournament.Chooser
+	lscd    *pap.LSCD
+
+	// Trace buffer: records [bufBase, bufBase+len(buf)) fetched or fetchable.
+	buf      []trace.Rec
+	bufBase  uint64
+	traceEOF bool
+
+	window    [windowCap]entry
+	headSeq   uint64 // oldest in-flight seq (== next to commit)
+	fetchSeq  uint64 // next seq to fetch
+	renameSeq uint64 // next seq to rename
+	haltSeen  bool
+	haltSeq   uint64 // seq of the fetched HALT (valid when haltSeen)
+
+	now uint64
+
+	// History state at the commit head (flush fallback when every younger
+	// instruction is squashed).
+	committedGhist  uint64
+	committedLphist uint64
+
+	// Occupancy.
+	frontCount int      // fetched, unrenamed
+	robCount   int      // renamed, uncommitted
+	iq         []uint64 // seqs renamed & unissued
+	inflight   []uint64 // seqs issued & not complete
+	ldqCount   int
+	stqCount   int
+	freeRegs   int
+	pvtCount   int
+
+	lastWriter    [64]uint64 // seq+1 of last in-flight writer per arch reg
+	pendingStores []uint64   // in-flight, not-yet-issued store seqs, ascending
+
+	paq             []paqEntry
+	fetchStallUntil uint64
+	pendingFlush    *flushReq
+
+	// Energy access counters (per-structure counts fed into the meter).
+	prfReads  uint64
+	prfWrites uint64
+	pvtWrites uint64
+
+	memIssuedThisCycle     int
+	loadPortsFreeThisCycle int
+
+	stats  metrics.RunStats
+	meter  *energy.Meter
+	emodel energy.CoreModel
+
+	// Stage-trace capture (EnableStageTrace).
+	stageTraces []StageTrace
+	traceStart  uint64
+	traceWant   int
+}
+
+type paqEntry struct {
+	seq       uint64
+	addr      uint64
+	way       int8
+	allocated uint64
+}
+
+// New builds a core in configuration cfg for program p, streaming records
+// from reader. reader must be a fresh stream positioned at the program
+// entry (typically an *emu.CPU).
+func New(cfg config.Core, p *program.Program, reader trace.Reader) *Core {
+	c := &Core{
+		cfg:    cfg,
+		prog:   p,
+		reader: reader,
+		cmem:   emu.NewMemoryFromProgram(p),
+		hier:   mem.NewHierarchy(cfg.Mem),
+		tage:   branch.NewTAGE(cfg.TAGE),
+		ittage: branch.NewITTAGE(cfg.ITTAGE),
+		mdp:    mdp.New(cfg.MDP),
+		meter:  energy.NewMeter(),
+		emodel: energy.DefaultCoreModel(),
+	}
+	c.freeRegs = cfg.PhysRegs - 64
+	switch cfg.VP.Scheme {
+	case config.VPDLVP:
+		c.papPred = pap.New(cfg.VP.PAP)
+	case config.VPCAP:
+		c.capPred = cap.New(cfg.VP.CAP)
+	case config.VPVTAGE:
+		c.vtPred = vtage.New(cfg.VP.VTAGE)
+	case config.VPTournament:
+		c.papPred = pap.New(cfg.VP.PAP)
+		c.vtPred = vtage.New(cfg.VP.VTAGE)
+		c.chooser = tournament.New(cfg.VP.Chooser)
+	case config.VPDVTAGE:
+		c.dvPred = dvtage.New(cfg.VP.DVTAGE)
+	}
+	if c.usesAddressPrediction() && cfg.VP.LSCDEntries > 0 {
+		c.lscd = pap.NewLSCD(cfg.VP.LSCDEntries)
+	}
+	c.stats.Scheme = cfg.VP.Scheme.String()
+	c.stats.Workload = p.Name
+	return c
+}
+
+func (c *Core) usesAddressPrediction() bool {
+	s := c.cfg.VP.Scheme
+	return s == config.VPDLVP || s == config.VPCAP || s == config.VPTournament
+}
+
+func (c *Core) ent(seq uint64) *entry { return &c.window[seq&(windowCap-1)] }
+
+// live reports whether seq refers to an in-flight instruction.
+func (c *Core) live(seq uint64) bool {
+	if seq < c.headSeq || seq >= c.fetchSeq {
+		return false
+	}
+	return c.ent(seq).valid
+}
+
+// Run simulates until the stream is exhausted and the pipeline drains, or
+// maxCycles elapses (0 = unlimited), and returns the run statistics.
+func (c *Core) Run(maxCycles uint64) metrics.RunStats {
+	for {
+		if maxCycles > 0 && c.now >= maxCycles {
+			break
+		}
+		c.commitStage()
+		c.executeStage()
+		c.issueStage()
+		c.probeStage()
+		c.renameStage()
+		c.fetchStage()
+		c.applyFlush()
+		if c.done() {
+			break
+		}
+		c.now++
+	}
+	c.finalizeStats()
+	return c.stats
+}
+
+func (c *Core) done() bool {
+	if c.headSeq != c.fetchSeq {
+		return false
+	}
+	if c.haltSeen {
+		return true
+	}
+	// End of stream: nothing in flight AND nothing left to (re)fetch.
+	return c.traceEOF && c.fetchSeq >= c.bufBase+uint64(len(c.buf))
+}
+
+// fill ensures the trace buffer covers seq; returns false at end of stream.
+func (c *Core) fill(seq uint64) bool {
+	if seq < c.bufBase {
+		panic(fmt.Sprintf("uarch: trace rewound below buffer base (seq %d < base %d)", seq, c.bufBase))
+	}
+	for c.bufBase+uint64(len(c.buf)) <= seq {
+		if c.traceEOF {
+			return false
+		}
+		var r trace.Rec
+		if !c.reader.Next(&r) {
+			c.traceEOF = true
+			return false
+		}
+		c.buf = append(c.buf, r)
+	}
+	// Compact: drop records far below the commit head.
+	if c.headSeq > c.bufBase+2048 {
+		drop := int(c.headSeq - c.bufBase - 512)
+		c.buf = append(c.buf[:0], c.buf[drop:]...)
+		c.bufBase += uint64(drop)
+	}
+	return true
+}
+
+func (c *Core) recAt(seq uint64) *trace.Rec {
+	if !c.fill(seq) {
+		return nil
+	}
+	return &c.buf[seq-c.bufBase]
+}
+
+func (c *Core) finalizeStats() {
+	c.stats.Cycles = c.now
+	c.stats.L1DMissRate = c.hier.L1D.MissRate()
+	c.stats.L2MissRate = c.hier.L2.MissRate()
+	c.stats.TLBMissRate = c.hier.TLB.MissRate()
+	c.stats.TLBMisses = c.hier.TLB.Misses
+	c.stats.Probes = c.hier.Probes
+	c.stats.ProbeHits = c.hier.ProbeHits
+	c.stats.WayMispredicts = c.hier.WayMispredictions
+	if c.lscd != nil {
+		c.stats.LSCDFiltered = c.lscd.Filtered
+		c.stats.LSCDInserts = c.lscd.Inserts
+	}
+	c.meterEnergy()
+	c.stats.CoreEnergy = c.emodel.Total(c.stats.Cycles, c.stats.Instructions, c.meter)
+}
+
+// Stats returns the statistics accumulated so far (valid after Run).
+func (c *Core) Stats() metrics.RunStats { return c.stats }

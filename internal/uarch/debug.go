@@ -1,0 +1,20 @@
+package uarch
+
+import "fmt"
+
+// Debug returns a one-line internal-state summary for diagnostics.
+func (c *Core) Debug() string {
+	s := fmt.Sprintf("head=%d fetch=%d rename=%d paq=%d stall=%d",
+		c.headSeq, c.fetchSeq, c.renameSeq, len(c.paq), c.fetchStallUntil)
+	if c.papPred != nil {
+		s += fmt.Sprintf(" pap[lookups=%d hits=%d allocs=%d resets=%d hist=%#x]",
+			c.papPred.Lookups, c.papPred.Hits, c.papPred.Allocations,
+			c.papPred.ConfResets, c.papPred.History())
+	}
+	if c.vtPred != nil {
+		s += fmt.Sprintf(" vtage[lookups=%d hits=%d allocs=%d filtered=%d miss=%d stale=%d match=%d mismatch=%d]",
+			c.vtPred.Lookups, c.vtPred.Hits, c.vtPred.Allocations, c.vtPred.FilteredOps,
+			c.vtPred.TrainMiss, c.vtPred.TrainStale, c.vtPred.TrainMatch, c.vtPred.TrainMismatch)
+	}
+	return s
+}

@@ -1,0 +1,312 @@
+package uarch
+
+import (
+	"dlvp/internal/isa"
+	"dlvp/internal/trace"
+)
+
+// executeStage retires functional-unit work: instructions whose completion
+// time has arrived resolve branches (training the branch predictors and
+// releasing a stalled front end), validate value predictions (flushing on a
+// mismatch, per the paper's flush-based recovery), and train the address
+// and value predictors — APT training happens "when the load executes"
+// (Section 3.1.2).
+func (c *Core) executeStage() {
+	for i := 0; i < len(c.inflight); i++ {
+		seq := c.inflight[i]
+		if !c.live(seq) {
+			c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
+			i--
+			continue
+		}
+		e := c.ent(seq)
+		if e.completed || e.execDone > c.now {
+			continue
+		}
+		e.completed = true
+		c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
+		i--
+
+		rec := &e.rec
+		c.prfWrites += uint64(rec.NDst)
+		switch {
+		case rec.Op.IsBranch():
+			if !e.trained {
+				c.resolveBranch(e)
+			}
+		case rec.IsLoad():
+			if !e.trained {
+				c.trainAddressPredictors(e)
+				c.trainVTAGE(e)
+			}
+			c.validatePrediction(e)
+		default:
+			if !e.trained {
+				c.trainVTAGE(e)
+			}
+			c.validatePrediction(e)
+		}
+		e.trained = true
+	}
+}
+
+// resolveBranch trains the direction/target predictors at resolution and,
+// for a mispredicted branch, redirects the stalled front end and repairs
+// the speculative global history.
+func (c *Core) resolveBranch(e *entry) {
+	rec := &e.rec
+	switch rec.Op.Class() {
+	case isa.ClassBr:
+		if rec.Op.IsCondBranch() {
+			c.tage.Update(rec.PC, e.ghistBefore, rec.Taken)
+		}
+	case isa.ClassJmp:
+		c.ittage.Update(rec.PC, e.ghistBefore, rec.Target)
+	}
+	if e.brMispredict {
+		c.stats.BranchFlushes++
+		c.ghist.Restore(e.ghistAfter)
+		if c.fetchStallUntil > c.now+1 {
+			c.fetchStallUntil = c.now + 1
+		}
+	}
+}
+
+// trainAddressPredictors updates PAP/CAP with the executed address. The
+// paper always trains on execution — except for LSCD-blacklisted loads,
+// which neither predict nor update so their entries age out.
+func (c *Core) trainAddressPredictors(e *entry) {
+	if e.lscdSkip {
+		return
+	}
+	rec := &e.rec
+	if e.papLkValid {
+		sizeLog2 := uint8(0)
+		for b := int(rec.Bytes); b > 1; b >>= 1 {
+			sizeLog2++
+		}
+		c.papPred.Train(e.papLk, rec.Addr, sizeLog2, e.l1Way)
+	}
+	if e.capLkValid {
+		c.capPred.Train(e.capLk, rec.PC, rec.Addr)
+	}
+}
+
+// trainVTAGE updates VTAGE (and D-VTAGE) for every destination with the
+// executed values.
+func (c *Core) trainVTAGE(e *entry) {
+	if c.vtPred != nil {
+		for j := range e.vtLks {
+			c.vtPred.Train(e.vtLks[j], e.rec.Op, e.rec.DestValue(j))
+		}
+	}
+	if c.dvPred != nil {
+		for j := range e.dvLks {
+			c.dvPred.Train(e.dvLks[j], e.rec.DestValue(j))
+		}
+	}
+}
+
+// validatePrediction confirms an installed value prediction when the
+// instruction executes. A mismatch triggers a pipeline flush after the
+// 1-cycle check penalty. When the predicted *address* was correct but the
+// value was not — the signature of an older in-flight store — the load's
+// PC enters the LSCD so future instances are not predicted.
+func (c *Core) validatePrediction(e *entry) {
+	if e.validated {
+		return // a replayed instruction validates only once
+	}
+	e.validated = true
+	rec := &e.rec
+	if c.chooser != nil {
+		c.trainChooser(e)
+	}
+	if e.vpMade {
+		c.pvtCount -= e.vpNumDests
+		correct := true
+		for j := 0; j < int(rec.NDst); j++ {
+			if e.vpPerDest[j] && e.vpVals[j] != rec.DestValue(j) {
+				correct = false
+				break
+			}
+		}
+		if !correct {
+			if c.cfg.VP.SelectiveReplay {
+				c.replayDependents(e)
+			} else {
+				penalty := uint64(c.cfg.ValueCheckPenalty)
+				c.scheduleFlush(flushReq{
+					seq:       rec.Seq,
+					refetchAt: rec.Seq + 1,
+					resume:    c.now + penalty + 1,
+					kind:      flushValue,
+				})
+			}
+			c.maybeTrainLSCD(e)
+		}
+	} else if e.vpOracleDropped && e.vpSource != 0 {
+		// Oracle replay still observes the conflict for LSCD training.
+		c.maybeTrainLSCD(e)
+	}
+}
+
+// replayDependents implements selective replay (the paper's Section 5.2.4
+// future-work recovery): only the transitive register dependents of the
+// mispredicted load re-execute. Tainted instructions that already issued
+// return to the scheduler; they may re-issue once the check penalty has
+// elapsed, now sourcing the load's architecturally correct value.
+func (c *Core) replayDependents(load *entry) {
+	c.stats.ValueReplays++
+	notBefore := c.now + uint64(c.cfg.ValueCheckPenalty) + 1
+	tainted := map[uint64]bool{load.rec.Seq: true}
+	var reissue []uint64
+	for seq := load.rec.Seq + 1; seq < c.fetchSeq; seq++ {
+		if !c.live(seq) {
+			continue
+		}
+		e := c.ent(seq)
+		dep := false
+		for i := 0; i < int(e.rec.NSrc); i++ {
+			if d := e.deps[i]; d != 0 && tainted[d-1] {
+				dep = true
+				break
+			}
+		}
+		if !dep {
+			continue
+		}
+		tainted[seq] = true
+		if !e.issued {
+			e.notBefore = notBefore
+			continue
+		}
+		// Undo the issue; the instruction re-executes with correct inputs.
+		e.issued = false
+		e.completed = false
+		e.execDone = 0
+		e.notBefore = notBefore
+		if e.rec.IsStore() {
+			c.insertPendingStore(seq)
+		}
+		reissue = append(reissue, seq)
+	}
+	if len(reissue) == 0 {
+		return
+	}
+	// Remove replayed entries from the in-flight list and return them to
+	// the scheduler in age order.
+	kept := c.inflight[:0]
+	for _, s := range c.inflight {
+		if !tainted[s] || c.ent(s).issued {
+			kept = append(kept, s)
+		}
+	}
+	c.inflight = kept
+	c.iq = mergeSorted(c.iq, reissue)
+}
+
+// insertPendingStore re-registers a store as unissued, keeping the slice
+// sorted by sequence number.
+func (c *Core) insertPendingStore(seq uint64) {
+	for _, s := range c.pendingStores {
+		if s == seq {
+			return
+		}
+	}
+	c.pendingStores = append(c.pendingStores, seq)
+	for i := len(c.pendingStores) - 1; i > 0 && c.pendingStores[i-1] > c.pendingStores[i]; i-- {
+		c.pendingStores[i-1], c.pendingStores[i] = c.pendingStores[i], c.pendingStores[i-1]
+	}
+}
+
+// mergeSorted merges two ascending sequence slices into one.
+func mergeSorted(a, b []uint64) []uint64 {
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// maybeTrainLSCD inserts the load into the LSCD when its address prediction
+// was correct but the probed value was stale (in-flight store conflict).
+func (c *Core) maybeTrainLSCD(e *entry) {
+	if c.lscd == nil {
+		return
+	}
+	var predictedAddr uint64
+	var have bool
+	switch {
+	case e.papLkValid && e.papLk.Confident:
+		predictedAddr, have = e.papLk.Addr, true
+	case e.capLkValid && e.capLk.Confident:
+		predictedAddr, have = e.capLk.Addr, true
+	}
+	if have && predictedAddr == e.rec.Addr && e.probeHit {
+		c.lscd.Insert(e.rec.PC)
+	}
+}
+
+// trainChooser updates the tournament chooser with both components'
+// outcomes when both produced a confident prediction for this load.
+func (c *Core) trainChooser(e *entry) {
+	rec := &e.rec
+	dlvpPredicted := e.probeDone && e.probeHit
+	vtagePredicted := e.vtAny
+	if !dlvpPredicted || !vtagePredicted {
+		return
+	}
+	nd := int(rec.NDst)
+	dlvpCorrect := true
+	for j := 0; j < nd; j++ {
+		if e.probeVals[j] != rec.DestValue(j) {
+			dlvpCorrect = false
+			break
+		}
+	}
+	vtageCorrect := true
+	for j := 0; j < nd; j++ {
+		if e.vtValid[j] && e.vtVals[j] != rec.DestValue(j) {
+			vtageCorrect = false
+			break
+		}
+	}
+	c.chooser.Train(rec.PC, dlvpCorrect, vtageCorrect)
+}
+
+// readLoadValues reconstructs, from the committed-memory image, the value
+// each destination register of inst would receive if the load read memory
+// at addr right now. This is the DLVP probe's data path.
+func (c *Core) readLoadValues(inst *isa.Inst, addr uint64, out *[trace.MaxDests]uint64) {
+	switch inst.Op {
+	case isa.LDR, isa.LDAR:
+		out[0] = c.cmem.Read(addr, 1<<inst.Size)
+	case isa.LDRS:
+		size := 1 << inst.Size
+		v := c.cmem.Read(addr, size)
+		if size < 8 {
+			shift := uint(64 - 8*size)
+			v = uint64(int64(v<<shift) >> shift)
+		}
+		out[0] = v
+	case isa.LDRPOST:
+		out[0] = c.cmem.Read(addr, 8)
+		out[1] = addr + uint64(inst.Imm) // the base update is computable
+	case isa.LDP, isa.VLD:
+		out[0] = c.cmem.Read(addr, 8)
+		out[1] = c.cmem.Read(addr+8, 8)
+	case isa.LDM:
+		for k := uint8(0); k < inst.NReg && int(k) < trace.MaxDests; k++ {
+			out[k] = c.cmem.Read(addr+uint64(k)*8, 8)
+		}
+	}
+}

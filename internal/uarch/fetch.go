@@ -1,0 +1,249 @@
+package uarch
+
+import (
+	"dlvp/internal/isa"
+	"dlvp/internal/predictor/dvtage"
+	"dlvp/internal/predictor/vtage"
+	"dlvp/internal/trace"
+)
+
+// fetchStage models the in-order front end: one fetch group per cycle (up
+// to FetchWidth instructions, ending at a taken branch), branch prediction
+// with speculative history updates, and — for DLVP — fetch-time address
+// prediction of up to two loads per group keyed by the fetch group address.
+func (c *Core) fetchStage() {
+	if c.now < c.fetchStallUntil || c.haltSeen {
+		return
+	}
+	groupStart := true
+	var groupExtra int
+	lphistAtGroup := uint64(0)
+	if c.papPred != nil {
+		lphistAtGroup = c.papPred.HistorySnapshot()
+	}
+	fga := uint64(0)
+	loadsInGroup := 0
+
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if c.frontCount >= frontQCap || c.fetchSeq-c.headSeq >= windowCap-8 {
+			return
+		}
+		rec := c.recAt(c.fetchSeq)
+		if rec == nil {
+			return // trace exhausted
+		}
+		if groupStart {
+			fga = rec.PC
+			groupExtra = c.hier.Fetch(c.now, fga)
+			groupStart = false
+		}
+
+		e := c.ent(c.fetchSeq)
+		*e = entry{rec: *rec, valid: true, fetchCycle: c.now}
+		e.renameReady = c.now + uint64(c.cfg.FrontLatency) + uint64(groupExtra)
+
+		// Register dependencies against the last in-flight writers.
+		for i := 0; i < int(rec.NSrc); i++ {
+			e.deps[i] = c.lastWriter[rec.Src[i]]
+		}
+
+		// Branch prediction.
+		stall := false
+		if rec.Op.IsBranch() {
+			stall = c.fetchBranch(e, rec)
+		}
+
+		// Load handling: MDP consultation, load-path history, address and
+		// value prediction.
+		if rec.IsLoad() {
+			e.mdpWait = c.mdp.ShouldWait(rec.PC) || rec.Op.IsOrdered()
+			c.fetchAddressPrediction(e, rec, fga, lphistAtGroup, loadsInGroup)
+			loadsInGroup++
+			if c.papPred != nil {
+				c.papPred.PushLoad(rec.PC)
+			}
+		}
+		if c.vtPred != nil {
+			c.fetchVTAGE(e, rec)
+		}
+		if c.dvPred != nil {
+			c.fetchDVTAGE(e, rec)
+		}
+		if rec.IsStore() {
+			c.pendingStores = append(c.pendingStores, rec.Seq)
+		}
+
+		// Update the in-flight writer map and take recovery snapshots.
+		nd := int(rec.NDst)
+		for j := 0; j < nd; j++ {
+			c.lastWriter[rec.Dst[j]] = rec.Seq + 1
+		}
+		e.ghistAfter = c.ghist.Value()
+		if rec.Op.IsCondBranch() {
+			// The post-instruction snapshot must hold the *actual* outcome
+			// so that squash recovery repairs a wrongly speculated bit.
+			e.ghistAfter = e.ghistBefore<<1 | b2u(rec.Taken)
+		}
+		if c.papPred != nil {
+			e.lphistAfter = c.papPred.HistorySnapshot()
+		}
+
+		c.frontCount++
+		c.fetchSeq++
+		if rec.Op == isa.HALT {
+			c.haltSeen = true
+			c.haltSeq = rec.Seq
+			return
+		}
+		if stall {
+			// Mispredicted branch: the front end cannot follow the wrong
+			// path in a trace-driven model; stall until resolution.
+			c.fetchStallUntil = ^uint64(0) >> 1
+			return
+		}
+		if rec.Op.IsBranch() && rec.Taken {
+			// Correctly predicted taken branch ends the fetch group.
+			return
+		}
+	}
+}
+
+// fetchBranch predicts the branch in e, updates speculative state, and
+// reports whether the front end must stall (misprediction).
+func (c *Core) fetchBranch(e *entry, rec *trace.Rec) bool {
+	e.ghistBefore = c.ghist.Value()
+	mispredict := false
+	switch rec.Op.Class() {
+	case isa.ClassBr:
+		if rec.Op.IsCondBranch() {
+			pred := c.tage.Predict(rec.PC, e.ghistBefore)
+			mispredict = pred != rec.Taken
+			// Speculative history receives the predicted bit; recovery later
+			// repairs it with the actual outcome (see fetchStage).
+			c.ghist.Push(pred)
+		}
+		// Unconditional B: target known at decode, no misprediction.
+	case isa.ClassCall:
+		c.ras.Push(rec.PC + 4)
+		e.rasAfter = c.ras.Snapshot()
+		e.hasRasAfter = true
+	case isa.ClassRet:
+		tgt, ok := c.ras.Pop()
+		e.rasAfter = c.ras.Snapshot()
+		e.hasRasAfter = true
+		mispredict = !ok || tgt != rec.Target
+	case isa.ClassJmp:
+		tgt, ok := c.ittage.Predict(rec.PC, e.ghistBefore)
+		mispredict = !ok || tgt != rec.Target
+	}
+	e.brMispredict = mispredict
+	return mispredict
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// fetchAddressPrediction probes the configured address predictor for a load
+// at fetch (DLVP step 1) and enqueues a confident prediction into the PAQ
+// (step 2). Only the first two loads of a fetch group are predicted, keyed
+// by the fetch group address (the paper's FGA proxy); memory-ordering
+// loads and LSCD-blacklisted loads are excluded.
+func (c *Core) fetchAddressPrediction(e *entry, rec *trace.Rec, fga, lphist uint64, loadIdx int) {
+	if !c.usesAddressPrediction() {
+		return
+	}
+	if rec.Op.IsOrdered() {
+		return
+	}
+	if loadIdx >= 2 {
+		c.stats.GroupSlotMissed++
+		return
+	}
+	if c.lscd != nil && c.lscd.Contains(rec.PC) {
+		e.lscdSkip = true
+		return
+	}
+	var addr uint64
+	var way int8 = -1
+	confident := false
+	switch {
+	case c.papPred != nil:
+		// The paper indexes with the fetch group address as a proxy for the
+		// load PC (their fetch groups are aligned, making the FGA stable per
+		// static load). This front end forms groups at arbitrary boundaries,
+		// so the load PC itself is the faithful equivalent of that stable
+		// key; the two-loads-per-group limit still applies.
+		_ = fga
+		e.papLk = c.papPred.LookupWith(rec.PC, lphist)
+		e.papLkValid = true
+		addr, way, confident = e.papLk.Addr, e.papLk.Way, e.papLk.Confident
+	case c.capPred != nil:
+		e.capLk = c.capPred.Lookup(rec.PC)
+		e.capLkValid = true
+		addr, confident = e.capLk.Addr, e.capLk.Confident
+	}
+	if !confident {
+		return
+	}
+	if len(c.paq) >= c.cfg.PAQEntries {
+		c.stats.PAQFull++
+		return // PAQ full: prediction lost
+	}
+	c.paq = append(c.paq, paqEntry{
+		seq: rec.Seq, addr: addr, way: way,
+		// One cycle for prediction, one to ship to the back end.
+		allocated: c.now + 2,
+	})
+	e.paqIssued = true
+	c.stats.PAQAllocated++
+}
+
+// fetchDVTAGE makes fetch-time D-VTAGE predictions, reusing the VTAGE
+// per-destination plumbing (vtVals/vtValid feed the same VPE install path).
+func (c *Core) fetchDVTAGE(e *entry, rec *trace.Rec) {
+	nd := int(rec.NDst)
+	if nd > trace.MaxDests {
+		nd = trace.MaxDests
+	}
+	if !c.dvPred.Eligible(rec.Op, nd) {
+		return
+	}
+	hist := c.ghist.Value()
+	e.dvLks = make([]dvtage.Lookup, nd)
+	for j := 0; j < nd; j++ {
+		lk := c.dvPred.PredictWith(rec.PC, j, hist)
+		e.dvLks[j] = lk
+		if lk.Confident {
+			e.vtValid[j] = true
+			e.vtVals[j] = lk.Value
+			e.vtAny = true
+		}
+	}
+}
+
+// fetchVTAGE makes fetch-time VTAGE predictions for every destination of an
+// eligible instruction, using the branch history at fetch.
+func (c *Core) fetchVTAGE(e *entry, rec *trace.Rec) {
+	nd := int(rec.NDst)
+	if nd > trace.MaxDests {
+		nd = trace.MaxDests
+	}
+	if !c.vtPred.Eligible(rec.Op, nd) {
+		return
+	}
+	hist := c.ghist.Value()
+	e.vtLks = make([]vtage.Lookup, nd)
+	for j := 0; j < nd; j++ {
+		lk := c.vtPred.PredictWith(rec.PC, j, hist)
+		e.vtLks[j] = lk
+		if lk.Confident {
+			e.vtValid[j] = true
+			e.vtVals[j] = lk.Value
+			e.vtAny = true
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package uarch
+
+// scheduleFlush records a squash request; when several trigger in one cycle
+// the oldest wins (it supersedes any younger squash).
+func (c *Core) scheduleFlush(req flushReq) {
+	if c.pendingFlush == nil || req.refetchAt < c.pendingFlush.refetchAt {
+		r := req
+		c.pendingFlush = &r
+	}
+}
+
+// applyFlush performs the squash at the end of the cycle: it invalidates
+// every instruction younger than the flush point, rewinds the fetch and
+// rename cursors, rebuilds occupancy and the register writer map from the
+// survivors, and restores the speculative state — global branch history,
+// load-path history (PAP's single-register restore, Section 2.2), the RAS,
+// and the PAQ.
+func (c *Core) applyFlush() {
+	req := c.pendingFlush
+	if req == nil {
+		return
+	}
+	c.pendingFlush = nil
+	switch req.kind {
+	case flushBranch:
+		c.stats.BranchFlushes++
+	case flushValue:
+		c.stats.ValueFlushes++
+	case flushOrder:
+		c.stats.OrderFlushes++
+	}
+
+	refetch := req.refetchAt
+	if refetch < c.headSeq {
+		refetch = c.headSeq
+	}
+	for seq := refetch; seq < c.fetchSeq; seq++ {
+		c.ent(seq).valid = false
+	}
+	c.fetchSeq = refetch
+	if c.renameSeq > refetch {
+		c.renameSeq = refetch
+	}
+	if c.haltSeen && c.haltSeq >= refetch {
+		c.haltSeen = false
+	}
+
+	// Rebuild occupancy, scheduler contents, and the writer map from the
+	// surviving window.
+	c.frontCount, c.robCount, c.ldqCount, c.stqCount, c.pvtCount = 0, 0, 0, 0, 0
+	used := 0
+	c.iq = c.iq[:0]
+	c.inflight = c.inflight[:0]
+	c.pendingStores = c.pendingStores[:0]
+	for r := range c.lastWriter {
+		c.lastWriter[r] = 0
+	}
+	stallForBranch := false
+	for seq := c.headSeq; seq < c.fetchSeq; seq++ {
+		e := c.ent(seq)
+		if !e.valid {
+			continue
+		}
+		rec := &e.rec
+		if e.renamed {
+			c.robCount++
+			used += int(rec.NDst)
+			if rec.IsLoad() {
+				c.ldqCount++
+			}
+			if rec.IsStore() {
+				c.stqCount++
+			}
+			if !e.issued {
+				c.iq = append(c.iq, seq)
+			} else if !e.completed {
+				c.inflight = append(c.inflight, seq)
+			}
+			if e.vpMade && !e.completed {
+				c.pvtCount += e.vpNumDests
+			}
+		} else {
+			c.frontCount++
+		}
+		if rec.IsStore() && !e.issued {
+			c.pendingStores = append(c.pendingStores, seq)
+		}
+		for j := 0; j < int(rec.NDst); j++ {
+			c.lastWriter[rec.Dst[j]] = seq + 1
+		}
+		if e.brMispredict && !e.completed {
+			stallForBranch = true
+		}
+	}
+	c.freeRegs = c.cfg.PhysRegs - 64 - used
+
+	// Speculative history restoration.
+	if req.seq >= c.headSeq && c.live(req.seq) {
+		e := c.ent(req.seq)
+		c.ghist.Restore(e.ghistAfter)
+		if c.papPred != nil {
+			c.papPred.RestoreHistory(e.lphistAfter)
+		}
+	} else {
+		c.ghist.Restore(c.committedGhist)
+		if c.papPred != nil {
+			c.papPred.RestoreHistory(c.committedLphist)
+		}
+	}
+
+	// RAS: youngest surviving call/return snapshot, else the committed base.
+	restored := false
+	for seq := c.fetchSeq; seq > c.headSeq; {
+		seq--
+		e := c.ent(seq)
+		if e.valid && e.hasRasAfter {
+			c.ras.Restore(e.rasAfter)
+			restored = true
+			break
+		}
+	}
+	if !restored {
+		c.ras.Restore(c.rasBase)
+	}
+
+	// Squashed PAQ entries.
+	kept := c.paq[:0]
+	for _, pe := range c.paq {
+		if pe.seq < refetch {
+			kept = append(kept, pe)
+		}
+	}
+	c.paq = kept
+
+	c.fetchStallUntil = req.resume
+	if stallForBranch {
+		c.fetchStallUntil = ^uint64(0) >> 1
+	}
+}

@@ -1,0 +1,111 @@
+package uarch
+
+import (
+	"testing"
+
+	"dlvp/internal/config"
+	"dlvp/internal/isa"
+	"dlvp/internal/program"
+)
+
+// buildCallsWithConflicts interleaves nested calls with a value-predictable
+// load that keeps mispredicting: value flushes repeatedly squash in-flight
+// calls and returns, exercising RAS snapshot restoration. If the RAS were
+// corrupted by squashes, return mispredictions would explode and the run
+// would still commit everything (correctness) but with a telltale flush
+// storm (checked against a generous bound).
+func buildCallsWithConflicts() *program.Program {
+	b := program.NewBuilder("callflush")
+	cell := b.AllocWords("cell", []uint64{1})
+	b.AllocWords("acc", []uint64{0})
+	const lr1, lr2 = isa.Reg(29), isa.Reg(30)
+
+	b.MovImm(10, cell)
+	b.MovImm(26, 0)
+	b.Label("loop")
+	// A load whose value changes every pass while its address is fixed:
+	// DLVP predicts it, and the in-flight store conflict mispredicts until
+	// the LSCD learns, producing early value flushes around the calls.
+	b.Ldr(11, 10, 0, 3)
+	b.AddI(11, 11, 1)
+	b.Str(11, 10, 0, 3)
+	b.Call("f1", lr1)
+	b.AddI(26, 26, 1)
+	b.Br("loop")
+	b.Label("f1")
+	b.Call("f2", lr2)
+	b.Ret(lr1)
+	b.Label("f2")
+	b.Add(12, 12, 11)
+	b.Ret(lr2)
+	return b.Build()
+}
+
+func TestValueFlushesAcrossCallChains(t *testing.T) {
+	p := buildCallsWithConflicts()
+	s := runProgram(t, p, config.DLVP(), 30_000)
+	if s.Instructions != 30_000 {
+		t.Fatalf("committed %d of 30000", s.Instructions)
+	}
+	// The RAS must survive squashes: returns are perfectly nested, so
+	// branch flushes should stay a small fraction of the ~2700 returns.
+	if s.BranchFlushes > 400 {
+		t.Errorf("branch flushes = %d; RAS recovery broken?", s.BranchFlushes)
+	}
+}
+
+// TestFlushDuringBranchStall: a mispredicted branch stalls the front end
+// while an older value misprediction flushes — the flush must clear the
+// stall (the branch is squashed and refetched) without deadlock.
+func TestFlushDuringBranchStall(t *testing.T) {
+	b := program.NewBuilder("stallflush")
+	cell := b.AllocWords("cell", []uint64{0})
+	b.MovImm(10, cell)
+	b.MovImm(26, 0)
+	b.Label("loop")
+	b.Ldr(11, 10, 0, 3) // predictable address, changing value
+	b.AddI(11, 11, 3)
+	b.Str(11, 10, 0, 3)
+	// A data-dependent branch fed by the load: mispredicts while the load's
+	// value prediction may also be wrong.
+	b.OpImm(isa.ANDI, 12, 11, 7)
+	b.MovImm(13, 3)
+	b.CondBr(isa.BLT, 12, 13, "low")
+	b.AddI(14, 14, 1)
+	b.Label("low")
+	b.AddI(26, 26, 1)
+	b.Br("loop")
+
+	for _, cfg := range []config.Core{config.DLVP(), config.CAPDLVP(), config.Tournament()} {
+		s := runProgram(t, b.Build(), cfg, 25_000)
+		if s.Instructions != 25_000 {
+			t.Fatalf("scheme %s: committed %d of 25000 (deadlock?)", s.Scheme, s.Instructions)
+		}
+	}
+}
+
+// TestOrderFlushAtWindowHead: ordering violations whose refetch point is at
+// or before the commit head must clamp safely.
+func TestOrderFlushAtWindowHead(t *testing.T) {
+	p := buildStoreLoadRace()
+	cfg := config.Baseline()
+	cfg.ROBSize = 12 // tiny window pushes violations toward the head
+	s := runProgram(t, p, cfg, 20_000)
+	if s.Instructions != 20_000 {
+		t.Fatalf("committed %d of 20000", s.Instructions)
+	}
+}
+
+// TestBackToBackFlushes: selective replay and flush recovery interleaved
+// with branch mispredictions across many schemes on the most flush-prone
+// kernel must never lose instructions.
+func TestBackToBackFlushes(t *testing.T) {
+	replay := config.DLVP()
+	replay.VP.SelectiveReplay = true
+	for _, cfg := range []config.Core{config.DLVP(), replay} {
+		s := runWorkload(t, "gap", cfg, 30_000)
+		if s.Instructions != 30_000 {
+			t.Fatalf("committed %d of 30000", s.Instructions)
+		}
+	}
+}

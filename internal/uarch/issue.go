@@ -1,0 +1,192 @@
+package uarch
+
+import (
+	"dlvp/internal/isa"
+)
+
+// issueStage selects up to IssueWidth ready instructions per cycle, oldest
+// first, with at most LSLanes memory operations (Table 4: 8 lanes, 2 of
+// which support load-store). Leftover load-store lanes become the bubbles
+// the DLVP probe engine uses (probeStage).
+func (c *Core) issueStage() {
+	issued, memIssued, loadsIssued := 0, 0, 0
+	for i := 0; i < len(c.iq) && issued < c.cfg.IssueWidth; i++ {
+		seq := c.iq[i]
+		if !c.live(seq) {
+			continue
+		}
+		e := c.ent(seq)
+		if e.issued || !e.renamed || e.notBefore > c.now {
+			continue
+		}
+		rec := &e.rec
+		isMem := rec.Op.IsMem()
+		if isMem && memIssued >= c.cfg.LSLanes {
+			continue
+		}
+		if !c.depsReady(e) {
+			continue
+		}
+		if rec.IsLoad() && e.mdpWait && c.olderStoreUnissued(seq) {
+			continue // MDP holds the load until older stores resolve
+		}
+
+		e.issued = true
+		e.issueCycle = c.now
+		c.iq = append(c.iq[:i], c.iq[i+1:]...)
+		i--
+		issued++
+		if isMem {
+			memIssued++
+		}
+		if rec.IsLoad() {
+			loadsIssued++
+		}
+		c.executeAt(e)
+		c.inflight = append(c.inflight, seq)
+		c.prfReads += uint64(rec.NSrc)
+	}
+	// Probe bandwidth: DLVP probes use the L1D *read* path (the paper
+	// reuses the L1 prefetcher's probe path). Loads occupy it on issue;
+	// stores write through the store buffer at commit and leave the read
+	// ports free, so only issued loads consume probe opportunities.
+	c.loadPortsFreeThisCycle = c.cfg.LSLanes - loadsIssued
+	c.memIssuedThisCycle = memIssued
+}
+
+// depsReady reports whether every source operand of e is available: either
+// the producer completed, or the producer carries a value prediction for
+// that register and has passed rename (the PVT supplies the value).
+func (c *Core) depsReady(e *entry) bool {
+	for i := 0; i < int(e.rec.NSrc); i++ {
+		dep := e.deps[i]
+		if dep == 0 {
+			continue
+		}
+		s := dep - 1
+		if !c.live(s) {
+			continue // committed: value in the PRF
+		}
+		p := c.ent(s)
+		if p.completed && p.execDone <= c.now {
+			continue
+		}
+		if p.vpMade && p.renamed && p.renameCycle <= c.now &&
+			c.predictsReg(p, e.rec.Src[i]) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// predictsReg reports whether producer p carries a predicted value for
+// architectural register r.
+func (c *Core) predictsReg(p *entry, r isa.Reg) bool {
+	nd := int(p.rec.NDst)
+	for j := 0; j < nd; j++ {
+		if p.rec.Dst[j] == r && p.vpPerDest[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// olderStoreUnissued reports whether any in-flight store older than seq has
+// not yet issued (its address is unresolved).
+func (c *Core) olderStoreUnissued(seq uint64) bool {
+	for _, s := range c.pendingStores {
+		if s >= seq {
+			return false
+		}
+		if c.live(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// executeAt computes the completion time of a just-issued instruction and
+// performs its memory-system interaction.
+func (c *Core) executeAt(e *entry) {
+	rec := &e.rec
+	switch {
+	case rec.IsStore():
+		// Address generation; data rides along. The cache write happens at
+		// commit through the store buffer.
+		e.execDone = c.now + 1
+		c.removePendingStore(rec.Seq)
+		c.checkOrderViolation(e)
+	case rec.IsLoad():
+		agu := c.now + 1
+		if fwd, ok := c.forwardingStore(e); ok {
+			_ = fwd
+			e.execDone = agu + 1 // store-to-load forward
+			e.l1Way = -1
+		} else {
+			res := c.hier.Load(agu, rec.PC, rec.Addr)
+			e.execDone = agu + uint64(res.Latency)
+			e.l1Way = int8(res.L1Way)
+		}
+	default:
+		e.execDone = c.now + uint64(rec.Op.ExecLatency())
+	}
+}
+
+func (c *Core) removePendingStore(seq uint64) {
+	for i, s := range c.pendingStores {
+		if s == seq {
+			c.pendingStores = append(c.pendingStores[:i], c.pendingStores[i+1:]...)
+			return
+		}
+	}
+}
+
+func overlap(a1 uint64, n1 int, a2 uint64, n2 int) bool {
+	return a1 < a2+uint64(n2) && a2 < a1+uint64(n1)
+}
+
+// forwardingStore finds the youngest older in-flight store whose resolved
+// address overlaps the load; the load then forwards from the store queue.
+func (c *Core) forwardingStore(e *entry) (uint64, bool) {
+	for seq := e.rec.Seq; seq > c.headSeq; {
+		seq--
+		if !c.live(seq) {
+			break
+		}
+		p := c.ent(seq)
+		if !p.rec.IsStore() || !p.issued {
+			continue
+		}
+		if overlap(p.rec.Addr, int(p.rec.Bytes), e.rec.Addr, int(e.rec.Bytes)) {
+			return seq, true
+		}
+	}
+	return 0, false
+}
+
+// checkOrderViolation fires when a store resolves its address after a
+// younger overlapping load already executed: a memory-ordering violation.
+// The load (and everything younger) is squashed and refetched, and the MDP
+// learns to hold that load in the future.
+func (c *Core) checkOrderViolation(st *entry) {
+	for seq := st.rec.Seq + 1; seq < c.fetchSeq; seq++ {
+		if !c.live(seq) {
+			continue
+		}
+		e := c.ent(seq)
+		if !e.rec.IsLoad() || !e.issued || e.issueCycle > c.now {
+			continue
+		}
+		if overlap(st.rec.Addr, int(st.rec.Bytes), e.rec.Addr, int(e.rec.Bytes)) {
+			c.mdp.RecordViolation(e.rec.PC)
+			c.scheduleFlush(flushReq{
+				seq:       seq - 1,
+				refetchAt: seq,
+				resume:    c.now + 2,
+				kind:      flushOrder,
+			})
+			return
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package uarch
+
+import (
+	"testing"
+
+	"dlvp/internal/config"
+	"dlvp/internal/isa"
+	"dlvp/internal/program"
+)
+
+// buildStoreLoadRace builds a program where a store's address depends on a
+// slow computation while a younger load to the same address is immediately
+// ready — the memory-ordering-violation shape the MDP exists for.
+func buildStoreLoadRace() *program.Program {
+	b := program.NewBuilder("race")
+	base := b.AllocWords("cell", []uint64{7, 0, 0, 0, 0, 0, 0, 0})
+	b.MovImm(2, base)
+	b.MovImm(5, 1)
+	b.MovImm(6, 3)
+	b.Label("loop")
+	// Slow address computation: chained multiplies ending at the base.
+	b.Op3(isa.MUL, 3, 5, 6)
+	b.Op3(isa.MUL, 3, 3, 5)
+	b.Op3(isa.MUL, 3, 3, 5)
+	b.Op3(isa.AND, 3, 3, isa.XZR) // = 0
+	b.Add(3, 3, 2)                // = base, but late
+	b.MovImm(4, 99)
+	b.StrIdx(4, 3, isa.XZR, 0, 3) // store base <- 99 (address late)
+	b.Ldr(7, 2, 0, 3)             // younger load of the same cell
+	b.Add(8, 7, 7)
+	b.Br("loop")
+	return b.Build()
+}
+
+func TestOrderingViolationDetectedAndLearned(t *testing.T) {
+	p := buildStoreLoadRace()
+	s := runProgram(t, p, config.Baseline(), 20_000)
+	if s.OrderFlushes == 0 {
+		t.Fatal("no ordering violations detected on a store-load race")
+	}
+	// The MDP must learn: violations should be far rarer than loop
+	// iterations (~2000 iterations at 10 instructions each).
+	iterations := s.Instructions / 9
+	if s.OrderFlushes > iterations/4 {
+		t.Errorf("MDP never learned: %d violations over %d iterations",
+			s.OrderFlushes, iterations)
+	}
+}
+
+func TestStoreToLoadForwardingFasterThanCache(t *testing.T) {
+	// A load that forwards from an in-flight store completes quickly; the
+	// architectural result must be identical either way, so this is a pure
+	// timing property: the forwarding program should not be slower than an
+	// equivalent one without the reload.
+	b := program.NewBuilder("fwd")
+	base := b.Alloc("buf", 64)
+	b.MovImm(1, base)
+	b.MovImm(2, 5)
+	b.Label("loop")
+	b.Str(2, 1, 0, 3)
+	b.Ldr(3, 1, 0, 3) // forwards from the store above
+	b.Add(2, 3, 2)
+	b.Br("loop")
+	s := runProgram(t, b.Build(), config.Baseline(), 10_000)
+	if s.Instructions == 0 {
+		t.Fatal("nothing committed")
+	}
+	// Sanity: the loop sustains reasonable IPC despite the dependence.
+	if s.IPC() < 0.3 {
+		t.Errorf("forwarding loop IPC = %.3f, suspiciously slow", s.IPC())
+	}
+}
+
+func TestPVTCapacityRespected(t *testing.T) {
+	cfg := config.DLVP()
+	cfg.PVTEntries = 2 // tiny PVT: most predictions must be dropped
+	tiny := runWorkload(t, "linpack", cfg, 30_000)
+	full := runWorkload(t, "linpack", config.DLVP(), 30_000)
+	if tiny.VP.Predicted >= full.VP.Predicted {
+		t.Errorf("tiny PVT predicted %d >= full PVT %d",
+			tiny.VP.Predicted, full.VP.Predicted)
+	}
+	if tiny.VPDropPVTFull == 0 && tiny.VPDropBudget == 0 {
+		t.Error("no capacity drops recorded with a 2-entry PVT")
+	}
+}
+
+func TestPredictionsPerCycleBudget(t *testing.T) {
+	cfg := config.DLVP()
+	cfg.VP.MaxPredictionsPerCycle = 1
+	one := runWorkload(t, "hmmer", cfg, 30_000)
+	two := runWorkload(t, "hmmer", config.DLVP(), 30_000)
+	if one.VP.Predicted > two.VP.Predicted {
+		t.Errorf("1/cycle budget predicted more (%d) than 2/cycle (%d)",
+			one.VP.Predicted, two.VP.Predicted)
+	}
+}
+
+func TestVTAGEAllInstructionsMode(t *testing.T) {
+	cfg := config.VTAGE()
+	cfg.VP.VTAGE.LoadsOnly = false
+	s := runWorkload(t, "gcc", cfg, 40_000)
+	// All-instructions mode counts every value-producing instruction as
+	// eligible, so the denominator must exceed the loads-only one.
+	loads := runWorkload(t, "gcc", config.VTAGE(), 40_000)
+	if s.VP.Eligible <= loads.VP.Eligible {
+		t.Errorf("all-instr eligible %d <= loads-only %d",
+			s.VP.Eligible, loads.VP.Eligible)
+	}
+	if s.VP.Predicted == 0 {
+		t.Error("all-instructions VTAGE predicted nothing")
+	}
+}
+
+func TestProbePrefetchAblation(t *testing.T) {
+	on := config.DLVP()
+	off := config.DLVP()
+	off.VP.ProbePrefetch = false
+	son := runWorkload(t, "bzip2", on, 40_000)
+	soff := runWorkload(t, "bzip2", off, 40_000)
+	if soff.Prefetches != 0 {
+		t.Errorf("prefetch disabled but %d issued", soff.Prefetches)
+	}
+	_ = son // prefetch count with the feature on may legitimately be zero on L1-resident kernels
+}
+
+func TestWayPredictionDisabled(t *testing.T) {
+	cfg := config.DLVP()
+	cfg.VP.PAP.WayPredict = false
+	s := runWorkload(t, "mcf", cfg, 30_000)
+	if s.WayMispredicts != 0 {
+		t.Errorf("way mispredictions counted with way prediction off: %d", s.WayMispredicts)
+	}
+	if s.VP.Predicted == 0 {
+		t.Error("disabling way prediction must not kill coverage")
+	}
+}
+
+func TestDeepCallChains(t *testing.T) {
+	// Nested calls three deep, iterated; RAS must keep return prediction
+	// accurate so branch flushes stay near zero.
+	b := program.NewBuilder("calls")
+	const lr1, lr2, lr3 = isa.Reg(29), isa.Reg(30), isa.Reg(15)
+	b.MovImm(1, 0)
+	b.Label("loop")
+	b.Call("f1", lr1)
+	b.AddI(1, 1, 1)
+	b.Br("loop")
+	b.Label("f1")
+	b.Call("f2", lr2)
+	b.Ret(lr1)
+	b.Label("f2")
+	b.Call("f3", lr3)
+	b.Ret(lr2)
+	b.Label("f3")
+	b.AddI(2, 2, 1)
+	b.Ret(lr3)
+	s := runProgram(t, b.Build(), config.Baseline(), 20_000)
+	// ~2000 call/return pairs; a broken RAS would flush on every return.
+	if s.BranchFlushes > 100 {
+		t.Errorf("branch flushes = %d with a functioning RAS", s.BranchFlushes)
+	}
+}
+
+func TestOrderedLoadsNeverPredicted(t *testing.T) {
+	s := runWorkload(t, "ttsprk", config.DLVP(), 30_000)
+	// ttsprk's LDAR sensor reads are ineligible; predictions must come only
+	// from the ordinary loads, and none of the LDAR values may be supplied
+	// speculatively. (If an LDAR were predicted and stale, accuracy would
+	// crater because the sensor drifts every pass.)
+	if s.VP.Predicted == 0 {
+		t.Fatal("ttsprk should still predict its ordinary loads")
+	}
+	if s.VP.Accuracy() < 95 {
+		t.Errorf("accuracy %.2f%% suggests ordered loads leaked into prediction", s.VP.Accuracy())
+	}
+}
+
+func TestWindowNeverExceedsROB(t *testing.T) {
+	// Instructions in flight (renamed, uncommitted) must never exceed the
+	// ROB; use a tiny ROB to stress the accounting.
+	cfg := config.Baseline()
+	cfg.ROBSize = 16
+	s := runWorkload(t, "perlbmk", cfg, 20_000)
+	if s.Instructions != 20_000 {
+		t.Fatalf("committed %d, want all (deadlock with small ROB?)", s.Instructions)
+	}
+	big := runWorkload(t, "perlbmk", config.Baseline(), 20_000)
+	if s.Cycles <= big.Cycles {
+		t.Error("a 16-entry ROB should be slower than 224")
+	}
+}
+
+func TestTinyQueuesStillDrain(t *testing.T) {
+	cfg := config.DLVP()
+	cfg.IQSize = 4
+	cfg.LDQSize = 4
+	cfg.STQSize = 4
+	cfg.PAQEntries = 2
+	cfg.PVTEntries = 2
+	s := runWorkload(t, "vortex", cfg, 15_000)
+	if s.Instructions != 15_000 {
+		t.Fatalf("committed %d of 15000 with tiny queues", s.Instructions)
+	}
+}
+
+func TestFreeRegistersBound(t *testing.T) {
+	// With barely more physical registers than architectural ones, rename
+	// stalls hard but the machine must not deadlock or miscount.
+	cfg := config.Baseline()
+	cfg.PhysRegs = 64 + 8
+	s := runWorkload(t, "gcc", cfg, 15_000)
+	if s.Instructions != 15_000 {
+		t.Fatalf("committed %d of 15000 with 8 spare registers", s.Instructions)
+	}
+}
+
+func TestDVTAGESchemeRuns(t *testing.T) {
+	// D-VTAGE's differential design should track drifting-but-strided
+	// values: mcf's alpha cell increments by a constant every pass.
+	s := runWorkload(t, "mcf", config.DVTAGE(), 40_000)
+	if s.VP.Predicted == 0 {
+		t.Fatal("D-VTAGE made no predictions")
+	}
+	if s.VP.Accuracy() < 90 {
+		t.Errorf("D-VTAGE accuracy = %.2f%%", s.VP.Accuracy())
+	}
+	// Plain VTAGE cannot follow the drifting values at all.
+	v := runWorkload(t, "mcf", config.VTAGE(), 40_000)
+	if s.VP.Coverage() <= v.VP.Coverage() {
+		t.Errorf("D-VTAGE coverage (%.1f%%) should beat VTAGE (%.1f%%) on strided values",
+			s.VP.Coverage(), v.VP.Coverage())
+	}
+}

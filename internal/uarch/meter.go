@@ -1,0 +1,57 @@
+package uarch
+
+import "dlvp/internal/energy"
+
+// meterEnergy registers the core's structures with the energy meter and
+// feeds in the access counts accumulated during the run. DLVP's probes are
+// metered against a one-way slice of the L1D data array (the way-prediction
+// power optimisation of Section 3.2.2); demand accesses read the full set.
+func (c *Core) meterEnergy() {
+	m := c.meter
+
+	l1dBits := c.cfg.Mem.L1D.SizeBytes * 8
+	ways := c.cfg.Mem.L1D.Ways
+	m.Register(energy.RAMSpec{Name: "L1D", Bits: l1dBits, ReadPorts: 2, WritePorts: 1})
+	m.AddReads("L1D", c.hier.L1D.Accesses)
+	m.Register(energy.RAMSpec{Name: "L1D-probe", Bits: l1dBits / ways, ReadPorts: 1, WritePorts: 0})
+	m.AddReads("L1D-probe", c.hier.Probes)
+
+	m.Register(energy.RAMSpec{Name: "L1I", Bits: c.cfg.Mem.L1I.SizeBytes * 8, ReadPorts: 1, WritePorts: 1})
+	m.AddReads("L1I", c.hier.L1I.Accesses)
+	m.Register(energy.RAMSpec{Name: "L2", Bits: c.cfg.Mem.L2.SizeBytes * 8, ReadPorts: 1, WritePorts: 1})
+	m.AddReads("L2", c.hier.L2.Accesses)
+	m.Register(energy.RAMSpec{Name: "L3", Bits: c.cfg.Mem.L3.SizeBytes * 8, ReadPorts: 1, WritePorts: 1})
+	m.AddReads("L3", c.hier.L3.Accesses)
+
+	m.Register(energy.PRFSpec(8, 8))
+	m.AddReads("PRF", c.prfReads)
+	m.AddWrites("PRF", c.prfWrites)
+
+	m.Register(energy.PVTSpec())
+	m.AddWrites("PVT", c.pvtWrites)
+	m.AddReads("PVT", c.pvtWrites) // each predicted value is read ~once
+
+	if c.papPred != nil {
+		m.Register(energy.RAMSpec{Name: "APT", Bits: c.papPred.StorageBits(), ReadPorts: 2, WritePorts: 1})
+		m.AddReads("APT", c.papPred.Lookups)
+		m.AddWrites("APT", c.papPred.Lookups) // trained once per lookup
+	}
+	if c.capPred != nil {
+		m.Register(energy.RAMSpec{Name: "CAP", Bits: c.capPred.StorageBits(), ReadPorts: 2, WritePorts: 1})
+		m.AddReads("CAP", c.capPred.Lookups)
+		m.AddWrites("CAP", c.capPred.Lookups)
+	}
+	if c.dvPred != nil {
+		m.Register(energy.RAMSpec{Name: "DVTAGE", Bits: c.dvPred.StorageBits(), ReadPorts: 2, WritePorts: 1})
+		m.AddReads("DVTAGE", c.dvPred.Lookups)
+		m.AddWrites("DVTAGE", c.dvPred.Lookups)
+	}
+	if c.vtPred != nil {
+		m.Register(energy.RAMSpec{Name: "VTAGE", Bits: c.vtPred.StorageBits(), ReadPorts: 2, WritePorts: 1})
+		m.AddReads("VTAGE", c.vtPred.Lookups)
+		m.AddWrites("VTAGE", c.vtPred.Lookups)
+	}
+}
+
+// Meter exposes the energy meter (populated after Run).
+func (c *Core) Meter() *energy.Meter { return c.meter }

@@ -1,0 +1,196 @@
+package uarch
+
+import (
+	"dlvp/internal/config"
+	"dlvp/internal/predictor/tournament"
+	"dlvp/internal/trace"
+)
+
+// renameStage renames up to FetchWidth instructions per cycle in program
+// order, subject to ROB/IQ/LDQ/STQ/physical-register availability. Rename
+// is also where the Value Prediction Engine installs predicted values into
+// the PVT: a prediction is usable only if it reached the VPE by now (for
+// DLVP, the probe round trip must beat the load to rename), and at most
+// MaxPredictionsPerCycle destination values are installed per cycle (the
+// PVT's write ports).
+func (c *Core) renameStage() {
+	vpBudget := c.cfg.VP.MaxPredictionsPerCycle
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if c.renameSeq >= c.fetchSeq {
+			return
+		}
+		e := c.ent(c.renameSeq)
+		if !e.valid || e.renamed || e.renameReady > c.now {
+			return
+		}
+		rec := &e.rec
+		if c.robCount >= c.cfg.ROBSize || len(c.iq) >= c.cfg.IQSize {
+			return
+		}
+		if rec.IsLoad() && c.ldqCount >= c.cfg.LDQSize {
+			return
+		}
+		if rec.IsStore() && c.stqCount >= c.cfg.STQSize {
+			return
+		}
+		nd := int(rec.NDst)
+		if nd > c.freeRegs {
+			return
+		}
+
+		e.renamed = true
+		e.renameCycle = c.now
+		c.freeRegs -= nd
+		c.frontCount--
+		c.robCount++
+		if rec.IsLoad() {
+			c.ldqCount++
+		}
+		if rec.IsStore() {
+			c.stqCount++
+		}
+		c.installPrediction(e, &vpBudget)
+		c.iq = append(c.iq, rec.Seq)
+		c.renameSeq++
+	}
+}
+
+// installPrediction decides, at rename, which value prediction (if any) is
+// installed in the PVT for this instruction, honouring the per-cycle write
+// budget, PVT capacity, and the oracle-replay model.
+func (c *Core) installPrediction(e *entry, vpBudget *int) {
+	rec := &e.rec
+	nd := int(rec.NDst)
+	if nd == 0 || nd > trace.MaxDests {
+		return
+	}
+
+	dlvpReady := e.probeDone && e.probeHit && e.probeDeliver <= c.now
+	if e.probeDone && e.probeHit && e.probeDeliver > c.now {
+		c.stats.VPDropLate++
+	}
+	vtageReady := e.vtAny
+
+	side := tournament.SideNone
+	switch c.cfg.VP.Scheme {
+	case config.VPDLVP, config.VPCAP:
+		if dlvpReady {
+			side = tournament.SideDLVP
+		}
+	case config.VPVTAGE, config.VPDVTAGE:
+		if vtageReady {
+			side = tournament.SideVTAGE
+		}
+	case config.VPTournament:
+		side = c.chooser.Choose(rec.PC, dlvpReady, vtageReady)
+	}
+	if side == tournament.SideNone {
+		return
+	}
+
+	// Assemble the per-destination predicted values.
+	var vals [trace.MaxDests]uint64
+	var per [trace.MaxDests]bool
+	count := 0
+	switch side {
+	case tournament.SideDLVP:
+		for j := 0; j < nd; j++ {
+			vals[j] = e.probeVals[j]
+			per[j] = true
+			count++
+		}
+	case tournament.SideVTAGE:
+		for j := 0; j < nd; j++ {
+			if e.vtValid[j] {
+				vals[j] = e.vtVals[j]
+				per[j] = true
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return
+	}
+	if count > *vpBudget {
+		c.stats.VPDropBudget++
+		return
+	}
+	if c.pvtCount+count > c.cfg.PVTEntries {
+		c.stats.VPDropPVTFull++
+		return
+	}
+
+	correct := true
+	for j := 0; j < nd; j++ {
+		if per[j] && vals[j] != rec.DestValue(j) {
+			correct = false
+		}
+	}
+	if c.cfg.VP.OracleReplay && !correct {
+		// Oracle replay: the misprediction is converted into a
+		// no-prediction — counted, never flushed, never woken early.
+		e.vpOracleDropped = true
+		e.vpSource = side
+		return
+	}
+
+	*vpBudget -= count
+	c.pvtCount += count
+	c.pvtWrites += uint64(count)
+	e.vpMade = true
+	e.vpSource = side
+	e.vpVals = vals
+	e.vpPerDest = per
+	e.vpNumDests = count
+}
+
+// probeStage pops Predicted Address Queue entries on load-store lane
+// bubbles and probes the L1D (DLVP steps 3-5). The number of bubbles is
+// computed by issueStage (memIssued of the *previous* selection); probes
+// read the committed-memory image, so a store committing after the probe
+// leaves the probed value stale — the paper's in-flight-store hazard.
+func (c *Core) probeStage() {
+	bubbles := c.loadPortsFreeThisCycle
+	for b := 0; b < bubbles && len(c.paq) > 0; {
+		pe := c.paq[0]
+		c.paq = c.paq[1:]
+		if pe.allocated > c.now {
+			// Not yet arrived at the back end; put it back and stop.
+			c.paq = append([]paqEntry{pe}, c.paq...)
+			return
+		}
+		if c.now-pe.allocated > uint64(c.cfg.PAQLifetime) {
+			c.stats.PAQDropped++
+			continue // dropped without consuming a bubble
+		}
+		if !c.live(pe.seq) {
+			continue // squashed in the meantime
+		}
+		e := c.ent(pe.seq)
+		if e.renamed {
+			// Too late: the load already passed rename.
+			c.stats.PAQDropped++
+			continue
+		}
+		b++
+		res := c.hier.Probe(pe.addr, int(pe.way))
+		e.probeDone = true
+		if res.Hit {
+			e.probeHit = true
+			e.probeDeliver = c.now + uint64(res.Latency) + 1 // +1 transfer to VPE
+			c.readProbedValues(e, pe.addr)
+		} else if c.cfg.VP.ProbePrefetch {
+			c.hier.Prefetch(c.now, pe.addr)
+			c.stats.Prefetches++ // DLVP-generated (the stride prefetcher is counted separately)
+		}
+	}
+}
+
+// readProbedValues reads the committed-memory image at the predicted
+// address, reconstructing every destination value exactly as the load
+// would (sizes, sign extension, pair/multiple layout, post-index base).
+func (c *Core) readProbedValues(e *entry, addr uint64) {
+	if inst := c.prog.InstAt(e.rec.PC); inst != nil {
+		c.readLoadValues(inst, addr, &e.probeVals)
+	}
+}

@@ -1,0 +1,105 @@
+package uarch
+
+import (
+	"testing"
+
+	"dlvp/internal/config"
+	"dlvp/internal/metrics"
+)
+
+func selectiveReplayCfg() config.Core {
+	c := config.DLVP()
+	c.VP.SelectiveReplay = true
+	return c
+}
+
+func TestSelectiveReplayNoValueFlushes(t *testing.T) {
+	// gap is the in-flight-conflict kernel: with flush recovery it takes a
+	// handful of value flushes before the LSCD settles; with selective
+	// replay those become replays.
+	s := runWorkload(t, "gap", selectiveReplayCfg(), 40_000)
+	if s.ValueFlushes != 0 {
+		t.Errorf("selective replay must not flush on value mispredictions, got %d", s.ValueFlushes)
+	}
+	if s.ValueReplays == 0 {
+		t.Error("no replays recorded on a conflict-heavy workload")
+	}
+}
+
+func TestSelectiveReplayArchitecturallyInvisible(t *testing.T) {
+	for _, wl := range []string{"gap", "perlbmk", "v8crypto"} {
+		a := runWorkload(t, wl, config.DLVP(), 25_000)
+		b := runWorkload(t, wl, selectiveReplayCfg(), 25_000)
+		if a.Instructions != b.Instructions {
+			t.Fatalf("%s: replay committed %d, flush %d", wl, b.Instructions, a.Instructions)
+		}
+	}
+}
+
+func TestSelectiveReplayNotSlowerThanFlush(t *testing.T) {
+	// Replay re-executes only dependents, so on mispredict-prone workloads
+	// it should recover at least as fast as a full flush (the paper's
+	// motivation for the future-work mechanism).
+	for _, wl := range []string{"gap", "perlbmk"} {
+		base := runWorkload(t, wl, config.Baseline(), 40_000)
+		flush := runWorkload(t, wl, config.DLVP(), 40_000)
+		replay := runWorkload(t, wl, selectiveReplayCfg(), 40_000)
+		fs := metrics.SpeedupPct(base, flush)
+		rs := metrics.SpeedupPct(base, replay)
+		if rs < fs-1.0 {
+			t.Errorf("%s: selective replay %.2f%% clearly worse than flush %.2f%%", wl, rs, fs)
+		}
+	}
+}
+
+func TestSelectiveReplayDeterministic(t *testing.T) {
+	a := runWorkload(t, "perlbmk", selectiveReplayCfg(), 20_000)
+	b := runWorkload(t, "perlbmk", selectiveReplayCfg(), 20_000)
+	if a.Cycles != b.Cycles || a.ValueReplays != b.ValueReplays {
+		t.Errorf("nondeterministic replay: %d/%d cycles, %d/%d replays",
+			a.Cycles, b.Cycles, a.ValueReplays, b.ValueReplays)
+	}
+}
+
+func TestOracleStillWinsOverSelectiveReplay(t *testing.T) {
+	// The oracle never even wakes consumers with wrong values, so it is an
+	// upper bound on any replay implementation.
+	oracle := config.DLVP()
+	oracle.VP.OracleReplay = true
+	for _, wl := range []string{"gap"} {
+		base := runWorkload(t, wl, config.Baseline(), 40_000)
+		or := runWorkload(t, wl, oracle, 40_000)
+		re := runWorkload(t, wl, selectiveReplayCfg(), 40_000)
+		if metrics.SpeedupPct(base, re) > metrics.SpeedupPct(base, or)+1.0 {
+			t.Errorf("%s: real replay (%.2f%%) beats the oracle (%.2f%%)?", wl,
+				metrics.SpeedupPct(base, re), metrics.SpeedupPct(base, or))
+		}
+	}
+}
+
+func TestStageTraceCapture(t *testing.T) {
+	w := mustWorkload(t, "perlbmk")
+	c := New(config.DLVP(), w.Build(), w.Reader(30_000))
+	c.EnableStageTrace(10_000, 12)
+	c.Run(0)
+	traces := c.StageTraces()
+	if len(traces) != 12 {
+		t.Fatalf("captured %d traces, want 12", len(traces))
+	}
+	for i, s := range traces {
+		if !(s.Fetch <= s.Rename && s.Rename <= s.Issue &&
+			s.Issue < s.Complete && s.Complete <= s.Commit) {
+			t.Errorf("trace %d: stage order violated: %+v", i, s)
+		}
+		if i > 0 && s.Commit < traces[i-1].Commit {
+			t.Errorf("commit order violated at %d", i)
+		}
+	}
+	out := FormatStageTraces(traces)
+	if len(out) == 0 || out == "no stage traces recorded\n" {
+		t.Error("formatting produced nothing")
+	}
+	if FormatStageTraces(nil) != "no stage traces recorded\n" {
+		t.Error("nil trace formatting wrong")
+	}
+}

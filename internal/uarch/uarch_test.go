@@ -1,0 +1,283 @@
+package uarch
+
+import (
+	"testing"
+
+	"dlvp/internal/config"
+	"dlvp/internal/emu"
+	"dlvp/internal/metrics"
+	"dlvp/internal/program"
+	"dlvp/internal/workloads"
+)
+
+func runWorkload(t *testing.T, name string, cfg config.Core, instrs uint64) metrics.RunStats {
+	t.Helper()
+	w, ok := workloads.ByName(name)
+	if !ok {
+		t.Fatalf("workload %q not registered", name)
+	}
+	c := New(cfg, w.Build(), w.Reader(instrs))
+	stats := c.Run(instrs * 100)
+	if stats.Instructions == 0 {
+		t.Fatalf("%s: nothing committed", name)
+	}
+	return stats
+}
+
+func runProgram(t *testing.T, p *program.Program, cfg config.Core, instrs uint64) metrics.RunStats {
+	t.Helper()
+	cpu := emu.New(p)
+	cpu.MaxInstrs = instrs
+	c := New(cfg, p, cpu)
+	return c.Run(instrs * 200)
+}
+
+func TestBaselineCommitsEverything(t *testing.T) {
+	const n = 20_000
+	s := runWorkload(t, "perlbmk", config.Baseline(), n)
+	if s.Instructions != n {
+		t.Errorf("committed %d, want %d", s.Instructions, n)
+	}
+	ipc := s.IPC()
+	if ipc < 0.2 || ipc > 8 {
+		t.Errorf("baseline IPC = %v, outside sanity band", ipc)
+	}
+	if s.Loads == 0 || s.Stores == 0 {
+		t.Errorf("loads/stores = %d/%d", s.Loads, s.Stores)
+	}
+}
+
+func TestHaltingProgramDrains(t *testing.T) {
+	b := program.NewBuilder("tiny")
+	b.MovImm(0, 5)
+	b.Label("loop")
+	b.SubI(0, 0, 1)
+	b.Cbnz(0, "loop")
+	b.Halt()
+	s := runProgram(t, b.Build(), config.Baseline(), 1_000_000)
+	if s.Instructions != 13 { // 1 movz + 5*2 loop + 1 halt... (movz + 10 + halt = 12)
+		// 1 + 10 + 1 = 12
+		if s.Instructions != 12 {
+			t.Errorf("committed %d, want 12", s.Instructions)
+		}
+	}
+	if s.Cycles == 0 {
+		t.Error("no cycles elapsed")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := runWorkload(t, "mcf", config.DLVP(), 15_000)
+	b := runWorkload(t, "mcf", config.DLVP(), 15_000)
+	if a.Cycles != b.Cycles || a.VP.Predicted != b.VP.Predicted {
+		t.Errorf("nondeterministic: %d/%d cycles, %d/%d predictions",
+			a.Cycles, b.Cycles, a.VP.Predicted, b.VP.Predicted)
+	}
+}
+
+func TestDLVPPredictsStableAddresses(t *testing.T) {
+	const n = 60_000
+	dlvp := runWorkload(t, "mcf", config.DLVP(), n)
+	if dlvp.VP.Predicted == 0 {
+		t.Fatal("DLVP made no predictions on an address-stable workload")
+	}
+	if acc := dlvp.VP.Accuracy(); acc < 95 {
+		t.Errorf("DLVP accuracy = %v%%, want >= 95%%", acc)
+	}
+	if cov := dlvp.VP.Coverage(); cov < 8 {
+		t.Errorf("DLVP coverage = %v%%, want >= 8%%", cov)
+	}
+}
+
+func TestDLVPSpeedsUpSerialChains(t *testing.T) {
+	// perlbmk is the paper's headline workload: a serial, address-stable
+	// pointer chase with dependent branches.
+	const n = 60_000
+	base := runWorkload(t, "perlbmk", config.Baseline(), n)
+	dlvp := runWorkload(t, "perlbmk", config.DLVP(), n)
+	sp := metrics.SpeedupPct(base, dlvp)
+	if sp < 5 {
+		t.Errorf("DLVP speedup on perlbmk = %v%%, want substantial", sp)
+	}
+	vt := runWorkload(t, "perlbmk", config.VTAGE(), n)
+	if spv := metrics.SpeedupPct(base, vt); spv >= sp {
+		t.Errorf("VTAGE speedup (%v%%) should trail DLVP (%v%%) on perlbmk", spv, sp)
+	}
+	t.Logf("perlbmk: base IPC %.3f, dlvp %+.1f%%, cov %.1f%%, acc %.2f%%",
+		base.IPC(), sp, dlvp.VP.Coverage(), dlvp.VP.Accuracy())
+}
+
+func TestLSCDFiltersInFlightConflicts(t *testing.T) {
+	const n = 40_000
+	base := runWorkload(t, "gap", config.Baseline(), n)
+	s := runWorkload(t, "gap", config.DLVP(), n)
+	// gap's pops conflict with in-flight pushes: the LSCD must blacklist
+	// them after at most a few mispredictions each, so value flushes stay
+	// bounded and DLVP ends up roughly performance-neutral.
+	if s.LSCDInserts == 0 {
+		t.Error("gap must trigger LSCD inserts (in-flight store conflicts)")
+	}
+	if s.LSCDFiltered == 0 {
+		t.Error("LSCD inserted but never filtered")
+	}
+	if s.ValueFlushes > 50 {
+		t.Errorf("value flushes = %d; LSCD should cap the storm", s.ValueFlushes)
+	}
+	if slow := metrics.SpeedupPct(base, s); slow < -3 {
+		t.Errorf("DLVP with LSCD degraded gap by %v%%", -slow)
+	}
+}
+
+func TestLSCDDisabledHurtsAccuracy(t *testing.T) {
+	const n = 40_000
+	on := config.DLVP()
+	off := config.DLVP()
+	off.VP.LSCDEntries = 0
+	son := runWorkload(t, "gap", on, n)
+	soff := runWorkload(t, "gap", off, n)
+	if soff.ValueFlushes < son.ValueFlushes {
+		t.Errorf("disabling LSCD should not reduce value flushes: %d (off) vs %d (on)",
+			soff.ValueFlushes, son.ValueFlushes)
+	}
+}
+
+func TestVTAGERunsAndPredicts(t *testing.T) {
+	const n = 60_000
+	s := runWorkload(t, "gcc", config.VTAGE(), n)
+	if s.VP.Predicted == 0 {
+		t.Fatal("VTAGE made no predictions")
+	}
+	if s.VP.Accuracy() < 90 {
+		t.Errorf("VTAGE accuracy = %v%%", s.VP.Accuracy())
+	}
+}
+
+func TestCAPSchemeRuns(t *testing.T) {
+	const n = 40_000
+	s := runWorkload(t, "mcf", config.CAPDLVP(), n)
+	if s.VP.Predicted == 0 {
+		t.Fatal("CAP-DLVP made no predictions on mcf")
+	}
+}
+
+func TestTournamentRuns(t *testing.T) {
+	const n = 40_000
+	s := runWorkload(t, "mcf", config.Tournament(), n)
+	if s.VP.Predicted == 0 {
+		t.Fatal("tournament made no predictions")
+	}
+	if s.TournamentDLVP+s.TournamentVTAGE != s.VP.Predicted {
+		t.Errorf("breakdown %d+%d != predicted %d",
+			s.TournamentDLVP, s.TournamentVTAGE, s.VP.Predicted)
+	}
+}
+
+func TestOracleReplayNeverFlushesOnValue(t *testing.T) {
+	const n = 40_000
+	cfg := config.DLVP()
+	cfg.VP.OracleReplay = true
+	s := runWorkload(t, "gap", cfg, n)
+	if s.ValueFlushes != 0 {
+		t.Errorf("oracle replay must eliminate value flushes, got %d", s.ValueFlushes)
+	}
+}
+
+func TestOracleReplayNoSlowerThanFlush(t *testing.T) {
+	const n = 40_000
+	for _, wl := range []string{"gap", "mcf", "twolf"} {
+		flush := runWorkload(t, wl, config.DLVP(), n)
+		cfg := config.DLVP()
+		cfg.VP.OracleReplay = true
+		oracle := runWorkload(t, wl, cfg, n)
+		if oracle.Cycles > flush.Cycles+flush.Cycles/50 {
+			t.Errorf("%s: oracle replay slower than flush: %d vs %d cycles",
+				wl, oracle.Cycles, flush.Cycles)
+		}
+	}
+}
+
+func TestPAQDropRateLow(t *testing.T) {
+	const n = 60_000
+	s := runWorkload(t, "mcf", config.DLVP(), n)
+	if s.PAQAllocated == 0 {
+		t.Fatal("no PAQ allocations")
+	}
+	// The paper reports <0.1% drops on its workload mix; these kernels are
+	// far denser in loads, so load-store lane bubbles are scarcer. The rate
+	// must still stay well below half, or probing is starved.
+	if rate := s.PAQDropRate(); rate > 40 {
+		t.Errorf("PAQ drop rate = %v%%: probe engine starved", rate)
+	}
+}
+
+func TestSchemesCommitIdenticalInstructionCounts(t *testing.T) {
+	// Value prediction must never change architectural behaviour — only
+	// timing. Every scheme commits exactly the same instruction stream.
+	const n = 25_000
+	var counts []uint64
+	for _, cfg := range []config.Core{
+		config.Baseline(), config.DLVP(), config.CAPDLVP(),
+		config.VTAGE(), config.Tournament(),
+	} {
+		s := runWorkload(t, "perlbmk", cfg, n)
+		counts = append(counts, s.Instructions)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] != counts[0] {
+			t.Fatalf("scheme %d committed %d instructions, baseline %d",
+				i, counts[i], counts[0])
+		}
+	}
+}
+
+func TestEnergyAccounted(t *testing.T) {
+	s := runWorkload(t, "vortex", config.DLVP(), 20_000)
+	if s.CoreEnergy <= 0 {
+		t.Error("core energy not accounted")
+	}
+	if s.Probes == 0 {
+		t.Error("no probes recorded on an address-stable workload")
+	}
+}
+
+func TestBranchMispredictsTracked(t *testing.T) {
+	s := runWorkload(t, "twolf", config.Baseline(), 30_000)
+	if s.BranchFlushes == 0 {
+		t.Error("twolf's data-dependent branches must mispredict sometimes")
+	}
+}
+
+func TestMultiDestLoadsPredicted(t *testing.T) {
+	// vortex is LDP-heavy: DLVP predicts both destinations from one APT
+	// entry; coverage should be substantial.
+	s := runWorkload(t, "vortex", config.DLVP(), 40_000)
+	if cov := s.VP.Coverage(); cov < 10 {
+		t.Errorf("LDP coverage under DLVP = %v%%", cov)
+	}
+	// VTAGE with the static filter must have predicted none of the LDPs —
+	// but vortex still has a couple of scalar loads, so just check it ran.
+	sv := runWorkload(t, "vortex", config.VTAGE(), 40_000)
+	if sv.VP.Coverage() > s.VP.Coverage() {
+		t.Errorf("static-filtered VTAGE out-covered DLVP on LDP workload: %v%% vs %v%%",
+			sv.VP.Coverage(), s.VP.Coverage())
+	}
+}
+
+func TestRunHonoursMaxCycles(t *testing.T) {
+	w, _ := workloads.ByName("perlbmk")
+	c := New(config.Baseline(), w.Build(), w.Reader(1_000_000))
+	s := c.Run(5_000)
+	if s.Cycles > 5_000 {
+		t.Errorf("ran %d cycles, cap 5000", s.Cycles)
+	}
+}
+
+// mustWorkload fetches a registered workload or fails the test.
+func mustWorkload(t *testing.T, name string) workloads.Workload {
+	t.Helper()
+	w, ok := workloads.ByName(name)
+	if !ok {
+		t.Fatalf("workload %q not registered", name)
+	}
+	return w
+}

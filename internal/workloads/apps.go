@@ -1,0 +1,482 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dlvp/internal/isa"
+	"dlvp/internal/program"
+)
+
+func init() {
+	register(Workload{
+		Name:  "linpack",
+		Suite: "app",
+		Description: "unrolled daxpy over fixed vectors, y rewritten every " +
+			"sweep: fixed addresses, fresh floating-point-ish values",
+		Build: buildLinpack,
+	})
+	register(Workload{
+		Name:  "mplayer",
+		Suite: "app",
+		Description: "sum-of-absolute-differences over a reference block " +
+			"(VLD, constant) and a current block (VLD, rewritten per frame): " +
+			"128-bit vector loads VTAGE must filter away",
+		Build: buildMplayer,
+	})
+	register(Workload{
+		Name:  "soplex",
+		Suite: "spec2k6",
+		Description: "sparse matrix-vector product: indirect column loads " +
+			"(address-hostile) whose values are overwhelmingly a handful of " +
+			"constants — the value-repeatability population (VTAGE-friendly)",
+		Build: buildSoplex,
+	})
+	register(Workload{
+		Name:  "h264ref",
+		Suite: "spec2k6",
+		Description: "motion-estimation stencil over a fixed search window " +
+			"with vector loads; window refreshed between frames",
+		Build: buildH264ref,
+	})
+	register(Workload{
+		Name:  "libquantum",
+		Suite: "spec2k6",
+		Description: "strided XOR sweeps over a large state vector: " +
+			"prefetcher-covered streaming where value prediction is idle",
+		Build: buildLibquantum,
+	})
+	register(Workload{
+		Name:  "omnetpp",
+		Suite: "spec2k6",
+		Description: "event-queue simulation: the heap head is read, " +
+			"updated and re-read every event — committed conflicts on the " +
+			"scheduling critical path",
+		Build: buildOmnetpp,
+	})
+	register(Workload{
+		Name:  "astar",
+		Suite: "spec2k6",
+		Description: "grid neighbour scans with open-list cost updates: " +
+			"mixed predictability",
+		Build: buildAstar,
+	})
+	register(Workload{
+		Name:  "sjeng",
+		Suite: "spec2k6",
+		Description: "search with global flag loads feeding hard branches: " +
+			"early value delivery resolves mispredicted branches sooner",
+		Build: buildSjeng,
+	})
+	register(Workload{
+		Name:  "hmmer",
+		Suite: "spec2k6",
+		Description: "dynamic-programming inner loop over a reused row " +
+			"buffer: row cells rewritten each column sweep",
+		Build: buildHmmer,
+	})
+	register(Workload{
+		Name:  "milc",
+		Suite: "spec2k6",
+		Description: "small-matrix arithmetic through LDP on a fixed site " +
+			"array, sites relinked periodically",
+		Build: buildMilc,
+	})
+}
+
+// buildLinpack: y[i] += a*x[i] over 24 unrolled elements; x is constant, y
+// is rewritten every sweep. Each y load is a committed conflict with the
+// previous sweep's store (the sweep body is ~200 instructions long).
+func buildLinpack() *program.Program {
+	b := program.NewBuilder("linpack")
+	const n = 24
+	xbase := b.AllocWords("x", randWords(0x11a, n))
+	ybase := b.AllocWords("y", randWords(0x11b, n))
+	b.AllocWords("a", []uint64{3})
+
+	b.MovImm(rOuter, 0)
+	b.Label("sweep")
+	b.MovSym(rPtr3, "a")
+	b.Ldr(rTmp2, rPtr3, 0, 3) // scalar a: fixed address and value
+	for i := 0; i < n; i++ {
+		b.MovImm(rPtr, xbase+uint64(i*8))
+		b.Ldr(rTmp, rPtr, 0, 3) // x[i]: constant
+		b.MovImm(rPtr2, ybase+uint64(i*8))
+		b.Ldr(rScratch0, rPtr2, 0, 3) // y[i]: fresh every sweep
+		b.Madd(rScratch0, rTmp, rTmp2, rScratch0)
+		b.Str(rScratch0, rPtr2, 0, 3)
+	}
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("sweep")
+	return b.Build()
+}
+
+// buildMplayer: SAD between a constant 64-byte reference block and a
+// current block rewritten each frame, both read through 128-bit VLDs.
+// DLVP predicts one base address per VLD; a conventional predictor needs
+// two 64-bit entries and (per the paper) ends up statically filtered.
+func buildMplayer() *program.Program {
+	b := program.NewBuilder("mplayer")
+	refBase := b.AllocWords("ref", randWords(0x3e0, 8))
+	curBase := b.AllocWords("cur", randWords(0x3e1, 8))
+	b.AllocWords("sad", []uint64{0})
+
+	b.MovImm(rOuter, 0)
+	b.Label("frame")
+	b.MovImm(rAcc, 0)
+	for i := 0; i < 4; i++ {
+		b.MovImm(rPtr, refBase+uint64(i*16))
+		b.Vld(isa.Reg(32), isa.Reg(33), rPtr, 0)
+		b.MovImm(rPtr2, curBase+uint64(i*16))
+		b.Vld(isa.Reg(34), isa.Reg(35), rPtr2, 0)
+		// |ref-cur| approximated with xor-popcount-ish mixing.
+		b.Op3(isa.EOR, rTmp, isa.Reg(32), isa.Reg(34))
+		b.Op3(isa.EOR, rTmp2, isa.Reg(33), isa.Reg(35))
+		b.Add(rAcc, rAcc, rTmp)
+		b.Add(rAcc, rAcc, rTmp2)
+	}
+	b.MovSym(rPtr3, "sad")
+	b.Str(rAcc, rPtr3, 0, 3)
+	// Refresh the current block (fixed addresses, fresh values), with the
+	// SAD loop above separating these stores from the next frame's reads.
+	for i := 0; i < 8; i++ {
+		b.OpImm(isa.EORI, rAcc, rAcc, int64(0x33+i))
+		b.MovImm(rPtr2, curBase+uint64(i*8))
+		b.Str(rAcc, rPtr2, 0, 3)
+	}
+	// The reference block also drifts — one word per 8 frames, as motion
+	// search moves through the reference frame — so its VLD values never
+	// sit still long enough for a 64-128-observation confidence bar.
+	b.OpImm(isa.ANDI, rTmp, rOuter, 7)
+	b.Cbnz(rTmp, "noref")
+	b.OpImm(isa.LSRI, rTmp, rOuter, 3)
+	b.OpImm(isa.ANDI, rTmp, rTmp, 7)
+	b.OpImm(isa.LSLI, rTmp, rTmp, 3)
+	b.MovImm(rPtr, refBase)
+	b.Add(rPtr, rPtr, rTmp)
+	b.Ldr(rTmp2, rPtr, 0, 3)
+	b.OpImm(isa.EORI, rTmp2, rTmp2, 0x99)
+	b.Str(rTmp2, rPtr, 0, 3)
+	b.Label("noref")
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("frame")
+	return b.Build()
+}
+
+// buildSoplex: y += A[j]*x[col[j]] over a sparse row whose values are 90%
+// drawn from {0,1}: the column-indirect loads are address-hostile but
+// value-friendly, the population where VTAGE out-covers DLVP.
+func buildSoplex() *program.Program {
+	b := program.NewBuilder("soplex")
+	const nnz = 4096
+	r := newRng(0x50e)
+	vals := make([]uint64, nnz)
+	for i := range vals {
+		if r.intn(10) < 9 {
+			vals[i] = uint64(r.intn(2))
+		} else {
+			vals[i] = r.next() % 997
+		}
+	}
+	// Sparsify: long zero runs make the value stream last-value-predictable
+	// (a sparse matrix is mostly zeros), which is precisely what a VTAGE
+	// covers and an address predictor cannot.
+	for i := range vals {
+		if i%97 != 0 {
+			vals[i] = 0
+		}
+	}
+	b.AllocWords("vals", vals)
+	cols := make([]uint64, nnz)
+	for i := range cols {
+		cols[i] = uint64(r.intn(512))
+	}
+	b.AllocWords("cols", cols)
+	b.AllocWords("xvec", randWords(0x50f, 512))
+	b.AllocWords("yacc", []uint64{0})
+
+	b.MovImm(rOuter, 0)
+	b.Label("outer")
+	b.MovSym(rPtr, "vals")
+	b.MovSym(rPtr2, "cols")
+	b.MovSym(rPtr3, "xvec")
+	b.OpImm(isa.ANDI, rInner, rOuter, nnz-256)
+	b.MovImm(rTmp2, 256)
+	b.MovImm(rAcc, 0) // row accumulator stays in a register
+	b.Label("row")
+	b.LdrIdx(rTmp, rPtr, rInner, 3, 3)          // A[j]: mostly-zero values
+	b.LdrIdx(rScratch0, rPtr2, rInner, 3, 3)    // col[j]
+	b.LdrIdx(rScratch0, rPtr3, rScratch0, 3, 3) // x[col[j]]: indirect
+	b.Madd(rAcc, rTmp, rScratch0, rAcc)
+	b.AddI(rInner, rInner, 1)
+	b.SubI(rTmp2, rTmp2, 1)
+	b.Cbnz(rTmp2, "row")
+	b.MovSym(rTmp, "yacc")
+	b.Str(rAcc, rTmp, 0, 3) // one spill per 256-element row
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("outer")
+	return b.Build()
+}
+
+// buildH264ref: 16 unrolled stencil taps over a fixed search window read
+// with VLD, window refreshed every 8 frames.
+func buildH264ref() *program.Program {
+	b := program.NewBuilder("h264ref")
+	wbase := b.AllocWords("window", randWords(0x264, 32))
+	b.AllocWords("best", []uint64{0})
+
+	b.MovImm(rOuter, 0)
+	b.Label("frame")
+	b.MovImm(rAcc, 0)
+	for i := 0; i < 8; i++ {
+		b.MovImm(rPtr, wbase+uint64(i*32))
+		b.Vld(isa.Reg(36), isa.Reg(37), rPtr, 0)
+		b.Op3(isa.EOR, rTmp, isa.Reg(36), isa.Reg(37))
+		b.OpImm(isa.LSRI, rTmp2, rTmp, 7)
+		b.Add(rAcc, rAcc, rTmp2)
+	}
+	b.MovSym(rPtr3, "best")
+	b.Str(rAcc, rPtr3, 0, 3)
+	b.AddI(rOuter, rOuter, 1)
+	// Refresh half the window every 8 frames.
+	b.OpImm(isa.ANDI, rTmp, rOuter, 7)
+	b.Cbnz(rTmp, "frame")
+	for i := 0; i < 16; i++ {
+		b.OpImm(isa.EORI, rAcc, rAcc, int64(0x101+i))
+		b.MovImm(rPtr, wbase+uint64(i*8))
+		b.Str(rAcc, rPtr, 0, 3)
+	}
+	b.Br("frame")
+	return b.Build()
+}
+
+// buildLibquantum: XOR a constant into every 8th word of a 512KB state
+// vector — pure streaming the stride prefetcher absorbs; value predictors
+// find nothing durable.
+func buildLibquantum() *program.Program {
+	b := program.NewBuilder("libquantum")
+	const words = 64 * 1024
+	b.AllocWords("state", randWords(0x11b1, words))
+
+	b.MovImm(rOuter, 0)
+	b.Label("sweep")
+	b.MovSym(rPtr, "state")
+	b.OpImm(isa.ANDI, rTmp, rOuter, 7)
+	b.OpImm(isa.LSLI, rTmp, rTmp, 3)
+	b.Add(rPtr, rPtr, rTmp)
+	b.MovImm(rInner, 512)
+	b.Label("gate")
+	b.Ldr(rTmp2, rPtr, 0, 3)
+	b.OpImm(isa.EORI, rTmp2, rTmp2, 0x5a5a)
+	b.Str(rTmp2, rPtr, 0, 3)
+	b.AddI(rPtr, rPtr, 64)
+	b.SubI(rInner, rInner, 1)
+	b.Cbnz(rInner, "gate")
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("sweep")
+	return b.Build()
+}
+
+// buildOmnetpp: a 15-entry array heap of event timestamps; every event pops
+// the head (load), schedules a follow-up (store into the heap), and
+// sift-downs one level. The head cell's address never changes; its value
+// changes every event, and a full event (~60 instructions through two
+// levels of children) separates the rewrite from the next read.
+func buildOmnetpp() *program.Program {
+	b := program.NewBuilder("omnetpp")
+	const n = 15
+	b.AllocWords("heap", smallWords(0x03e7, n, 100))
+	b.AllocWords("clock", []uint64{0})
+
+	heap := b.Sym("heap")
+	b.MovImm(rOuter, 0)
+	b.Label("event")
+	b.MovImm(rPtr, heap)
+	b.Ldr(rAcc, rPtr, 0, 3) // heap head: stable address, fresh value
+	b.MovSym(rPtr2, "clock")
+	b.Ldr(rTmp, rPtr2, 0, 3)
+	b.Add(rTmp, rTmp, rAcc)
+	b.Str(rTmp, rPtr2, 0, 3) // advance the clock by the event delta
+	// Schedule a follow-up: head = f(clock), then one sift-down level.
+	b.OpImm(isa.ANDI, rScratch0, rTmp, 127)
+	b.AddI(rScratch0, rScratch0, 1)
+	b.Str(rScratch0, rPtr, 0, 3)
+	// Compare with both children (fixed addresses), swap with the smaller.
+	b.Ldr(rTmp, rPtr, 8, 3)   // child 1
+	b.Ldr(rTmp2, rPtr, 16, 3) // child 2
+	b.CondBr(isa.BLTU, rTmp, rTmp2, "left")
+	b.Nop()
+	b.Ldr(rScratch0, rPtr, 0, 3)
+	b.Str(rTmp2, rPtr, 0, 3)
+	b.Str(rScratch0, rPtr, 16, 3)
+	b.Br("sifted")
+	b.Label("left")
+	b.Ldr(rScratch0, rPtr, 0, 3)
+	b.Str(rTmp, rPtr, 0, 3)
+	b.Str(rScratch0, rPtr, 8, 3)
+	b.Label("sifted")
+	// Padding work so successive events sit farther apart than the window.
+	b.MovImm(rInner, 24)
+	b.Label("pad")
+	b.Madd(rAcc, rAcc, rTmp, rTmp2)
+	b.OpImm(isa.LSRI, rTmp2, rAcc, 9)
+	b.SubI(rInner, rInner, 1)
+	b.Cbnz(rInner, "pad")
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("event")
+	return b.Build()
+}
+
+// buildAstar: scans the four neighbours of a cursor cell in a 32x32 grid,
+// relaxing open-list costs; the cursor walks a fixed tour.
+func buildAstar() *program.Program {
+	b := program.NewBuilder("astar")
+	const dim = 32
+	b.AllocWords("grid", smallWords(0xa5,
+		dim*dim, 16))
+	b.AllocWords("tour", permutation(0xa51, dim*dim))
+	b.AllocWords("pathcost", []uint64{0})
+
+	b.MovImm(rOuter, 0)
+	b.Label("step")
+	b.MovSym(rPtr2, "tour")
+	b.OpImm(isa.ANDI, rTmp, rOuter, dim*dim-1)
+	b.LdrIdx(rInner, rPtr2, rTmp, 3, 3) // cursor cell index
+	b.MovSym(rPtr, "grid")
+	b.LdrIdx(rAcc, rPtr, rInner, 3, 3) // cell cost
+	for _, d := range []int64{1, -1, dim, -dim} {
+		b.AddI(rTmp2, rInner, d)
+		b.OpImm(isa.ANDI, rTmp2, rTmp2, dim*dim-1)
+		b.LdrIdx(rScratch0, rPtr, rTmp2, 3, 3) // neighbour cost
+		b.Add(rAcc, rAcc, rScratch0)
+	}
+	b.OpImm(isa.LSRI, rAcc, rAcc, 2)
+	b.StrIdx(rAcc, rPtr, rInner, 3, 3)    // relax the cursor cell
+	b.Add(isa.Reg(19), isa.Reg(19), rAcc) // path cost rides in a register
+	b.AddI(rOuter, rOuter, 1)
+	b.OpImm(isa.ANDI, rTmp, rOuter, 31)
+	b.Cbnz(rTmp, "step")
+	b.MovSym(rPtr3, "pathcost")
+	b.Str(isa.Reg(19), rPtr3, 0, 3) // spill every 32 steps
+	b.Br("step")
+	return b.Build()
+}
+
+// buildSjeng: evaluates positions gated by four global flags that feed
+// hard-to-predict branches; the flags are recomputed from search state
+// every pass, so a predicted flag load resolves its branch early.
+func buildSjeng() *program.Program {
+	b := program.NewBuilder("sjeng")
+	b.AllocWords("flags", []uint64{1, 0, 1, 0})
+	b.AllocWords("boards", randWords(0x57e, 64))
+	b.AllocWords("nodes", []uint64{0})
+
+	flags := b.Sym("flags")
+	b.MovImm(rOuter, 0)
+	b.Label("search")
+	b.MovImm(rAcc, 0)
+	for f := 0; f < 4; f++ {
+		b.MovImm(rPtr, flags+uint64(f*8))
+		b.Ldr(rTmp, rPtr, 0, 3) // flag load feeds the branch directly
+		b.Cbz(rTmp, fmt.Sprintf("off_%d", f))
+		b.MovSym(rPtr2, "boards")
+		b.OpImm(isa.ANDI, rTmp2, rOuter, 63)
+		b.LdrIdx(rTmp2, rPtr2, rTmp2, 3, 3)
+		b.Op3(isa.EOR, rAcc, rAcc, rTmp2)
+		if f%2 == 0 {
+			b.Nop()
+		}
+		b.Label(fmt.Sprintf("off_%d", f))
+	}
+	b.MovSym(rPtr3, "nodes")
+	b.Ldr(rTmp, rPtr3, 0, 3)
+	b.AddI(rTmp, rTmp, 1)
+	b.Str(rTmp, rPtr3, 0, 3)
+	// Recompute the flags from the accumulated evaluation (fixed
+	// addresses, data-dependent fresh values).
+	for f := 0; f < 4; f++ {
+		b.OpImm(isa.LSRI, rTmp2, rAcc, int64(3+2*f))
+		b.OpImm(isa.ANDI, rTmp2, rTmp2, 1)
+		b.MovImm(rPtr, flags+uint64(f*8))
+		b.Str(rTmp2, rPtr, 0, 3)
+	}
+	// Spacer computation pushes the next pass's flag loads beyond the
+	// in-flight window of these stores.
+	b.MovImm(rInner, 20)
+	b.Label("spin")
+	b.Madd(rAcc, rAcc, rAcc, rTmp)
+	b.OpImm(isa.LSRI, rAcc, rAcc, 3)
+	b.SubI(rInner, rInner, 1)
+	b.Cbnz(rInner, "spin")
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("search")
+	return b.Build()
+}
+
+// buildHmmer: one dynamic-programming row of 16 cells, fully unrolled; each
+// cell reads its left neighbour (register), the row above (memory, fixed
+// address, rewritten last sweep) and a transition score (constant).
+func buildHmmer() *program.Program {
+	b := program.NewBuilder("hmmer")
+	const cells = 16
+	rowBase := b.AllocWords("row", randWords(0x881, cells))
+	trBase := b.AllocWords("tr", smallWords(0x882, cells, 12))
+
+	b.MovImm(rOuter, 0)
+	b.Label("sweep")
+	b.MovImm(rAcc, 0) // left neighbour
+	for i := 0; i < cells; i++ {
+		b.MovImm(rPtr, rowBase+uint64(i*8))
+		b.Ldr(rTmp, rPtr, 0, 3) // row[i] from the previous sweep
+		b.MovImm(rPtr2, trBase+uint64(i*8))
+		b.Ldr(rTmp2, rPtr2, 0, 3) // transition score (constant)
+		b.Add(rScratch0, rTmp, rTmp2)
+		b.CondBr(isa.BGEU, rScratch0, rAcc, fmt.Sprintf("keep_%d", i))
+		b.Op3(isa.ORR, rScratch0, rAcc, isa.XZR)
+		b.Label(fmt.Sprintf("keep_%d", i))
+		b.Str(rScratch0, rPtr, 0, 3) // rewrite row[i] for the next sweep
+		b.Op3(isa.ORR, rAcc, rScratch0, isa.XZR)
+	}
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("sweep")
+	return b.Build()
+}
+
+// buildMilc: 3x3-ish complex matrix updates through LDP over a fixed site
+// array; every 64 sweeps the site order is rotated by one (stores).
+func buildMilc() *program.Program {
+	b := program.NewBuilder("milc")
+	const sites = 8
+	base := b.AllocWords("sites", randWords(0x31c, sites*4))
+	b.AllocWords("plaq", []uint64{0})
+
+	b.MovImm(rOuter, 0)
+	b.Label("sweep")
+	b.MovImm(rAcc, 0)
+	for s := 0; s < sites; s++ {
+		b.MovImm(rPtr, base+uint64(s*32))
+		b.Ldp(rTmp, rTmp2, rPtr, 0)
+		b.Ldp(isa.Reg(4), isa.Reg(5), rPtr, 16)
+		b.Madd(rAcc, rTmp, isa.Reg(4), rAcc)
+		b.Op3(isa.EOR, rAcc, rAcc, rTmp2)
+		b.Add(rAcc, rAcc, isa.Reg(5))
+	}
+	b.MovSym(rPtr3, "plaq")
+	b.Str(rAcc, rPtr3, 0, 3)
+	b.AddI(rOuter, rOuter, 1)
+	// Relink every 8 sweeps: each site's values persist ~64 sweeps, below
+	// the 64-128 observations a VTAGE-class predictor needs for confidence,
+	// while the APT re-trains within ~8.
+	b.OpImm(isa.ANDI, rTmp, rOuter, 7)
+	b.Cbnz(rTmp, "sweep")
+	// Rotate one site's matrix (fixed addresses, fresh values).
+	b.OpImm(isa.LSRI, rTmp, rOuter, 3)
+	b.OpImm(isa.ANDI, rTmp, rTmp, sites-1)
+	b.OpImm(isa.LSLI, rTmp, rTmp, 5)
+	b.MovImm(rPtr, base)
+	b.Add(rPtr, rPtr, rTmp)
+	b.Ldp(rTmp, rTmp2, rPtr, 0)
+	b.OpImm(isa.EORI, rTmp, rTmp, 0x6a)
+	b.Stp(rTmp2, rTmp, rPtr, 0)
+	b.Br("sweep")
+	return b.Build()
+}

@@ -1,0 +1,462 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dlvp/internal/isa"
+	"dlvp/internal/program"
+)
+
+func init() {
+	register(Workload{
+		Name:  "aifirf",
+		Suite: "eembc",
+		Description: "adaptive FIR filter: unrolled coefficient loads at fixed " +
+			"addresses whose values drift with every LMS update — the " +
+			"DLVP-favoured shape the paper singles out (Figure 6)",
+		Build: buildAifirf,
+	})
+	register(Workload{
+		Name:  "nat",
+		Suite: "eembc",
+		Description: "address-translation table scan: a large mostly-uniform " +
+			"table where values repeat far more than addresses — the " +
+			"VTAGE-favoured shape the paper singles out (Figure 6)",
+		Build: buildNat,
+	})
+	register(Workload{
+		Name:  "routelookup",
+		Suite: "eembc",
+		Description: "IP-route trie descent with per-branch load alignment: " +
+			"path-correlated addresses (PAP-friendly)",
+		Build: buildRoutelookup,
+	})
+	register(Workload{
+		Name:  "ospf",
+		Suite: "eembc",
+		Description: "shortest-path relaxation over a fixed adjacency list " +
+			"with distance-array read-modify-writes (committed conflicts)",
+		Build: buildOspf,
+	})
+	register(Workload{
+		Name:  "pktflow",
+		Suite: "eembc",
+		Description: "packet-header parsing with type-dependent parse paths: " +
+			"the path history selects among per-type header buffers",
+		Build: buildPktflow,
+	})
+	register(Workload{
+		Name:  "idct",
+		Suite: "eembc",
+		Description: "in-place 8x8 inverse transform through unrolled " +
+			"load-pairs: multi-destination loads over addresses that never " +
+			"change and values that always do",
+		Build: buildIdct,
+	})
+	register(Workload{
+		Name:  "viterbi",
+		Suite: "eembc",
+		Description: "trellis decode over ping-pong state buffers with " +
+			"pass-parity-specialised code paths",
+		Build: buildViterbi,
+	})
+	register(Workload{
+		Name:  "ttsprk",
+		Suite: "eembc",
+		Description: "engine-control loop mixing predictable table loads with " +
+			"load-acquire sensor reads that must never be predicted",
+		Build: buildTtsprk,
+	})
+}
+
+// buildAifirf: a fully unrolled streaming FIR: each pass computes 16
+// outputs over a 24-sample buffer with 8 fixed coefficients. A sample cell
+// is refreshed with new input immediately after its last use, so the store
+// lands a full pass (~500 instructions) before the cell is read again —
+// committed Load→Store→Load conflicts on every sample load. Addresses are
+// all fixed (full unroll), so DLVP covers the whole filter while value
+// predictors see fresh values every pass.
+func buildAifirf() *program.Program {
+	b := program.NewBuilder("aifirf")
+	const taps = 8
+	const outputs = 16
+	const window = outputs + taps - 1 // 23 samples live per pass
+	cbase := b.AllocWords("coef", smallWords(0xf1, taps, 50))
+	xbase := b.AllocWords("x", randWords(0xf2, window))
+	b.AllocWords("y", make([]uint64, outputs))
+
+	b.MovImm(rOuter, 0)
+	b.Label("outer")
+	ybase := b.Sym("y")
+	for i := 0; i < outputs; i++ {
+		b.MovImm(rAcc, 0)
+		for k := 0; k < taps; k++ {
+			b.MovImm(rTmp, cbase+uint64(k*8))
+			b.Ldr(rTmp, rTmp, 0, 3) // c[k]: fixed address, fixed value
+			b.MovImm(rTmp2, xbase+uint64((i+k)*8))
+			b.Ldr(rTmp2, rTmp2, 0, 3) // x[i+k]: fixed address, fresh value
+			b.Madd(rAcc, rTmp, rTmp2, rAcc)
+		}
+		b.MovImm(rTmp, ybase+uint64(i*8))
+		b.Str(rAcc, rTmp, 0, 3)
+		// x[i] will not be read again this pass: stream in its next-pass
+		// input now, a full pass ahead of the next read.
+		b.Op3(isa.EOR, rScratch0, rAcc, rOuter)
+		b.OpImm(isa.ORRI, rScratch0, rScratch0, 1)
+		b.MovImm(rTmp, xbase+uint64(i*8))
+		b.Str(rScratch0, rTmp, 0, 3)
+	}
+	// Refresh the tail samples x[outputs..window-1] too; their next reads
+	// start at output 9 of the following pass, hundreds of instructions
+	// after these stores.
+	for i := outputs; i < window; i++ {
+		b.AddI(rScratch0, rScratch0, int64(0x11*i))
+		b.MovImm(rTmp, xbase+uint64(i*8))
+		b.Str(rScratch0, rTmp, 0, 3)
+	}
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("outer")
+	return b.Build()
+}
+
+// buildNat: strides through a 64k-entry translation table whose entries are
+// drawn from four mask values. A static load sees a new address every
+// iteration (hopeless for a 1k-entry APT) but the same value run after run —
+// the value-repeatability-exceeds-address-repeatability population of
+// Figure 2 that VTAGE monetises and DLVP cannot.
+func buildNat() *program.Program {
+	b := program.NewBuilder("nat")
+	const n = 64 * 1024
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = 0xFFFFFF00 // the dominant mask
+	}
+	r := newRng(0xa7)
+	for i := 0; i < n/64; i++ {
+		words[r.intn(n)] = uint64(0xFFFF0000)
+	}
+	b.AllocWords("xlate", words)
+	b.AllocWords("hits", []uint64{0})
+
+	b.MovSym(rPtr, "xlate")
+	b.MovSym(rPtr2, "hits")
+	b.MovImm(rOuter, 0)
+	b.MovImm(rAcc, 0) // register-resident accumulator (as -O3 would keep it)
+	b.Label("outer")
+	b.OpImm(isa.ANDI, rTmp, rOuter, n-1)
+	b.LdrIdx(rTmp2, rPtr, rTmp, 3, 3) // xlate[i]: fresh address, stale value
+	b.OpImm(isa.ANDI, rScratch0, rTmp2, 0xFF)
+	b.Add(rAcc, rAcc, rScratch0)
+	b.AddI(rOuter, rOuter, 7) // odd stride defeats the line prefetcher a bit
+	// Spill the accumulator once per 64 lookups.
+	b.OpImm(isa.ANDI, rTmp, rOuter, 0x1C0)
+	b.Cbnz(rTmp, "outer")
+	b.Str(rAcc, rPtr2, 0, 3)
+	b.Br("outer")
+	return b.Build()
+}
+
+// buildRoutelookup: a 4-level, fan-out-4 trie descended with a 2-bit nibble
+// per level; each nibble selects one of four distinct child loads whose PC
+// bit-2 parities differ, so the load-path history encodes the route taken.
+func buildRoutelookup() *program.Program {
+	b := program.NewBuilder("routelookup")
+	const levels = 4
+	const fan = 4
+	nodes := 1
+	for i := 0; i < levels; i++ {
+		nodes = nodes*fan + 1
+	}
+	// Perfect 4-ary trie in array form: node i children at 4i+1..4i+4.
+	total := (powInt(fan, levels+1) - 1) / (fan - 1)
+	base := b.Alloc("trie", total*fan*8)
+	words := make([]uint64, total*fan)
+	for i := 0; i < total; i++ {
+		for c := 0; c < fan; c++ {
+			child := fan*i + c + 1
+			if child < total {
+				words[i*fan+c] = base + uint64(child*fan*8)
+			} else {
+				words[i*fan+c] = base + uint64(i*fan*8) // leaf self-link
+			}
+		}
+	}
+	b.SetWords("trie", words)
+	b.AllocWords("addrs", []uint64{0x1b, 0x56, 0xe9, 0x74, 0x02, 0xcd, 0x38, 0xaf})
+	b.AllocWords("res", []uint64{0})
+
+	b.MovImm(rOuter, 0)
+	b.Label("outer")
+	b.MovSym(rTmp, "addrs")
+	b.OpImm(isa.ANDI, rTmp2, rOuter, 7)
+	b.LdrIdx(rAcc, rTmp, rTmp2, 3, 3) // the IP address to look up
+	b.MovImm(rPtr, base)
+	for lvl := 0; lvl < levels; lvl++ {
+		shift := int64(2 * (levels - 1 - lvl))
+		b.OpImm(isa.LSRI, rTmp, rAcc, shift)
+		b.OpImm(isa.ANDI, rTmp, rTmp, 3)
+		// Four distinct child loads, padded so PC bit-2 parities vary.
+		b.Cbnz(rTmp, fmt.Sprintf("c1_%d", lvl))
+		b.Ldr(rPtr, rPtr, 0, 3)
+		b.Br(fmt.Sprintf("done_%d", lvl))
+		b.Label(fmt.Sprintf("c1_%d", lvl))
+		b.SubI(rTmp, rTmp, 1)
+		b.Cbnz(rTmp, fmt.Sprintf("c2_%d", lvl))
+		b.Ldr(rPtr, rPtr, 8, 3)
+		b.Br(fmt.Sprintf("done_%d", lvl))
+		b.Label(fmt.Sprintf("c2_%d", lvl))
+		b.SubI(rTmp, rTmp, 1)
+		b.Cbnz(rTmp, fmt.Sprintf("c3_%d", lvl))
+		b.Nop()
+		b.Ldr(rPtr, rPtr, 16, 3)
+		b.Br(fmt.Sprintf("done_%d", lvl))
+		b.Label(fmt.Sprintf("c3_%d", lvl))
+		b.Nop()
+		b.Ldr(rPtr, rPtr, 24, 3)
+		b.Label(fmt.Sprintf("done_%d", lvl))
+	}
+	b.MovSym(rTmp, "res")
+	b.Str(rPtr, rTmp, 0, 3)
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("outer")
+	return b.Build()
+}
+
+func powInt(base, exp int) int {
+	p := 1
+	for i := 0; i < exp; i++ {
+		p *= base
+	}
+	return p
+}
+
+// buildOspf: relaxes edges of a fixed 32-node graph; dist[] cells are
+// read-modify-written, so their addresses recur while their values converge
+// and then get reset every 64 passes.
+func buildOspf() *program.Program {
+	b := program.NewBuilder("ospf")
+	const nodes = 32
+	const degree = 4
+	r := newRng(0x05f)
+	edges := make([]uint64, nodes*degree*2) // (target, weight) pairs
+	for i := range edges {
+		if i%2 == 0 {
+			edges[i] = uint64(r.intn(nodes))
+		} else {
+			edges[i] = uint64(1 + r.intn(9))
+		}
+	}
+	b.AllocWords("edges", edges)
+	dist := make([]uint64, nodes)
+	for i := range dist {
+		dist[i] = 1 << 30
+	}
+	dist[0] = 0
+	b.AllocWords("dist", dist)
+
+	b.MovImm(rOuter, 0)
+	b.Label("outer")
+	b.MovSym(rPtr, "edges")
+	b.MovSym(rPtr2, "dist")
+	b.MovImm(rInner, 0)
+	b.Label("relax")
+	// u = inner & 31 (interleaved visit order, so dist[u] never repeats an
+	// address back to back and predictors are not baited into gambling on
+	// short runs); edge = inner.
+	b.OpImm(isa.ANDI, rTmp, rInner, nodes-1)
+	b.LdrIdx(rAcc, rPtr2, rTmp, 3, 3) // dist[u]
+	b.OpImm(isa.LSLI, rTmp2, rInner, 4)
+	b.Add(rTmp2, rPtr, rTmp2)
+	b.Ldr(rScratch0, rTmp2, 0, 3)           // edge target v
+	b.Ldr(rTmp2, rTmp2, 8, 3)               // weight
+	b.Add(rAcc, rAcc, rTmp2)                // cand = dist[u] + w
+	b.LdrIdx(rTmp2, rPtr2, rScratch0, 3, 3) // dist[v]
+	b.CondBr(isa.BGEU, rAcc, rTmp2, "norelax")
+	b.StrIdx(rAcc, rPtr2, rScratch0, 3, 3)
+	b.Label("norelax")
+	b.AddI(rInner, rInner, 1)
+	b.MovImm(rTmp, nodes*degree)
+	b.CondBr(isa.BLTU, rInner, rTmp, "relax")
+	b.AddI(rOuter, rOuter, 1)
+	// Reset the distances every 64 passes so relaxation keeps happening.
+	b.OpImm(isa.ANDI, rTmp, rOuter, 63)
+	b.Cbnz(rTmp, "outer")
+	b.MovImm(rTmp2, 1<<30)
+	b.MovImm(rInner, nodes-1)
+	b.Label("reset")
+	b.StrIdx(rTmp2, rPtr2, rInner, 3, 3)
+	b.SubI(rInner, rInner, 1)
+	b.Cbnz(rInner, "reset")
+	b.Br("outer")
+	return b.Build()
+}
+
+// buildPktflow: classifies a cycle of four packet types; each type's
+// handler parses its own fixed header buffer at fixed offsets. Which
+// handler runs is visible in the load-path history, and header fields
+// mutate as flows are accounted.
+func buildPktflow() *program.Program {
+	b := program.NewBuilder("pktflow")
+	for t := 0; t < 4; t++ {
+		b.AllocWords(fmt.Sprintf("hdr%d", t), randWords(uint64(0x9f0+t), 8))
+	}
+	b.AllocWords("stats", make([]uint64, 4))
+
+	b.MovImm(rOuter, 0)
+	b.Label("outer")
+	b.OpImm(isa.ANDI, rTmp, rOuter, 3) // packet type
+	for t := 0; t < 4; t++ {
+		next := fmt.Sprintf("type%d", t+1)
+		if t < 3 {
+			b.MovImm(rTmp2, uint64(t))
+			b.CondBr(isa.BNE, rTmp, rTmp2, next)
+		}
+		if t%2 == 1 {
+			b.Nop() // vary load PC bit-2 parity across handlers
+		}
+		hdr := b.Sym(fmt.Sprintf("hdr%d", t))
+		b.MovImm(rPtr, hdr)
+		b.Ldr(rAcc, rPtr, 0, 3)       // src
+		b.Ldr(rTmp2, rPtr, 8, 3)      // dst
+		b.Ldr(rScratch0, rPtr, 16, 2) // len (4-byte)
+		b.Add(rAcc, rAcc, rTmp2)
+		b.Add(rAcc, rAcc, rScratch0)
+		b.MovSym(rPtr2, "stats")
+		b.Ldr(rTmp2, rPtr2, int64(t*8), 3)
+		b.Add(rTmp2, rTmp2, rAcc)
+		b.Str(rTmp2, rPtr2, int64(t*8), 3)
+		// Mutate the header length field (fixed address, fresh value).
+		b.AddI(rScratch0, rScratch0, 1)
+		b.Str(rScratch0, rPtr, 16, 2)
+		b.Br("parsed")
+		if t < 3 {
+			b.Label(next)
+		}
+	}
+	b.Label("parsed")
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("outer")
+	return b.Build()
+}
+
+// buildIdct: transforms a fixed 8x8 block in place through unrolled LDP row
+// reads and STP writebacks: the addresses never move, the values never
+// repeat, and each LDP would cost a conventional value predictor two
+// entries per row.
+func buildIdct() *program.Program {
+	b := program.NewBuilder("idct")
+	base := b.AllocWords("block", randWords(0x1dc, 32)) // 8 rows x 4 words... 8x4=32
+
+	b.MovImm(rOuter, 0)
+	b.Label("outer")
+	b.MovImm(rAcc, 0)
+	for row := 0; row < 8; row++ {
+		b.MovImm(rPtr, base+uint64(row*32))
+		b.Ldp(rTmp, rTmp2, rPtr, 0)             // row words 0-1
+		b.Ldp(isa.Reg(4), isa.Reg(5), rPtr, 16) // row words 2-3
+		// Butterfly-ish mixing.
+		b.Add(rScratch0, rTmp, isa.Reg(5))
+		b.Op3(isa.SUB, rTmp, rTmp, isa.Reg(5))
+		b.Add(isa.Reg(6), rTmp2, isa.Reg(4))
+		b.Op3(isa.SUB, rTmp2, rTmp2, isa.Reg(4))
+		b.OpImm(isa.LSRI, rScratch0, rScratch0, 1)
+		b.OpImm(isa.LSRI, rTmp2, rTmp2, 1)
+		b.Stp(rScratch0, isa.Reg(6), rPtr, 0)
+		b.Stp(rTmp, rTmp2, rPtr, 16)
+		b.Add(rAcc, rAcc, rScratch0)
+	}
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("outer")
+	return b.Build()
+}
+
+// buildViterbi: a 2-pass ping-pong trellis update. Even and odd passes run
+// specialised copies of the loop, so each static load always addresses the
+// same buffer (the compiler-specialisation shape that keeps ping-pong
+// kernels address-predictable).
+func buildViterbi() *program.Program {
+	b := program.NewBuilder("viterbi")
+	const states = 16
+	b.AllocWords("bufA", smallWords(0x71, states, 8))
+	b.AllocWords("bufB", make([]uint64, states))
+	b.AllocWords("metric", []uint64{0})
+
+	b.MovImm(rOuter, 0)
+	b.Label("outer")
+	b.OpImm(isa.ANDI, rTmp, rOuter, 1)
+	b.Cbnz(rTmp, "oddpass")
+	trellisPass(b, "bufA", "bufB", "even")
+	b.Br("passdone")
+	b.Label("oddpass")
+	trellisPass(b, "bufB", "bufA", "odd")
+	b.Label("passdone")
+	// Path-metric smoothing between passes: enough register work that the
+	// ping-pong stores commit before the next pass's reads are probed —
+	// the committed-conflict regime rather than permanent LSCD churn.
+	b.MovImm(rInner, 45)
+	b.Label("smooth")
+	b.Madd(rAcc, rAcc, rTmp, rTmp2)
+	b.OpImm(isa.LSRI, rTmp2, rAcc, 7)
+	b.OpImm(isa.EORI, rAcc, rAcc, 0x2d)
+	b.SubI(rInner, rInner, 1)
+	b.Cbnz(rInner, "smooth")
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("outer")
+	return b.Build()
+}
+
+// trellisPass emits one specialised trellis update reading src and writing
+// dst (4 unrolled butterflies over 16 states).
+func trellisPass(b *program.Builder, src, dst, tag string) {
+	sbase, dbase := b.Sym(src), b.Sym(dst)
+	for i := 0; i < 8; i += 2 {
+		b.MovImm(rPtr, sbase+uint64(i*8))
+		b.Ldp(rTmp, rTmp2, rPtr, 0)
+		b.Add(rScratch0, rTmp, rTmp2)
+		b.OpImm(isa.ORRI, rScratch0, rScratch0, 1)
+		b.MovImm(rPtr2, dbase+uint64(i*8))
+		b.Str(rScratch0, rPtr2, 0, 3)
+		b.Op3(isa.EOR, rScratch0, rTmp, rTmp2)
+		b.Str(rScratch0, rPtr2, 8, 3)
+	}
+	b.MovSym(rPtr3, "metric")
+	b.Ldr(rTmp, rPtr3, 0, 3)
+	b.Add(rTmp, rTmp, rScratch0)
+	b.Str(rTmp, rPtr3, 0, 3)
+}
+
+// buildTtsprk: an engine-control loop reading a small, read-only spark
+// table (predictable) plus two sensor cells through load-acquire
+// (architecturally excluded from prediction), writing one actuator cell.
+func buildTtsprk() *program.Program {
+	b := program.NewBuilder("ttsprk")
+	b.AllocWords("spark", smallWords(0x77, 16, 20))
+	b.AllocWords("rpm", []uint64{3000})
+	b.AllocWords("temp", []uint64{80})
+	b.AllocWords("advance", []uint64{0})
+
+	b.MovImm(rOuter, 0)
+	b.Label("outer")
+	b.MovSym(rPtr, "rpm")
+	b.Ldar(rTmp, rPtr, 0, 3) // sensor read: never predicted
+	b.MovSym(rPtr2, "temp")
+	b.Ldar(rTmp2, rPtr2, 0, 3)
+	b.OpImm(isa.LSRI, rScratch0, rTmp, 8)
+	b.OpImm(isa.ANDI, rScratch0, rScratch0, 15)
+	b.MovSym(rPtr3, "spark")
+	b.LdrIdx(rAcc, rPtr3, rScratch0, 3, 3) // spark[rpm>>8 & 15]
+	b.Add(rAcc, rAcc, rTmp2)
+	b.MovSym(rTmp, "advance")
+	b.Str(rAcc, rTmp, 0, 3)
+	// Sensor drift (plain stores; the next pass's LDARs observe them).
+	b.MovSym(rPtr, "rpm")
+	b.Ldr(rTmp2, rPtr, 0, 3)
+	// Slow drift: the spark-table index changes only every ~85 passes, so
+	// the table load's address runs are long enough for honest confidence.
+	b.AddI(rTmp2, rTmp2, 3)
+	b.OpImm(isa.ANDI, rTmp2, rTmp2, 0xFFF)
+	b.Str(rTmp2, rPtr, 0, 3)
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("outer")
+	return b.Build()
+}

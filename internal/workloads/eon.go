@@ -1,0 +1,69 @@
+package workloads
+
+import (
+	"dlvp/internal/isa"
+	"dlvp/internal/program"
+)
+
+func init() {
+	register(Workload{
+		Name:  "eon",
+		Suite: "spec2k",
+		Description: "raytracer-style big-code kernel: hundreds of distinct " +
+			"static load sites (one unrolled block per scene object) that " +
+			"pressure every prediction table's capacity — the effect small " +
+			"kernels cannot produce",
+		Build: buildEon,
+	})
+}
+
+// buildEon: 96 scene objects, each rendered by its own unrolled code block:
+// a geometry/material load-pair plus a scalar transform load (~290 static
+// destination keys). The sizing is deliberate: with the multi-destination
+// pairs included, a 3x256-entry VTAGE overflows and destructively aliases;
+// with a static LDP filter only the 96 scalar sites remain and fit — the
+// paper's Figure 7 mechanism at kernel scale. Every 32 frames one object's
+// fields are rewritten.
+func buildEon() *program.Program {
+	b := program.NewBuilder("eon")
+	const objs = 96
+	const objWords = 4
+	base := b.AllocWords("scene", randWords(0xe0e, objs*objWords))
+	b.AllocWords("framebuf", []uint64{0})
+
+	b.MovImm(rOuter, 0)
+	b.Label("frame")
+	b.MovImm(rAcc, 0)
+	for i := 0; i < objs; i++ {
+		obj := base + uint64(i*objWords*8)
+		b.MovImm(rPtr, obj)
+		// Geometry+material arrive as a pair: one APT entry for DLVP, two
+		// table entries for a conventional value predictor — across ~200
+		// blocks this is the destructive aliasing population of Figure 7.
+		b.Ldp(rTmp, rTmp2, rPtr, 0)
+		if i%3 == 1 {
+			b.Nop() // vary PC alignment across blocks
+		}
+		b.Ldr(rScratch0, rPtr, 16, 3) // transform
+		b.Madd(rAcc, rTmp, rTmp2, rAcc)
+		b.Op3(isa.EOR, rAcc, rAcc, rScratch0)
+	}
+	b.MovSym(rPtr2, "framebuf")
+	b.Str(rAcc, rPtr2, 0, 3)
+	b.AddI(rOuter, rOuter, 1)
+	// Every 32 frames, rewrite one rotating object's fields.
+	b.OpImm(isa.ANDI, rTmp, rOuter, 31)
+	b.Cbnz(rTmp, "frame")
+	b.OpImm(isa.LSRI, rTmp, rOuter, 5)
+	b.MovImm(rTmp2, objs)
+	b.Op3(isa.UREM, rTmp, rTmp, rTmp2)
+	b.MovImm(rTmp2, objWords*8)
+	b.Op3(isa.MUL, rTmp, rTmp, rTmp2)
+	b.MovImm(rPtr, base)
+	b.Add(rPtr, rPtr, rTmp)
+	b.Str(rAcc, rPtr, 0, 3)
+	b.Op3(isa.EOR, rAcc, rAcc, rOuter)
+	b.Str(rAcc, rPtr, 8, 3)
+	b.Br("frame")
+	return b.Build()
+}

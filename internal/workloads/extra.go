@@ -1,0 +1,380 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dlvp/internal/isa"
+	"dlvp/internal/program"
+)
+
+func init() {
+	register(Workload{
+		Name:  "splay",
+		Suite: "js",
+		Description: "splay-tree workout: rotating a fixed tree's root links " +
+			"on every access — pointer fields whose addresses recur but " +
+			"whose values (child pointers) keep moving",
+		Build: buildSplay,
+	})
+	register(Workload{
+		Name:  "fft",
+		Suite: "eembc",
+		Description: "radix-2 butterfly passes over a fixed 16-point buffer, " +
+			"fully unrolled: address-stable, value-fresh like idct but with " +
+			"scalar loads and twiddle-table reads",
+		Build: buildFFT,
+	})
+	register(Workload{
+		Name:  "autocor",
+		Suite: "eembc",
+		Description: "autocorrelation over a fixed sample window with a lag " +
+			"loop: one operand stream stable per lag, one sliding",
+		Build: buildAutocor,
+	})
+	register(Workload{
+		Name:  "deltablue",
+		Suite: "js",
+		Description: "constraint propagation over a fixed chain of constraint " +
+			"records: satisfaction flags feed branches, strengths drift",
+		Build: buildDeltablue,
+	})
+	register(Workload{
+		Name:  "gobmk",
+		Suite: "spec2k6",
+		Description: "influence-map updates on a 19x19 board with neighbour " +
+			"reads: medium-footprint RMW grid",
+		Build: buildGobmk,
+	})
+	register(Workload{
+		Name:  "xalancbmk",
+		Suite: "spec2k6",
+		Description: "template dispatch through a polymorphic handler table " +
+			"(indirect calls) with per-template context records",
+		Build: buildXalancbmk,
+	})
+	register(Workload{
+		Name:  "lbm",
+		Suite: "spec2k6",
+		Description: "lattice sweep over a 256KB grid with 4-point stencils: " +
+			"streaming traffic the prefetcher owns, TLB-heavy",
+		Build: buildLbm,
+	})
+	register(Workload{
+		Name:  "povray",
+		Suite: "spec2k6",
+		Description: "ray-object intersection against a fixed object list " +
+			"with early-out branches fed by loaded bounds",
+		Build: buildPovray,
+	})
+}
+
+// buildSplay: a fixed pool of 16 nodes; each access splays a (cycling)
+// target toward the root by rewriting two child links. Link addresses are
+// fixed per node; link values churn constantly.
+func buildSplay() *program.Program {
+	b := program.NewBuilder("splay")
+	const nodes = 16
+	const nodeWords = 2 // left, right
+	base := b.Alloc("pool", nodes*nodeWords*8)
+	words := make([]uint64, nodes*nodeWords)
+	for i := 0; i < nodes; i++ {
+		words[i*nodeWords] = base + uint64(((2*i+1)%nodes)*nodeWords*8)
+		words[i*nodeWords+1] = base + uint64(((2*i+2)%nodes)*nodeWords*8)
+	}
+	b.SetWords("pool", words)
+
+	b.MovImm(rOuter, 0)
+	b.Label("access")
+	// Walk three levels from the root following left/right by target bits.
+	b.OpImm(isa.ANDI, rAcc, rOuter, 7) // target key bits
+	b.MovImm(rPtr, base)
+	for lvl := 0; lvl < 3; lvl++ {
+		b.OpImm(isa.LSRI, rTmp, rAcc, int64(lvl))
+		b.OpImm(isa.ANDI, rTmp, rTmp, 1)
+		b.Cbnz(rTmp, fmt.Sprintf("right_%d", lvl))
+		b.Ldr(rPtr, rPtr, 0, 3) // left link
+		b.Br(fmt.Sprintf("step_%d", lvl))
+		b.Label(fmt.Sprintf("right_%d", lvl))
+		b.Nop()
+		b.Ldr(rPtr, rPtr, 8, 3) // right link
+		b.Label(fmt.Sprintf("step_%d", lvl))
+	}
+	// Splay: swap the reached node's links with the root's (4 stores).
+	b.MovImm(rPtr2, base)
+	b.Ldr(rTmp, rPtr, 0, 3)
+	b.Ldr(rTmp2, rPtr2, 0, 3)
+	b.Str(rTmp2, rPtr, 0, 3)
+	b.Str(rTmp, rPtr2, 0, 3)
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("access")
+	return b.Build()
+}
+
+// buildFFT: two unrolled butterfly stages over a 16-word buffer plus a
+// constant twiddle table; the buffer is rewritten in place every pass.
+func buildFFT() *program.Program {
+	b := program.NewBuilder("fft")
+	const n = 16
+	xbase := b.AllocWords("signal", randWords(0xff7, n))
+	tbase := b.AllocWords("twiddle", smallWords(0xff8, n/2, 30))
+
+	b.MovImm(rOuter, 0)
+	b.Label("pass")
+	for stage := 1; stage <= 2; stage++ {
+		span := 1 << stage
+		for i := 0; i < n; i += span {
+			lo := xbase + uint64(i*8)
+			hi := xbase + uint64((i+span/2)*8)
+			tw := tbase + uint64((i%(n/2))*8)
+			b.MovImm(rPtr, lo)
+			b.Ldr(rTmp, rPtr, 0, 3)
+			b.MovImm(rPtr2, hi)
+			b.Ldr(rTmp2, rPtr2, 0, 3)
+			b.MovImm(rPtr3, tw)
+			b.Ldr(rScratch0, rPtr3, 0, 3) // twiddle: constant
+			b.Madd(rTmp2, rTmp2, rScratch0, rTmp)
+			b.Op3(isa.SUB, rTmp, rTmp, rTmp2)
+			b.Str(rTmp2, rPtr, 0, 3)
+			b.Str(rTmp, rPtr2, 0, 3)
+		}
+	}
+	// Bit-reversal bookkeeping between passes: register-only work that
+	// separates each pass's in-place stores from the next pass's reads, so
+	// the conflicts predictors see are with committed stores.
+	b.MovImm(rInner, 70)
+	b.Label("bitrev")
+	b.OpImm(isa.LSRI, rTmp, rAcc, 1)
+	b.OpImm(isa.ANDI, rTmp2, rAcc, 1)
+	b.OpImm(isa.LSLI, rTmp2, rTmp2, 3)
+	b.Op3(isa.ORR, rAcc, rTmp, rTmp2)
+	b.SubI(rInner, rInner, 1)
+	b.Cbnz(rInner, "bitrev")
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("pass")
+	return b.Build()
+}
+
+// buildAutocor: r[lag] = sum over i of x[i]*x[i+lag] for four unrolled lags
+// over a fixed 32-sample window (constant data; pure read traffic with
+// perfectly stable addresses — both predictor families cover it).
+func buildAutocor() *program.Program {
+	b := program.NewBuilder("autocor")
+	const n = 32
+	xbase := b.AllocWords("xw", randWords(0xac0, n))
+	b.AllocWords("r", make([]uint64, 4))
+
+	b.MovImm(rOuter, 0)
+	b.Label("outer")
+	rbase := b.Sym("r")
+	for lag := 0; lag < 4; lag++ {
+		b.MovImm(rAcc, 0)
+		for i := 0; i < 8; i++ { // 8-tap unrolled inner sum
+			b.MovImm(rPtr, xbase+uint64(i*8))
+			b.Ldr(rTmp, rPtr, 0, 3)
+			b.MovImm(rPtr2, xbase+uint64((i+lag)*8))
+			b.Ldr(rTmp2, rPtr2, 0, 3)
+			b.Madd(rAcc, rTmp, rTmp2, rAcc)
+		}
+		b.MovImm(rPtr3, rbase+uint64(lag*8))
+		b.Str(rAcc, rPtr3, 0, 3)
+	}
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("outer")
+	return b.Build()
+}
+
+// buildDeltablue: walks a fixed chain of 8 constraint records; each record's
+// satisfaction flag feeds a branch, and strengths are re-planned every 16
+// passes (committed conflicts on the flag/strength fields).
+func buildDeltablue() *program.Program {
+	b := program.NewBuilder("deltablue")
+	const cons = 8
+	const w = 4 // flag, strength, next, pad
+	base := b.Alloc("cons", cons*w*8)
+	words := make([]uint64, cons*w)
+	for i := 0; i < cons; i++ {
+		words[i*w] = uint64(i % 2)
+		words[i*w+1] = uint64(10 - i)
+		words[i*w+2] = base + uint64(((i+1)%cons)*w*8)
+	}
+	b.SetWords("cons", words)
+	b.AllocWords("plan", []uint64{0})
+
+	b.MovImm(rOuter, 0)
+	b.Label("propagate")
+	b.MovImm(rPtr, base)
+	b.MovImm(rAcc, 0)
+	for i := 0; i < cons; i++ {
+		b.Ldr(rTmp, rPtr, 0, 3) // satisfaction flag feeds the branch
+		b.Cbz(rTmp, fmt.Sprintf("unsat_%d", i))
+		b.Ldr(rTmp2, rPtr, 8, 3) // strength
+		b.Add(rAcc, rAcc, rTmp2)
+		b.Label(fmt.Sprintf("unsat_%d", i))
+		b.Ldr(rPtr, rPtr, 16, 3) // next constraint
+	}
+	b.MovSym(rPtr3, "plan")
+	b.Str(rAcc, rPtr3, 0, 3)
+	b.AddI(rOuter, rOuter, 1)
+	// Re-plan every 16 passes: flip a rotating constraint's flag and bump
+	// its strength (stores land a full pass before the next reads).
+	b.OpImm(isa.ANDI, rTmp, rOuter, 15)
+	b.Cbnz(rTmp, "propagate")
+	b.OpImm(isa.LSRI, rTmp, rOuter, 4)
+	b.OpImm(isa.ANDI, rTmp, rTmp, cons-1)
+	b.MovImm(rTmp2, w*8)
+	b.Op3(isa.MUL, rTmp, rTmp, rTmp2)
+	b.MovImm(rPtr2, base)
+	b.Add(rPtr2, rPtr2, rTmp)
+	b.Ldr(rScratch0, rPtr2, 0, 3)
+	b.OpImm(isa.EORI, rScratch0, rScratch0, 1)
+	b.Str(rScratch0, rPtr2, 0, 3)
+	b.Ldr(rScratch0, rPtr2, 8, 3)
+	b.AddI(rScratch0, rScratch0, 1)
+	b.Str(rScratch0, rPtr2, 8, 3)
+	b.Br("propagate")
+	return b.Build()
+}
+
+// buildGobmk: adds influence from a cycling cursor stone to its four
+// neighbours on a 19x19 board (word grid): medium-stride RMW with wraparound.
+func buildGobmk() *program.Program {
+	b := program.NewBuilder("gobmk")
+	const dim = 19
+	const cells = dim * dim
+	b.AllocWords("board", smallWords(0x90b, cells, 3))
+	b.AllocWords("influence", make([]uint64, cells))
+
+	b.MovImm(rOuter, 0)
+	b.Label("step")
+	b.MovSym(rPtr, "board")
+	b.MovSym(rPtr2, "influence")
+	b.MovImm(rTmp2, cells)
+	b.Op3(isa.UREM, rInner, rOuter, rTmp2) // cursor cell
+	b.LdrIdx(rAcc, rPtr, rInner, 3, 3)     // stone colour
+	b.Cbz(rAcc, "empty")
+	for _, d := range []int64{1, -1, dim, -dim} {
+		b.AddI(rTmp, rInner, d)
+		b.MovImm(rTmp2, cells)
+		b.Op3(isa.UREM, rTmp, rTmp, rTmp2)
+		b.LdrIdx(rScratch0, rPtr2, rTmp, 3, 3)
+		b.Add(rScratch0, rScratch0, rAcc)
+		b.StrIdx(rScratch0, rPtr2, rTmp, 3, 3)
+	}
+	b.Label("empty")
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("step")
+	return b.Build()
+}
+
+// buildXalancbmk: dispatches a cycle of 4 template kinds through an indirect
+// handler table; each handler reads its own context record and bumps an
+// output counter.
+func buildXalancbmk() *program.Program {
+	b := program.NewBuilder("xalancbmk")
+	b.Alloc("handlers", 4*8)
+	for k := 0; k < 4; k++ {
+		b.AllocWords(fmt.Sprintf("tctx%d", k), randWords(uint64(0xa1a+k), 4))
+	}
+	b.AllocWords("out", make([]uint64, 4))
+
+	b.MovImm(rOuter, 0)
+	b.Label("dispatch")
+	b.OpImm(isa.ANDI, rTmp, rOuter, 3)
+	b.MovSym(rPtr, "handlers")
+	b.LdrIdx(rTmp2, rPtr, rTmp, 3, 3)
+	b.BrReg(rTmp2)
+	var addrs [4]uint64
+	for k := 0; k < 4; k++ {
+		b.Label(fmt.Sprintf("h%d", k))
+		addrs[k] = b.PC()
+		if k%2 == 1 {
+			b.Nop()
+		}
+		b.MovSym(rPtr2, fmt.Sprintf("tctx%d", k))
+		b.Ldr(rAcc, rPtr2, 0, 3)
+		b.Ldr(rTmp2, rPtr2, 8, 3)
+		b.Add(rAcc, rAcc, rTmp2)
+		b.MovSym(rPtr3, "out")
+		b.Ldr(rTmp2, rPtr3, int64(k*8), 3)
+		b.Add(rTmp2, rTmp2, rAcc)
+		b.Str(rTmp2, rPtr3, int64(k*8), 3)
+		b.AddI(rOuter, rOuter, 1)
+		b.Br("dispatch")
+	}
+	b.SetWords("handlers", addrs[:])
+	return b.Build()
+}
+
+// buildLbm: a 4-point stencil sweep over a 256KB lattice: pure streaming,
+// big footprint, prefetcher territory.
+func buildLbm() *program.Program {
+	b := program.NewBuilder("lbm")
+	const words = 32 * 1024
+	b.AllocWords("lattice", randWords(0x1b3, words))
+
+	b.MovImm(rOuter, 0)
+	b.Label("sweep")
+	b.MovSym(rPtr, "lattice")
+	b.OpImm(isa.ANDI, rTmp, rOuter, 1023)
+	b.OpImm(isa.LSLI, rTmp, rTmp, 3)
+	b.Add(rPtr, rPtr, rTmp)
+	b.MovImm(rInner, 128)
+	b.Label("cell")
+	b.Ldr(rTmp, rPtr, 0, 3)
+	b.Ldr(rTmp2, rPtr, 8, 3)
+	b.Ldr(rScratch0, rPtr, 256, 3)
+	b.Ldr(rAcc, rPtr, 264, 3)
+	b.Add(rTmp, rTmp, rTmp2)
+	b.Add(rTmp, rTmp, rScratch0)
+	b.Add(rTmp, rTmp, rAcc)
+	b.OpImm(isa.LSRI, rTmp, rTmp, 2)
+	b.Str(rTmp, rPtr, 0, 3)
+	b.AddI(rPtr, rPtr, 232) // odd stride walks the lattice diagonally
+	b.SubI(rInner, rInner, 1)
+	b.Cbnz(rInner, "cell")
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("sweep")
+	return b.Build()
+}
+
+// buildPovray: intersects a cycling ray against 8 fixed bounding records;
+// the loaded bound feeds an early-out branch, bounds drift slowly.
+func buildPovray() *program.Program {
+	b := program.NewBuilder("povray")
+	const objs = 8
+	base := b.AllocWords("bounds", smallWords(0x907, objs*2, 40))
+	b.AllocWords("hits", []uint64{0})
+
+	b.MovImm(rOuter, 0)
+	b.Label("ray")
+	b.OpImm(isa.ANDI, rAcc, rOuter, 63) // ray parameter
+	b.MovImm(rInner, 0)                 // hit count in a register
+	for i := 0; i < objs; i++ {
+		b.MovImm(rPtr, base+uint64(i*16))
+		b.Ldr(rTmp, rPtr, 0, 3)  // near bound: stable address, slow drift
+		b.Ldr(rTmp2, rPtr, 8, 3) // far bound
+		b.CondBr(isa.BLTU, rAcc, rTmp, fmt.Sprintf("miss_%d", i))
+		b.CondBr(isa.BGEU, rAcc, rTmp2, fmt.Sprintf("miss_%d", i))
+		b.AddI(rInner, rInner, 1)
+		b.Label(fmt.Sprintf("miss_%d", i))
+	}
+	b.MovSym(rPtr3, "hits")
+	b.Ldr(rScratch0, rPtr3, 0, 3)
+	b.Add(rScratch0, rScratch0, rInner)
+	b.Str(rScratch0, rPtr3, 0, 3)
+	b.AddI(rOuter, rOuter, 1)
+	// Drift one bound every 32 rays.
+	b.OpImm(isa.ANDI, rTmp, rOuter, 31)
+	b.Cbnz(rTmp, "ray")
+	b.OpImm(isa.LSRI, rTmp, rOuter, 5)
+	b.OpImm(isa.ANDI, rTmp, rTmp, objs-1)
+	b.OpImm(isa.LSLI, rTmp, rTmp, 4)
+	b.MovImm(rPtr, base)
+	b.Add(rPtr, rPtr, rTmp)
+	b.Ldr(rTmp2, rPtr, 0, 3)
+	b.AddI(rTmp2, rTmp2, 1)
+	b.OpImm(isa.ANDI, rTmp2, rTmp2, 63)
+	b.Str(rTmp2, rPtr, 0, 3)
+	b.Br("ray")
+	return b.Build()
+}

@@ -1,0 +1,354 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dlvp/internal/isa"
+	"dlvp/internal/program"
+)
+
+func init() {
+	register(Workload{
+		Name:  "avmshell",
+		Suite: "js",
+		Description: "bytecode interpreter with indirect dispatch (ITTAGE " +
+			"territory) and fixed operand-frame slots whose values change " +
+			"every instruction",
+		Build: buildAvmshell,
+	})
+	register(Workload{
+		Name:  "pdfjs",
+		Suite: "js",
+		Description: "object-graph rendering: type-dispatched property loads " +
+			"from a fixed object pool, mutated between frames",
+		Build: buildPdfjs,
+	})
+	register(Workload{
+		Name:  "richards",
+		Suite: "js",
+		Description: "task scheduler over a circular run queue: state loads " +
+			"feed scheduling branches (early resolution pays)",
+		Build: buildRichards,
+	})
+	register(Workload{
+		Name:  "dromaeo",
+		Suite: "js",
+		Description: "string scanning through a shared helper called from " +
+			"two sites: load-path history separates the call sites where " +
+			"PC-indexed context cannot",
+		Build: buildDromaeo,
+	})
+	register(Workload{
+		Name:  "v8crypto",
+		Suite: "js",
+		Description: "bignum multiply-accumulate over fixed limb arrays " +
+			"rewritten every pass: the committed-conflict shape on the " +
+			"critical path",
+		Build: buildV8crypto,
+	})
+	register(Workload{
+		Name:  "browsermark",
+		Suite: "js",
+		Description: "mixed DOM-ish workload: a small tree walk plus style " +
+			"table lookups and layout accumulator updates",
+		Build: buildBrowsermark,
+	})
+}
+
+// buildAvmshell: interprets a fixed 16-opcode bytecode program through a
+// jump table (BR). Each handler touches fixed frame slots; an accumulator
+// slot is stored by nearly every handler and reloaded by the next — the
+// interpreter-loop conflict pattern.
+func buildAvmshell() *program.Program {
+	b := program.NewBuilder("avmshell")
+	const progLen = 16
+	bytecode := []uint64{0, 1, 2, 3, 1, 0, 2, 1, 3, 0, 1, 2, 0, 3, 2, 1}
+	b.AllocWords("bytecode", bytecode)
+	b.AllocWords("frame", make([]uint64, 8))
+	b.Alloc("jumptable", 4*8)
+
+	// Handlers are emitted after the dispatch loop; their entry addresses
+	// are captured as they are laid down and written into the jump table
+	// before Build.
+	b.MovImm(rOuter, 0)
+	b.Label("loop")
+	b.MovSym(rPtr, "bytecode")
+	b.OpImm(isa.ANDI, rTmp, rOuter, progLen-1)
+	b.LdrIdx(rTmp2, rPtr, rTmp, 3, 3) // opcode
+	b.MovSym(rPtr2, "jumptable")
+	b.LdrIdx(rTmp2, rPtr2, rTmp2, 3, 3) // handler address
+	b.BrReg(rTmp2)                      // indirect dispatch
+
+	handler := func(name string, body func()) uint64 {
+		b.Label(name)
+		addr := b.PC() // label address = address of the next instruction
+		body()
+		b.AddI(rOuter, rOuter, 1)
+		b.Br("loop")
+		return addr
+	}
+	frame := func() { b.MovSym(rPtr3, "frame") }
+	h0 := handler("op_add", func() {
+		frame()
+		b.Ldr(rTmp, rPtr3, 0, 3) // acc
+		b.Ldr(rTmp2, rPtr3, 8, 3)
+		b.Add(rTmp, rTmp, rTmp2)
+		b.Str(rTmp, rPtr3, 0, 3)
+	})
+	h1 := handler("op_xor", func() {
+		frame()
+		b.Ldr(rTmp, rPtr3, 0, 3)
+		b.Ldr(rTmp2, rPtr3, 16, 3)
+		b.Op3(isa.EOR, rTmp, rTmp, rTmp2)
+		b.Str(rTmp, rPtr3, 0, 3)
+	})
+	h2 := handler("op_shift", func() {
+		b.Nop() // alignment variety for the load-path history
+		frame()
+		b.Ldr(rTmp, rPtr3, 0, 3)
+		b.OpImm(isa.LSRI, rTmp2, rTmp, 3)
+		b.Add(rTmp, rTmp, rTmp2)
+		b.Str(rTmp, rPtr3, 0, 3)
+	})
+	h3 := handler("op_store", func() {
+		frame()
+		b.Ldr(rTmp, rPtr3, 0, 3)
+		b.Str(rTmp, rPtr3, 24, 3)
+		b.OpImm(isa.ORRI, rTmp, rTmp, 1)
+		b.Str(rTmp, rPtr3, 0, 3)
+	})
+	b.SetWords("jumptable", []uint64{h0, h1, h2, h3})
+	return b.Build()
+}
+
+// buildPdfjs: renders a fixed pool of 16 "glyph objects". Each object's
+// type selects one of two property-access paths; object payloads mutate
+// every 64 frames, so values drift under stable addresses.
+func buildPdfjs() *program.Program {
+	b := program.NewBuilder("pdfjs")
+	const objs = 16
+	const objWords = 4 // type, width, height, style
+	words := make([]uint64, objs*objWords)
+	r := newRng(0x9d5)
+	for i := 0; i < objs; i++ {
+		words[i*objWords] = uint64(i % 2)
+		words[i*objWords+1] = uint64(10 + r.intn(30))
+		words[i*objWords+2] = uint64(8 + r.intn(20))
+		words[i*objWords+3] = uint64(r.intn(4))
+	}
+	base := b.AllocWords("objs", words)
+	b.AllocWords("canvas", []uint64{0})
+
+	b.MovImm(rOuter, 0)
+	b.Label("frame")
+	b.MovImm(rAcc, 0)
+	for i := 0; i < objs; i++ {
+		obj := base + uint64(i*objWords*8)
+		b.MovImm(rPtr, obj)
+		b.Ldr(rTmp, rPtr, 0, 3) // type (stable value: branch predicts well)
+		b.Cbnz(rTmp, fmt.Sprintf("text_%d", i))
+		b.Ldr(rTmp2, rPtr, 8, 3) // image path: width
+		b.Ldr(rScratch0, rPtr, 16, 3)
+		b.Madd(rAcc, rTmp2, rScratch0, rAcc)
+		b.Br(fmt.Sprintf("drawn_%d", i))
+		b.Label(fmt.Sprintf("text_%d", i))
+		b.Nop()
+		b.Ldr(rTmp2, rPtr, 24, 3) // text path: style
+		b.Add(rAcc, rAcc, rTmp2)
+		b.Label(fmt.Sprintf("drawn_%d", i))
+	}
+	b.MovSym(rPtr2, "canvas")
+	b.Str(rAcc, rPtr2, 0, 3)
+	b.AddI(rOuter, rOuter, 1)
+	// Mutate widths every 64 frames (stores far from next frame's loads).
+	b.OpImm(isa.ANDI, rTmp, rOuter, 63)
+	b.Cbnz(rTmp, "frame")
+	for i := 0; i < objs; i += 2 {
+		obj := base + uint64(i*objWords*8)
+		b.MovImm(rPtr, obj)
+		b.Ldr(rTmp2, rPtr, 8, 3)
+		b.AddI(rTmp2, rTmp2, 1)
+		b.Str(rTmp2, rPtr, 8, 3)
+	}
+	b.Br("frame")
+	return b.Build()
+}
+
+// buildRichards: four tasks on a circular run queue; each task's state load
+// feeds the scheduling branch, so a correct value prediction resolves the
+// branch early. States mutate constantly under fixed addresses.
+func buildRichards() *program.Program {
+	b := program.NewBuilder("richards")
+	const tasks = 4
+	const taskWords = 4 // state, work, next, pad
+	base := b.Alloc("tasks", tasks*taskWords*8)
+	words := make([]uint64, tasks*taskWords)
+	for i := 0; i < tasks; i++ {
+		words[i*taskWords] = uint64(i % 3)
+		words[i*taskWords+1] = uint64(i * 7)
+		words[i*taskWords+2] = base + uint64(((i+1)%tasks)*taskWords*8)
+	}
+	b.SetWords("tasks", words)
+	b.AllocWords("done", []uint64{0})
+
+	b.MovImm(rPtr, base)
+	b.MovImm(rOuter, 0)
+	b.Label("sched")
+	b.Ldr(rTmp, rPtr, 0, 3) // task state: value feeds the branch below
+	b.Cbz(rTmp, "idle")
+	b.Ldr(rTmp2, rPtr, 8, 3) // work counter
+	b.AddI(rTmp2, rTmp2, 3)
+	b.OpImm(isa.ANDI, rTmp2, rTmp2, 0xFF)
+	b.Str(rTmp2, rPtr, 8, 3)
+	b.SubI(rTmp, rTmp, 1)
+	b.Str(rTmp, rPtr, 0, 3) // state decays toward idle
+	b.Br("nexttask")
+	b.Label("idle")
+	b.Nop()
+	b.MovImm(rTmp, 2)
+	b.Str(rTmp, rPtr, 0, 3) // reactivate
+	b.MovSym(rTmp2, "done")
+	b.Ldr(rScratch0, rTmp2, 0, 3)
+	b.AddI(rScratch0, rScratch0, 1)
+	b.Str(rScratch0, rTmp2, 0, 3)
+	b.Label("nexttask")
+	b.Ldr(rPtr, rPtr, 16, 3) // circular next (4 stable addresses per PC path)
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("sched")
+	return b.Build()
+}
+
+// buildDromaeo: two scanners over different fixed strings share a helper
+// that reloads per-scanner context from a fixed cell. The helper's loads
+// see two contexts; only the load path distinguishes the call sites.
+func buildDromaeo() *program.Program {
+	b := program.NewBuilder("dromaeo")
+	mk := func(seed uint64, n int) []byte {
+		r := newRng(seed)
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = byte('a' + r.intn(26))
+		}
+		return s
+	}
+	b.AllocInit("strA", mk(0xd0, 512))
+	b.AllocInit("strB", mk(0xd1, 512))
+	b.AllocWords("ctxA", []uint64{0x61}) // needle 'a'
+	b.AllocWords("ctxB", []uint64{0x7a}) // needle 'z'
+	b.AllocWords("hitsA", []uint64{0})
+	b.AllocWords("hitsB", []uint64{0})
+
+	const lr = isa.Reg(30)
+	b.MovImm(rOuter, 0)
+	b.Label("outer")
+	// Site A: three loads before the call leave a distinct path signature.
+	b.MovSym(rPtr, "strA")
+	b.MovSym(rPtr2, "ctxA")
+	b.MovSym(rPtr3, "hitsA")
+	b.Ldr(rTmp, rPtr2, 0, 3) // needle
+	b.Call("scan", lr)
+	// Site B.
+	b.MovSym(rPtr, "strB")
+	b.MovSym(rPtr2, "ctxB")
+	b.MovSym(rPtr3, "hitsB")
+	b.Nop() // alignment variety before the same helper loads
+	b.Ldr(rTmp, rPtr2, 0, 3)
+	b.Call("scan", lr)
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("outer")
+
+	// scan: count needle occurrences in 64 bytes starting at a rotating
+	// offset; accumulate into *rPtr3 (load-store at a per-site address the
+	// helper PC alone cannot disambiguate).
+	b.Label("scan")
+	b.OpImm(isa.ANDI, rTmp2, rOuter, 7)
+	b.OpImm(isa.LSLI, rTmp2, rTmp2, 6)
+	b.Add(rTmp2, rPtr, rTmp2)
+	b.MovImm(rInner, 64)
+	b.MovImm(rAcc, 0)
+	b.Label("scanloop")
+	b.Ldr(rScratch0, rTmp2, 0, 0)
+	b.AddI(rTmp2, rTmp2, 1)
+	b.CondBr(isa.BNE, rScratch0, rTmp, "miss")
+	b.AddI(rAcc, rAcc, 1)
+	b.Label("miss")
+	b.SubI(rInner, rInner, 1)
+	b.Cbnz(rInner, "scanloop")
+	b.Ldr(rScratch0, rPtr3, 0, 3) // per-site accumulator (path-disambiguated)
+	b.Add(rScratch0, rScratch0, rAcc)
+	b.Str(rScratch0, rPtr3, 0, 3)
+	b.Ret(lr)
+	return b.Build()
+}
+
+// buildV8crypto: schoolbook multiply-accumulate over two fixed 8-limb
+// bignums; the result limbs are rewritten every pass and re-read the next —
+// committed conflicts sitting directly on the carry chain.
+func buildV8crypto() *program.Program {
+	b := program.NewBuilder("v8crypto")
+	const limbs = 8
+	abase := b.AllocWords("a", randWords(0xc1, limbs))
+	rbase := b.AllocWords("res", make([]uint64, limbs))
+
+	b.MovImm(rOuter, 1)
+	b.Label("outer")
+	b.MovImm(rAcc, 0) // carry
+	for i := 0; i < limbs; i++ {
+		b.MovImm(rPtr, abase+uint64(i*8))
+		b.Ldr(rTmp, rPtr, 0, 3) // a[i]: fixed value and address
+		b.MovImm(rPtr2, rbase+uint64(i*8))
+		b.Ldr(rTmp2, rPtr2, 0, 3) // res[i]: fresh value each pass
+		b.Madd(rTmp2, rTmp, rOuter, rTmp2)
+		b.Add(rTmp2, rTmp2, rAcc)
+		b.OpImm(isa.LSRI, rAcc, rTmp2, 48) // carry chain serialises the pass
+		b.Str(rTmp2, rPtr2, 0, 3)
+	}
+	// Reduction padding: independent register arithmetic that widens the
+	// pass without joining the carry chain, bounding the relative benefit
+	// of predicting the limb loads the way real modular reduction would.
+	b.MovImm(rInner, 2)
+	b.Label("reduce")
+	b.Op3(isa.EOR, isa.Reg(4), rAcc, rInner)
+	b.OpImm(isa.LSLI, isa.Reg(5), isa.Reg(4), 3)
+	b.Op3(isa.ORR, isa.Reg(6), isa.Reg(5), rAcc)
+	b.OpImm(isa.LSRI, isa.Reg(7), isa.Reg(6), 2)
+	b.Op3(isa.AND, isa.Reg(8), isa.Reg(7), isa.Reg(4))
+	b.OpImm(isa.EORI, isa.Reg(9), isa.Reg(8), 0x3c)
+	b.SubI(rInner, rInner, 1)
+	b.Cbnz(rInner, "reduce")
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("outer")
+	return b.Build()
+}
+
+// buildBrowsermark: alternates a small layout-tree walk with style-table
+// lookups and a layout accumulator — a mixed, mildly predictable blend.
+func buildBrowsermark() *program.Program {
+	b := program.NewBuilder("browsermark")
+	const nodes = 16
+	const nodeWords = 2
+	base := b.Alloc("dom", nodes*nodeWords*8)
+	b.SetWords("dom", linkedListWords(0xb2, base, nodes, nodeWords))
+	b.AllocWords("styles", smallWords(0xb3, 32, 6))
+	b.AllocWords("layout", []uint64{0})
+
+	b.MovImm(rOuter, 0)
+	b.Label("outer")
+	b.MovImm(rPtr, base)
+	for i := 0; i < 6; i++ {
+		b.Ldr(rTmp, rPtr, 8, 3) // node style id
+		b.MovSym(rPtr2, "styles")
+		b.OpImm(isa.ANDI, rTmp, rTmp, 31)
+		b.LdrIdx(rTmp2, rPtr2, rTmp, 3, 3) // style value (small value set)
+		b.Add(rAcc, rAcc, rTmp2)
+		b.Ldr(rPtr, rPtr, 0, 3) // next node
+	}
+	b.AddI(rOuter, rOuter, 1)
+	// Spill the layout accumulator once per 16 frames.
+	b.OpImm(isa.ANDI, rTmp, rOuter, 15)
+	b.Cbnz(rTmp, "outer")
+	b.MovSym(rPtr3, "layout")
+	b.Str(rAcc, rPtr3, 0, 3)
+	b.Br("outer")
+	return b.Build()
+}

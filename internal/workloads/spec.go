@@ -1,0 +1,565 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dlvp/internal/isa"
+	"dlvp/internal/program"
+)
+
+// Register conventions shared by the kernels: x0-x19 scratch, x20-x25
+// persistent pointers/state, x26 outer iteration counter, x27 inner loop
+// counter, x28 stack pointer (set by the emulator).
+const (
+	rScratch0 = isa.Reg(0)
+	rPtr      = isa.Reg(20)
+	rPtr2     = isa.Reg(21)
+	rPtr3     = isa.Reg(22)
+	rAcc      = isa.Reg(23)
+	rTmp      = isa.Reg(24)
+	rTmp2     = isa.Reg(25)
+	rOuter    = isa.Reg(26)
+	rInner    = isa.Reg(27)
+)
+
+func init() {
+	register(Workload{
+		Name:  "perlbmk",
+		Suite: "spec2k",
+		Description: "interpreter-style unrolled pointer chase over a fixed " +
+			"chain with periodic re-linking and value-dependent branches: " +
+			"serial load chains that address prediction collapses (the " +
+			"paper's 71% headline case)",
+		Build: buildPerlbmk,
+	})
+	register(Workload{
+		Name:  "gcc",
+		Suite: "spec2k",
+		Description: "binary-tree descent with separate left/right load PCs: " +
+			"the load-path history encodes the descent path, so PAP " +
+			"disambiguates tree positions a PC-only predictor cannot",
+		Build: buildGcc,
+	})
+	register(Workload{
+		Name:  "bzip2",
+		Suite: "spec2k",
+		Description: "byte-frequency counting with read-modify-write counter " +
+			"updates: committed Load→Store→Load conflicts and a large " +
+			"footprint that doubles TLB pressure under DLVP (Figure 9)",
+		Build: buildBzip2,
+	})
+	register(Workload{
+		Name:  "mcf",
+		Suite: "spec2k",
+		Description: "linked-list scan updating node costs in place: " +
+			"committed-store conflicts on pointer-stable addresses",
+		Build: buildMcf,
+	})
+	register(Workload{
+		Name:  "gap",
+		Suite: "spec2k",
+		Description: "stack-machine push/pop with post-indexed stores and " +
+			"loads in tight succession: in-flight store conflicts that " +
+			"only the LSCD can filter",
+		Build: buildGap,
+	})
+	register(Workload{
+		Name:  "vortex",
+		Suite: "spec2k",
+		Description: "database-record copies through load-pair/store-pair: " +
+			"multi-destination loads that cost VTAGE two entries per LDP",
+		Build: buildVortex,
+	})
+	register(Workload{
+		Name:  "crafty",
+		Suite: "spec2k",
+		Description: "game-tree context save/restore via load-multiple (LDM): " +
+			"the ARM storage-inefficiency case for conventional value " +
+			"predictors",
+		Build: buildCrafty,
+	})
+	register(Workload{
+		Name:  "twolf",
+		Suite: "spec2k",
+		Description: "placement cost lookups at pseudo-random table indices: " +
+			"low address and value repeatability — a coverage/accuracy " +
+			"stress for every predictor",
+		Build: buildTwolf,
+	})
+	register(Workload{
+		Name:  "parser",
+		Suite: "spec2k",
+		Description: "byte-granularity token scanning with small-table " +
+			"classification: sub-word loads and stable table addresses",
+		Build: buildParser,
+	})
+	register(Workload{
+		Name:  "gzip",
+		Suite: "spec2k",
+		Description: "sliding-window match copying: strided streams the " +
+			"baseline prefetcher covers, with window-update stores",
+		Build: buildGzip,
+	})
+}
+
+// buildPerlbmk: an unrolled 12-slot chase over a 16-node chain. Every node
+// visit loads the next pointer and a payload; the payload feeds a dependent
+// branch. Every 32 outer passes two chain links are swapped (stores),
+// invalidating the learned next-pointers: PAP retrains in ~8 observations,
+// VTAGE in ~64-128 — the training-time gap the paper exploits.
+func buildPerlbmk() *program.Program {
+	b := program.NewBuilder("perlbmk")
+	const nodes = 16
+	const nodeWords = 2
+	base := b.Alloc("chain", nodes*nodeWords*8)
+	b.SetWords("chain", linkedListWords(0x1, base, nodes, nodeWords))
+	b.AllocWords("sum", []uint64{0})
+	b.AllocWords("odds", []uint64{0})
+
+	b.MovSym(rPtr2, "sum")
+	b.MovSym(rPtr3, "odds")
+	b.MovImm(rOuter, 0)
+	b.Label("outer")
+	b.MovSym(rPtr, "chain")
+	// Prior sum feeds this iteration: a committed Load→Store→Load conflict.
+	b.Ldr(rAcc, rPtr2, 0, 3)
+	b.MovImm(rInner, 0) // odd-payload count, kept in a register
+	for i := 0; i < 12; i++ {
+		skip := fmt.Sprintf("skip_%d", i)
+		b.Ldr(rTmp, rPtr, 8, 3) // payload
+		b.Add(rAcc, rAcc, rTmp) // serial accumulate
+		b.OpImm(isa.ANDI, rTmp2, rTmp, 1)
+		b.Cbz(rTmp2, skip)
+		b.AddI(rInner, rInner, 1)
+		b.Label(skip)
+		b.Ldr(rPtr, rPtr, 0, 3) // chase: serial dependence
+	}
+	b.Str(rAcc, rPtr2, 0, 3)
+	b.Ldr(rScratch0, rPtr3, 0, 3) // odds total (conflicts with its own store)
+	b.Add(rScratch0, rScratch0, rInner)
+	b.Str(rScratch0, rPtr3, 0, 3)
+	b.AddI(rOuter, rOuter, 1)
+	// Every 32 passes, swap the successors of a rotating pair of nodes.
+	// Each swap re-routes two chase slots: PAP re-trains them in ~8
+	// observations while a VTAGE-class predictor needs 64-128, so the
+	// chain is covered by address prediction most of the time and by
+	// value prediction only in the gaps — the paper's training-time gap.
+	b.OpImm(isa.ANDI, rTmp, rOuter, 31)
+	b.Cbnz(rTmp, "outer")
+	b.OpImm(isa.LSRI, rTmp, rOuter, 5)
+	b.OpImm(isa.ANDI, rTmp, rTmp, 7) // rotating pair index k = 0..7
+	b.OpImm(isa.LSLI, rTmp, rTmp, 4) // k * nodeWords * 8
+	b.MovImm(rTmp2, base)
+	b.Add(rTmp2, rTmp2, rTmp) // &node[k]
+	b.Ldr(rScratch0, rTmp2, 0, 3)
+	b.Ldr(rTmp, rTmp2, 3*nodeWords*8, 3) // &node[k+3].next
+	b.Str(rTmp, rTmp2, 0, 3)
+	b.Str(rScratch0, rTmp2, 3*nodeWords*8, 3)
+	b.Br("outer")
+	return b.Build()
+}
+
+// buildGcc: repeated descents of a fixed 127-node binary search tree laid
+// out as records {key, left, right, payload}. Left and right child loads
+// are distinct static loads, so the global load-path history encodes the
+// root-to-node path.
+func buildGcc() *program.Program {
+	b := program.NewBuilder("gcc")
+	const n = 127
+	const nodeWords = 4
+	base := b.Alloc("tree", n*nodeWords*8)
+	words := make([]uint64, n*nodeWords)
+	// Heap layout: node i has children 2i+1, 2i+2; keys in BST order via
+	// in-order numbering.
+	var number func(i, lo int) int
+	keys := make([]int, n)
+	number = func(i, lo int) int {
+		if i >= n {
+			return lo
+		}
+		lo = number(2*i+1, lo)
+		keys[i] = lo
+		lo++
+		return number(2*i+2, lo)
+	}
+	number(0, 0)
+	addr := func(i int) uint64 { return base + uint64(i*nodeWords*8) }
+	for i := 0; i < n; i++ {
+		words[i*nodeWords] = uint64(keys[i])
+		if 2*i+1 < n {
+			words[i*nodeWords+1] = addr(2*i + 1)
+			words[i*nodeWords+2] = addr(2*i + 2)
+		} else {
+			words[i*nodeWords+1] = addr(i) // leaves self-link
+			words[i*nodeWords+2] = addr(i)
+		}
+		words[i*nodeWords+3] = uint64(keys[i]) * 3
+	}
+	b.SetWords("tree", words)
+	// A fixed cycle of 8 lookup targets keeps the descent paths repeatable.
+	targets := []uint64{5, 99, 42, 17, 111, 63, 3, 78}
+	b.AllocWords("targets", targets)
+	b.AllocWords("found", []uint64{0})
+
+	b.MovImm(rOuter, 0)
+	b.Label("outer")
+	b.MovSym(rTmp2, "targets")
+	b.OpImm(isa.ANDI, rTmp, rOuter, 7)
+	b.LdrIdx(rTmp2, rTmp2, rTmp, 3, 3) // target key
+	b.MovImm(rPtr, addr(0))
+	b.MovImm(rInner, 7) // tree depth
+	b.Label("walk")
+	b.Ldr(rScratch0, rPtr, 0, 3) // key
+	b.CondBr(isa.BLT, rScratch0, rTmp2, "goright")
+	b.Ldr(rPtr, rPtr, 8, 3) // left child (static load A)
+	b.Br("walked")
+	b.Label("goright")
+	// The nop keeps the right-child load's PC bit 2 different from the
+	// left-child load's: load-path history shifts in exactly that bit, so
+	// without the alignment difference the descent path would be invisible
+	// to PAP. (Real code gets this variety for free from its layout.)
+	b.Nop()
+	b.Ldr(rPtr, rPtr, 16, 3) // right child (static load B)
+	b.Label("walked")
+	b.SubI(rInner, rInner, 1)
+	b.Cbnz(rInner, "walk")
+	b.Ldr(rAcc, rPtr, 24, 3) // payload at the reached node
+	b.MovSym(rTmp, "found")
+	b.Ldr(rScratch0, rTmp, 0, 3)
+	b.Add(rScratch0, rScratch0, rAcc)
+	b.Str(rScratch0, rTmp, 0, 3)
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("outer")
+	return b.Build()
+}
+
+// buildBzip2: frequency counting over a repeating 4KB byte stream into a
+// 256-entry counter table — every counter update is a committed
+// Load→Store→Load conflict — followed by a block shuffle over a large
+// (1MB) permutation array for TLB pressure.
+func buildBzip2() *program.Program {
+	b := program.NewBuilder("bzip2")
+	const dataLen = 4096
+	data := make([]byte, dataLen)
+	r := newRng(0xb21)
+	// Compressible input: runs of 3-9 identical bytes. The counter loads
+	// then see short address runs — long enough to bait a low-confidence
+	// predictor (CAP at confidence 3) into gambling at run boundaries,
+	// rarely long enough for an FPC-8 predictor to engage.
+	for i := 0; i < dataLen; {
+		v := byte(r.intn(64))
+		run := 3 + r.intn(7)
+		for j := 0; j < run && i < dataLen; j++ {
+			data[i] = v
+			i++
+		}
+	}
+	b.AllocInit("data", data)
+	b.Alloc("counts", 256*8)
+	const permN = 128 * 1024 // 1MB of words
+	b.AllocWords("perm", permutation(0xb22, permN))
+
+	b.MovImm(rOuter, 0)
+	b.Label("outer")
+	// Phase 1: count frequencies of a 256-byte window.
+	b.MovSym(rPtr, "data")
+	b.OpImm(isa.ANDI, rTmp, rOuter, dataLen/256-1)
+	b.OpImm(isa.LSLI, rTmp, rTmp, 8)
+	b.Add(rPtr, rPtr, rTmp)
+	b.MovSym(rPtr2, "counts")
+	b.MovImm(rInner, 256)
+	b.Label("count")
+	b.Ldr(rScratch0, rPtr, 0, 0) // byte load
+	b.AddI(rPtr, rPtr, 1)
+	b.LdrIdx(rTmp2, rPtr2, rScratch0, 3, 3) // counts[c]  (conflict load)
+	b.AddI(rTmp2, rTmp2, 1)
+	b.StrIdx(rTmp2, rPtr2, rScratch0, 3, 3) // counts[c]++
+	b.SubI(rInner, rInner, 1)
+	b.Cbnz(rInner, "count")
+	// Phase 2: chase the large permutation for 64 steps (TLB pressure).
+	b.MovSym(rPtr3, "perm")
+	b.OpImm(isa.ANDI, rAcc, rOuter, permN-1)
+	b.MovImm(rInner, 64)
+	b.Label("shuffle")
+	b.LdrIdx(rAcc, rPtr3, rAcc, 3, 3) // acc = perm[acc]
+	b.SubI(rInner, rInner, 1)
+	b.Cbnz(rInner, "shuffle")
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("outer")
+	return b.Build()
+}
+
+// buildMcf: scans a fixed arc list while re-reading solver parameters from
+// globals every step — the common compiled-code shape where the chase loads
+// are unpredictable but the surrounding scalar loads are rock-stable. The
+// parameter cells are rewritten every pass, so their *values* keep changing
+// while their addresses never do: address prediction keeps covering them,
+// last-value-style prediction keeps going stale (the paper's Challenge #1).
+func buildMcf() *program.Program {
+	b := program.NewBuilder("mcf")
+	const nodes = 64
+	const nodeWords = 4 // next, cost, flow, cap
+	base := b.Alloc("arcs", nodes*nodeWords*8)
+	b.SetWords("arcs", linkedListWords(0x3c0, base, nodes, nodeWords))
+	b.AllocWords("alpha", []uint64{3})
+	b.AllocWords("beta", []uint64{5})
+	b.AllocWords("total", []uint64{0})
+
+	b.AllocWords("weights", randWords(0x3c1, 8))
+	b.MovSym(rPtr2, "alpha")
+	b.MovSym(rPtr3, "beta")
+	b.MovImm(rOuter, 0)
+	b.Label("outer")
+	// Rewrite the parameter cells at the *start* of the pass; the chase
+	// below puts hundreds of instructions between these stores and the
+	// parameter reloads, so the stores have committed by the time DLVP
+	// probes — the committed-conflict case value predictors lose and
+	// address predictors win.
+	b.AddI(rScratch0, rOuter, 3)
+	b.Str(rScratch0, rPtr2, 0, 3)
+	b.Op3(isa.EOR, rTmp2, rOuter, rScratch0)
+	b.OpImm(isa.ORRI, rTmp2, rTmp2, 1)
+	b.Str(rTmp2, rPtr3, 0, 3)
+	// Chase the arc list (loop-carried addresses: honestly unpredictable).
+	b.MovImm(rPtr, base)
+	b.MovImm(rAcc, 0)
+	b.MovImm(rInner, nodes)
+	b.Label("scan")
+	b.Ldr(rTmp, rPtr, 8, 3) // arc cost
+	b.Add(rAcc, rAcc, rTmp)
+	b.AddI(rTmp, rTmp, 3)
+	b.Str(rTmp, rPtr, 8, 3) // cost update for the next pass (committed conflict)
+	b.Ldr(rPtr, rPtr, 0, 3) // next arc
+	b.SubI(rInner, rInner, 1)
+	b.Cbnz(rInner, "scan")
+	// Evaluation: unrolled, address-stable reloads of the parameters and a
+	// fixed weight table (values drift pass to pass; addresses never do).
+	wbase := b.Sym("weights")
+	for i := 0; i < 8; i++ {
+		b.Ldr(rScratch0, rPtr2, 0, 3) // alpha
+		b.Ldr(rTmp2, rPtr3, 0, 3)     // beta
+		b.MovImm(rTmp, wbase+uint64(i*8))
+		b.Ldr(rTmp, rTmp, 0, 3) // weights[i]
+		b.Madd(rAcc, rScratch0, rTmp, rTmp2)
+	}
+	b.MovSym(rTmp, "total")
+	b.Str(rAcc, rTmp, 0, 3)
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("outer")
+	return b.Build()
+}
+
+// buildGap: a stack interpreter pushing and popping operands with
+// post-indexed stores/loads. Pops consume values pushed a handful of
+// instructions earlier: the stores are still in flight when DLVP would
+// probe, so only the LSCD avoids chronic value mispredictions.
+func buildGap() *program.Program {
+	b := program.NewBuilder("gap")
+	b.Alloc("stack", 4096)
+	b.AllocWords("result", []uint64{0})
+
+	b.MovImm(rOuter, 1)
+	b.Label("outer")
+	b.MovSym(rPtr, "stack")
+	// push outer, push outer*2, push outer+7
+	b.Emit(isa.Inst{Op: isa.STRPOST, Rt: rOuter, Rn: rPtr, Imm: 8, Size: 3})
+	b.OpImm(isa.LSLI, rTmp, rOuter, 1)
+	b.Emit(isa.Inst{Op: isa.STRPOST, Rt: rTmp, Rn: rPtr, Imm: 8, Size: 3})
+	b.AddI(rTmp, rOuter, 7)
+	b.Emit(isa.Inst{Op: isa.STRPOST, Rt: rTmp, Rn: rPtr, Imm: 8, Size: 3})
+	// pop a, pop b, pop c -> result += a + b*c  (pops hit in-flight pushes)
+	b.SubI(rPtr, rPtr, 8)
+	b.Ldr(rTmp, rPtr, 0, 3)
+	b.SubI(rPtr, rPtr, 8)
+	b.Ldr(rTmp2, rPtr, 0, 3)
+	b.SubI(rPtr, rPtr, 8)
+	b.Ldr(rScratch0, rPtr, 0, 3)
+	b.Madd(rAcc, rTmp, rTmp2, rScratch0)
+	b.MovSym(rPtr2, "result")
+	b.Ldr(rScratch0, rPtr2, 0, 3)
+	b.Add(rScratch0, rScratch0, rAcc)
+	b.Str(rScratch0, rPtr2, 0, 3)
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("outer")
+	return b.Build()
+}
+
+// buildVortex: validates a fixed set of eight hot database records through
+// unrolled load-pair accesses (stable addresses, one APT entry per LDP but
+// two VTAGE entries each), then updates one record per pass so values keep
+// drifting under the stable addresses.
+func buildVortex() *program.Program {
+	b := program.NewBuilder("vortex")
+	const recs = 8
+	base := b.AllocWords("hot", randWords(0x40, recs*2))
+	b.AllocWords("check", []uint64{0})
+
+	b.MovImm(rOuter, 0)
+	b.Label("outer")
+	b.MovImm(rAcc, 0)
+	for i := 0; i < recs; i++ {
+		b.MovImm(rPtr, base+uint64(i*16))
+		b.Ldp(rTmp, rTmp2, rPtr, 0) // record load: 2 destinations, 1 APT entry
+		b.Add(rAcc, rAcc, rTmp)
+		b.Op3(isa.EOR, rAcc, rAcc, rTmp2)
+	}
+	b.MovSym(rPtr3, "check")
+	b.Str(rAcc, rPtr3, 0, 3)
+	// Every 8th pass, rewrite one hot record: addresses stay stable while
+	// values drift fast enough (each record changes every 64 passes) that a
+	// 64-128-observation confidence bar never quite clears, while the APT's
+	// 8-observation bar does. Updates stay sparse so the LDP re-reading the
+	// record conflicts with an in-flight store only occasionally.
+	b.OpImm(isa.ANDI, rTmp, rOuter, 7)
+	b.Cbnz(rTmp, "noupdate")
+	b.OpImm(isa.LSRI, rTmp, rOuter, 3)
+	b.OpImm(isa.ANDI, rTmp, rTmp, recs-1)
+	b.OpImm(isa.LSLI, rTmp, rTmp, 4)
+	b.MovImm(rPtr2, base)
+	b.Add(rPtr2, rPtr2, rTmp)
+	b.Stp(rAcc, rOuter, rPtr2, 0)
+	b.Label("noupdate")
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("outer")
+	return b.Build()
+}
+
+// buildCrafty: a search loop that saves and restores a 4-register context
+// block with LDM/STP around a bitboard-style evaluation. Each LDM would
+// occupy four VTAGE entries; a static filter simply gives the loads up.
+func buildCrafty() *program.Program {
+	b := program.NewBuilder("crafty")
+	b.AllocWords("ctx", randWords(0xcf, 8))
+	b.AllocWords("boards", randWords(0xcf2, 64))
+	b.AllocWords("best", []uint64{0})
+
+	b.MovImm(rOuter, 0)
+	b.Label("outer")
+	b.MovSym(rPtr, "ctx")
+	b.Ldm(isa.Reg(4), 4, rPtr, 0) // restore context: x4..x7 (4 dests)
+	b.MovSym(rPtr2, "boards")
+	b.OpImm(isa.ANDI, rTmp, rOuter, 63)
+	b.LdrIdx(rTmp2, rPtr2, rTmp, 3, 3) // board
+	b.Op3(isa.EOR, rScratch0, rTmp2, isa.Reg(4))
+	b.Op3(isa.AND, rScratch0, rScratch0, isa.Reg(5))
+	b.Op3(isa.ORR, rScratch0, rScratch0, isa.Reg(6))
+	b.Op3(isa.ADD, rAcc, rScratch0, isa.Reg(7))
+	b.MovSym(rPtr3, "best")
+	b.Str(rAcc, rPtr3, 0, 3)
+	// Mutate a rotating context word each pass: every LDM destination's
+	// value changes within four passes — far below a value predictor's
+	// confidence horizon — while the block's address never moves.
+	b.OpImm(isa.ANDI, rTmp, rOuter, 3)
+	b.OpImm(isa.LSLI, rTmp, rTmp, 3)
+	b.Add(rTmp2, rPtr, rTmp)
+	b.Op3(isa.EOR, rScratch0, rAcc, rOuter)
+	b.Str(rScratch0, rTmp2, 0, 3)
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("outer")
+	return b.Build()
+}
+
+// buildTwolf: placement cost lookups at pseudo-random indices into a
+// mid-sized table, with occasional writes: low repeatability everywhere —
+// predictors must stay quiet to stay accurate.
+func buildTwolf() *program.Program {
+	b := program.NewBuilder("twolf")
+	const n = 8192
+	b.AllocWords("cost", randWords(0x2f, n))
+	b.AllocWords("seed", []uint64{0x9e3779b97f4a7c15})
+
+	b.MovSym(rPtr, "cost")
+	b.MovSym(rPtr2, "seed")
+	b.Ldr(rTmp, rPtr2, 0, 3)
+	b.MovImm(rAcc, 0)
+	b.Label("outer")
+	// xorshift step
+	b.OpImm(isa.LSLI, rTmp2, rTmp, 13)
+	b.Op3(isa.EOR, rTmp, rTmp, rTmp2)
+	b.OpImm(isa.LSRI, rTmp2, rTmp, 7)
+	b.Op3(isa.EOR, rTmp, rTmp, rTmp2)
+	b.OpImm(isa.LSLI, rTmp2, rTmp, 17)
+	b.Op3(isa.EOR, rTmp, rTmp, rTmp2)
+	b.OpImm(isa.ANDI, rScratch0, rTmp, n-1)
+	b.LdrIdx(rTmp2, rPtr, rScratch0, 3, 3) // cost[rand]
+	b.Add(rAcc, rAcc, rTmp2)
+	b.OpImm(isa.ANDI, rInner, rTmp, 15)
+	b.Cbnz(rInner, "skipwrite")
+	b.StrIdx(rAcc, rPtr, rScratch0, 3, 3)
+	b.Label("skipwrite")
+	b.Br("outer")
+	return b.Build()
+}
+
+// buildParser: scans a byte stream classifying characters through a small
+// 64-entry class table: sub-word loads, a stable table base, and
+// class-dependent branches.
+func buildParser() *program.Program {
+	b := program.NewBuilder("parser")
+	const textLen = 2048
+	text := make([]byte, textLen)
+	r := newRng(0x9a)
+	for i := range text {
+		text[i] = byte(32 + r.intn(64))
+	}
+	b.AllocInit("text", text)
+	classes := make([]byte, 64)
+	for i := range classes {
+		if i%7 == 0 {
+			classes[i] = 1 // separator
+		}
+	}
+	b.AllocInit("classes", classes)
+	b.AllocWords("tokens", []uint64{0})
+
+	b.MovImm(rOuter, 0)
+	b.Label("outer")
+	b.MovSym(rPtr, "text")
+	b.MovSym(rPtr2, "classes")
+	b.MovSym(rPtr3, "tokens")
+	b.MovImm(rInner, textLen)
+	b.MovImm(rAcc, 0)
+	b.Label("scan")
+	b.Ldr(rScratch0, rPtr, 0, 0) // byte
+	b.AddI(rPtr, rPtr, 1)
+	b.OpImm(isa.SUBI, rTmp, rScratch0, 32)
+	b.LdrIdx(rTmp2, rPtr2, rTmp, 0, 0) // class byte
+	b.Cbz(rTmp2, "notsep")
+	b.AddI(rAcc, rAcc, 1)
+	b.Label("notsep")
+	b.SubI(rInner, rInner, 1)
+	b.Cbnz(rInner, "scan")
+	b.Ldr(rTmp, rPtr3, 0, 3)
+	b.Add(rTmp, rTmp, rAcc)
+	b.Str(rTmp, rPtr3, 0, 3)
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("outer")
+	return b.Build()
+}
+
+// buildGzip: copies match windows within a 64KB buffer — strided streaming
+// the baseline stride prefetcher covers well, so value prediction has to
+// earn its keep elsewhere.
+func buildGzip() *program.Program {
+	b := program.NewBuilder("gzip")
+	const winWords = 8192 // 64KB
+	b.AllocWords("window", randWords(0x67, winWords))
+
+	b.MovImm(rOuter, 0)
+	b.Label("outer")
+	b.MovSym(rPtr, "window")
+	b.OpImm(isa.ANDI, rTmp, rOuter, winWords/2-1)
+	b.OpImm(isa.LSLI, rTmp, rTmp, 3)
+	b.Add(rPtr2, rPtr, rTmp) // source inside first half
+	b.MovImm(rTmp2, winWords/2*8)
+	b.Add(rPtr3, rPtr, rTmp2) // dest = second half
+	b.MovImm(rInner, 32)
+	b.Label("copy")
+	b.LdrPost(rScratch0, rPtr2, 8)
+	b.Emit(isa.Inst{Op: isa.STRPOST, Rt: rScratch0, Rn: rPtr3, Imm: 8, Size: 3})
+	b.SubI(rInner, rInner, 1)
+	b.Cbnz(rInner, "copy")
+	b.AddI(rOuter, rOuter, 1)
+	b.Br("outer")
+	return b.Build()
+}

@@ -1,0 +1,208 @@
+package workloads
+
+import (
+	"testing"
+
+	"dlvp/internal/emu"
+	"dlvp/internal/isa"
+	"dlvp/internal/trace"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) < 30 {
+		t.Fatalf("registry has %d workloads, want >= 30 (Table 3 scale)", len(all))
+	}
+	suites := map[string]int{}
+	for _, w := range all {
+		if w.Name == "" || w.Description == "" || w.Build == nil {
+			t.Errorf("workload %+v incomplete", w.Name)
+		}
+		suites[w.Suite]++
+	}
+	for _, s := range []string{"spec2k", "spec2k6", "eembc", "js", "app"} {
+		if suites[s] == 0 {
+			t.Errorf("suite %q empty", s)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("perlbmk"); !ok {
+		t.Error("perlbmk missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("phantom workload")
+	}
+	names := Names()
+	if len(names) != len(All()) {
+		t.Error("Names/All length mismatch")
+	}
+}
+
+// Every workload must build, run for its budget without halting early, and
+// actually exercise memory.
+func TestAllWorkloadsExecute(t *testing.T) {
+	const budget = 30_000
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := w.Build()
+			if len(prog.Code) == 0 {
+				t.Fatal("empty program")
+			}
+			cpu := emu.New(prog)
+			cpu.MaxInstrs = budget
+			var rec trace.Rec
+			var n, loads, stores, branches uint64
+			for cpu.Next(&rec) {
+				n++
+				if rec.IsLoad() {
+					loads++
+				}
+				if rec.IsStore() {
+					stores++
+				}
+				if rec.Op.IsBranch() {
+					branches++
+				}
+			}
+			if n != budget {
+				t.Fatalf("executed %d of %d (halted early?)", n, budget)
+			}
+			if loads == 0 {
+				t.Error("no loads executed")
+			}
+			if stores == 0 {
+				t.Error("no stores executed")
+			}
+			if branches == 0 {
+				t.Error("no branches executed")
+			}
+			lr := float64(loads) / float64(n)
+			if lr < 0.015 || lr > 0.60 {
+				t.Errorf("load ratio %.2f out of the plausible band", lr)
+			}
+		})
+	}
+}
+
+// Workload execution must be deterministic: identical trace on every run.
+func TestWorkloadDeterminism(t *testing.T) {
+	for _, name := range []string{"perlbmk", "gcc", "twolf", "avmshell"} {
+		w, _ := ByName(name)
+		a := trace.Collect(w.Reader(5_000), 0)
+		b := trace.Collect(w.Reader(5_000), 0)
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ", name)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: trace diverges at %d", name, i)
+			}
+		}
+	}
+}
+
+// Kernels that advertise multi-destination loads must emit them.
+func TestMultiDestWorkloads(t *testing.T) {
+	cases := map[string]isa.Op{
+		"vortex":  isa.LDP,
+		"crafty":  isa.LDM,
+		"mplayer": isa.VLD,
+		"idct":    isa.LDP,
+		"h264ref": isa.VLD,
+		"milc":    isa.LDP,
+	}
+	for name, op := range cases {
+		w, _ := ByName(name)
+		found := false
+		r := w.Reader(20_000)
+		var rec trace.Rec
+		for r.Next(&rec) {
+			if rec.Op == op {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: no %v executed", name, op)
+		}
+	}
+}
+
+// ttsprk advertises memory-ordering loads (never predicted).
+func TestOrderedLoadWorkload(t *testing.T) {
+	w, _ := ByName("ttsprk")
+	r := w.Reader(5_000)
+	var rec trace.Rec
+	found := false
+	for r.Next(&rec) {
+		if rec.Op == isa.LDAR {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("ttsprk: no LDAR executed")
+	}
+}
+
+// avmshell advertises indirect dispatch.
+func TestIndirectDispatchWorkload(t *testing.T) {
+	w, _ := ByName("avmshell")
+	r := w.Reader(5_000)
+	var rec trace.Rec
+	found := false
+	for r.Next(&rec) {
+		if rec.Op == isa.BR {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("avmshell: no indirect branch executed")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	p := permutation(1, 16)
+	seen := map[uint64]bool{}
+	for _, v := range p {
+		if v >= 16 || seen[v] {
+			t.Fatalf("bad permutation %v", p)
+		}
+		seen[v] = true
+	}
+	w := smallWords(2, 100, 5)
+	for _, v := range w {
+		if v >= 5 {
+			t.Fatalf("smallWords out of range: %d", v)
+		}
+	}
+	// linkedListWords must form a single cycle visiting every node.
+	words := linkedListWords(3, 0x1000, 8, 2)
+	addr := uint64(0x1000)
+	visited := map[uint64]bool{}
+	for i := 0; i < 8; i++ {
+		if visited[addr] {
+			t.Fatal("cycle shorter than node count")
+		}
+		visited[addr] = true
+		idx := (addr - 0x1000) / 8
+		addr = words[idx]
+	}
+	if addr != 0x1000 {
+		t.Errorf("list does not close: ends at %#x", addr)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	register(Workload{Name: "perlbmk"})
+}
