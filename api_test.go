@@ -72,7 +72,10 @@ func TestPublicAPIExperiments(t *testing.T) {
 	if !ok {
 		t.Fatal("tab4 missing")
 	}
-	tables := e.Run(DefaultExperimentParams())
+	tables, err := e.Run(DefaultExperimentParams())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tables) == 0 || tables[0].Title == "" {
 		t.Error("tab4 produced nothing")
 	}

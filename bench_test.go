@@ -8,13 +8,20 @@ import (
 	"testing"
 
 	"dlvp/internal/experiments"
+	"dlvp/internal/runner"
 	"dlvp/internal/trace"
 )
 
 // benchParams shrinks the per-workload budget so a full -bench=. sweep
 // stays laptop-sized; the printed tables use the same drivers as the CLI.
+// The runner's result cache is disabled so every iteration measures real
+// simulation work rather than a cache lookup.
 func benchParams() experiments.Params {
-	return experiments.Params{Instrs: 20_000, Parallel: true}
+	return experiments.Params{
+		Instrs:   20_000,
+		Parallel: true,
+		Runner:   runner.New(runner.Options{CacheEntries: -1}),
+	}
 }
 
 func benchExperiment(b *testing.B, id string) {
@@ -26,7 +33,10 @@ func benchExperiment(b *testing.B, id string) {
 	p := benchParams()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tables := e.Run(p)
+		tables, err := e.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(tables) == 0 {
 			b.Fatal("experiment produced no tables")
 		}

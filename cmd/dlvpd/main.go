@@ -1,0 +1,75 @@
+// Command dlvpd serves the simulator as an HTTP daemon.
+//
+// Usage:
+//
+//	dlvpd [-addr :8080] [-workers 8] [-cache 4096] [-timeout 2m]
+//
+// The daemon wraps the shared runner engine (internal/runner) behind the
+// internal/server API: POST /v1/runs executes one simulation, POST
+// /v1/experiments/{id} regenerates a paper artifact as JSON, GET
+// /v1/jobs/{id} polls async submissions, and /v1/stats + /metrics expose
+// queue depths, cache hit ratios, and simulated instructions per second.
+// Identical requests are served from content-addressed caches.
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, drains
+// in-flight requests and background jobs, then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dlvp/internal/runner"
+	"dlvp/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent simulations (0: NumCPU)")
+	cache := flag.Int("cache", 0, "result cache entries (0: default, negative: disabled)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout for synchronous calls")
+	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for draining work")
+	flag.Parse()
+
+	eng := runner.New(runner.Options{Workers: *workers, CacheEntries: *cache})
+	srv := server.New(server.Options{Runner: eng, RequestTimeout: *timeout})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("dlvpd listening on %s (workers=%d)", *addr, eng.Stats().Workers)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+
+	log.Printf("shutting down (grace %v)", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := srv.Drain(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("drain: %v", err)
+	}
+	srv.Close()
+	log.Printf("dlvpd stopped")
+}

@@ -1,5 +1,7 @@
 // Command dlvpsim runs one workload on the cycle-level core under a chosen
-// value-prediction scheme and prints the run statistics.
+// value-prediction scheme and prints the run statistics. Simulations are
+// submitted to the shared runner engine (internal/runner), the same
+// execution path the experiment drivers and the dlvpd daemon use.
 //
 // Usage:
 //
@@ -8,20 +10,25 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"dlvp/internal/config"
 	"dlvp/internal/metrics"
+	"dlvp/internal/runner"
 	"dlvp/internal/uarch"
 	"dlvp/internal/workloads"
 )
 
 func main() {
 	name := flag.String("workload", "perlbmk", "workload to simulate")
-	scheme := flag.String("scheme", "dlvp", "baseline | dlvp | cap | vtage | dvtage | tournament")
+	scheme := flag.String("scheme", "dlvp", strings.Join(config.SchemeNames(), " | "))
 	instrs := flag.Uint64("instrs", 300_000, "dynamic instruction budget")
 	compare := flag.Bool("compare", false, "also run the baseline and report speedup")
 	list := flag.Bool("list", false, "list available workloads")
@@ -47,33 +54,33 @@ func main() {
 		return
 	}
 
-	var cfg config.Core
-	switch *scheme {
-	case "baseline":
-		cfg = config.Baseline()
-	case "dlvp":
-		cfg = config.DLVP()
-	case "cap":
-		cfg = config.CAPDLVP()
-	case "vtage":
-		cfg = config.VTAGE()
-	case "tournament":
-		cfg = config.Tournament()
-	case "dvtage":
-		cfg = config.DVTAGE()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+	cfg, ok := config.ByScheme(*scheme)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q (known: %s)\n", *scheme, strings.Join(config.SchemeNames(), ", "))
 		os.Exit(2)
 	}
 
-	core := uarch.New(cfg, w.Build(), w.Reader(*instrs))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	eng := runner.New(runner.Options{})
+	var s metrics.RunStats
 	if *pipeview > 0 {
+		// Stage tracing needs direct access to the core instance, so the
+		// pipeview path bypasses the runner.
+		core := uarch.New(cfg, w.Build(), w.Reader(*instrs))
 		core.EnableStageTrace(*instrs/2, *pipeview) // after warmup
-	}
-	s := core.Run(0)
-	if *pipeview > 0 {
+		s = core.Run(0)
 		fmt.Print(uarch.FormatStageTraces(core.StageTraces()))
+	} else {
+		var err error
+		s, _, err = eng.Run(ctx, runner.Job{Workload: w.Name, Config: cfg, Instrs: *instrs})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
+
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -102,7 +109,11 @@ func main() {
 	fmt.Printf("core energy   %.3g units\n", s.CoreEnergy)
 
 	if *compare {
-		base := uarch.New(config.Baseline(), w.Build(), w.Reader(*instrs)).Run(0)
+		base, _, err := eng.Run(ctx, runner.Job{Workload: w.Name, Config: config.Baseline(), Instrs: *instrs})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Printf("speedup       %+.2f%% over baseline (IPC %.3f -> %.3f)\n",
 			metrics.SpeedupPct(base, s), base.IPC(), s.IPC())
 		fmt.Printf("energy ratio  %.3f of baseline\n", s.CoreEnergy/base.CoreEnergy)

@@ -2,21 +2,32 @@
 //
 // Usage:
 //
-//	experiments [-run fig6] [-instrs 300000] [-workloads perlbmk,gcc] [-serial]
+//	experiments [-run fig6] [-instrs 300000] [-workloads perlbmk,gcc] [-serial] [-json]
 //
 // Without -run, every experiment is regenerated in paper order. Experiment
 // ids: fig1 fig2 tab1 tab2 tab3 tab4 fig4 fig5 fig6 fig7 fig8 fig9 fig10.
+// With -json, each experiment is emitted as the same machine-readable
+// payload the dlvpd HTTP daemon serves from /v1/experiments/{id}.
+//
+// All simulation flows through internal/runner, so experiments that share
+// configurations (every figure re-simulates the Table 4 baseline) reuse
+// each other's runs via the content-addressed result cache.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"dlvp/internal/experiments"
 	"dlvp/internal/tabletext"
+	"dlvp/internal/workloads"
 )
 
 func main() {
@@ -25,13 +36,27 @@ func main() {
 	wl := flag.String("workloads", "", "comma-separated workload subset (default: all)")
 	serial := flag.Bool("serial", false, "disable parallel simulation")
 	charts := flag.Bool("charts", false, "also render per-workload tables as ASCII bar charts")
+	asJSON := flag.Bool("json", false, "emit machine-readable artifacts (the dlvpd wire shape)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	p := experiments.DefaultParams()
 	p.Instrs = *instrs
 	p.Parallel = !*serial
+	p.Ctx = ctx
 	if *wl != "" {
 		p.Workloads = strings.Split(*wl, ",")
+		for _, name := range p.Workloads {
+			if _, ok := workloads.ByName(name); !ok {
+				fmt.Fprintf(os.Stderr, "unknown workload %q; known workloads:\n", name)
+				for _, w := range workloads.All() {
+					fmt.Fprintf(os.Stderr, "  %-12s [%-7s] %s\n", w.Name, w.Suite, w.Description)
+				}
+				os.Exit(2)
+			}
+		}
 	}
 
 	var selected []experiments.Experiment
@@ -51,9 +76,30 @@ func main() {
 		}
 	}
 
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		for _, e := range selected {
+			artifact, err := e.RunArtifact(p)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			if err := enc.Encode(artifact); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
 	for _, e := range selected {
 		start := time.Now()
-		tables := e.Run(p)
+		tables, err := e.Run(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
 		fmt.Printf("### %s  [%s, %d instrs/workload, %v]\n\n", e.ID, e.Name, p.Instrs, time.Since(start).Round(time.Millisecond))
 		for _, t := range tables {
 			fmt.Println(t.String())

@@ -187,3 +187,30 @@ func Tournament() Core { return Baseline().WithScheme(VPTournament) }
 // DVTAGE returns conventional value prediction with the differential
 // D-VTAGE predictor (related-work comparison).
 func DVTAGE() Core { return Baseline().WithScheme(VPDVTAGE) }
+
+// SchemeNames lists the named scheme presets accepted by ByScheme, in
+// presentation order.
+func SchemeNames() []string {
+	return []string{"baseline", "dlvp", "cap", "vtage", "tournament", "dvtage"}
+}
+
+// ByScheme resolves a scheme name (as printed by VPScheme.String) to its
+// Table 4 preset. The CLIs and the HTTP daemon share this mapping.
+func ByScheme(name string) (Core, bool) {
+	switch name {
+	case "baseline":
+		return Baseline(), true
+	case "dlvp":
+		return DLVP(), true
+	case "cap":
+		return CAPDLVP(), true
+	case "vtage":
+		return VTAGE(), true
+	case "tournament":
+		return Tournament(), true
+	case "dvtage":
+		return DVTAGE(), true
+	default:
+		return Core{}, false
+	}
+}

@@ -13,20 +13,31 @@ import (
 // show that Policy-2 is superior", the 4-entry LSCD sizing, way-predicted
 // probing, the PAQ lifetime N, and the 16-bit load-path history length).
 // It is registered as the extension experiment id "ablations".
-func Ablations(p Params) []*tabletext.Table {
-	return []*tabletext.Table{
-		ablAllocPolicy(p),
-		ablLSCD(p),
-		ablWayPrediction(p),
-		ablPAQLifetime(p),
-		ablHistoryLength(p),
+func Ablations(p Params) ([]*tabletext.Table, error) {
+	var out []*tabletext.Table
+	for _, abl := range []func(Params) (*tabletext.Table, error){
+		ablAllocPolicy,
+		ablLSCD,
+		ablWayPrediction,
+		ablPAQLifetime,
+		ablHistoryLength,
+	} {
+		t, err := abl(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
 	}
+	return out, nil
 }
 
 // summarize runs a config set and returns (avg speedup vs "base", aggregate
 // accuracy, avg coverage) per scheme name.
-func summarize(p Params, cfgs map[string]config.Core) map[string][3]float64 {
-	results := runMatrix(p, cfgs)
+func summarize(p Params, cfgs map[string]config.Core) (map[string][3]float64, error) {
+	results, err := runMatrix(p, cfgs)
+	if err != nil {
+		return nil, err
+	}
 	names := sortedNames(results)
 	out := make(map[string][3]float64)
 	for scheme := range cfgs {
@@ -49,17 +60,20 @@ func summarize(p Params, cfgs map[string]config.Core) map[string][3]float64 {
 		}
 		out[scheme] = [3]float64{sp / k, acc, cov / k}
 	}
-	return out
+	return out, nil
 }
 
-func ablAllocPolicy(p Params) *tabletext.Table {
+func ablAllocPolicy(p Params) (*tabletext.Table, error) {
 	p1 := config.DLVP()
 	p1.VP.PAP.AllocPolicy1 = true
-	res := summarize(p, map[string]config.Core{
+	res, err := summarize(p, map[string]config.Core{
 		"base":     config.Baseline(),
 		"policy-1": p1,
 		"policy-2": config.DLVP(),
 	})
+	if err != nil {
+		return nil, err
+	}
 	t := &tabletext.Table{
 		Title:  "Ablation: APT allocation policy (Section 3.1.2)",
 		Header: []string{"policy", "avg speedup %", "accuracy %", "avg coverage %"},
@@ -70,10 +84,10 @@ func ablAllocPolicy(p Params) *tabletext.Table {
 	}
 	t.Notes = append(t.Notes,
 		"paper: Policy-2 (allocate only over zero-confidence victims) is superior — confident entries survive eviction pressure")
-	return t
+	return t, nil
 }
 
-func ablLSCD(p Params) *tabletext.Table {
+func ablLSCD(p Params) (*tabletext.Table, error) {
 	cfgs := map[string]config.Core{"base": config.Baseline()}
 	sizes := []int{0, 2, 4, 8, 16}
 	for _, n := range sizes {
@@ -81,7 +95,10 @@ func ablLSCD(p Params) *tabletext.Table {
 		c.VP.LSCDEntries = n
 		cfgs[fmt.Sprintf("lscd-%02d", n)] = c
 	}
-	res := summarize(p, cfgs)
+	res, err := summarize(p, cfgs)
+	if err != nil {
+		return nil, err
+	}
 	t := &tabletext.Table{
 		Title:  "Ablation: LSCD size (Section 3.2.2; the paper uses 4 entries)",
 		Header: []string{"entries", "avg speedup %", "accuracy %", "avg coverage %"},
@@ -92,17 +109,20 @@ func ablLSCD(p Params) *tabletext.Table {
 	}
 	t.Notes = append(t.Notes,
 		"0 entries: in-flight-store conflicts flush unchecked; larger filters trade coverage for accuracy")
-	return t
+	return t, nil
 }
 
-func ablWayPrediction(p Params) *tabletext.Table {
+func ablWayPrediction(p Params) (*tabletext.Table, error) {
 	off := config.DLVP()
 	off.VP.PAP.WayPredict = false
-	res := summarize(p, map[string]config.Core{
+	res, err := summarize(p, map[string]config.Core{
 		"base":    config.Baseline(),
 		"way-on":  config.DLVP(),
 		"way-off": off,
 	})
+	if err != nil {
+		return nil, err
+	}
 	t := &tabletext.Table{
 		Title:  "Ablation: probe way prediction (the paper's power optimisation)",
 		Header: []string{"config", "avg speedup %", "accuracy %", "avg coverage %"},
@@ -113,10 +133,10 @@ func ablWayPrediction(p Params) *tabletext.Table {
 	}
 	t.Notes = append(t.Notes,
 		"way prediction reads one L1D way per probe (1 cycle) instead of the full set; without it probes are slower and costlier")
-	return t
+	return t, nil
 }
 
-func ablPAQLifetime(p Params) *tabletext.Table {
+func ablPAQLifetime(p Params) (*tabletext.Table, error) {
 	cfgs := map[string]config.Core{"base": config.Baseline()}
 	lifetimes := []int{2, 4, 6, 10}
 	for _, n := range lifetimes {
@@ -124,7 +144,10 @@ func ablPAQLifetime(p Params) *tabletext.Table {
 		c.PAQLifetime = n
 		cfgs[fmt.Sprintf("life-%02d", n)] = c
 	}
-	res := summarize(p, cfgs)
+	res, err := summarize(p, cfgs)
+	if err != nil {
+		return nil, err
+	}
 	t := &tabletext.Table{
 		Title:  "Ablation: PAQ entry lifetime N (Section 3.2.2)",
 		Header: []string{"N (cycles)", "avg speedup %", "accuracy %", "avg coverage %"},
@@ -135,10 +158,10 @@ func ablPAQLifetime(p Params) *tabletext.Table {
 	}
 	t.Notes = append(t.Notes,
 		"N bounds how long an unprobed prediction may wait for a load-store lane bubble before it is dropped")
-	return t
+	return t, nil
 }
 
-func ablHistoryLength(p Params) *tabletext.Table {
+func ablHistoryLength(p Params) (*tabletext.Table, error) {
 	cfgs := map[string]config.Core{"base": config.Baseline()}
 	lengths := []uint8{4, 8, 16, 32}
 	for _, n := range lengths {
@@ -146,7 +169,10 @@ func ablHistoryLength(p Params) *tabletext.Table {
 		c.VP.PAP.HistBits = n
 		cfgs[fmt.Sprintf("hist-%02d", n)] = c
 	}
-	res := summarize(p, cfgs)
+	res, err := summarize(p, cfgs)
+	if err != nil {
+		return nil, err
+	}
 	t := &tabletext.Table{
 		Title:  "Ablation: load-path history length (the paper uses 16 bits)",
 		Header: []string{"bits", "avg speedup %", "accuracy %", "avg coverage %"},
@@ -157,5 +183,5 @@ func ablHistoryLength(p Params) *tabletext.Table {
 	}
 	t.Notes = append(t.Notes,
 		"short histories cannot separate paths; very long histories dilute and fragment training")
-	return t
+	return t, nil
 }

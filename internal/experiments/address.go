@@ -13,9 +13,16 @@ import (
 // standalonePAP drives PAP over a workload's committed load stream in
 // program order (predict, then train immediately), the standalone protocol
 // behind Figure 4.
-func standalonePAP(p Params, cfg pap.Config) predictor.Stats {
+func standalonePAP(p Params, cfg pap.Config) (predictor.Stats, error) {
 	var agg predictor.Stats
-	for _, w := range p.pool() {
+	pool, err := p.pool()
+	if err != nil {
+		return agg, err
+	}
+	for _, w := range pool {
+		if err := p.ctx().Err(); err != nil {
+			return agg, err
+		}
 		pred := pap.New(cfg)
 		r := w.Reader(p.Instrs)
 		var rec trace.Rec
@@ -30,13 +37,20 @@ func standalonePAP(p Params, cfg pap.Config) predictor.Stats {
 			pred.PushLoad(rec.PC)
 		}
 	}
-	return agg
+	return agg, nil
 }
 
 // standaloneCAP mirrors standalonePAP for the CAP baseline.
-func standaloneCAP(p Params, cfg cap.Config) predictor.Stats {
+func standaloneCAP(p Params, cfg cap.Config) (predictor.Stats, error) {
 	var agg predictor.Stats
-	for _, w := range p.pool() {
+	pool, err := p.pool()
+	if err != nil {
+		return agg, err
+	}
+	for _, w := range pool {
+		if err := p.ctx().Err(); err != nil {
+			return agg, err
+		}
 		pred := cap.New(cfg)
 		r := w.Reader(p.Instrs)
 		var rec trace.Rec
@@ -50,24 +64,30 @@ func standaloneCAP(p Params, cfg cap.Config) predictor.Stats {
 			pred.Train(lk, rec.PC, rec.Addr)
 		}
 	}
-	return agg
+	return agg, nil
 }
 
 // Fig4 reproduces Figure 4: coverage and accuracy of PAP (confidence 8)
 // against CAP swept across confidence levels 3..64, as standalone address
 // predictors over the dynamic load stream.
-func Fig4(p Params) []*tabletext.Table {
+func Fig4(p Params) ([]*tabletext.Table, error) {
 	t := &tabletext.Table{
 		Title:  "Figure 4: standalone address prediction (all workloads aggregated)",
 		Header: []string{"predictor", "confidence", "coverage %", "accuracy %"},
 	}
-	papStats := standalonePAP(p, pap.DefaultConfig())
+	papStats, err := standalonePAP(p, pap.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
 	t.AddRow("PAP", 8, papStats.Coverage(), papStats.Accuracy())
 	var cap8 predictor.Stats
 	for _, conf := range []int{3, 8, 16, 24, 32, 64} {
 		cfg := cap.DefaultConfig()
 		cfg.Confidence = conf
-		s := standaloneCAP(p, cfg)
+		s, err := standaloneCAP(p, cfg)
+		if err != nil {
+			return nil, err
+		}
 		if conf == 8 {
 			cap8 = s
 		}
@@ -78,5 +98,5 @@ func Fig4(p Params) []*tabletext.Table {
 			papStats.Coverage(), papStats.Accuracy(), cap8.Coverage(), cap8.Accuracy()),
 		"expected shape: PAP acc > 99% at conf 8; CAP needs conf ~64 to match, losing coverage",
 	)
-	return []*tabletext.Table{t}
+	return []*tabletext.Table{t}, nil
 }

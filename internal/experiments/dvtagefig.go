@@ -14,13 +14,16 @@ import (
 // adder on the prediction path and a speculative last-value window. This
 // driver measures how the differential design compares against VTAGE and
 // DLVP on this repository's workload pool.
-func DVTAGEComparison(p Params) []*tabletext.Table {
-	results := runMatrix(p, map[string]config.Core{
+func DVTAGEComparison(p Params) ([]*tabletext.Table, error) {
+	results, err := runMatrix(p, map[string]config.Core{
 		"base":   config.Baseline(),
 		"vtage":  config.VTAGE(),
 		"dvtage": config.DVTAGE(),
 		"dlvp":   config.DLVP(),
 	})
+	if err != nil {
+		return nil, err
+	}
 	names := sortedNames(results)
 	t := &tabletext.Table{
 		Title:  "Extension: D-VTAGE vs VTAGE vs DLVP (per-workload speedup %)",
@@ -59,7 +62,7 @@ func DVTAGEComparison(p Params) []*tabletext.Table {
 		"avg coverage: VTAGE "+fmtPct(cv/k)+", D-VTAGE "+fmtPct(cd/k)+", DLVP "+fmtPct(cl/k),
 		"aggregate accuracy: VTAGE "+fmtPct(acc(pv, qv))+", D-VTAGE "+fmtPct(acc(pd, qd))+", DLVP "+fmtPct(acc(pl, ql)),
 		"D-VTAGE adds stride capture over VTAGE but still goes stale on non-strided conflicting stores")
-	return []*tabletext.Table{t}
+	return []*tabletext.Table{t}, nil
 }
 
 func fmtPct(v float64) string {

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"time"
+
+	"dlvp/internal/tabletext"
+)
+
+// Artifact is the machine-readable form of one regenerated experiment.
+// cmd/experiments -json and the HTTP daemon's /v1/experiments/{id} endpoint
+// share this shape, so scripted consumers see one schema everywhere.
+type Artifact struct {
+	ID        string             `json:"id"`
+	Name      string             `json:"name"`
+	Instrs    uint64             `json:"instrs"`
+	Workloads []string           `json:"workloads,omitempty"` // empty = full pool
+	ElapsedMS int64              `json:"elapsed_ms"`
+	Tables    []*tabletext.Table `json:"tables"`
+}
+
+// RunArtifact regenerates the experiment under p and wraps the tables in
+// the shared JSON payload.
+func (e Experiment) RunArtifact(p Params) (*Artifact, error) {
+	start := time.Now()
+	tables, err := e.Run(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{
+		ID:        e.ID,
+		Name:      e.Name,
+		Instrs:    p.Instrs,
+		Workloads: p.Workloads,
+		ElapsedMS: time.Since(start).Milliseconds(),
+		Tables:    tables,
+	}, nil
+}

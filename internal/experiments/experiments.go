@@ -1,20 +1,24 @@
 // Package experiments contains one driver per table and figure of the
 // paper's evaluation (Section 4-5). Each driver regenerates the artifact's
 // rows/series from the simulator and returns them as renderable tables plus
-// structured results, so both the CLI (cmd/experiments) and the benchmark
-// harness (bench_test.go) can replay them.
+// structured results, so the CLI (cmd/experiments), the HTTP daemon
+// (cmd/dlvpd) and the benchmark harness (bench_test.go) can replay them.
+//
+// All simulation goes through internal/runner: drivers build (workload x
+// config) job matrices and submit them to a shared engine, which bounds
+// parallelism, honours cancellation, and serves repeated jobs (the Table 4
+// baseline appears in most figures) from its content-addressed cache.
 package experiments
 
 import (
-	"fmt"
-	"runtime"
+	"context"
 	"sort"
 	"sync"
 
 	"dlvp/internal/config"
 	"dlvp/internal/metrics"
+	"dlvp/internal/runner"
 	"dlvp/internal/tabletext"
-	"dlvp/internal/uarch"
 	"dlvp/internal/workloads"
 )
 
@@ -27,6 +31,14 @@ type Params struct {
 	Workloads []string
 	// Parallel enables running workloads across CPUs.
 	Parallel bool
+	// Ctx cancels in-flight experiment work (nil = context.Background()).
+	Ctx context.Context `json:"-"`
+	// Runner executes the simulation jobs (nil = a process-wide shared
+	// engine with the default result cache).
+	Runner *runner.Runner `json:"-"`
+	// Progress, when non-nil, is called after each simulation job of a
+	// matrix completes.
+	Progress func(done, total int) `json:"-"`
 }
 
 // DefaultParams returns the standard experiment sizing.
@@ -34,71 +46,91 @@ func DefaultParams() Params {
 	return Params{Instrs: 300_000, Parallel: true}
 }
 
+var (
+	defaultRunnerOnce sync.Once
+	defaultRunner     *runner.Runner
+)
+
+// DefaultRunner returns the process-wide shared engine used when Params
+// does not name one. Its cache persists across experiments, so regenerating
+// several figures reuses their common baseline runs.
+func DefaultRunner() *runner.Runner {
+	defaultRunnerOnce.Do(func() { defaultRunner = runner.New(runner.Options{}) })
+	return defaultRunner
+}
+
+func (p Params) runner() *runner.Runner {
+	if p.Runner != nil {
+		return p.Runner
+	}
+	return DefaultRunner()
+}
+
+func (p Params) ctx() context.Context {
+	if p.Ctx != nil {
+		return p.Ctx
+	}
+	return context.Background()
+}
+
 // pool resolves the workload list.
-func (p Params) pool() []workloads.Workload {
+func (p Params) pool() ([]workloads.Workload, error) {
 	if len(p.Workloads) == 0 {
-		return workloads.All()
+		return workloads.All(), nil
 	}
 	var out []workloads.Workload
 	for _, name := range p.Workloads {
 		w, ok := workloads.ByName(name)
 		if !ok {
-			panic(fmt.Sprintf("experiments: unknown workload %q", name))
+			return nil, &runner.UnknownWorkloadError{Name: name}
 		}
 		out = append(out, w)
 	}
-	return out
+	return out, nil
 }
 
-// runOne simulates one workload under one configuration.
-func runOne(w workloads.Workload, cfg config.Core, instrs uint64) metrics.RunStats {
-	core := uarch.New(cfg, w.Build(), w.Reader(instrs))
-	return core.Run(0)
-}
+// runMatrix simulates every workload under every named configuration via
+// the runner, returning results[workloadName][schemeName]. Jobs are
+// submitted in deterministic (workload, scheme) order; the runner fans
+// them out across CPUs unless p.Parallel is off.
+func runMatrix(p Params, cfgs map[string]config.Core) (map[string]map[string]metrics.RunStats, error) {
+	pool, err := p.pool()
+	if err != nil {
+		return nil, err
+	}
+	schemes := make([]string, 0, len(cfgs))
+	for name := range cfgs {
+		schemes = append(schemes, name)
+	}
+	sort.Strings(schemes)
 
-// schemeRun is a (workload, scheme) simulation request.
-type schemeRun struct {
-	workload workloads.Workload
-	scheme   string
-	cfg      config.Core
-}
-
-// runMatrix simulates every workload under every named configuration,
-// returning results[workloadName][schemeName]. Runs are independent, so
-// they fan out across CPUs when p.Parallel is set.
-func runMatrix(p Params, cfgs map[string]config.Core) map[string]map[string]metrics.RunStats {
-	var reqs []schemeRun
-	for _, w := range p.pool() {
-		for name, cfg := range cfgs {
-			reqs = append(reqs, schemeRun{workload: w, scheme: name, cfg: cfg})
+	type slot struct{ workload, scheme string }
+	var jobs []runner.Job
+	var slots []slot
+	for _, w := range pool {
+		for _, scheme := range schemes {
+			jobs = append(jobs, runner.Job{Workload: w.Name, Config: cfgs[scheme], Instrs: p.Instrs})
+			slots = append(slots, slot{workload: w.Name, scheme: scheme})
 		}
 	}
-	results := make(map[string]map[string]metrics.RunStats)
-	for _, w := range p.pool() {
-		results[w.Name] = make(map[string]metrics.RunStats)
+
+	opt := runner.Matrix{Progress: p.Progress}
+	if !p.Parallel {
+		opt.MaxParallel = 1
 	}
-	var mu sync.Mutex
-	workers := 1
-	if p.Parallel {
-		workers = runtime.NumCPU()
+	stats, err := p.runner().RunAll(p.ctx(), jobs, opt)
+	if err != nil {
+		return nil, err
 	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for _, r := range reqs {
-		r := r
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			stats := runOne(r.workload, r.cfg, p.Instrs)
-			mu.Lock()
-			results[r.workload.Name][r.scheme] = stats
-			mu.Unlock()
-		}()
+
+	results := make(map[string]map[string]metrics.RunStats, len(pool))
+	for _, w := range pool {
+		results[w.Name] = make(map[string]metrics.RunStats, len(schemes))
 	}
-	wg.Wait()
-	return results
+	for i, s := range slots {
+		results[s.workload][s.scheme] = stats[i]
+	}
+	return results, nil
 }
 
 // sortedNames returns the workload names of a result matrix in order.
@@ -115,7 +147,7 @@ func sortedNames(results map[string]map[string]metrics.RunStats) []string {
 type Experiment struct {
 	ID   string // "fig1" .. "fig10", "tab1" .. "tab4"
 	Name string
-	Run  func(Params) []*tabletext.Table
+	Run  func(Params) ([]*tabletext.Table, error)
 }
 
 // All returns every experiment in paper order.

@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
+
+	"dlvp/internal/runner"
 )
 
 // tinyParams keeps experiment tests fast: two contrasting workloads, small
@@ -21,7 +25,10 @@ func TestAllExperimentsProduceTables(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			t.Parallel()
-			tables := e.Run(tinyParams())
+			tables, err := e.Run(tinyParams())
+			if err != nil {
+				t.Fatal(err)
+			}
 			if len(tables) == 0 {
 				t.Fatal("no tables")
 			}
@@ -54,21 +61,34 @@ func TestByID(t *testing.T) {
 	}
 }
 
-func TestUnknownWorkloadPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
+func TestUnknownWorkloadError(t *testing.T) {
 	p := Params{Instrs: 100, Workloads: []string{"ghost"}}
-	p.pool()
+	if _, err := p.pool(); err == nil {
+		t.Fatal("pool() accepted an unknown workload")
+	}
+	// The error must surface through every driver kind: a matrix
+	// experiment, a trace profile, and the standalone-predictor figure.
+	for _, id := range []string{"fig6", "fig1", "fig4", "tab3"} {
+		e, _ := ByID(id)
+		if _, err := e.Run(p); err == nil {
+			t.Errorf("%s.Run accepted an unknown workload", id)
+		} else {
+			var uw *runner.UnknownWorkloadError
+			if !errors.As(err, &uw) || uw.Name != "ghost" {
+				t.Errorf("%s.Run error = %v, want UnknownWorkloadError{ghost}", id, err)
+			}
+		}
+	}
 }
 
 func TestFig1ShapeCommittedDominates(t *testing.T) {
 	// Across the full pool, committed conflicts must dominate in-flight
 	// ones (the paper's ~2:1 split is the motivation for DLVP).
 	p := Params{Instrs: 20_000, Parallel: true}
-	tables := Fig1(p)
+	tables, err := Fig1(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := tables[0].String()
 	if !strings.Contains(out, "AVERAGE") {
 		t.Fatalf("no average row:\n%s", out)
@@ -94,7 +114,11 @@ func TestFig1ShapeCommittedDominates(t *testing.T) {
 
 func TestFig2ShapeAddressesVsValues(t *testing.T) {
 	p := Params{Instrs: 20_000, Parallel: true}
-	tb := Fig2(p)[0]
+	tbs, err := Fig2(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tbs[0]
 	// Cumulative columns must be non-increasing down the table.
 	prevA, prevV := 101.0, 101.0
 	for _, row := range tb.Rows {
@@ -109,7 +133,11 @@ func TestFig2ShapeAddressesVsValues(t *testing.T) {
 
 func TestFig4Shape(t *testing.T) {
 	p := Params{Instrs: 30_000, Parallel: true}
-	tb := Fig4(p)[0]
+	tbs, err := Fig4(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tbs[0]
 	if len(tb.Rows) != 7 {
 		t.Fatalf("rows = %d, want PAP + 6 CAP sweep points", len(tb.Rows))
 	}
@@ -141,4 +169,53 @@ func parsePct(t *testing.T, s string) float64 {
 		t.Fatalf("cannot parse %q: %v", s, err)
 	}
 	return v
+}
+
+// TestMatrixSerialParallelIdentical locks result determinism across worker
+// counts at the driver level: the same figure regenerated serially and in
+// parallel renders byte-identical tables.
+func TestMatrixSerialParallelIdentical(t *testing.T) {
+	render := func(parallel bool) string {
+		p := tinyParams()
+		p.Parallel = parallel
+		p.Runner = runner.New(runner.Options{})
+		tables, err := Fig5(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out strings.Builder
+		for _, tb := range tables {
+			out.WriteString(tb.String())
+		}
+		return out.String()
+	}
+	serial, parallel := render(false), render(true)
+	if serial != parallel {
+		t.Errorf("serial and parallel renders differ:\n%s\n---\n%s", serial, parallel)
+	}
+}
+
+// TestMatrixCancellation checks a cancelled context aborts a matrix driver.
+func TestMatrixCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := tinyParams()
+	p.Ctx = ctx
+	p.Runner = runner.New(runner.Options{})
+	if _, err := Fig6(p); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunArtifact checks the shared JSON payload wraps the same tables the
+// text path renders.
+func TestRunArtifact(t *testing.T) {
+	e, _ := ByID("tab4")
+	a, err := e.RunArtifact(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != "tab4" || len(a.Tables) == 0 || a.Instrs != tinyParams().Instrs {
+		t.Errorf("artifact = %+v", a)
+	}
 }

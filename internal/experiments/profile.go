@@ -22,14 +22,20 @@ const conflictWindow = 64
 // value produced by a store that occurred since the prior dynamic instance
 // of the same static load, split by whether that store would have committed
 // by the time the load is fetched.
-func Fig1(p Params) []*tabletext.Table {
+func Fig1(p Params) ([]*tabletext.Table, error) {
 	t := &tabletext.Table{
 		Title:  "Figure 1: dynamic loads whose value was produced since their prior instance (%)",
 		Header: []string{"workload", "Ld->St->Ld (committed)", "Ld->inflight-St->Ld", "total", "value changed"},
 	}
 	var sumC, sumI, sumV float64
-	pool := p.pool()
+	pool, err := p.pool()
+	if err != nil {
+		return nil, err
+	}
 	for _, w := range pool {
+		if err := p.ctx().Err(); err != nil {
+			return nil, err
+		}
 		prof := trace.NewConflictProfiler(conflictWindow)
 		r := w.Reader(p.Instrs)
 		var rec trace.Rec
@@ -51,16 +57,23 @@ func Fig1(p Params) []*tabletext.Table {
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("committed share of all conflicts: %.1f%% (paper: ~67%% are with previously committed stores)", frac),
 		fmt.Sprintf("in-flight horizon: %d instructions (typical fetch-to-commit distance; see conflictWindow)", conflictWindow))
-	return []*tabletext.Table{t}
+	return []*tabletext.Table{t}, nil
 }
 
 // Fig2 reproduces Figure 2: the breakdown of dynamic loads by how often the
 // observed address (value) repeats for that static load, averaged across
 // workloads, plus the cumulative curves behind the paper's "91% of loads
 // repeat an address >= 8 times vs 80% repeating a value >= 64 times".
-func Fig2(p Params) []*tabletext.Table {
+func Fig2(p Params) ([]*tabletext.Table, error) {
 	var all []trace.RepeatStats
-	for _, w := range p.pool() {
+	pool, err := p.pool()
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range pool {
+		if err := p.ctx().Err(); err != nil {
+			return nil, err
+		}
 		prof := trace.NewRepeatProfiler()
 		r := w.Reader(p.Instrs)
 		var rec trace.Rec
@@ -88,5 +101,5 @@ func Fig2(p Params) []*tabletext.Table {
 		fmt.Sprintf("loads with addresses repeating >= 8 times: %.1f%% (paper: 91%%)", m.AddrCumPct[idx8]),
 		fmt.Sprintf("loads with values repeating >= 64 times: %.1f%% (paper: 80%%)", m.ValueCumPct[idx64]),
 	)
-	return []*tabletext.Table{t}
+	return []*tabletext.Table{t}, nil
 }

@@ -31,11 +31,14 @@ func TestHeadlineShape(t *testing.T) {
 		},
 		Parallel: true,
 	}
-	results := runMatrix(p, map[string]config.Core{
+	results, err := runMatrix(p, map[string]config.Core{
 		"base":  config.Baseline(),
 		"dlvp":  config.DLVP(),
 		"vtage": config.VTAGE(),
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	names := sortedNames(results)
 
 	var spD, spV float64

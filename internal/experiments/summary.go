@@ -14,15 +14,20 @@ import (
 // Summary regenerates the headline paper-vs-measured comparison in one
 // table: the numbers EXPERIMENTS.md tracks. It reruns the underlying
 // measurements rather than quoting cached results.
-func Summary(p Params) []*tabletext.Table {
+func Summary(p Params) ([]*tabletext.Table, error) {
 	t := &tabletext.Table{
 		Title:  "Headline comparison: paper vs this reproduction",
 		Header: []string{"quantity", "paper", "measured"},
 	}
 
+	pool, err := p.pool()
+	if err != nil {
+		return nil, err
+	}
+
 	// Figure 1 aggregate: committed share of load-store conflicts.
 	var sumC, sumI float64
-	for _, w := range p.pool() {
+	for _, w := range pool {
 		prof := trace.NewConflictProfiler(conflictWindow)
 		r := w.Reader(p.Instrs)
 		var rec trace.Rec
@@ -41,7 +46,7 @@ func Summary(p Params) []*tabletext.Table {
 
 	// Figure 2 points.
 	var reps []trace.RepeatStats
-	for _, w := range p.pool() {
+	for _, w := range pool {
 		prof := trace.NewRepeatProfiler()
 		r := w.Reader(p.Instrs)
 		var rec trace.Rec
@@ -55,22 +60,31 @@ func Summary(p Params) []*tabletext.Table {
 	t.AddRow("loads with values repeating >=64x (fig 2)", "80%", fmt.Sprintf("%.1f%%", m.ValueCumPct[6]))
 
 	// Figure 4 standalone points.
-	papStats := standalonePAP(p, pap.DefaultConfig())
+	papStats, err := standalonePAP(p, pap.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
 	cap8cfg := cap.DefaultConfig()
 	cap8cfg.Confidence = 8
-	cap8 := standaloneCAP(p, cap8cfg)
+	cap8, err := standaloneCAP(p, cap8cfg)
+	if err != nil {
+		return nil, err
+	}
 	t.AddRow("PAP standalone coverage/accuracy (fig 4)", "37% / 99.1%",
 		fmt.Sprintf("%.1f%% / %.2f%%", papStats.Coverage(), papStats.Accuracy()))
 	t.AddRow("CAP@8 standalone coverage/accuracy (fig 4)", "29.5% / 97.7%",
 		fmt.Sprintf("%.1f%% / %.2f%%", cap8.Coverage(), cap8.Accuracy()))
 
 	// Figure 6 averages.
-	results := runMatrix(p, map[string]config.Core{
+	results, err := runMatrix(p, map[string]config.Core{
 		"base":  config.Baseline(),
 		"cap":   config.CAPDLVP(),
 		"vtage": config.VTAGE(),
 		"dlvp":  config.DLVP(),
 	})
+	if err != nil {
+		return nil, err
+	}
 	names := sortedNames(results)
 	avg := func(scheme string, f func(metrics.RunStats) float64) float64 {
 		var s float64
@@ -106,5 +120,5 @@ func Summary(p Params) []*tabletext.Table {
 	t.Notes = append(t.Notes,
 		"shapes, not absolute numbers, are the reproduction target: the substrate is a from-scratch simulator on synthetic kernels",
 		fmt.Sprintf("pool: %d workloads, %d instructions each", len(names), p.Instrs))
-	return []*tabletext.Table{t}
+	return []*tabletext.Table{t}, nil
 }

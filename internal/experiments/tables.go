@@ -11,7 +11,7 @@ import (
 
 // Tab1 reproduces Table 1: the fields of an APT entry and the resulting
 // storage budget.
-func Tab1(Params) []*tabletext.Table {
+func Tab1(Params) ([]*tabletext.Table, error) {
 	v8 := pap.New(pap.DefaultConfig())
 	v7cfg := pap.DefaultConfig()
 	v7cfg.AddrBits = 32
@@ -32,13 +32,13 @@ func Tab1(Params) []*tabletext.Table {
 		fmt.Sprintf("1k entries: %d / %d kbit total (paper: 50k / 67k bits plus optional way)",
 			v7.StorageBits()/1024, v8.StorageBits()/1024),
 	)
-	return []*tabletext.Table{t}
+	return []*tabletext.Table{t}, nil
 }
 
 // Tab2 reproduces Table 2: area and per-access energy of the three value
 // prediction engine designs, normalized to Design #1, assuming 30% of
 // register values read/written are predicted.
-func Tab2(Params) []*tabletext.Table {
+func Tab2(Params) ([]*tabletext.Table, error) {
 	t := &tabletext.Table{
 		Title:  "Table 2: VPE designs, area and energy normalized to Design #1 (30% predicted)",
 		Header: []string{"design", "area", "read energy", "write energy"},
@@ -49,29 +49,33 @@ func Tab2(Params) []*tabletext.Table {
 	t.Notes = append(t.Notes,
 		"paper: PVT 0.06/0.10/0.07; design #2 1.16/1.10/1.51; design #3 1.06/0.80/1.07",
 		"shape to check: the PVT is tiny; widening the PRF (design #2) costs more than adding the PVT (design #3); design #3 cuts read energy and slightly raises write energy")
-	return []*tabletext.Table{t}
+	return []*tabletext.Table{t}, nil
 }
 
 // Tab3 reproduces Table 3: the application pool (here, the synthetic
 // kernels standing in for the paper's benchmark suites, with the phenomena
 // each one exercises).
-func Tab3(p Params) []*tabletext.Table {
+func Tab3(p Params) ([]*tabletext.Table, error) {
 	t := &tabletext.Table{
 		Title:  "Table 3: applications used in the evaluation",
 		Header: []string{"workload", "suite", "exercises"},
 	}
-	for _, w := range p.pool() {
+	pool, err := p.pool()
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range pool {
 		desc := w.Description
 		if len(desc) > 96 {
 			desc = desc[:93] + "..."
 		}
 		t.AddRow(w.Name, w.Suite, desc)
 	}
-	return []*tabletext.Table{t}
+	return []*tabletext.Table{t}, nil
 }
 
 // Tab4 reproduces Table 4: the baseline core configuration.
-func Tab4(Params) []*tabletext.Table {
+func Tab4(Params) ([]*tabletext.Table, error) {
 	c := config.Baseline()
 	t := &tabletext.Table{
 		Title:  "Table 4: baseline core configuration",
@@ -94,7 +98,7 @@ func Tab4(Params) []*tabletext.Table {
 	t.AddRow("MDP", "21264-style store-wait table")
 	t.AddRow("DLVP", fmt.Sprintf("1k-entry APT, 16-bit load-path history, %d-entry PAQ, %d-entry PVT, 4-entry LSCD",
 		c.PAQEntries, c.PVTEntries))
-	return []*tabletext.Table{t}
+	return []*tabletext.Table{t}, nil
 }
 
 // NewTAGEBudgetKB reports the direction predictor's storage class in KB.

@@ -19,14 +19,17 @@ var fig5Subset = []string{"h264ref", "bzip2", "libquantum", "mcf", "soplex", "om
 // Fig5 reproduces Figure 5: the benefit of DLVP-generated prefetches —
 // speedup of DLVP with the probe-miss prefetch enabled vs disabled, plus
 // the fraction of loads for which DLVP generated a prefetch.
-func Fig5(p Params) []*tabletext.Table {
+func Fig5(p Params) ([]*tabletext.Table, error) {
 	noPf := config.DLVP()
 	noPf.VP.ProbePrefetch = false
-	results := runMatrix(p, map[string]config.Core{
+	results, err := runMatrix(p, map[string]config.Core{
 		"base":    config.Baseline(),
 		"dlvp":    config.DLVP(),
 		"dlvp-no": noPf,
 	})
+	if err != nil {
+		return nil, err
+	}
 	t := &tabletext.Table{
 		Title:  "Figure 5: benefit of DLVP-generated prefetches",
 		Header: []string{"workload", "speedup pf-on %", "speedup pf-off %", "delta %", "loads prefetched %"},
@@ -52,7 +55,7 @@ func Fig5(p Params) []*tabletext.Table {
 	t.AddRow("AVERAGE(all)", dOn/n, dOff/n, (dOn-dOff)/n, dFrac/n)
 	t.Notes = append(t.Notes,
 		"paper: fraction prefetched is tiny (0.3% average) and the feature adds only ~0.1% speedup")
-	return []*tabletext.Table{t}
+	return []*tabletext.Table{t}, nil
 }
 
 // aggAcc returns pooled accuracy (correct/predicted) in percent.
@@ -76,13 +79,16 @@ func inSubset(name string, set []string) bool {
 // schemes. 6a: per-workload speedup; 6b: coverage; 6c: total core energy
 // normalized to the no-value-prediction baseline; 6d: predictor structure
 // area and access energy normalized to PAP.
-func Fig6(p Params) []*tabletext.Table {
-	results := runMatrix(p, map[string]config.Core{
+func Fig6(p Params) ([]*tabletext.Table, error) {
+	results, err := runMatrix(p, map[string]config.Core{
 		"base":  config.Baseline(),
 		"cap":   config.CAPDLVP(),
 		"vtage": config.VTAGE(),
 		"dlvp":  config.DLVP(),
 	})
+	if err != nil {
+		return nil, err
+	}
 	names := sortedNames(results)
 
 	a := &tabletext.Table{
@@ -142,7 +148,7 @@ func Fig6(p Params) []*tabletext.Table {
 	c.Notes = append(c.Notes, "paper: DLVP's speedup offsets its double cache probing; average energy on par with VTAGE")
 
 	d := fig6dTable()
-	return []*tabletext.Table{a, b, c, d}
+	return []*tabletext.Table{a, b, c, d}, nil
 }
 
 // fig6dTable computes Figure 6d: predictor structure area and access energy
@@ -169,13 +175,16 @@ func fig6dTable() *tabletext.Table {
 // chooser — average speedup and coverage of each scheme alone and combined
 // (8a), and the breakdown of which component supplied the committed
 // predictions (8b).
-func Fig8(p Params) []*tabletext.Table {
-	results := runMatrix(p, map[string]config.Core{
+func Fig8(p Params) ([]*tabletext.Table, error) {
+	results, err := runMatrix(p, map[string]config.Core{
 		"base":       config.Baseline(),
 		"dlvp":       config.DLVP(),
 		"vtage":      config.VTAGE(),
 		"tournament": config.Tournament(),
 	})
+	if err != nil {
+		return nil, err
+	}
 	names := sortedNames(results)
 	a := &tabletext.Table{
 		Title:  "Figure 8a: average speedup and coverage, alone vs combined",
@@ -214,7 +223,7 @@ func Fig8(p Params) []*tabletext.Table {
 	b.AddRow("DLVP", predD, 100*float64(predD)/tot)
 	b.AddRow("VTAGE", predV, 100*float64(predV)/tot)
 	b.Notes = append(b.Notes, "paper: DLVP supplies more of the final predictions (18.2% vs 16.1% of loads)")
-	return []*tabletext.Table{a, b}
+	return []*tabletext.Table{a, b}, nil
 }
 
 // fig9Subset is the paper's Figure 9 selection.
@@ -223,14 +232,17 @@ var fig9Subset = []string{"bzip2", "pdfjs", "gcc", "soplex", "avmshell"}
 // Fig9 reproduces Figure 9: benchmarks where speedup does not track
 // coverage, along with the TLB behaviour (DLVP probes the TLB twice per
 // predicted load, helping on some workloads and hurting on others).
-func Fig9(p Params) []*tabletext.Table {
+func Fig9(p Params) ([]*tabletext.Table, error) {
 	sub := p
 	sub.Workloads = fig9Subset
-	results := runMatrix(sub, map[string]config.Core{
+	results, err := runMatrix(sub, map[string]config.Core{
 		"base":  config.Baseline(),
 		"dlvp":  config.DLVP(),
 		"vtage": config.VTAGE(),
 	})
+	if err != nil {
+		return nil, err
+	}
 	t := &tabletext.Table{
 		Title: "Figure 9: speedup vs coverage decoupling on selected benchmarks",
 		Header: []string{"workload", "DLVP speedup %", "DLVP cov %", "DLVP acc %",
@@ -248,7 +260,7 @@ func Fig9(p Params) []*tabletext.Table {
 	}
 	t.Notes = append(t.Notes,
 		"paper: bzip2 suffers a higher TLB miss rate under DLVP (double probing); avmshell the opposite")
-	return []*tabletext.Table{t}
+	return []*tabletext.Table{t}, nil
 }
 
 // Fig10 reproduces Figure 10: average speedup of CAP, DLVP and VTAGE under
@@ -256,7 +268,7 @@ func Fig9(p Params) []*tabletext.Table {
 // misprediction into a no-prediction. As an extension, it also measures the
 // *real* selective-replay mechanism the paper leaves as future work
 // (Section 5.2.4): transitive dependents of a mispredicted load re-execute.
-func Fig10(p Params) []*tabletext.Table {
+func Fig10(p Params) ([]*tabletext.Table, error) {
 	oracle := func(c config.Core) config.Core {
 		c.VP.OracleReplay = true
 		return c
@@ -265,7 +277,7 @@ func Fig10(p Params) []*tabletext.Table {
 		c.VP.SelectiveReplay = true
 		return c
 	}
-	results := runMatrix(p, map[string]config.Core{
+	results, err := runMatrix(p, map[string]config.Core{
 		"base":     config.Baseline(),
 		"cap":      config.CAPDLVP(),
 		"dlvp":     config.DLVP(),
@@ -277,6 +289,9 @@ func Fig10(p Params) []*tabletext.Table {
 		"dlvp-sr":  replay(config.DLVP()),
 		"vtage-sr": replay(config.VTAGE()),
 	})
+	if err != nil {
+		return nil, err
+	}
 	names := sortedNames(results)
 	t := &tabletext.Table{
 		Title:  "Figure 10: average speedup by recovery mechanism (%)",
@@ -301,5 +316,5 @@ func Fig10(p Params) []*tabletext.Table {
 		"paper: CAP gains the most from replay (2.3%->4.2%: its accuracy is lowest); VTAGE and DLVP gain ~0.7-0.8%",
 		"oracle replay: a would-be misprediction is treated as if the load had never been predicted",
 		"selective replay (this repo's extension of the paper's future work): dependents re-execute; bounded above by the oracle")
-	return []*tabletext.Table{t}
+	return []*tabletext.Table{t}, nil
 }

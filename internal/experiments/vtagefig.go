@@ -14,7 +14,7 @@ import (
 // vanilla VTAGE (multi-destination loads wreck it), static beats dynamic
 // (no training mispredictions), and loads-only beats all-instructions at a
 // modest predictor budget.
-func Fig7(p Params) []*tabletext.Table {
+func Fig7(p Params) ([]*tabletext.Table, error) {
 	mk := func(filter vtage.FilterKind, loadsOnly bool) config.Core {
 		c := config.VTAGE()
 		c.VP.VTAGE.Filter = filter
@@ -30,7 +30,10 @@ func Fig7(p Params) []*tabletext.Table {
 		"dynamic-all":   mk(vtage.FilterDynamic, false),
 		"static-all":    mk(vtage.FilterStatic, false),
 	}
-	results := runMatrix(p, cfgs)
+	results, err := runMatrix(p, cfgs)
+	if err != nil {
+		return nil, err
+	}
 	names := sortedNames(results)
 
 	t := &tabletext.Table{
@@ -56,5 +59,5 @@ func Fig7(p Params) []*tabletext.Table {
 	t.Notes = append(t.Notes,
 		"paper: static filter > dynamic filter > vanilla; loads-only > all-instructions at an 8KB budget",
 		"coverage denominators differ: loads-only counts loads, all counts every value-producing instruction")
-	return []*tabletext.Table{t}
+	return []*tabletext.Table{t}, nil
 }

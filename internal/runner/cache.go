@@ -1,0 +1,73 @@
+package runner
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a concurrency-safe fixed-capacity least-recently-used cache keyed
+// by content-address strings. The runner uses one for simulation results;
+// the HTTP server uses another for whole experiment artifacts.
+type LRU[V any] struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+// NewLRU returns a cache holding at most capacity entries (minimum 1).
+func NewLRU[V any](capacity int) *LRU[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[V]{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *LRU[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes a value, evicting the least recently used entry
+// when over capacity.
+func (c *LRU[V]) Put(key string, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry[V]).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: v})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry[V]).key)
+	}
+}
+
+// Len reports the current entry count.
+func (c *LRU[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Cap reports the capacity.
+func (c *LRU[V]) Cap() int { return c.cap }

@@ -1,0 +1,361 @@
+// Package runner is the repository's simulation execution engine. Every
+// subsystem that needs a timing simulation — the experiment drivers, the
+// CLIs, the benchmark harness and the HTTP daemon — submits Jobs here
+// instead of spawning its own goroutines.
+//
+// The engine provides:
+//
+//   - a job abstraction: Job{Workload, Config, Instrs} -> metrics.RunStats;
+//   - a bounded worker pool whose slots are acquired *inside* the worker
+//     goroutine, so submission never blocks and cancellation via
+//     context.Context is honoured while a job is still queued;
+//   - a content-addressed, in-memory LRU result cache keyed by
+//     hash(workload, canonical-config, instrs), so identical runs (common
+//     across the paper's figures, which all re-simulate the Table 4
+//     baseline) are computed exactly once;
+//   - coalescing of concurrent identical jobs (single-flight): a duplicate
+//     submitted while its twin is still simulating waits for that result
+//     instead of burning a second worker;
+//   - deterministic aggregation (RunAll returns results in submission
+//     order regardless of completion order), progress callbacks, and
+//     engine-level statistics (queue depths, cache hit ratio, aggregate
+//     simulated-instructions per second).
+package runner
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dlvp/internal/config"
+	"dlvp/internal/metrics"
+	"dlvp/internal/uarch"
+	"dlvp/internal/workloads"
+)
+
+// Job is one simulation request: run the named workload for Instrs dynamic
+// instructions under Config. Jobs are pure values; two jobs with equal
+// fields are the same computation and share one cache entry.
+type Job struct {
+	Workload string      `json:"workload"`
+	Config   config.Core `json:"config"`
+	Instrs   uint64      `json:"instrs"`
+}
+
+// Key returns the job's content address: a hex SHA-256 over the canonical
+// encoding of (workload, config, instrs). Configurations are plain data
+// (no funcs, no maps), so their JSON encoding is canonical: struct fields
+// marshal in declaration order.
+func (j Job) Key() (string, error) {
+	enc, err := json.Marshal(j)
+	if err != nil {
+		return "", fmt.Errorf("runner: canonicalize job: %w", err)
+	}
+	sum := sha256.Sum256(enc)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// UnknownWorkloadError reports a job naming a workload that is not in the
+// registry. Callers (CLIs, the HTTP server) unwrap it to produce a helpful
+// "known workloads" message.
+type UnknownWorkloadError struct {
+	Name string
+}
+
+func (e *UnknownWorkloadError) Error() string {
+	return fmt.Sprintf("unknown workload %q", e.Name)
+}
+
+// DefaultCacheEntries is the result-cache capacity when Options.CacheEntries
+// is zero. A RunStats is a few hundred bytes, so the default costs ~1-2 MB.
+const DefaultCacheEntries = 4096
+
+// Options parameterises a Runner.
+type Options struct {
+	// Workers bounds concurrent simulations (<= 0: runtime.NumCPU()).
+	Workers int
+	// CacheEntries sizes the result cache. 0 selects DefaultCacheEntries;
+	// a negative value disables caching (the benchmark harness does this so
+	// every iteration measures a real simulation).
+	CacheEntries int
+}
+
+// Runner executes simulation jobs on a bounded pool with result caching.
+// The zero value is not usable; construct with New.
+type Runner struct {
+	workers int
+	sem     chan struct{}
+	cache   *LRU[metrics.RunStats]
+
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	queued    atomic.Int64
+	running   atomic.Int64
+	done      atomic.Int64
+	failed    atomic.Int64
+	executed  atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	instrs    atomic.Uint64
+	simNanos  atomic.Int64
+}
+
+// flight is one in-progress computation of a job key; duplicates wait on
+// done instead of re-simulating.
+type flight struct {
+	done  chan struct{}
+	stats metrics.RunStats
+	err   error
+}
+
+// New returns a runner with the given options.
+func New(opts Options) *Runner {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	var cache *LRU[metrics.RunStats]
+	switch {
+	case opts.CacheEntries == 0:
+		cache = NewLRU[metrics.RunStats](DefaultCacheEntries)
+	case opts.CacheEntries > 0:
+		cache = NewLRU[metrics.RunStats](opts.CacheEntries)
+	}
+	return &Runner{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		cache:   cache,
+		flights: make(map[string]*flight),
+	}
+}
+
+// Workers reports the pool bound.
+func (r *Runner) Workers() int { return r.workers }
+
+// Run executes one job, returning its statistics and whether the result
+// was served from the cache (or coalesced onto a concurrent twin). It
+// blocks until the job finishes, the result is found, or ctx is cancelled
+// while the job is still waiting for a worker slot.
+func (r *Runner) Run(ctx context.Context, job Job) (metrics.RunStats, bool, error) {
+	var zero metrics.RunStats
+	if err := ctx.Err(); err != nil {
+		return zero, false, err
+	}
+	w, ok := workloads.ByName(job.Workload)
+	if !ok {
+		r.failed.Add(1)
+		return zero, false, &UnknownWorkloadError{Name: job.Workload}
+	}
+	key, err := job.Key()
+	if err != nil {
+		r.failed.Add(1)
+		return zero, false, err
+	}
+
+	if r.cache != nil {
+		if st, ok := r.cache.Get(key); ok {
+			r.hits.Add(1)
+			r.done.Add(1)
+			return st, true, nil
+		}
+	}
+
+	r.mu.Lock()
+	if fl, ok := r.flights[key]; ok {
+		r.mu.Unlock()
+		select {
+		case <-fl.done:
+			if fl.err != nil {
+				r.failed.Add(1)
+				return zero, false, fl.err
+			}
+			r.coalesced.Add(1)
+			r.done.Add(1)
+			return fl.stats, true, nil
+		case <-ctx.Done():
+			r.failed.Add(1)
+			return zero, false, ctx.Err()
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	r.flights[key] = fl
+	r.mu.Unlock()
+	if r.cache != nil {
+		r.misses.Add(1)
+	}
+
+	st, err := r.lead(ctx, key, fl, w, job)
+	if err != nil {
+		r.failed.Add(1)
+		return zero, false, err
+	}
+	r.done.Add(1)
+	return st, false, nil
+}
+
+// lead simulates a job as the unique owner of its flight, publishing the
+// outcome to any coalesced waiters and to the cache.
+func (r *Runner) lead(ctx context.Context, key string, fl *flight, w workloads.Workload, job Job) (st metrics.RunStats, err error) {
+	defer func() {
+		fl.stats, fl.err = st, err
+		r.mu.Lock()
+		delete(r.flights, key)
+		r.mu.Unlock()
+		close(fl.done)
+	}()
+
+	// The worker slot is acquired here, inside the worker's own goroutine,
+	// never by the submitter — so a cancelled matrix abandons its queued
+	// jobs immediately instead of serialising on submission.
+	r.queued.Add(1)
+	select {
+	case r.sem <- struct{}{}:
+		r.queued.Add(-1)
+	case <-ctx.Done():
+		r.queued.Add(-1)
+		return st, ctx.Err()
+	}
+	defer func() { <-r.sem }()
+
+	r.running.Add(1)
+	start := time.Now()
+	core := uarch.New(job.Config, w.Build(), w.Reader(job.Instrs))
+	st = core.Run(0)
+	r.simNanos.Add(int64(time.Since(start)))
+	r.running.Add(-1)
+	r.executed.Add(1)
+	r.instrs.Add(st.Instructions)
+
+	if r.cache != nil {
+		r.cache.Put(key, st)
+	}
+	return st, nil
+}
+
+// Matrix parameterises a RunAll call.
+type Matrix struct {
+	// MaxParallel additionally bounds this call's concurrency below the
+	// runner's pool size (<= 0: bounded only by the pool). The experiment
+	// drivers use 1 for their -serial mode.
+	MaxParallel int
+	// Progress, when non-nil, is invoked after each job completes, with the
+	// number done so far and the total. Calls are serialised.
+	Progress func(done, total int)
+}
+
+// RunAll executes every job, fanning out across the pool, and returns the
+// results in submission order (deterministic aggregation regardless of
+// completion order). On cancellation it returns ctx.Err(); the first
+// job-level error otherwise. Results of jobs that did not run are zero.
+func (r *Runner) RunAll(ctx context.Context, jobs []Job, opt Matrix) ([]metrics.RunStats, error) {
+	results := make([]metrics.RunStats, len(jobs))
+	var local chan struct{}
+	if opt.MaxParallel > 0 {
+		local = make(chan struct{}, opt.MaxParallel)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		nDone    int
+	)
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if local != nil {
+				select {
+				case local <- struct{}{}:
+					defer func() { <-local }()
+				case <-ctx.Done():
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = ctx.Err()
+					}
+					mu.Unlock()
+					return
+				}
+			}
+			st, _, err := r.Run(ctx, jobs[i])
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			results[i] = st
+			nDone++
+			if opt.Progress != nil {
+				opt.Progress(nDone, len(jobs))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, firstErr
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	Workers         int     `json:"workers"`
+	JobsQueued      int64   `json:"jobs_queued"`  // waiting for a worker slot now
+	JobsRunning     int64   `json:"jobs_running"` // simulating now
+	JobsDone        int64   `json:"jobs_done"`    // completed, incl. cached/coalesced
+	JobsFailed      int64   `json:"jobs_failed"`
+	SimsExecuted    int64   `json:"sims_executed"` // simulations actually run
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	Coalesced       int64   `json:"coalesced"` // duplicates that waited on a twin
+	CacheEntries    int     `json:"cache_entries"`
+	CacheCapacity   int     `json:"cache_capacity"`
+	InstrsSimulated uint64  `json:"instrs_simulated"`
+	SimSeconds      float64 `json:"sim_seconds"`    // aggregate worker-seconds spent simulating
+	InstrsPerSec    float64 `json:"instrs_per_sec"` // InstrsSimulated / SimSeconds
+}
+
+// HitRatio returns cache hits (including coalesced twins) over all cache
+// lookups, in [0, 1].
+func (s Stats) HitRatio() float64 {
+	total := s.CacheHits + s.Coalesced + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits+s.Coalesced) / float64(total)
+}
+
+// Stats snapshots the engine counters.
+func (r *Runner) Stats() Stats {
+	s := Stats{
+		Workers:         r.workers,
+		JobsQueued:      r.queued.Load(),
+		JobsRunning:     r.running.Load(),
+		JobsDone:        r.done.Load(),
+		JobsFailed:      r.failed.Load(),
+		SimsExecuted:    r.executed.Load(),
+		CacheHits:       r.hits.Load(),
+		CacheMisses:     r.misses.Load(),
+		Coalesced:       r.coalesced.Load(),
+		InstrsSimulated: r.instrs.Load(),
+		SimSeconds:      float64(r.simNanos.Load()) / 1e9,
+	}
+	if r.cache != nil {
+		s.CacheEntries = r.cache.Len()
+		s.CacheCapacity = r.cache.Cap()
+	}
+	if s.SimSeconds > 0 {
+		s.InstrsPerSec = float64(s.InstrsSimulated) / s.SimSeconds
+	}
+	return s
+}

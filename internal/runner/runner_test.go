@@ -1,0 +1,251 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"dlvp/internal/config"
+)
+
+const testInstrs = 4_000
+
+func testJob(workload string, instrs uint64) Job {
+	return Job{Workload: workload, Config: config.Baseline(), Instrs: instrs}
+}
+
+func TestJobKeyCanonical(t *testing.T) {
+	a, err := testJob("perlbmk", testInstrs).Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := testJob("perlbmk", testInstrs).Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("identical jobs hash differently: %s vs %s", a, b)
+	}
+	if k, _ := testJob("perlbmk", testInstrs+1).Key(); k == a {
+		t.Error("instruction budget not part of the content address")
+	}
+	if k, _ := testJob("mcf", testInstrs).Key(); k == a {
+		t.Error("workload not part of the content address")
+	}
+	dlvp := Job{Workload: "perlbmk", Config: config.DLVP(), Instrs: testInstrs}
+	if k, _ := dlvp.Key(); k == a {
+		t.Error("configuration not part of the content address")
+	}
+}
+
+func TestUnknownWorkloadError(t *testing.T) {
+	r := New(Options{Workers: 1})
+	_, _, err := r.Run(context.Background(), testJob("ghost", testInstrs))
+	var uw *UnknownWorkloadError
+	if !errors.As(err, &uw) {
+		t.Fatalf("err = %v, want UnknownWorkloadError", err)
+	}
+	if uw.Name != "ghost" {
+		t.Errorf("error names %q, want ghost", uw.Name)
+	}
+}
+
+// TestCacheSingleExecution locks the tentpole property: an identical job
+// submitted twice returns byte-identical RunStats with exactly one
+// simulation executed.
+func TestCacheSingleExecution(t *testing.T) {
+	r := New(Options{Workers: 2})
+	ctx := context.Background()
+	job := testJob("perlbmk", testInstrs)
+
+	first, cached, err := r.Run(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("first run reported as cached")
+	}
+	second, cached, err := r.Run(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Error("second identical run not served from cache")
+	}
+
+	fb, _ := json.Marshal(first)
+	sb, _ := json.Marshal(second)
+	if string(fb) != string(sb) {
+		t.Errorf("cached result not byte-identical:\n%s\n%s", fb, sb)
+	}
+
+	s := r.Stats()
+	if s.SimsExecuted != 1 {
+		t.Errorf("SimsExecuted = %d, want 1", s.SimsExecuted)
+	}
+	if s.CacheHits != 1 {
+		t.Errorf("CacheHits = %d, want 1", s.CacheHits)
+	}
+	if s.CacheMisses != 1 {
+		t.Errorf("CacheMisses = %d, want 1", s.CacheMisses)
+	}
+	if got := s.HitRatio(); got != 0.5 {
+		t.Errorf("HitRatio = %v, want 0.5", got)
+	}
+	if s.InstrsSimulated == 0 || s.SimSeconds <= 0 || s.InstrsPerSec <= 0 {
+		t.Errorf("throughput counters not populated: %+v", s)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	r := New(Options{Workers: 1, CacheEntries: -1})
+	ctx := context.Background()
+	job := testJob("perlbmk", testInstrs)
+	for i := 0; i < 2; i++ {
+		if _, cached, err := r.Run(ctx, job); err != nil || cached {
+			t.Fatalf("run %d: cached=%v err=%v, want fresh execution", i, cached, err)
+		}
+	}
+	if s := r.Stats(); s.SimsExecuted != 2 || s.CacheCapacity != 0 {
+		t.Errorf("stats = %+v, want 2 executions and no cache", s)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewLRU[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a") // refresh a; b becomes LRU
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Error("a should have survived")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+// TestCoalescing submits the same job concurrently on an idle pool and
+// checks only one simulation ran.
+func TestCoalescing(t *testing.T) {
+	r := New(Options{Workers: runtime.NumCPU()})
+	ctx := context.Background()
+	job := testJob("mcf", testInstrs)
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = r.Run(ctx, job)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if s := r.Stats(); s.SimsExecuted != 1 {
+		t.Errorf("SimsExecuted = %d, want 1 (rest cached or coalesced)", s.SimsExecuted)
+	}
+}
+
+// matrixJobs builds a small (workload x config) matrix with distinct cache
+// keys.
+func matrixJobs() []Job {
+	var jobs []Job
+	for _, w := range []string{"perlbmk", "mcf", "nat"} {
+		for _, cfg := range []config.Core{config.Baseline(), config.DLVP()} {
+			jobs = append(jobs, Job{Workload: w, Config: cfg, Instrs: testInstrs})
+		}
+	}
+	return jobs
+}
+
+// TestRunAllWorkerCountIndependence locks deterministic aggregation: the
+// same matrix run on one worker and on NumCPU workers yields identical
+// results in identical order.
+func TestRunAllWorkerCountIndependence(t *testing.T) {
+	ctx := context.Background()
+	serial, err := New(Options{Workers: 1}).RunAll(ctx, matrixJobs(), Matrix{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := New(Options{Workers: runtime.NumCPU()}).RunAll(ctx, matrixJobs(), Matrix{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("matrix results depend on worker count")
+	}
+}
+
+func TestRunAllProgress(t *testing.T) {
+	var calls []int
+	_, err := New(Options{Workers: 2}).RunAll(context.Background(), matrixJobs(), Matrix{
+		Progress: func(done, total int) {
+			if total != 6 {
+				t.Errorf("total = %d, want 6", total)
+			}
+			calls = append(calls, done)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 6 || calls[len(calls)-1] != 6 {
+		t.Errorf("progress calls = %v, want 1..6", calls)
+	}
+}
+
+// TestRunAllCancelMidMatrix cancels after the first completion and checks
+// that queued jobs never start (the pool acquires its slot inside the
+// worker, under the caller's context).
+func TestRunAllCancelMidMatrix(t *testing.T) {
+	r := New(Options{Workers: 1, CacheEntries: -1})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Plenty of distinct jobs so cancellation lands while most still queue.
+	var jobs []Job
+	for _, w := range []string{"perlbmk", "mcf", "nat", "gap", "twolf", "soplex"} {
+		for _, instrs := range []uint64{testInstrs, testInstrs + 1, testInstrs + 2} {
+			jobs = append(jobs, testJob(w, instrs))
+		}
+	}
+	_, err := r.RunAll(ctx, jobs, Matrix{
+		Progress: func(done, total int) {
+			if done == 1 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s := r.Stats(); s.SimsExecuted >= int64(len(jobs)) {
+		t.Errorf("SimsExecuted = %d of %d; cancellation did not stop the matrix", s.SimsExecuted, len(jobs))
+	}
+}
+
+// TestRunCancelledContext checks a pre-cancelled submission never runs.
+func TestRunCancelledContext(t *testing.T) {
+	r := New(Options{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := r.Run(ctx, testJob("perlbmk", testInstrs)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s := r.Stats(); s.SimsExecuted != 0 {
+		t.Errorf("SimsExecuted = %d, want 0", s.SimsExecuted)
+	}
+}

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Job lifecycle states reported by GET /v1/jobs/{id}.
+const (
+	statusQueued  = "queued"
+	statusRunning = "running"
+	statusDone    = "done"
+	statusError   = "error"
+)
+
+// asyncJob is one background submission (a run or an experiment) tracked
+// for polling.
+type asyncJob struct {
+	mu       sync.Mutex
+	id       string
+	kind     string // "run" | "experiment"
+	status   string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	result   any
+	errMsg   string
+}
+
+func (j *asyncJob) setRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.status = statusRunning
+	j.started = time.Now()
+}
+
+func (j *asyncJob) finish(result any, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	if err != nil {
+		j.status = statusError
+		j.errMsg = err.Error()
+		return
+	}
+	j.status = statusDone
+	j.result = result
+}
+
+// jobView is the polling wire shape.
+type jobView struct {
+	ID         string     `json:"id"`
+	Kind       string     `json:"kind"`
+	Status     string     `json:"status"`
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	Result     any        `json:"result,omitempty"`
+	Error      string     `json:"error,omitempty"`
+}
+
+func (j *asyncJob) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		ID:        j.id,
+		Kind:      j.kind,
+		Status:    j.status,
+		CreatedAt: j.created,
+		Result:    j.result,
+		Error:     j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	return v
+}
+
+func (j *asyncJob) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == statusDone || j.status == statusError
+}
+
+// jobStore tracks async jobs, evicting the oldest finished records beyond
+// its capacity so the daemon's memory stays bounded.
+type jobStore struct {
+	mu    sync.Mutex
+	jobs  map[string]*asyncJob
+	order []string // insertion order, for eviction
+	max   int
+}
+
+func newJobStore(max int) *jobStore {
+	if max < 1 {
+		max = 1
+	}
+	return &jobStore{jobs: make(map[string]*asyncJob), max: max}
+}
+
+func newJobID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; fall back to a
+		// time-derived id rather than crashing the daemon.
+		return hex.EncodeToString([]byte(time.Now().Format("150405.000000000")))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func (s *jobStore) add(kind string) *asyncJob {
+	j := &asyncJob{
+		id:      newJobID(),
+		kind:    kind,
+		status:  statusQueued,
+		created: time.Now(),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	return j
+}
+
+// evictLocked drops the oldest *finished* jobs beyond capacity; in-flight
+// jobs are never evicted.
+func (s *jobStore) evictLocked() {
+	if len(s.jobs) <= s.max {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		if len(s.jobs) > s.max && j.terminal() {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *jobStore) get(id string) (*asyncJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// counts returns tracked job totals by status.
+func (s *jobStore) counts() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[string]int{statusQueued: 0, statusRunning: 0, statusDone: 0, statusError: 0}
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		out[j.status]++
+		j.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,527 @@
+// Package server exposes the simulator as a service: an HTTP API over the
+// runner engine (internal/runner) that can execute single simulations,
+// regenerate any paper artifact as JSON, poll async jobs, and report
+// engine statistics (queue depths, cache hit ratios, simulated
+// instructions per second).
+//
+// Endpoints:
+//
+//	GET  /healthz                liveness probe
+//	GET  /metrics                plain-text counters (Prometheus-style)
+//	GET  /v1/stats               engine + cache statistics as JSON
+//	GET  /v1/workloads           the bundled workload pool
+//	GET  /v1/experiments         the regenerable artifacts
+//	POST /v1/runs                one simulation (workload, scheme, instrs)
+//	POST /v1/experiments/{id}    regenerate a paper artifact as JSON
+//	GET  /v1/jobs/{id}           poll an async submission
+//
+// POST bodies accept "async": true, turning the request into a job whose
+// status and result are polled from /v1/jobs/{id}. Identical work is
+// served from two content-addressed caches: the runner's per-simulation
+// result cache and the server's whole-artifact cache.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dlvp/internal/config"
+	"dlvp/internal/experiments"
+	"dlvp/internal/metrics"
+	"dlvp/internal/runner"
+	"dlvp/internal/workloads"
+)
+
+// Options parameterises a Server.
+type Options struct {
+	// Runner executes all simulation work (nil = a fresh default engine).
+	Runner *runner.Runner
+	// RequestTimeout bounds synchronous request handling (default 2m).
+	RequestTimeout time.Duration
+	// DefaultInstrs is the per-workload budget when a request omits one
+	// (default 300k, the repo's standard experiment sizing).
+	DefaultInstrs uint64
+	// MaxInstrs caps per-workload budgets so one request cannot pin the
+	// daemon (default 10M; 0 keeps the default).
+	MaxInstrs uint64
+	// ArtifactCacheEntries sizes the whole-artifact cache (default 128).
+	ArtifactCacheEntries int
+	// MaxTrackedJobs bounds the async job registry (default 1024).
+	MaxTrackedJobs int
+}
+
+// Server is the HTTP facade over the runner engine.
+type Server struct {
+	runner  *runner.Runner
+	mux     *http.ServeMux
+	jobs    *jobStore
+	timeout time.Duration
+
+	defaultInstrs uint64
+	maxInstrs     uint64
+
+	artifacts      *runner.LRU[*experiments.Artifact]
+	artifactHits   atomic.Int64
+	artifactMisses atomic.Int64
+
+	started time.Time
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	async   sync.WaitGroup
+}
+
+// New returns a ready-to-serve Server.
+func New(opts Options) *Server {
+	if opts.Runner == nil {
+		opts.Runner = runner.New(runner.Options{})
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 2 * time.Minute
+	}
+	if opts.DefaultInstrs == 0 {
+		opts.DefaultInstrs = 300_000
+	}
+	if opts.MaxInstrs == 0 {
+		opts.MaxInstrs = 10_000_000
+	}
+	if opts.ArtifactCacheEntries <= 0 {
+		opts.ArtifactCacheEntries = 128
+	}
+	if opts.MaxTrackedJobs <= 0 {
+		opts.MaxTrackedJobs = 1024
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		runner:        opts.Runner,
+		mux:           http.NewServeMux(),
+		jobs:          newJobStore(opts.MaxTrackedJobs),
+		timeout:       opts.RequestTimeout,
+		defaultInstrs: opts.DefaultInstrs,
+		maxInstrs:     opts.MaxInstrs,
+		artifacts:     runner.NewLRU[*experiments.Artifact](opts.ArtifactCacheEntries),
+		started:       time.Now(),
+		baseCtx:       ctx,
+		cancel:        cancel,
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
+	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
+	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperiment)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	return s
+}
+
+// Handler returns the routable HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain waits for in-flight async jobs to finish or ctx to expire.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.async.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close cancels the base context shared by async jobs. Call after Drain.
+func (s *Server) Close() { s.cancel() }
+
+// --- wire shapes -------------------------------------------------------------
+
+type errorBody struct {
+	Error string   `json:"error"`
+	Known []string `json:"known,omitempty"`
+}
+
+type runRequest struct {
+	Workload string `json:"workload"`
+	Scheme   string `json:"scheme"`
+	Instrs   uint64 `json:"instrs"`
+	Async    bool   `json:"async"`
+}
+
+type runResponse struct {
+	Workload  string           `json:"workload"`
+	Scheme    string           `json:"scheme"`
+	Instrs    uint64           `json:"instrs"`
+	Cached    bool             `json:"cached"`
+	ElapsedMS int64            `json:"elapsed_ms"`
+	Stats     metrics.RunStats `json:"stats"`
+}
+
+type experimentRequest struct {
+	Instrs    uint64   `json:"instrs"`
+	Workloads []string `json:"workloads"`
+	Serial    bool     `json:"serial"`
+	Async     bool     `json:"async"`
+}
+
+type experimentResponse struct {
+	Cached    bool                  `json:"cached"`
+	ElapsedMS int64                 `json:"elapsed_ms"`
+	Artifact  *experiments.Artifact `json:"artifact"`
+}
+
+type acceptedResponse struct {
+	JobID  string `json:"job_id"`
+	Status string `json:"status"`
+	Poll   string `json:"poll"`
+}
+
+// --- handlers ----------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	type wl struct {
+		Name        string `json:"name"`
+		Suite       string `json:"suite"`
+		Description string `json:"description"`
+	}
+	var out []wl
+	for _, p := range workloads.All() {
+		out = append(out, wl{Name: p.Name, Suite: p.Suite, Description: p.Description})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workloads": out})
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, _ *http.Request) {
+	type exp struct {
+		ID   string `json:"id"`
+		Name string `json:"name"`
+	}
+	var out []exp
+	for _, e := range experiments.All() {
+		out = append(out, exp{ID: e.ID, Name: e.Name})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	if req.Scheme == "" {
+		req.Scheme = "baseline"
+	}
+	cfg, ok := config.ByScheme(req.Scheme)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("unknown scheme %q", req.Scheme),
+			Known: config.SchemeNames(),
+		})
+		return
+	}
+	if _, ok := workloads.ByName(req.Workload); !ok {
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("unknown workload %q", req.Workload),
+			Known: workloads.Names(),
+		})
+		return
+	}
+	instrs, err := s.clampInstrs(req.Instrs)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	job := runner.Job{Workload: req.Workload, Config: cfg, Instrs: instrs}
+
+	if req.Async {
+		rec := s.jobs.add("run")
+		s.spawn(rec, func(ctx context.Context) (any, error) {
+			start := time.Now()
+			st, cached, err := s.runner.Run(ctx, job)
+			if err != nil {
+				return nil, err
+			}
+			return runResponse{
+				Workload:  req.Workload,
+				Scheme:    req.Scheme,
+				Instrs:    instrs,
+				Cached:    cached,
+				ElapsedMS: time.Since(start).Milliseconds(),
+				Stats:     st,
+			}, nil
+		})
+		writeJSON(w, http.StatusAccepted, acceptedResponse{JobID: rec.id, Status: statusQueued, Poll: "/v1/jobs/" + rec.id})
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	start := time.Now()
+	st, cached, err := s.runner.Run(ctx, job)
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, runResponse{
+		Workload:  req.Workload,
+		Scheme:    req.Scheme,
+		Instrs:    instrs,
+		Cached:    cached,
+		ElapsedMS: time.Since(start).Milliseconds(),
+		Stats:     st,
+	})
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		var known []string
+		for _, e := range experiments.All() {
+			known = append(known, e.ID)
+		}
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown experiment %q", id), Known: known})
+		return
+	}
+	var req experimentRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON body: " + err.Error()})
+			return
+		}
+	}
+	for _, name := range req.Workloads {
+		if _, ok := workloads.ByName(name); !ok {
+			writeJSON(w, http.StatusBadRequest, errorBody{
+				Error: fmt.Sprintf("unknown workload %q", name),
+				Known: workloads.Names(),
+			})
+			return
+		}
+	}
+	instrs, err := s.clampInstrs(req.Instrs)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+
+	key := artifactKey(id, instrs, req.Workloads, req.Serial)
+	build := func(ctx context.Context) (*experiments.Artifact, bool, error) {
+		if a, ok := s.artifacts.Get(key); ok {
+			s.artifactHits.Add(1)
+			return a, true, nil
+		}
+		s.artifactMisses.Add(1)
+		p := experiments.Params{
+			Instrs:    instrs,
+			Workloads: req.Workloads,
+			Parallel:  !req.Serial,
+			Ctx:       ctx,
+			Runner:    s.runner,
+		}
+		a, err := exp.RunArtifact(p)
+		if err != nil {
+			return nil, false, err
+		}
+		s.artifacts.Put(key, a)
+		return a, false, nil
+	}
+
+	if req.Async {
+		rec := s.jobs.add("experiment")
+		s.spawn(rec, func(ctx context.Context) (any, error) {
+			start := time.Now()
+			a, cached, err := build(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return experimentResponse{Cached: cached, ElapsedMS: time.Since(start).Milliseconds(), Artifact: a}, nil
+		})
+		writeJSON(w, http.StatusAccepted, acceptedResponse{JobID: rec.id, Status: statusQueued, Poll: "/v1/jobs/" + rec.id})
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	start := time.Now()
+	a, cached, err := build(ctx)
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, experimentResponse{Cached: cached, ElapsedMS: time.Since(start).Milliseconds(), Artifact: a})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// ServerStats is the /v1/stats payload.
+type ServerStats struct {
+	UptimeSec float64       `json:"uptime_sec"`
+	Runner    runner.Stats  `json:"runner"`
+	Artifacts ArtifactStats `json:"artifact_cache"`
+	Jobs      JobStats      `json:"jobs"`
+}
+
+// ArtifactStats reports the whole-artifact cache counters.
+type ArtifactStats struct {
+	Entries  int     `json:"entries"`
+	Capacity int     `json:"capacity"`
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// JobStats reports async job registry totals.
+type JobStats struct {
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	Done    int `json:"done"`
+	Error   int `json:"error"`
+}
+
+func (s *Server) stats() ServerStats {
+	hits, misses := s.artifactHits.Load(), s.artifactMisses.Load()
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	counts := s.jobs.counts()
+	return ServerStats{
+		UptimeSec: time.Since(s.started).Seconds(),
+		Runner:    s.runner.Stats(),
+		Artifacts: ArtifactStats{
+			Entries:  s.artifacts.Len(),
+			Capacity: s.artifacts.Cap(),
+			Hits:     hits,
+			Misses:   misses,
+			HitRatio: ratio,
+		},
+		Jobs: JobStats{
+			Queued:  counts[statusQueued],
+			Running: counts[statusRunning],
+			Done:    counts[statusDone],
+			Error:   counts[statusError],
+		},
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.stats())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.stats()
+	rs := st.Runner
+	var b strings.Builder
+	put := func(name string, v any) { fmt.Fprintf(&b, "dlvpd_%s %v\n", name, v) }
+	put("uptime_seconds", st.UptimeSec)
+	put("runner_workers", rs.Workers)
+	put("runner_jobs_queued", rs.JobsQueued)
+	put("runner_jobs_running", rs.JobsRunning)
+	put("runner_jobs_done", rs.JobsDone)
+	put("runner_jobs_failed", rs.JobsFailed)
+	put("runner_sims_executed", rs.SimsExecuted)
+	put("runner_cache_hits", rs.CacheHits)
+	put("runner_cache_misses", rs.CacheMisses)
+	put("runner_cache_coalesced", rs.Coalesced)
+	put("runner_cache_entries", rs.CacheEntries)
+	put("runner_cache_hit_ratio", rs.HitRatio())
+	put("runner_instrs_simulated", rs.InstrsSimulated)
+	put("runner_sim_seconds", rs.SimSeconds)
+	put("runner_instrs_per_sec", rs.InstrsPerSec)
+	put("artifact_cache_entries", st.Artifacts.Entries)
+	put("artifact_cache_hits", st.Artifacts.Hits)
+	put("artifact_cache_misses", st.Artifacts.Misses)
+	put("artifact_cache_hit_ratio", st.Artifacts.HitRatio)
+	put("jobs_tracked_queued", st.Jobs.Queued)
+	put("jobs_tracked_running", st.Jobs.Running)
+	put("jobs_tracked_done", st.Jobs.Done)
+	put("jobs_tracked_error", st.Jobs.Error)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// --- helpers -----------------------------------------------------------------
+
+// spawn runs fn as a tracked async job under the server's base context.
+func (s *Server) spawn(rec *asyncJob, fn func(context.Context) (any, error)) {
+	s.async.Add(1)
+	go func() {
+		defer s.async.Done()
+		rec.setRunning()
+		result, err := fn(s.baseCtx)
+		rec.finish(result, err)
+	}()
+}
+
+func (s *Server) clampInstrs(instrs uint64) (uint64, error) {
+	if instrs == 0 {
+		return s.defaultInstrs, nil
+	}
+	if instrs > s.maxInstrs {
+		return 0, fmt.Errorf("instrs %d exceeds the per-request cap %d", instrs, s.maxInstrs)
+	}
+	return instrs, nil
+}
+
+// writeRunError maps execution errors to HTTP statuses.
+func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+	var uw *runner.UnknownWorkloadError
+	switch {
+	case errors.As(err, &uw):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Known: workloads.Names()})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "request timed out: " + err.Error()})
+	case errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "request cancelled: " + err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+// artifactKey content-addresses one experiment request.
+func artifactKey(id string, instrs uint64, wls []string, serial bool) string {
+	// Workload order affects row order only through pool resolution, which
+	// preserves the given order; a reordered request is a different table,
+	// so the order stays part of the address. Serial vs parallel produces
+	// identical artifacts (deterministic aggregation), so it is excluded.
+	_ = serial
+	payload, _ := json.Marshal(struct {
+		ID        string   `json:"id"`
+		Instrs    uint64   `json:"instrs"`
+		Workloads []string `json:"workloads"`
+	}{id, instrs, wls})
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -7,12 +7,14 @@ import (
 	"strings"
 )
 
-// Table is a titled grid with a header row and optional footnotes.
+// Table is a titled grid with a header row and optional footnotes. The
+// JSON tags define the wire shape shared by cmd/experiments -json and the
+// HTTP daemon's experiment endpoints.
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
 }
 
 // AddRow appends one row, stringifying each cell.
