@@ -5,9 +5,12 @@
 package dlvp
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"dlvp/internal/experiments"
+	"dlvp/internal/obs"
 	"dlvp/internal/runner"
 	"dlvp/internal/trace"
 )
@@ -57,6 +60,40 @@ func BenchmarkFig8_Tournament(b *testing.B)          { benchExperiment(b, "fig8"
 func BenchmarkFig9_SelectedBenchmarks(b *testing.B)  { benchExperiment(b, "fig9") }
 func BenchmarkFig10_RecoveryMechanisms(b *testing.B) { benchExperiment(b, "fig10") }
 func BenchmarkAblations_DesignChoices(b *testing.B)  { benchExperiment(b, "ablations") }
+
+// BenchmarkInstrumentedRun quantifies the telemetry overhead the obs layer
+// adds to the serving hot path: the same standard 300k-instruction run
+// through the runner engine, once bare and once with histograms + span
+// recording live (observer wired and the context carrying an active
+// trace). The acceptance bar is instrumented within ~2% of baseline —
+// simulation work dwarfs a handful of atomic adds and one span append.
+func BenchmarkInstrumentedRun(b *testing.B) {
+	const instrs = 300_000
+	job := runner.Job{Workload: "perlbmk", Config: Baseline(), Instrs: instrs}
+
+	b.Run("baseline", func(b *testing.B) {
+		r := runner.New(runner.Options{CacheEntries: -1})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := r.Run(context.Background(), job); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		ob := obs.NewObserver(nil)
+		r := runner.New(runner.Options{CacheEntries: -1, Obs: ob})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			id := fmt.Sprintf("bench-%d", i)
+			ob.Tracer.Begin(id)
+			ctx := obs.ContextWithTrace(context.Background(), ob.Tracer, id)
+			if _, _, err := r.Run(ctx, job); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
 
 // --- component microbenchmarks ------------------------------------------------
 

@@ -3,29 +3,38 @@
 // Usage:
 //
 //	dlvpd [-addr :8080] [-workers 8] [-cache 4096] [-timeout 2m]
+//	      [-log-format json|text] [-log-level debug|info|warn|error]
+//	      [-debug-addr :6060]
 //
 // The daemon wraps the shared runner engine (internal/runner) behind the
 // internal/server API: POST /v1/runs executes one simulation, POST
-// /v1/experiments/{id} regenerates a paper artifact as JSON, GET
-// /v1/jobs/{id} polls async submissions, and /v1/stats + /metrics expose
-// queue depths, cache hit ratios, and simulated instructions per second.
+// /v1/experiments/{id} regenerates a paper artifact as JSON, GET /v1/jobs
+// lists async submissions and GET /v1/jobs/{id} polls one, and /v1/stats +
+// /metrics expose queue depths, cache hit ratios, latency histograms, and
+// simulated instructions per second in the Prometheus text format.
 // Identical requests are served from content-addressed caches.
 //
-// On SIGINT/SIGTERM the daemon stops accepting connections, drains
-// in-flight requests and background jobs, then exits.
+// Every request gets a trace ID (X-Request-ID honoured and echoed); span
+// records are queryable at GET /v1/traces/{id}. With -debug-addr set, a
+// separate admin listener serves net/http/pprof, a runtime/metrics
+// snapshot at /debug/runtime, and the metrics exposition.
+//
+// On SIGINT/SIGTERM the daemon marks /healthz as draining (503), stops
+// accepting connections, drains in-flight requests and background jobs,
+// then exits.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"dlvp/internal/obs"
 	"dlvp/internal/runner"
 	"dlvp/internal/server"
 )
@@ -36,10 +45,21 @@ func main() {
 	cache := flag.Int("cache", 0, "result cache entries (0: default, negative: disabled)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout for synchronous calls")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for draining work")
+	logFormat := flag.String("log-format", "json", "log output format: json or text")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	debugAddr := flag.String("debug-addr", "", "admin listen address for pprof + runtime metrics (empty: disabled)")
 	flag.Parse()
 
-	eng := runner.New(runner.Options{Workers: *workers, CacheEntries: *cache})
-	srv := server.New(server.Options{Runner: eng, RequestTimeout: *timeout})
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		// The logger itself is misconfigured, so plain stderr is all we have.
+		os.Stderr.WriteString(err.Error() + "\n")
+		os.Exit(2)
+	}
+	ob := obs.NewObserver(logger)
+
+	eng := runner.New(runner.Options{Workers: *workers, CacheEntries: *cache, Obs: ob})
+	srv := server.New(server.Options{Runner: eng, RequestTimeout: *timeout, Obs: ob})
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -47,29 +67,51 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obs.AdminMux(ob.Metrics),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "error", err)
+			}
+		}()
+		logger.Info("debug listener up", "addr", *debugAddr)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("dlvpd listening on %s (workers=%d)", *addr, eng.Stats().Workers)
+	logger.Info("dlvpd listening", "addr", *addr, "workers", eng.Stats().Workers)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("serve: %v", err)
+		logger.Error("serve failed", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 	stop() // restore default signal handling: a second ^C kills immediately
 
-	log.Printf("shutting down (grace %v)", *grace)
+	// Flip /healthz to 503 first so load balancers drop the instance, then
+	// close listeners and drain.
+	srv.BeginShutdown()
+	logger.Info("shutting down", "grace", *grace)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("http shutdown incomplete", "error", err)
 	}
 	if err := srv.Drain(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("drain: %v", err)
+		logger.Warn("drain incomplete", "error", err)
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(shutdownCtx)
 	}
 	srv.Close()
-	log.Printf("dlvpd stopped")
+	logger.Info("dlvpd stopped")
 }

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	rtmetrics "runtime/metrics"
+)
+
+// AdminMux returns the opt-in debug/admin handler: net/http/pprof under
+// /debug/pprof/, a runtime/metrics snapshot at /debug/runtime, and (when a
+// registry is given) the Prometheus exposition at /metrics. cmd/dlvpd
+// serves it on a separate -debug-addr listener so profiling endpoints are
+// never exposed on the public API port.
+func AdminMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/runtime", handleRuntimeSnapshot)
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	return mux
+}
+
+// handleRuntimeSnapshot dumps every runtime/metrics sample as JSON.
+// Scalar kinds are emitted directly; histogram kinds are reduced to their
+// total observation count (the full distributions are pprof territory).
+func handleRuntimeSnapshot(w http.ResponseWriter, _ *http.Request) {
+	descs := rtmetrics.All()
+	samples := make([]rtmetrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	rtmetrics.Read(samples)
+	out := make(map[string]any, len(samples))
+	for i := range samples {
+		s := &samples[i]
+		switch s.Value.Kind() {
+		case rtmetrics.KindUint64:
+			out[s.Name] = s.Value.Uint64()
+		case rtmetrics.KindFloat64:
+			out[s.Name] = s.Value.Float64()
+		case rtmetrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			var total uint64
+			for _, c := range h.Counts {
+				total += c
+			}
+			out[s.Name] = map[string]uint64{"count": total}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}

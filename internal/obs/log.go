@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a slog.Logger writing to w. format is "json" or "text";
+// level is one of debug, info, warn, error.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (json|text)", format)
+	}
+}
+
+// Observer bundles the three telemetry sinks threaded through the serving
+// stack. Fields are never nil after NewObserver.
+type Observer struct {
+	Log     *slog.Logger
+	Metrics *Registry
+	Tracer  *Tracer
+}
+
+// NewObserver returns an observer with a fresh registry and tracer. A nil
+// logger selects a discard logger (tests, benchmarks).
+func NewObserver(log *slog.Logger) *Observer {
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Observer{Log: log, Metrics: NewRegistry(), Tracer: NewTracer(0)}
+}

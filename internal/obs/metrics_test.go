@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeValues(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "help.", "kind").With("a")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := reg.Gauge("test_gauge", "help.").With()
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Errorf("gauge = %v, want 2.5", got)
+	}
+}
+
+func TestCounterPanicsOnDecrement(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	NewRegistry().Counter("neg_total", "h.").With().Add(-1)
+}
+
+func TestReRegisterSameNameReturnsSameFamily(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dup_total", "h.", "l").With("x").Add(3)
+	// Second registration must resolve to the same underlying series.
+	if got := reg.Counter("dup_total", "ignored.", "l").With("x").Value(); got != 3 {
+		t.Errorf("re-registered counter = %d, want 3", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type-conflicting re-registration did not panic")
+		}
+	}()
+	reg.Gauge("dup_total", "h.")
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "Latency.", []float64{0.1, 1, 10}).With()
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); got != 56.05 {
+		t.Errorf("sum = %v, want 56.05", got)
+	}
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_sum 56.05`,
+		`lat_seconds_count 5`,
+		"# TYPE lat_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionMetadataAndEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "Help with \\ and\nnewline.", "path").
+		With("a\"b\\c\nd").Inc()
+	reg.GaugeFunc("live_gauge", "Scrape-time value.", func() float64 { return 7 })
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `# HELP esc_total Help with \\ and\nnewline.`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `esc_total{path="a\"b\\c\nd"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "live_gauge 7") {
+		t.Errorf("func gauge missing:\n%s", out)
+	}
+	validateExposition(t, out)
+}
+
+// validateExposition parses a text exposition and asserts the format
+// invariants: every sample belongs to a family whose HELP and TYPE were
+// emitted first, and histogram bucket counts are monotone in le.
+func validateExposition(t *testing.T, out string) {
+	t.Helper()
+	helped := map[string]bool{}
+	typed := map[string]string{}
+	bucketPrev := map[string]uint64{}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			helped[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if !helped[f[2]] {
+				t.Errorf("TYPE before HELP for %s", f[2])
+			}
+			typed[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("unexpected comment line %q", line)
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typed[base] == "histogram" {
+				family = base
+			}
+		}
+		if !helped[family] || typed[family] == "" {
+			t.Errorf("sample %q not preceded by HELP/TYPE for %q", line, family)
+		}
+		if typed[family] == "histogram" && strings.HasPrefix(line, family+"_bucket") {
+			series := line[:strings.LastIndex(line, " ")]
+			val, err := strconv.ParseUint(line[strings.LastIndex(line, " ")+1:], 10, 64)
+			if err != nil {
+				t.Errorf("bucket sample %q: %v", line, err)
+				continue
+			}
+			// Strip the le pair so successive buckets of one child compare.
+			key := series[:strings.LastIndex(series, `le="`)]
+			if val < bucketPrev[key] {
+				t.Errorf("bucket counts not monotone at %q: %d < %d", line, val, bucketPrev[key])
+			}
+			bucketPrev[key] = val
+		}
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("conc_seconds", "h.", nil).With()
+	c := reg.Counter("conc_total", "h.").With()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.001)
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || c.Value() != 8000 {
+		t.Errorf("count = %d, counter = %d, want 8000", h.Count(), c.Value())
+	}
+}

@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// DefaultTraceCapacity bounds the tracer ring when NewTracer is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 256
+
+// maxSpansPerTrace bounds one trace's span list so a pathological request
+// (say, a full-pool experiment matrix) cannot grow memory without bound.
+// Excess spans are counted but dropped.
+const maxSpansPerTrace = 512
+
+// Span is one timed region of a trace.
+type Span struct {
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationMS float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// trace is one request/job's span collection.
+type trace struct {
+	mu      sync.Mutex
+	id      string
+	start   time.Time
+	spans   []Span
+	dropped int
+}
+
+// Tracer is a bounded ring of recent traces keyed by ID. Once the ring is
+// full, beginning a new trace evicts the oldest.
+type Tracer struct {
+	mu    sync.Mutex
+	cap   int
+	order []string
+	byID  map[string]*trace
+}
+
+// NewTracer returns a tracer retaining up to capacity traces
+// (<= 0 selects DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{cap: capacity, byID: make(map[string]*trace)}
+}
+
+// Begin registers a trace ID so subsequent StartSpan calls under it are
+// recorded. Beginning an already-live ID is a no-op (an async job reuses
+// its originating request's trace).
+func (t *Tracer) Begin(id string) {
+	if t == nil || id == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.byID[id]; ok {
+		return
+	}
+	for len(t.order) >= t.cap {
+		delete(t.byID, t.order[0])
+		t.order = t.order[1:]
+	}
+	t.byID[id] = &trace{id: id, start: time.Now()}
+	t.order = append(t.order, id)
+}
+
+func (t *Tracer) lookup(id string) *trace {
+	if t == nil || id == "" {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byID[id]
+}
+
+// TraceView is the wire shape of one trace.
+type TraceView struct {
+	ID         string    `json:"id"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Dropped    int       `json:"dropped_spans,omitempty"`
+	Spans      []Span    `json:"spans"`
+}
+
+// TraceSummary is the list shape of GET /v1/traces.
+type TraceSummary struct {
+	ID         string    `json:"id"`
+	Start      time.Time `json:"start"`
+	Spans      int       `json:"spans"`
+	DurationMS float64   `json:"duration_ms"`
+}
+
+func (tr *trace) view() TraceView {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	v := TraceView{
+		ID:      tr.id,
+		Start:   tr.start,
+		Dropped: tr.dropped,
+		Spans:   append([]Span(nil), tr.spans...),
+	}
+	v.DurationMS = tr.durationMSLocked()
+	return v
+}
+
+// durationMSLocked spans first start to latest end.
+func (tr *trace) durationMSLocked() float64 {
+	var end time.Time
+	for i := range tr.spans {
+		e := tr.spans[i].Start.Add(time.Duration(tr.spans[i].DurationMS * float64(time.Millisecond)))
+		if e.After(end) {
+			end = e
+		}
+	}
+	if end.IsZero() {
+		return 0
+	}
+	return float64(end.Sub(tr.start)) / float64(time.Millisecond)
+}
+
+// Get returns the trace with the given ID, if still retained.
+func (t *Tracer) Get(id string) (TraceView, bool) {
+	tr := t.lookup(id)
+	if tr == nil {
+		return TraceView{}, false
+	}
+	return tr.view(), true
+}
+
+// Summaries lists retained traces, newest first.
+func (t *Tracer) Summaries() []TraceSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	traces := make([]*trace, 0, len(t.order))
+	for i := len(t.order) - 1; i >= 0; i-- {
+		traces = append(traces, t.byID[t.order[i]])
+	}
+	t.mu.Unlock()
+	out := make([]TraceSummary, 0, len(traces))
+	for _, tr := range traces {
+		tr.mu.Lock()
+		out = append(out, TraceSummary{
+			ID:         tr.id,
+			Start:      tr.start,
+			Spans:      len(tr.spans),
+			DurationMS: tr.durationMSLocked(),
+		})
+		tr.mu.Unlock()
+	}
+	return out
+}
+
+// Len reports the number of retained traces.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byID)
+}
+
+// --- context plumbing --------------------------------------------------------
+
+type traceCtxKey struct{}
+
+type traceRef struct {
+	tracer *Tracer
+	id     string
+}
+
+// ContextWithTrace attaches a tracer and trace ID to ctx; StartSpan calls
+// under the returned context record into that trace.
+func ContextWithTrace(ctx context.Context, t *Tracer, id string) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, traceRef{tracer: t, id: id})
+}
+
+// TraceID returns the trace ID carried by ctx ("" if none).
+func TraceID(ctx context.Context) string {
+	if ref, ok := ctx.Value(traceCtxKey{}).(traceRef); ok {
+		return ref.id
+	}
+	return ""
+}
+
+// NewTraceID returns a fresh 16-hex-char random trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand does not fail on supported platforms; a time-derived
+		// fallback beats crashing the daemon.
+		return hex.EncodeToString([]byte(time.Now().Format("150405.000")))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether a caller-supplied X-Request-ID is safe to
+// adopt: 1-64 characters from [A-Za-z0-9._-].
+func ValidTraceID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ActiveSpan is an in-progress span started by StartSpan. The nil
+// ActiveSpan (returned when ctx carries no live trace) is a valid no-op.
+type ActiveSpan struct {
+	tr    *trace
+	name  string
+	start time.Time
+	attrs map[string]string
+}
+
+// StartSpan begins a span under ctx's trace. It returns nil — a no-op
+// handle — when ctx has no trace, the tracer is nil, or the trace has been
+// evicted, so instrumentation points cost one context lookup when tracing
+// is off.
+func StartSpan(ctx context.Context, name string) *ActiveSpan {
+	ref, ok := ctx.Value(traceCtxKey{}).(traceRef)
+	if !ok {
+		return nil
+	}
+	tr := ref.tracer.lookup(ref.id)
+	if tr == nil {
+		return nil
+	}
+	return &ActiveSpan{tr: tr, name: name, start: time.Now()}
+}
+
+// Attr attaches a key/value attribute and returns the span for chaining.
+func (s *ActiveSpan) Attr(k, v string) *ActiveSpan {
+	if s == nil {
+		return nil
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[k] = v
+	return s
+}
+
+// End records the span into its trace.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	sp := Span{
+		Name:       s.name,
+		Start:      s.start,
+		DurationMS: float64(time.Since(s.start)) / float64(time.Millisecond),
+		Attrs:      s.attrs,
+	}
+	s.tr.mu.Lock()
+	if len(s.tr.spans) >= maxSpansPerTrace {
+		s.tr.dropped++
+	} else {
+		s.tr.spans = append(s.tr.spans, sp)
+	}
+	s.tr.mu.Unlock()
+}

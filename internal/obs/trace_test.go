@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSpanRecording(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Begin("t1")
+	ctx := ContextWithTrace(context.Background(), tr, "t1")
+	sp := StartSpan(ctx, "work").Attr("k", "v")
+	time.Sleep(time.Millisecond)
+	sp.End()
+
+	view, ok := tr.Get("t1")
+	if !ok {
+		t.Fatal("trace t1 not found")
+	}
+	if len(view.Spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(view.Spans))
+	}
+	got := view.Spans[0]
+	if got.Name != "work" || got.Attrs["k"] != "v" {
+		t.Errorf("span = %+v", got)
+	}
+	if got.DurationMS <= 0 {
+		t.Errorf("duration = %v, want > 0", got.DurationMS)
+	}
+	if view.DurationMS < got.DurationMS {
+		t.Errorf("trace duration %v < span duration %v", view.DurationMS, got.DurationMS)
+	}
+}
+
+func TestSpanWithoutTraceIsNoop(t *testing.T) {
+	// No trace in ctx: nil handle, all methods safe.
+	sp := StartSpan(context.Background(), "orphan")
+	sp.Attr("a", "b").End()
+
+	// Trace ID set but never begun on the tracer: also a no-op.
+	tr := NewTracer(2)
+	ctx := ContextWithTrace(context.Background(), tr, "never-begun")
+	StartSpan(ctx, "orphan").End()
+	if n := tr.Len(); n != 0 {
+		t.Errorf("tracer recorded %d traces, want 0", n)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Begin(fmt.Sprintf("t%d", i))
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("retained = %d, want 3", tr.Len())
+	}
+	if _, ok := tr.Get("t0"); ok {
+		t.Error("oldest trace t0 not evicted")
+	}
+	if _, ok := tr.Get("t4"); !ok {
+		t.Error("newest trace t4 missing")
+	}
+	sums := tr.Summaries()
+	if len(sums) != 3 || sums[0].ID != "t4" || sums[2].ID != "t2" {
+		t.Errorf("summaries = %+v, want newest-first t4..t2", sums)
+	}
+}
+
+func TestSpanCapBoundsTrace(t *testing.T) {
+	tr := NewTracer(1)
+	tr.Begin("big")
+	ctx := ContextWithTrace(context.Background(), tr, "big")
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		StartSpan(ctx, "s").End()
+	}
+	view, _ := tr.Get("big")
+	if len(view.Spans) != maxSpansPerTrace {
+		t.Errorf("spans = %d, want cap %d", len(view.Spans), maxSpansPerTrace)
+	}
+	if view.Dropped != 10 {
+		t.Errorf("dropped = %d, want 10", view.Dropped)
+	}
+}
+
+func TestTraceIDValidation(t *testing.T) {
+	for _, ok := range []string{"abc", "A-1_b.c", NewTraceID()} {
+		if !ValidTraceID(ok) {
+			t.Errorf("ValidTraceID(%q) = false, want true", ok)
+		}
+	}
+	long := make([]byte, 65)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", "has space", "new\nline", "quote\"", string(long)} {
+		if ValidTraceID(bad) {
+			t.Errorf("ValidTraceID(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestBeginIdempotentKeepsSpans(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Begin("t")
+	ctx := ContextWithTrace(context.Background(), tr, "t")
+	StartSpan(ctx, "first").End()
+	tr.Begin("t") // async job re-begins its request's trace
+	StartSpan(ctx, "second").End()
+	view, _ := tr.Get("t")
+	if len(view.Spans) != 2 {
+		t.Errorf("spans = %d, want 2 (Begin must not reset a live trace)", len(view.Spans))
+	}
+}

@@ -29,12 +29,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dlvp/internal/config"
 	"dlvp/internal/metrics"
+	"dlvp/internal/obs"
 	"dlvp/internal/uarch"
 	"dlvp/internal/workloads"
 )
@@ -84,6 +86,34 @@ type Options struct {
 	// a negative value disables caching (the benchmark harness does this so
 	// every iteration measures a real simulation).
 	CacheEntries int
+	// Obs, when non-nil, registers the engine's latency histograms and
+	// cache-outcome counters on the observer's metrics registry and enables
+	// per-phase span recording for traced contexts. Nil leaves the engine
+	// uninstrumented (library/CLI use); the hooks then cost one pointer test.
+	Obs *obs.Observer
+}
+
+// instruments holds the engine's telemetry handles (nil when the runner
+// was built without an Observer).
+type instruments struct {
+	queueWait *obs.Histogram  // seconds a job waited for a worker slot
+	simDur    *obs.Histogram  // wall seconds of one executed simulation
+	lookups   *obs.CounterVec // cache lookups by outcome hit|miss|coalesced
+}
+
+func newInstruments(o *obs.Observer) *instruments {
+	if o == nil {
+		return nil
+	}
+	reg := o.Metrics
+	return &instruments{
+		queueWait: reg.Histogram("dlvpd_runner_queue_wait_seconds",
+			"Time jobs spent waiting for a worker slot.", nil).With(),
+		simDur: reg.Histogram("dlvpd_runner_sim_duration_seconds",
+			"Wall time of executed simulations (cache hits excluded).", nil).With(),
+		lookups: reg.Counter("dlvpd_runner_cache_lookups_total",
+			"Result-cache lookups by outcome.", "outcome"),
+	}
 }
 
 // Runner executes simulation jobs on a bounded pool with result caching.
@@ -92,6 +122,7 @@ type Runner struct {
 	workers int
 	sem     chan struct{}
 	cache   *LRU[metrics.RunStats]
+	inst    *instruments
 
 	mu      sync.Mutex
 	flights map[string]*flight
@@ -133,6 +164,7 @@ func New(opts Options) *Runner {
 		workers: workers,
 		sem:     make(chan struct{}, workers),
 		cache:   cache,
+		inst:    newInstruments(opts.Obs),
 		flights: make(map[string]*flight),
 	}
 }
@@ -160,10 +192,16 @@ func (r *Runner) Run(ctx context.Context, job Job) (metrics.RunStats, bool, erro
 		return zero, false, err
 	}
 
+	sp := obs.StartSpan(ctx, "runner.run").
+		Attr("workload", job.Workload).
+		Attr("instrs", strconv.FormatUint(job.Instrs, 10))
+
 	if r.cache != nil {
 		if st, ok := r.cache.Get(key); ok {
 			r.hits.Add(1)
 			r.done.Add(1)
+			r.countLookup("hit")
+			sp.Attr("cache", "hit").End()
 			return st, true, nil
 		}
 	}
@@ -175,13 +213,17 @@ func (r *Runner) Run(ctx context.Context, job Job) (metrics.RunStats, bool, erro
 		case <-fl.done:
 			if fl.err != nil {
 				r.failed.Add(1)
+				sp.Attr("cache", "coalesced").Attr("error", fl.err.Error()).End()
 				return zero, false, fl.err
 			}
 			r.coalesced.Add(1)
 			r.done.Add(1)
+			r.countLookup("coalesced")
+			sp.Attr("cache", "coalesced").End()
 			return fl.stats, true, nil
 		case <-ctx.Done():
 			r.failed.Add(1)
+			sp.Attr("cache", "coalesced").Attr("error", ctx.Err().Error()).End()
 			return zero, false, ctx.Err()
 		}
 	}
@@ -190,15 +232,25 @@ func (r *Runner) Run(ctx context.Context, job Job) (metrics.RunStats, bool, erro
 	r.mu.Unlock()
 	if r.cache != nil {
 		r.misses.Add(1)
+		r.countLookup("miss")
 	}
 
 	st, err := r.lead(ctx, key, fl, w, job)
 	if err != nil {
 		r.failed.Add(1)
+		sp.Attr("cache", "miss").Attr("error", err.Error()).End()
 		return zero, false, err
 	}
 	r.done.Add(1)
+	sp.Attr("cache", "miss").End()
 	return st, false, nil
+}
+
+// countLookup bumps the cache-outcome counter when instrumented.
+func (r *Runner) countLookup(outcome string) {
+	if r.inst != nil {
+		r.inst.lookups.With(outcome).Inc()
+	}
 }
 
 // lead simulates a job as the unique owner of its flight, publishing the
@@ -215,24 +267,37 @@ func (r *Runner) lead(ctx context.Context, key string, fl *flight, w workloads.W
 	// The worker slot is acquired here, inside the worker's own goroutine,
 	// never by the submitter — so a cancelled matrix abandons its queued
 	// jobs immediately instead of serialising on submission.
+	qsp := obs.StartSpan(ctx, "runner.queue").Attr("workload", job.Workload)
+	enqueued := time.Now()
 	r.queued.Add(1)
 	select {
 	case r.sem <- struct{}{}:
 		r.queued.Add(-1)
 	case <-ctx.Done():
 		r.queued.Add(-1)
+		qsp.Attr("outcome", "cancelled").End()
 		return st, ctx.Err()
 	}
 	defer func() { <-r.sem }()
+	if r.inst != nil {
+		r.inst.queueWait.Observe(time.Since(enqueued).Seconds())
+	}
+	qsp.End()
 
+	xsp := obs.StartSpan(ctx, "runner.execute").Attr("workload", job.Workload)
 	r.running.Add(1)
 	start := time.Now()
 	core := uarch.New(job.Config, w.Build(), w.Reader(job.Instrs))
 	st = core.Run(0)
-	r.simNanos.Add(int64(time.Since(start)))
+	elapsed := time.Since(start)
+	r.simNanos.Add(int64(elapsed))
 	r.running.Add(-1)
 	r.executed.Add(1)
 	r.instrs.Add(st.Instructions)
+	if r.inst != nil {
+		r.inst.simDur.Observe(elapsed.Seconds())
+	}
+	xsp.Attr("instructions", strconv.FormatUint(st.Instructions, 10)).End()
 
 	if r.cache != nil {
 		r.cache.Put(key, st)

@@ -5,6 +5,8 @@ import (
 	"encoding/hex"
 	"sync"
 	"time"
+
+	"dlvp/internal/obs"
 )
 
 // Job lifecycle states reported by GET /v1/jobs/{id}.
@@ -15,18 +17,28 @@ const (
 	statusError   = "error"
 )
 
+// jobInstruments carries the telemetry handles the job store feeds on
+// lifecycle transitions (queued→running→done|error).
+type jobInstruments struct {
+	transitions *obs.CounterVec // label: to
+	queueWait   *obs.Histogram  // created→started
+	runDur      *obs.Histogram  // started→finished
+}
+
 // asyncJob is one background submission (a run or an experiment) tracked
 // for polling.
 type asyncJob struct {
 	mu       sync.Mutex
 	id       string
 	kind     string // "run" | "experiment"
+	trace    string // trace ID of the originating request
 	status   string
 	created  time.Time
 	started  time.Time
 	finished time.Time
 	result   any
 	errMsg   string
+	inst     *jobInstruments
 }
 
 func (j *asyncJob) setRunning() {
@@ -34,6 +46,10 @@ func (j *asyncJob) setRunning() {
 	defer j.mu.Unlock()
 	j.status = statusRunning
 	j.started = time.Now()
+	if j.inst != nil {
+		j.inst.transitions.With(statusRunning).Inc()
+		j.inst.queueWait.Observe(j.started.Sub(j.created).Seconds())
+	}
 }
 
 func (j *asyncJob) finish(result any, err error) {
@@ -43,20 +59,31 @@ func (j *asyncJob) finish(result any, err error) {
 	if err != nil {
 		j.status = statusError
 		j.errMsg = err.Error()
-		return
+	} else {
+		j.status = statusDone
+		j.result = result
 	}
-	j.status = statusDone
-	j.result = result
+	if j.inst != nil {
+		j.inst.transitions.With(j.status).Inc()
+		if !j.started.IsZero() {
+			j.inst.runDur.Observe(j.finished.Sub(j.started).Seconds())
+		}
+	}
 }
 
-// jobView is the polling wire shape.
+// jobView is the polling wire shape. QueuedMS covers created→started (or
+// →now while still queued); RunMS covers started→finished (or →now while
+// still running).
 type jobView struct {
 	ID         string     `json:"id"`
 	Kind       string     `json:"kind"`
+	TraceID    string     `json:"trace_id,omitempty"`
 	Status     string     `json:"status"`
 	CreatedAt  time.Time  `json:"created_at"`
 	StartedAt  *time.Time `json:"started_at,omitempty"`
 	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	QueuedMS   float64    `json:"queued_ms"`
+	RunMS      float64    `json:"run_ms"`
 	Result     any        `json:"result,omitempty"`
 	Error      string     `json:"error,omitempty"`
 }
@@ -67,14 +94,25 @@ func (j *asyncJob) view() jobView {
 	v := jobView{
 		ID:        j.id,
 		Kind:      j.kind,
+		TraceID:   j.trace,
 		Status:    j.status,
 		CreatedAt: j.created,
 		Result:    j.result,
 		Error:     j.errMsg,
 	}
-	if !j.started.IsZero() {
+	now := time.Now()
+	switch {
+	case j.started.IsZero():
+		v.QueuedMS = ms(now.Sub(j.created))
+	default:
 		t := j.started
 		v.StartedAt = &t
+		v.QueuedMS = ms(j.started.Sub(j.created))
+		if j.finished.IsZero() {
+			v.RunMS = ms(now.Sub(j.started))
+		} else {
+			v.RunMS = ms(j.finished.Sub(j.started))
+		}
 	}
 	if !j.finished.IsZero() {
 		t := j.finished
@@ -83,10 +121,18 @@ func (j *asyncJob) view() jobView {
 	return v
 }
 
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
 func (j *asyncJob) terminal() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.status == statusDone || j.status == statusError
+}
+
+func (j *asyncJob) currentStatus() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
 }
 
 // jobStore tracks async jobs, evicting the oldest finished records beyond
@@ -94,15 +140,16 @@ func (j *asyncJob) terminal() bool {
 type jobStore struct {
 	mu    sync.Mutex
 	jobs  map[string]*asyncJob
-	order []string // insertion order, for eviction
+	order []string // insertion order, for eviction and newest-first listing
 	max   int
+	inst  *jobInstruments
 }
 
-func newJobStore(max int) *jobStore {
+func newJobStore(max int, inst *jobInstruments) *jobStore {
 	if max < 1 {
 		max = 1
 	}
-	return &jobStore{jobs: make(map[string]*asyncJob), max: max}
+	return &jobStore{jobs: make(map[string]*asyncJob), max: max, inst: inst}
 }
 
 func newJobID() string {
@@ -115,12 +162,17 @@ func newJobID() string {
 	return hex.EncodeToString(b[:])
 }
 
-func (s *jobStore) add(kind string) *asyncJob {
+func (s *jobStore) add(kind, traceID string) *asyncJob {
 	j := &asyncJob{
 		id:      newJobID(),
 		kind:    kind,
+		trace:   traceID,
 		status:  statusQueued,
 		created: time.Now(),
+		inst:    s.inst,
+	}
+	if s.inst != nil {
+		s.inst.transitions.With(statusQueued).Inc()
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -156,6 +208,33 @@ func (s *jobStore) get(id string) (*asyncJob, bool) {
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	return j, ok
+}
+
+// list returns job views newest-first, optionally filtered by status and
+// capped at limit (0 = no cap). Results are stripped: the list is an
+// operator inventory, not a payload channel.
+func (s *jobStore) list(status string, limit int) []jobView {
+	s.mu.Lock()
+	ordered := make([]*asyncJob, 0, len(s.order))
+	for i := len(s.order) - 1; i >= 0; i-- {
+		if j, ok := s.jobs[s.order[i]]; ok {
+			ordered = append(ordered, j)
+		}
+	}
+	s.mu.Unlock()
+	views := make([]jobView, 0, len(ordered))
+	for _, j := range ordered {
+		if status != "" && j.currentStatus() != status {
+			continue
+		}
+		v := j.view()
+		v.Result = nil
+		views = append(views, v)
+		if limit > 0 && len(views) >= limit {
+			break
+		}
+	}
+	return views
 }
 
 // counts returns tracked job totals by status.

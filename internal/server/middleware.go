@@ -1,0 +1,132 @@
+package server
+
+import (
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"dlvp/internal/obs"
+)
+
+// statusWriter captures the status code and body size a handler produced,
+// for the access log and the per-route/status metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if !w.wrote {
+		w.status = http.StatusOK
+		w.wrote = true
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer so streaming still works.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// requestIDMiddleware adopts a well-formed caller X-Request-ID (or mints
+// one), echoes it on the response, registers the trace, and threads both
+// tracer and ID through the request context so every layer below — the
+// handlers, the runner, the experiment drivers — records spans under it.
+func (s *Server) requestIDMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if !obs.ValidTraceID(id) {
+			id = obs.NewTraceID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		s.obs.Tracer.Begin(id)
+		ctx := obs.ContextWithTrace(r.Context(), s.obs.Tracer, id)
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// accessLogMiddleware times the request, records the per-route/status
+// latency histogram and request counter, emits one structured access-log
+// line, and closes the root "http.request" span.
+func (s *Server) accessLogMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		route := s.routePattern(r)
+		sp := obs.StartSpan(r.Context(), "http.request").
+			Attr("method", r.Method).
+			Attr("route", route)
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+
+		status := strconv.Itoa(sw.status)
+		s.httpReqs.With(route, status).Inc()
+		s.httpDur.With(route, status).Observe(elapsed.Seconds())
+		sp.Attr("status", status).End()
+		s.obs.Log.Info("http request",
+			"method", r.Method,
+			"route", route,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration_ms", float64(elapsed)/float64(time.Millisecond),
+			"trace_id", obs.TraceID(r.Context()),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// recoverMiddleware converts a handler panic into a logged, counted 500
+// instead of tearing down the connection (and, under http.Server, only
+// that goroutine). It sits innermost so the access log still records the
+// resulting 500.
+func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			s.panics.Inc()
+			s.obs.Log.Error("handler panic",
+				"panic", rec,
+				"path", r.URL.Path,
+				"trace_id", obs.TraceID(r.Context()),
+				"stack", string(debug.Stack()),
+			)
+			// Only write if the handler had not already committed a response.
+			if sw, ok := w.(*statusWriter); !ok || !sw.wrote {
+				s.writeJSON(w, r, http.StatusInternalServerError,
+					errorBody{Error: "internal server error"})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// routePattern resolves the registered mux pattern that will serve r
+// (e.g. "POST /v1/runs", "GET /v1/jobs/{id}"), keeping the metric label
+// set bounded regardless of path values. Unroutable requests share one
+// "unmatched" label.
+func (s *Server) routePattern(r *http.Request) string {
+	_, pattern := s.mux.Handler(r)
+	if pattern == "" {
+		return "unmatched"
+	}
+	return pattern
+}

@@ -1,0 +1,390 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dlvp/internal/obs"
+	"dlvp/internal/runner"
+)
+
+func jsonEncode(w io.Writer, v any) error { return json.NewEncoder(w).Encode(v) }
+
+// newObservedServer builds a server whose logger writes into the returned
+// buffer and whose runner shares the same observer, mirroring cmd/dlvpd.
+func newObservedServer(t *testing.T) (*Server, *httptest.Server, *bytes.Buffer) {
+	t.Helper()
+	var logBuf bytes.Buffer
+	logger, err := obs.NewLogger(&logBuf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := obs.NewObserver(logger)
+	eng := runner.New(runner.Options{Obs: ob})
+	s := New(Options{Runner: eng, Obs: ob})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts, &logBuf
+}
+
+// TestMetricsExpositionIsValidPrometheus locks the format acceptance
+// criterion: after real traffic, every /metrics sample is preceded by its
+// family's HELP and TYPE, histogram buckets are cumulative-monotone and
+// end at +Inf, and request/queue/simulation histograms are all present.
+func TestMetricsExpositionIsValidPrometheus(t *testing.T) {
+	_, ts, _ := newObservedServer(t)
+	decode[runResponse](t, postJSON(t, ts.URL+"/v1/runs",
+		map[string]any{"workload": "perlbmk", "scheme": "baseline", "instrs": testInstrs}))
+
+	resp := mustGet(t, ts.URL+"/metrics")
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, obs.ContentType)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"dlvpd_http_request_duration_seconds",
+		"dlvpd_runner_queue_wait_seconds",
+		"dlvpd_runner_sim_duration_seconds",
+		"dlvpd_response_encode_seconds",
+		"dlvpd_runner_cache_lookups_total",
+	} {
+		if !strings.Contains(out, "# TYPE "+want) {
+			t.Errorf("exposition missing family %s", want)
+		}
+	}
+	if !strings.Contains(out, `dlvpd_http_requests_total{route="POST /v1/runs",status="200"} 1`) {
+		t.Errorf("per-route/status counter missing:\n%s", out)
+	}
+
+	helped, typed := map[string]bool{}, map[string]string{}
+	bucketPrev := map[string]uint64{}
+	sawInf := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			helped[strings.Fields(line)[2]] = true
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			f := strings.Fields(line)
+			if !helped[f[2]] {
+				t.Errorf("TYPE before HELP for %s", f[2])
+			}
+			typed[f[2]] = f[3]
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && typed[base] == "histogram" {
+				family = base
+			}
+		}
+		if !helped[family] || typed[family] == "" {
+			t.Errorf("sample %q lacks preceding HELP/TYPE", line)
+		}
+		if typed[family] == "histogram" && strings.HasPrefix(name, family+"_bucket") {
+			sp := strings.LastIndex(line, " ")
+			val, err := strconv.ParseUint(line[sp+1:], 10, 64)
+			if err != nil {
+				t.Errorf("bucket sample %q: %v", line, err)
+				continue
+			}
+			series := line[:strings.LastIndex(line[:sp], `le="`)]
+			if val < bucketPrev[series] {
+				t.Errorf("non-monotone buckets at %q", line)
+			}
+			bucketPrev[series] = val
+			if strings.Contains(line, `le="+Inf"`) {
+				sawInf[series] = true
+			}
+		}
+	}
+	if len(bucketPrev) == 0 {
+		t.Error("no histogram buckets in exposition")
+	}
+	for series := range bucketPrev {
+		if !sawInf[series] {
+			t.Errorf("histogram series %q has no +Inf bucket", series)
+		}
+	}
+}
+
+// TestTraceEndToEnd locks the tracing acceptance criterion: a completed
+// run's spans are queryable under the trace ID the response echoed.
+func TestTraceEndToEnd(t *testing.T) {
+	_, ts, _ := newObservedServer(t)
+	body := map[string]any{"workload": "mcf", "scheme": "dlvp", "instrs": testInstrs}
+
+	var buf bytes.Buffer
+	if err := jsonEncode(&buf, body); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/runs", &buf)
+	req.Header.Set("X-Request-ID", "trace-e2e-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "trace-e2e-1" {
+		t.Fatalf("X-Request-ID echo = %q, want trace-e2e-1", got)
+	}
+	decode[runResponse](t, resp)
+
+	view := decode[obs.TraceView](t, mustGet(t, ts.URL+"/v1/traces/trace-e2e-1"))
+	names := map[string]int{}
+	var runSpan *obs.Span
+	for i := range view.Spans {
+		names[view.Spans[i].Name]++
+		if view.Spans[i].Name == "runner.run" {
+			runSpan = &view.Spans[i]
+		}
+	}
+	for _, want := range []string{"runner.run", "runner.queue", "runner.execute", "http.encode", "http.request"} {
+		if names[want] == 0 {
+			t.Errorf("trace missing span %q (got %v)", want, names)
+		}
+	}
+	if runSpan == nil || runSpan.Attrs["workload"] != "mcf" || runSpan.Attrs["cache"] != "miss" {
+		t.Errorf("runner.run span attrs = %+v", runSpan)
+	}
+
+	// The listing shows the trace, newest-first.
+	list := decode[struct {
+		Traces []obs.TraceSummary `json:"traces"`
+	}](t, mustGet(t, ts.URL+"/v1/traces"))
+	found := false
+	for _, s := range list.Traces {
+		if s.ID == "trace-e2e-1" && s.Spans > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace-e2e-1 not in listing: %+v", list.Traces)
+	}
+
+	// A malformed caller ID is replaced, not adopted.
+	req2, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req2.Header.Set("X-Request-ID", "bad id {with spaces}")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-ID"); got == "" || strings.Contains(got, "\n") || strings.Contains(got, " ") {
+		t.Errorf("malformed request id adopted: %q", got)
+	}
+
+	if resp := mustGet(t, ts.URL+"/v1/traces/no-such-trace"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace: status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestAsyncJobCarriesTrace checks an async submission records its runner
+// spans under the originating request's trace and surfaces the trace ID in
+// the job view.
+func TestAsyncJobCarriesTrace(t *testing.T) {
+	s, ts, _ := newObservedServer(t)
+	var buf bytes.Buffer
+	if err := jsonEncode(&buf, map[string]any{
+		"workload": "twolf", "scheme": "vtage", "instrs": testInstrs, "async": true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/runs", &buf)
+	req.Header.Set("X-Request-ID", "trace-async-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := decode[acceptedResponse](t, resp)
+
+	deadline := time.Now().Add(30 * time.Second)
+	var view jobView
+	for {
+		view = decode[jobView](t, mustGet(t, ts.URL+"/v1/jobs/"+acc.JobID))
+		if view.Status == statusDone || view.Status == statusError {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", view.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if view.Status != statusDone {
+		t.Fatalf("job failed: %s", view.Error)
+	}
+	if view.TraceID != "trace-async-1" {
+		t.Errorf("job trace_id = %q, want trace-async-1", view.TraceID)
+	}
+	if view.RunMS <= 0 {
+		t.Errorf("run_ms = %v, want > 0", view.RunMS)
+	}
+
+	tv, ok := s.obs.Tracer.Get("trace-async-1")
+	if !ok {
+		t.Fatal("async trace not retained")
+	}
+	names := map[string]bool{}
+	for _, sp := range tv.Spans {
+		names[sp.Name] = true
+	}
+	if !names["job.execute"] || !names["runner.execute"] {
+		t.Errorf("async trace spans = %+v, want job.execute + runner.execute", names)
+	}
+}
+
+// TestAccessLogAndPanicRecovery drives a normal request and a panicking
+// handler through the full middleware chain and checks both the log lines
+// and the metric samples they must leave behind.
+func TestAccessLogAndPanicRecovery(t *testing.T) {
+	s, ts, logBuf := newObservedServer(t)
+	s.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+
+	mustGet(t, ts.URL+"/healthz").Body.Close()
+	if logs := logBuf.String(); !strings.Contains(logs, `"route":"GET /healthz"`) ||
+		!strings.Contains(logs, `"msg":"http request"`) ||
+		!strings.Contains(logs, `"trace_id"`) {
+		t.Errorf("access log line missing fields:\n%s", logs)
+	}
+
+	resp := mustGet(t, ts.URL+"/boom")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panic status = %d, want 500", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("panic response Content-Type = %q", ct)
+	}
+	if body := decode[errorBody](t, resp); body.Error == "" {
+		t.Error("panic response has no error body")
+	}
+	logs := logBuf.String()
+	if !strings.Contains(logs, "kaboom") || !strings.Contains(logs, "handler panic") {
+		t.Errorf("panic not logged with stack:\n%s", logs)
+	}
+
+	scrape := mustGet(t, ts.URL+"/metrics")
+	var buf bytes.Buffer
+	buf.ReadFrom(scrape.Body)
+	scrape.Body.Close()
+	out := buf.String()
+	if !strings.Contains(out, "dlvpd_http_panics_total 1") {
+		t.Errorf("panic counter not incremented:\n%s", out)
+	}
+	if !strings.Contains(out, `dlvpd_http_requests_total{route="GET /boom",status="500"} 1`) {
+		t.Errorf("500 not recorded per-route:\n%s", out)
+	}
+	if !strings.Contains(out, `dlvpd_http_request_duration_seconds_count{route="GET /healthz",status="200"}`) {
+		t.Errorf("latency histogram sample missing:\n%s", out)
+	}
+}
+
+// TestJobListEndpoint covers the new GET /v1/jobs inventory: newest-first
+// order, status filtering, stripped results, and derived durations.
+func TestJobListEndpoint(t *testing.T) {
+	_, ts, _ := newObservedServer(t)
+	type listResp struct {
+		Jobs  []jobView `json:"jobs"`
+		Count int       `json:"count"`
+	}
+
+	ids := make([]string, 0, 2)
+	for _, wl := range []string{"perlbmk", "mcf"} {
+		acc := decode[acceptedResponse](t, postJSON(t, ts.URL+"/v1/runs",
+			map[string]any{"workload": wl, "scheme": "baseline", "instrs": testInstrs, "async": true}))
+		ids = append(ids, acc.JobID)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		done := decode[listResp](t, mustGet(t, ts.URL+"/v1/jobs?status=done"))
+		if done.Count == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs never finished: %+v", done)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	all := decode[listResp](t, mustGet(t, ts.URL+"/v1/jobs"))
+	if all.Count != 2 || len(all.Jobs) != 2 {
+		t.Fatalf("list = %+v, want 2 jobs", all)
+	}
+	// Newest first: the second submission leads.
+	if all.Jobs[0].ID != ids[1] || all.Jobs[1].ID != ids[0] {
+		t.Errorf("order = [%s %s], want [%s %s]", all.Jobs[0].ID, all.Jobs[1].ID, ids[1], ids[0])
+	}
+	for _, j := range all.Jobs {
+		if j.Result != nil {
+			t.Errorf("job %s: list leaked result payload", j.ID)
+		}
+		if j.RunMS <= 0 || j.QueuedMS < 0 {
+			t.Errorf("job %s durations: queued_ms=%v run_ms=%v", j.ID, j.QueuedMS, j.RunMS)
+		}
+	}
+
+	if got := decode[listResp](t, mustGet(t, ts.URL+"/v1/jobs?limit=1")); got.Count != 1 {
+		t.Errorf("limit=1 returned %d jobs", got.Count)
+	}
+	if got := decode[listResp](t, mustGet(t, ts.URL+"/v1/jobs?status=error")); got.Count != 0 {
+		t.Errorf("status=error returned %d jobs, want 0", got.Count)
+	}
+	if resp := mustGet(t, ts.URL+"/v1/jobs?status=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus status filter: code = %d, want 400", resp.StatusCode)
+	}
+	if resp := mustGet(t, ts.URL+"/v1/jobs?limit=zero"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad limit: code = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHealthzDrainingAndContentTypes checks /healthz flips to 503 once
+// shutdown begins and that JSON endpoints always declare their content type.
+func TestHealthzDrainingAndContentTypes(t *testing.T) {
+	s, ts, _ := newObservedServer(t)
+
+	for _, path := range []string{"/healthz", "/v1/stats", "/v1/workloads", "/v1/experiments", "/v1/jobs", "/v1/traces"} {
+		resp := mustGet(t, ts.URL+path)
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s Content-Type = %q, want application/json", path, ct)
+		}
+		resp.Body.Close()
+	}
+	// Error paths are JSON-typed too.
+	resp := mustGet(t, ts.URL+"/v1/jobs/nope")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("404 Content-Type = %q, want application/json", ct)
+	}
+	resp.Body.Close()
+
+	s.BeginShutdown()
+	if !s.Draining() {
+		t.Error("Draining() = false after BeginShutdown")
+	}
+	resp = mustGet(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz status = %d, want 503", resp.StatusCode)
+	}
+	if body := decode[map[string]string](t, resp); body["status"] != "draining" {
+		t.Errorf("draining body = %v", body)
+	}
+}

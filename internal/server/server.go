@@ -6,19 +6,27 @@
 //
 // Endpoints:
 //
-//	GET  /healthz                liveness probe
-//	GET  /metrics                plain-text counters (Prometheus-style)
+//	GET  /healthz                liveness probe (503 once draining)
+//	GET  /metrics                Prometheus text exposition (HELP/TYPE, histograms)
 //	GET  /v1/stats               engine + cache statistics as JSON
 //	GET  /v1/workloads           the bundled workload pool
 //	GET  /v1/experiments         the regenerable artifacts
 //	POST /v1/runs                one simulation (workload, scheme, instrs)
 //	POST /v1/experiments/{id}    regenerate a paper artifact as JSON
+//	GET  /v1/jobs                list async submissions (?status=, ?limit=)
 //	GET  /v1/jobs/{id}           poll an async submission
+//	GET  /v1/traces              recent request/job traces, newest first
+//	GET  /v1/traces/{id}         span records for one trace ID
 //
 // POST bodies accept "async": true, turning the request into a job whose
 // status and result are polled from /v1/jobs/{id}. Identical work is
 // served from two content-addressed caches: the runner's per-simulation
 // result cache and the server's whole-artifact cache.
+//
+// Every request carries a trace ID — adopted from a well-formed
+// X-Request-ID header or generated — echoed back as X-Request-ID and
+// threaded through context into the runner, so GET /v1/traces/{id} shows
+// where the request's time went (queue wait, simulation, encode).
 package server
 
 import (
@@ -29,7 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strings"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +45,7 @@ import (
 	"dlvp/internal/config"
 	"dlvp/internal/experiments"
 	"dlvp/internal/metrics"
+	"dlvp/internal/obs"
 	"dlvp/internal/runner"
 	"dlvp/internal/workloads"
 )
@@ -57,6 +66,11 @@ type Options struct {
 	ArtifactCacheEntries int
 	// MaxTrackedJobs bounds the async job registry (default 1024).
 	MaxTrackedJobs int
+	// Obs supplies the telemetry sinks (logger, metrics registry, tracer).
+	// Nil selects a fresh observer with a discard logger. To correlate
+	// runner-level spans and histograms with HTTP requests, construct the
+	// runner with the same observer (cmd/dlvpd does).
+	Obs *obs.Observer
 }
 
 // Server is the HTTP facade over the runner engine.
@@ -73,10 +87,17 @@ type Server struct {
 	artifactHits   atomic.Int64
 	artifactMisses atomic.Int64
 
-	started time.Time
-	baseCtx context.Context
-	cancel  context.CancelFunc
-	async   sync.WaitGroup
+	started  time.Time
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	async    sync.WaitGroup
+	draining atomic.Bool
+
+	obs       *obs.Observer
+	httpReqs  *obs.CounterVec   // requests by route/status
+	httpDur   *obs.HistogramVec // request latency by route/status
+	panics    *obs.Counter      // recovered handler panics
+	encodeDur *obs.Histogram    // response JSON encode time
 }
 
 // New returns a ready-to-serve Server.
@@ -99,11 +120,14 @@ func New(opts Options) *Server {
 	if opts.MaxTrackedJobs <= 0 {
 		opts.MaxTrackedJobs = 1024
 	}
+	if opts.Obs == nil {
+		opts.Obs = obs.NewObserver(nil)
+	}
+	reg := opts.Obs.Metrics
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		runner:        opts.Runner,
 		mux:           http.NewServeMux(),
-		jobs:          newJobStore(opts.MaxTrackedJobs),
 		timeout:       opts.RequestTimeout,
 		defaultInstrs: opts.DefaultInstrs,
 		maxInstrs:     opts.MaxInstrs,
@@ -111,23 +135,116 @@ func New(opts Options) *Server {
 		started:       time.Now(),
 		baseCtx:       ctx,
 		cancel:        cancel,
+		obs:           opts.Obs,
+		httpReqs: reg.Counter("dlvpd_http_requests_total",
+			"HTTP requests served, by route pattern and status code.", "route", "status"),
+		httpDur: reg.Histogram("dlvpd_http_request_duration_seconds",
+			"HTTP request latency, by route pattern and status code.", nil, "route", "status"),
+		panics: reg.Counter("dlvpd_http_panics_total",
+			"Handler panics recovered into 500 responses.").With(),
+		encodeDur: reg.Histogram("dlvpd_response_encode_seconds",
+			"Time spent JSON-encoding response bodies.", nil).With(),
 	}
+	s.jobs = newJobStore(opts.MaxTrackedJobs, &jobInstruments{
+		transitions: reg.Counter("dlvpd_jobs_transitions_total",
+			"Async job state transitions (queued→running→done|error), by target state.", "to"),
+		queueWait: reg.Histogram("dlvpd_job_queue_wait_seconds",
+			"Time async jobs spent queued before starting.", nil).With(),
+		runDur: reg.Histogram("dlvpd_job_run_seconds",
+			"Async job execution time from start to completion.", nil).With(),
+	})
+	s.registerStatsMetrics(reg)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.Handle("GET /metrics", reg.Handler())
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
 	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperiment)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	return s
 }
 
-// Handler returns the routable HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// registerStatsMetrics exposes the engine/cache/job counters — previously a
+// hand-rolled /metrics string dump — as scrape-time families with HELP/TYPE
+// metadata. Names are kept from the PR-1 exposition.
+func (s *Server) registerStatsMetrics(reg *obs.Registry) {
+	rs := func() runner.Stats { return s.runner.Stats() }
+	reg.GaugeFunc("dlvpd_uptime_seconds", "Seconds since the server was constructed.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	reg.GaugeFunc("dlvpd_runner_workers", "Worker pool size.",
+		func() float64 { return float64(rs().Workers) })
+	reg.GaugeFunc("dlvpd_runner_jobs_queued", "Jobs waiting for a worker slot now.",
+		func() float64 { return float64(rs().JobsQueued) })
+	reg.GaugeFunc("dlvpd_runner_jobs_running", "Jobs simulating now.",
+		func() float64 { return float64(rs().JobsRunning) })
+	reg.CounterFunc("dlvpd_runner_jobs_done", "Jobs completed, including cached and coalesced results.",
+		func() float64 { return float64(rs().JobsDone) })
+	reg.CounterFunc("dlvpd_runner_jobs_failed", "Jobs that returned an error.",
+		func() float64 { return float64(rs().JobsFailed) })
+	reg.CounterFunc("dlvpd_runner_sims_executed", "Simulations actually executed (cache misses).",
+		func() float64 { return float64(rs().SimsExecuted) })
+	reg.CounterFunc("dlvpd_runner_cache_hits", "Result-cache hits.",
+		func() float64 { return float64(rs().CacheHits) })
+	reg.CounterFunc("dlvpd_runner_cache_misses", "Result-cache misses.",
+		func() float64 { return float64(rs().CacheMisses) })
+	reg.CounterFunc("dlvpd_runner_cache_coalesced", "Duplicate jobs that waited on an identical in-flight twin.",
+		func() float64 { return float64(rs().Coalesced) })
+	reg.GaugeFunc("dlvpd_runner_cache_entries", "Result-cache entries resident.",
+		func() float64 { return float64(rs().CacheEntries) })
+	reg.GaugeFunc("dlvpd_runner_cache_hit_ratio", "Result-cache hit ratio in [0,1], coalesced counted as hits.",
+		func() float64 { return rs().HitRatio() })
+	reg.CounterFunc("dlvpd_runner_instrs_simulated", "Dynamic instructions simulated in total.",
+		func() float64 { return float64(rs().InstrsSimulated) })
+	reg.CounterFunc("dlvpd_runner_sim_seconds", "Aggregate worker-seconds spent simulating.",
+		func() float64 { return rs().SimSeconds })
+	reg.GaugeFunc("dlvpd_runner_instrs_per_sec", "Aggregate simulated instructions per worker-second.",
+		func() float64 { return rs().InstrsPerSec })
+	reg.GaugeFunc("dlvpd_artifact_cache_entries", "Whole-artifact cache entries resident.",
+		func() float64 { return float64(s.artifacts.Len()) })
+	reg.CounterFunc("dlvpd_artifact_cache_hits", "Whole-artifact cache hits.",
+		func() float64 { return float64(s.artifactHits.Load()) })
+	reg.CounterFunc("dlvpd_artifact_cache_misses", "Whole-artifact cache misses.",
+		func() float64 { return float64(s.artifactMisses.Load()) })
+	reg.GaugeFunc("dlvpd_artifact_cache_hit_ratio", "Whole-artifact cache hit ratio in [0,1].",
+		func() float64 {
+			h, m := s.artifactHits.Load(), s.artifactMisses.Load()
+			if h+m == 0 {
+				return 0
+			}
+			return float64(h) / float64(h+m)
+		})
+	reg.GaugeFunc("dlvpd_jobs_tracked_queued", "Tracked async jobs currently queued.",
+		func() float64 { return float64(s.jobs.counts()[statusQueued]) })
+	reg.GaugeFunc("dlvpd_jobs_tracked_running", "Tracked async jobs currently running.",
+		func() float64 { return float64(s.jobs.counts()[statusRunning]) })
+	reg.GaugeFunc("dlvpd_jobs_tracked_done", "Tracked async jobs finished successfully.",
+		func() float64 { return float64(s.jobs.counts()[statusDone]) })
+	reg.GaugeFunc("dlvpd_jobs_tracked_error", "Tracked async jobs finished with an error.",
+		func() float64 { return float64(s.jobs.counts()[statusError]) })
+}
+
+// Handler returns the routable HTTP handler: the API mux wrapped in the
+// request-ID, access-log/metrics, and panic-recovery middleware (outermost
+// to innermost), so even unmatched routes are traced, logged, and counted.
+func (s *Server) Handler() http.Handler {
+	return s.requestIDMiddleware(s.accessLogMiddleware(s.recoverMiddleware(s.mux)))
+}
+
+// BeginShutdown flips /healthz to 503 so load balancers stop routing new
+// traffic to a draining daemon. Safe to call more than once; Drain calls
+// it implicitly.
+func (s *Server) BeginShutdown() { s.draining.Store(true) }
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Drain waits for in-flight async jobs to finish or ctx to expire.
 func (s *Server) Drain(ctx context.Context) error {
+	s.BeginShutdown()
 	done := make(chan struct{})
 	go func() {
 		s.async.Wait()
@@ -188,11 +305,15 @@ type acceptedResponse struct {
 
 // --- handlers ----------------------------------------------------------------
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeJSON(w, r, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	type wl struct {
 		Name        string `json:"name"`
 		Suite       string `json:"suite"`
@@ -202,10 +323,10 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 	for _, p := range workloads.All() {
 		out = append(out, wl{Name: p.Name, Suite: p.Suite, Description: p.Description})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"workloads": out})
+	s.writeJSON(w, r, http.StatusOK, map[string]any{"workloads": out})
 }
 
-func (s *Server) handleExperimentList(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
 	type exp struct {
 		ID   string `json:"id"`
 		Name string `json:"name"`
@@ -214,13 +335,13 @@ func (s *Server) handleExperimentList(w http.ResponseWriter, _ *http.Request) {
 	for _, e := range experiments.All() {
 		out = append(out, exp{ID: e.ID, Name: e.Name})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
+	s.writeJSON(w, r, http.StatusOK, map[string]any{"experiments": out})
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req runRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON body: " + err.Error()})
+		s.writeJSON(w, r, http.StatusBadRequest, errorBody{Error: "invalid JSON body: " + err.Error()})
 		return
 	}
 	if req.Scheme == "" {
@@ -228,14 +349,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	cfg, ok := config.ByScheme(req.Scheme)
 	if !ok {
-		writeJSON(w, http.StatusBadRequest, errorBody{
+		s.writeJSON(w, r, http.StatusBadRequest, errorBody{
 			Error: fmt.Sprintf("unknown scheme %q", req.Scheme),
 			Known: config.SchemeNames(),
 		})
 		return
 	}
 	if _, ok := workloads.ByName(req.Workload); !ok {
-		writeJSON(w, http.StatusBadRequest, errorBody{
+		s.writeJSON(w, r, http.StatusBadRequest, errorBody{
 			Error: fmt.Sprintf("unknown workload %q", req.Workload),
 			Known: workloads.Names(),
 		})
@@ -243,14 +364,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	instrs, err := s.clampInstrs(req.Instrs)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		s.writeJSON(w, r, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
 	job := runner.Job{Workload: req.Workload, Config: cfg, Instrs: instrs}
 
 	if req.Async {
-		rec := s.jobs.add("run")
-		s.spawn(rec, func(ctx context.Context) (any, error) {
+		rec := s.jobs.add("run", obs.TraceID(r.Context()))
+		s.spawn(rec, rec.trace, func(ctx context.Context) (any, error) {
 			start := time.Now()
 			st, cached, err := s.runner.Run(ctx, job)
 			if err != nil {
@@ -265,7 +386,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 				Stats:     st,
 			}, nil
 		})
-		writeJSON(w, http.StatusAccepted, acceptedResponse{JobID: rec.id, Status: statusQueued, Poll: "/v1/jobs/" + rec.id})
+		s.writeJSON(w, r, http.StatusAccepted, acceptedResponse{JobID: rec.id, Status: statusQueued, Poll: "/v1/jobs/" + rec.id})
 		return
 	}
 
@@ -274,10 +395,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	st, cached, err := s.runner.Run(ctx, job)
 	if err != nil {
-		s.writeRunError(w, err)
+		s.writeRunError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, runResponse{
+	s.writeJSON(w, r, http.StatusOK, runResponse{
 		Workload:  req.Workload,
 		Scheme:    req.Scheme,
 		Instrs:    instrs,
@@ -295,19 +416,19 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		for _, e := range experiments.All() {
 			known = append(known, e.ID)
 		}
-		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown experiment %q", id), Known: known})
+		s.writeJSON(w, r, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown experiment %q", id), Known: known})
 		return
 	}
 	var req experimentRequest
 	if r.ContentLength != 0 {
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON body: " + err.Error()})
+			s.writeJSON(w, r, http.StatusBadRequest, errorBody{Error: "invalid JSON body: " + err.Error()})
 			return
 		}
 	}
 	for _, name := range req.Workloads {
 		if _, ok := workloads.ByName(name); !ok {
-			writeJSON(w, http.StatusBadRequest, errorBody{
+			s.writeJSON(w, r, http.StatusBadRequest, errorBody{
 				Error: fmt.Sprintf("unknown workload %q", name),
 				Known: workloads.Names(),
 			})
@@ -316,17 +437,20 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 	instrs, err := s.clampInstrs(req.Instrs)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		s.writeJSON(w, r, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
 
 	key := artifactKey(id, instrs, req.Workloads, req.Serial)
 	build := func(ctx context.Context) (*experiments.Artifact, bool, error) {
+		sp := obs.StartSpan(ctx, "artifact.build").Attr("experiment", id)
 		if a, ok := s.artifacts.Get(key); ok {
 			s.artifactHits.Add(1)
+			sp.Attr("cache", "hit").End()
 			return a, true, nil
 		}
 		s.artifactMisses.Add(1)
+		defer sp.Attr("cache", "miss").End()
 		p := experiments.Params{
 			Instrs:    instrs,
 			Workloads: req.Workloads,
@@ -343,8 +467,8 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if req.Async {
-		rec := s.jobs.add("experiment")
-		s.spawn(rec, func(ctx context.Context) (any, error) {
+		rec := s.jobs.add("experiment", obs.TraceID(r.Context()))
+		s.spawn(rec, rec.trace, func(ctx context.Context) (any, error) {
 			start := time.Now()
 			a, cached, err := build(ctx)
 			if err != nil {
@@ -352,7 +476,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 			}
 			return experimentResponse{Cached: cached, ElapsedMS: time.Since(start).Milliseconds(), Artifact: a}, nil
 		})
-		writeJSON(w, http.StatusAccepted, acceptedResponse{JobID: rec.id, Status: statusQueued, Poll: "/v1/jobs/" + rec.id})
+		s.writeJSON(w, r, http.StatusAccepted, acceptedResponse{JobID: rec.id, Status: statusQueued, Poll: "/v1/jobs/" + rec.id})
 		return
 	}
 
@@ -361,19 +485,19 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	a, cached, err := build(ctx)
 	if err != nil {
-		s.writeRunError(w, err)
+		s.writeRunError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, experimentResponse{Cached: cached, ElapsedMS: time.Since(start).Milliseconds(), Artifact: a})
+	s.writeJSON(w, r, http.StatusOK, experimentResponse{Cached: cached, ElapsedMS: time.Since(start).Milliseconds(), Artifact: a})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job id"})
+		s.writeJSON(w, r, http.StatusNotFound, errorBody{Error: "unknown job id"})
 		return
 	}
-	writeJSON(w, http.StatusOK, j.view())
+	s.writeJSON(w, r, http.StatusOK, j.view())
 }
 
 // ServerStats is the /v1/stats payload.
@@ -427,52 +551,76 @@ func (s *Server) stats() ServerStats {
 	}
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.stats())
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, http.StatusOK, s.stats())
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	st := s.stats()
-	rs := st.Runner
-	var b strings.Builder
-	put := func(name string, v any) { fmt.Fprintf(&b, "dlvpd_%s %v\n", name, v) }
-	put("uptime_seconds", st.UptimeSec)
-	put("runner_workers", rs.Workers)
-	put("runner_jobs_queued", rs.JobsQueued)
-	put("runner_jobs_running", rs.JobsRunning)
-	put("runner_jobs_done", rs.JobsDone)
-	put("runner_jobs_failed", rs.JobsFailed)
-	put("runner_sims_executed", rs.SimsExecuted)
-	put("runner_cache_hits", rs.CacheHits)
-	put("runner_cache_misses", rs.CacheMisses)
-	put("runner_cache_coalesced", rs.Coalesced)
-	put("runner_cache_entries", rs.CacheEntries)
-	put("runner_cache_hit_ratio", rs.HitRatio())
-	put("runner_instrs_simulated", rs.InstrsSimulated)
-	put("runner_sim_seconds", rs.SimSeconds)
-	put("runner_instrs_per_sec", rs.InstrsPerSec)
-	put("artifact_cache_entries", st.Artifacts.Entries)
-	put("artifact_cache_hits", st.Artifacts.Hits)
-	put("artifact_cache_misses", st.Artifacts.Misses)
-	put("artifact_cache_hit_ratio", st.Artifacts.HitRatio)
-	put("jobs_tracked_queued", st.Jobs.Queued)
-	put("jobs_tracked_running", st.Jobs.Running)
-	put("jobs_tracked_done", st.Jobs.Done)
-	put("jobs_tracked_error", st.Jobs.Error)
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write([]byte(b.String()))
+// handleJobList enumerates tracked async jobs, newest first, so operators
+// can see in-flight work without knowing job IDs. ?status= filters by
+// lifecycle state; ?limit= caps the page (default all tracked). Results are
+// omitted from list entries — poll /v1/jobs/{id} for payloads.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	status := r.URL.Query().Get("status")
+	switch status {
+	case "", statusQueued, statusRunning, statusDone, statusError:
+	default:
+		s.writeJSON(w, r, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("unknown status %q", status),
+			Known: []string{statusQueued, statusRunning, statusDone, statusError},
+		})
+		return
+	}
+	limit := 0
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			s.writeJSON(w, r, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid limit %q", raw)})
+			return
+		}
+		limit = n
+	}
+	views := s.jobs.list(status, limit)
+	s.writeJSON(w, r, http.StatusOK, map[string]any{"jobs": views, "count": len(views)})
+}
+
+// handleTraces lists retained traces, newest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	sums := s.obs.Tracer.Summaries()
+	s.writeJSON(w, r, http.StatusOK, map[string]any{"traces": sums, "count": len(sums)})
+}
+
+// handleTrace returns the span records collected under one trace ID.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.obs.Tracer.Get(r.PathValue("id"))
+	if !ok {
+		s.writeJSON(w, r, http.StatusNotFound, errorBody{Error: "unknown or evicted trace id"})
+		return
+	}
+	s.writeJSON(w, r, http.StatusOK, view)
 }
 
 // --- helpers -----------------------------------------------------------------
 
 // spawn runs fn as a tracked async job under the server's base context.
-func (s *Server) spawn(rec *asyncJob, fn func(context.Context) (any, error)) {
+// The originating request's trace ID is re-attached to the job context so
+// runner spans land in the same trace the caller was given, and a job-level
+// span brackets the whole execution.
+func (s *Server) spawn(rec *asyncJob, traceID string, fn func(context.Context) (any, error)) {
 	s.async.Add(1)
 	go func() {
 		defer s.async.Done()
+		ctx := s.baseCtx
+		if traceID != "" {
+			ctx = obs.ContextWithTrace(ctx, s.obs.Tracer, traceID)
+		}
 		rec.setRunning()
-		result, err := fn(s.baseCtx)
+		sp := obs.StartSpan(ctx, "job.execute").Attr("kind", rec.kind).Attr("job_id", rec.id)
+		result, err := fn(ctx)
+		if err != nil {
+			sp.Attr("error", err.Error())
+			s.obs.Log.Warn("async job failed", "job_id", rec.id, "kind", rec.kind, "trace_id", traceID, "error", err)
+		}
+		sp.End()
 		rec.finish(result, err)
 	}()
 }
@@ -488,17 +636,17 @@ func (s *Server) clampInstrs(instrs uint64) (uint64, error) {
 }
 
 // writeRunError maps execution errors to HTTP statuses.
-func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+func (s *Server) writeRunError(w http.ResponseWriter, r *http.Request, err error) {
 	var uw *runner.UnknownWorkloadError
 	switch {
 	case errors.As(err, &uw):
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Known: workloads.Names()})
+		s.writeJSON(w, r, http.StatusBadRequest, errorBody{Error: err.Error(), Known: workloads.Names()})
 	case errors.Is(err, context.DeadlineExceeded):
-		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "request timed out: " + err.Error()})
+		s.writeJSON(w, r, http.StatusGatewayTimeout, errorBody{Error: "request timed out: " + err.Error()})
 	case errors.Is(err, context.Canceled):
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "request cancelled: " + err.Error()})
+		s.writeJSON(w, r, http.StatusServiceUnavailable, errorBody{Error: "request cancelled: " + err.Error()})
 	default:
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		s.writeJSON(w, r, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	}
 }
 
@@ -518,10 +666,19 @@ func artifactKey(id string, instrs uint64, wls []string, serial bool) string {
 	return hex.EncodeToString(sum[:])
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes v as an indented JSON body. The Content-Type header is
+// set unconditionally before any write, so every JSON-path response —
+// success, error, panic recovery — is correctly typed, and the encode time
+// (the serving stack's fourth phase after queue/cache/simulate) feeds its
+// own histogram and span.
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
+	sp := obs.StartSpan(r.Context(), "http.encode")
+	start := time.Now()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+	s.encodeDur.Observe(time.Since(start).Seconds())
+	sp.End()
 }
