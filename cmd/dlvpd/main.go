@@ -3,8 +3,19 @@
 // Usage:
 //
 //	dlvpd [-addr :8080] [-workers 8] [-cache 4096] [-timeout 2m]
+//	      [-peers http://h1:8080,http://h2:8080] [-self name]
+//	      [-hedge-after 0] [-health-interval 3s]
 //	      [-log-format json|text] [-log-level debug|info|warn|error]
-//	      [-debug-addr :6060]
+//	      [-debug-addr :6060] [-version]
+//
+// With -peers, the daemon forms a cluster: each job routes through
+// internal/dispatch, which rendezvous-hashes the job's content address
+// over {local, peers} so identical jobs land on the peer already holding
+// their cached result. Failing peers are health-checked, ejected with
+// exponential backoff, and reinstated automatically; retryable failures
+// re-route; and when every peer is down, jobs fall back to the local
+// engine — a clustered daemon never does worse than standalone mode.
+// GET /v1/cluster reports the ring state.
 //
 // The daemon wraps the shared runner engine (internal/runner) behind the
 // internal/server API: POST /v1/runs executes one simulation, POST
@@ -28,12 +39,15 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"dlvp/internal/dispatch"
 	"dlvp/internal/obs"
 	"dlvp/internal/runner"
 	"dlvp/internal/server"
@@ -45,10 +59,28 @@ func main() {
 	cache := flag.Int("cache", 0, "result cache entries (0: default, negative: disabled)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout for synchronous calls")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for draining work")
+	peers := flag.String("peers", "", "comma-separated peer base URLs (e.g. http://10.0.0.2:8080) forming the dispatch ring")
+	self := flag.String("self", "", "this daemon's name in the dispatch ring; peers should use the same string as its URL (empty: \"local\")")
+	hedgeAfter := flag.Duration("hedge-after", 0, "launch a hedged copy of a straggling job on the next backend after this delay (0: disabled)")
+	healthInterval := flag.Duration("health-interval", dispatch.DefaultHealthInterval, "peer health probe cadence")
 	logFormat := flag.String("log-format", "json", "log output format: json or text")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	debugAddr := flag.String("debug-addr", "", "admin listen address for pprof + runtime metrics (empty: disabled)")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	if *showVersion {
+		bi := server.ReadBuildInfo()
+		fmt.Printf("dlvpd %s %s", bi.Version, bi.GoVersion)
+		if bi.Revision != "" {
+			fmt.Printf(" %s", bi.Revision)
+			if bi.Modified {
+				fmt.Print("+dirty")
+			}
+		}
+		fmt.Println()
+		return
+	}
 
 	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
 	if err != nil {
@@ -59,7 +91,34 @@ func main() {
 	ob := obs.NewObserver(logger)
 
 	eng := runner.New(runner.Options{Workers: *workers, CacheEntries: *cache, Obs: ob})
-	srv := server.New(server.Options{Runner: eng, RequestTimeout: *timeout, Obs: ob})
+
+	var peerBackends []dispatch.Backend
+	for _, raw := range strings.Split(*peers, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		b, err := dispatch.NewHTTPBackend(raw, dispatch.HTTPOptions{Timeout: *timeout})
+		if err != nil {
+			logger.Error("invalid -peers entry", "peer", raw, "error", err)
+			os.Exit(2)
+		}
+		peerBackends = append(peerBackends, b)
+	}
+	disp, err := dispatch.New(dispatch.Options{
+		Local:          dispatch.NewLocalBackend(*self, eng),
+		Peers:          peerBackends,
+		HedgeAfter:     *hedgeAfter,
+		HealthInterval: *healthInterval,
+		Obs:            ob,
+	})
+	if err != nil {
+		logger.Error("dispatcher construction failed", "error", err)
+		os.Exit(2)
+	}
+	defer disp.Close()
+
+	srv := server.New(server.Options{Runner: eng, Dispatcher: disp, RequestTimeout: *timeout, Obs: ob})
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -87,7 +146,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	logger.Info("dlvpd listening", "addr", *addr, "workers", eng.Stats().Workers)
+	logger.Info("dlvpd listening", "addr", *addr, "workers", eng.Stats().Workers,
+		"peers", disp.Peers(), "hedge_after", hedgeAfter.String())
 
 	select {
 	case err := <-errc:

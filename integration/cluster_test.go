@@ -1,0 +1,246 @@
+//go:build integration
+
+package integration
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// buildDaemon compiles cmd/dlvpd once into a temp dir and returns the
+// binary path.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "dlvpd")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/dlvpd")
+	cmd.Dir = ".."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/dlvpd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freePort asks the kernel for an unused loopback port.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+type daemon struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// startDaemon launches one dlvpd on addr peered with peerURL and waits
+// for /healthz. Stderr (the structured log) goes to the test log on
+// failure via the returned buffer.
+func startDaemon(t *testing.T, bin string, port int, peerURL string) *daemon {
+	t.Helper()
+	base := fmt.Sprintf("http://127.0.0.1:%d", port)
+	// -self names this daemon by the URL its peer uses, so both rings
+	// share one name set and agree on every job's owner (cluster-wide
+	// affinity rather than per-entry-daemon affinity).
+	cmd := exec.Command(bin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-self", base,
+		"-peers", peerURL,
+		"-health-interval", "200ms",
+		"-log-format", "text",
+	)
+	var logs bytes.Buffer
+	cmd.Stderr = &logs
+	cmd.Stdout = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, base: base}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+		if t.Failed() {
+			t.Logf("daemon %s logs:\n%s", base, logs.String())
+		}
+	})
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return d
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("daemon on %s never became healthy:\n%s", base, logs.String())
+	return nil
+}
+
+func (d *daemon) kill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill daemon %s: %v", d.base, err)
+	}
+	_, _ = d.cmd.Process.Wait()
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+type runResult struct {
+	Cached bool `json:"cached"`
+}
+
+// postRun submits one synchronous simulation and reports whether it was
+// cache-served. Any non-200 fails the test: the cluster must never fail
+// a request, even mid peer-death.
+func postRun(t *testing.T, base, workload string, instrs int) runResult {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{
+		"workload": workload, "scheme": "baseline", "instrs": instrs,
+	})
+	resp, err := http.Post(base+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/runs %s: %v", workload, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/runs %s: status %d", workload, resp.StatusCode)
+	}
+	var out runResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+type clusterView struct {
+	Mode     string `json:"mode"`
+	Dispatch *struct {
+		Peers        int `json:"peers"`
+		HealthyPeers int `json:"healthy_peers"`
+		Backends     []struct {
+			Name    string `json:"name"`
+			Healthy bool   `json:"healthy"`
+		} `json:"backends"`
+	} `json:"dispatch"`
+}
+
+// TestCluster drives a real two-daemon cluster end to end.
+func TestCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	bin := buildDaemon(t)
+	portA, portB := freePort(t), freePort(t)
+	urlA := fmt.Sprintf("http://127.0.0.1:%d", portA)
+	urlB := fmt.Sprintf("http://127.0.0.1:%d", portB)
+	a := startDaemon(t, bin, portA, urlB)
+	b := startDaemon(t, bin, portB, urlA)
+
+	// Both daemons must see each other healthy once a probe lands.
+	waitHealthy := func(base string, want int) {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			var cv clusterView
+			getJSON(t, base+"/v1/cluster", &cv)
+			if cv.Mode == "cluster" && cv.Dispatch != nil && cv.Dispatch.HealthyPeers == want {
+				return
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		t.Fatalf("%s never reported %d healthy peers", base, want)
+	}
+	waitHealthy(a.base, 1)
+	waitHealthy(b.base, 1)
+
+	// Fetch the workload pool from the daemon itself.
+	var pool struct {
+		Workloads []struct {
+			Name string `json:"name"`
+		} `json:"workloads"`
+	}
+	getJSON(t, a.base+"/v1/workloads", &pool)
+	if len(pool.Workloads) < 8 {
+		t.Fatalf("workload pool too small: %d", len(pool.Workloads))
+	}
+	names := make([]string, 0, 8)
+	for _, w := range pool.Workloads[:8] {
+		names = append(names, w.Name)
+	}
+	const instrs = 20_000
+
+	// Matrix through A, then the identical matrix through B: with a shared
+	// name set the cluster agrees on each job's owner, so the second pass
+	// is affinity-cache-served even from the other entry point.
+	for _, wl := range names {
+		postRun(t, a.base, wl, instrs)
+	}
+	hits := 0
+	for _, wl := range names {
+		if postRun(t, b.base, wl, instrs).Cached {
+			hits++
+		}
+	}
+	if ratio := float64(hits) / float64(len(names)); ratio < 0.9 {
+		t.Fatalf("cross-daemon repeat-matrix cache hit ratio %.2f < 0.9 (%d/%d)", ratio, hits, len(names))
+	}
+
+	// Kill B mid-matrix: submit new (uncached) jobs, pulling the peer out
+	// from under the ring after the first one. Every request must still
+	// complete via retry + ejection + local fallback.
+	const instrs2 = 21_000
+	postRun(t, a.base, names[0], instrs2)
+	b.kill(t)
+	for _, wl := range names[1:] {
+		postRun(t, a.base, wl, instrs2)
+	}
+
+	// The dead peer must show up ejected in A's ring.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var cv clusterView
+		getJSON(t, a.base+"/v1/cluster", &cv)
+		if cv.Dispatch != nil && cv.Dispatch.HealthyPeers == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead peer never ejected: %+v", cv.Dispatch)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The post-death jobs all completed on A (directly or via fallback),
+	// so resubmitting them is served from the survivor's cache.
+	for _, wl := range names[1:] {
+		if !postRun(t, a.base, wl, instrs2).Cached {
+			t.Errorf("post-death job %s not cached on survivor", wl)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package integration holds live end-to-end tests that build and run real
+// dlvpd processes. The tests are guarded by the "integration" build tag so
+// the plain `go test ./...` suite stays hermetic:
+//
+//	go test -tags integration ./integration
+//
+// The cluster test starts two daemons on loopback ports peered with each
+// other, routes a workload matrix through one, verifies cache affinity
+// across the ring, kills a peer mid-matrix, and asserts every request
+// still completes (ejection + local fallback).
+package integration

@@ -1,0 +1,586 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dlvp/internal/config"
+	"dlvp/internal/metrics"
+	"dlvp/internal/runner"
+)
+
+// fakeBackend is a scriptable in-memory Backend for dispatcher tests.
+type fakeBackend struct {
+	name  string
+	calls atomic.Int64
+
+	mu        sync.Mutex
+	healthErr error
+	runFn     func(ctx context.Context, job runner.Job) (metrics.RunStats, bool, error)
+}
+
+func (f *fakeBackend) Name() string { return f.name }
+
+func (f *fakeBackend) Run(ctx context.Context, job runner.Job) (metrics.RunStats, bool, error) {
+	f.calls.Add(1)
+	f.mu.Lock()
+	fn := f.runFn
+	f.mu.Unlock()
+	if fn != nil {
+		return fn(ctx, job)
+	}
+	return metrics.RunStats{Workload: job.Workload, Instructions: job.Instrs}, false, nil
+}
+
+func (f *fakeBackend) CheckHealth(context.Context) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.healthErr
+}
+
+func (f *fakeBackend) setHealth(err error) {
+	f.mu.Lock()
+	f.healthErr = err
+	f.mu.Unlock()
+}
+
+func (f *fakeBackend) setRun(fn func(ctx context.Context, job runner.Job) (metrics.RunStats, bool, error)) {
+	f.mu.Lock()
+	f.runFn = fn
+	f.mu.Unlock()
+}
+
+func failRetryable(name string) func(context.Context, runner.Job) (metrics.RunStats, bool, error) {
+	return func(context.Context, runner.Job) (metrics.RunStats, bool, error) {
+		return metrics.RunStats{}, false, &TransportError{Backend: name, Err: errors.New("connection refused")}
+	}
+}
+
+func baselineJob(instrs uint64) runner.Job {
+	cfg, _ := config.ByScheme("baseline")
+	return runner.Job{Workload: "test", Config: cfg, Instrs: instrs}
+}
+
+// jobRankedFirstOn searches instruction budgets until the job's rendezvous
+// ranking puts the wanted backend first (and, when requireLocalLast is
+// set, the local backend last), so tests can steer routing without
+// depending on hash internals.
+func jobRankedFirstOn(t *testing.T, d *Dispatcher, want string, requireLocalLast bool) runner.Job {
+	t.Helper()
+	for instrs := uint64(1); instrs < 10_000; instrs++ {
+		job := baselineJob(instrs)
+		key, err := job.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := rank(d.states, key)
+		if order[0].name != want {
+			continue
+		}
+		if requireLocalLast && !order[len(order)-1].local {
+			continue
+		}
+		return job
+	}
+	t.Fatalf("no job ranks %s first", want)
+	return runner.Job{}
+}
+
+func newTestDispatcher(t *testing.T, opts Options) (*Dispatcher, *fakeBackend, []*fakeBackend) {
+	t.Helper()
+	local := &fakeBackend{name: "local"}
+	peers := []*fakeBackend{{name: "http://peer-a:8080"}, {name: "http://peer-b:8080"}}
+	opts.Local = local
+	opts.Peers = []Backend{peers[0], peers[1]}
+	if opts.HealthInterval == 0 {
+		opts.HealthInterval = time.Hour // tests drive probes explicitly
+	}
+	d, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d, local, peers
+}
+
+// TestRankStability: identical keys produce identical orders, different
+// keys spread across the ring, and removing one backend never reorders
+// the survivors (the rendezvous property that makes ejection cheap).
+func TestRankStability(t *testing.T) {
+	states := []*backendState{
+		newBackendState(&fakeBackend{name: "a"}, true, 0),
+		newBackendState(&fakeBackend{name: "b"}, false, 4),
+		newBackendState(&fakeBackend{name: "c"}, false, 4),
+	}
+	first := make(map[string]int)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("job-%d", i)
+		got := rank(states, key)
+		for j := 0; j < 10; j++ {
+			again := rank(states, key)
+			for k := range got {
+				if got[k].name != again[k].name {
+					t.Fatalf("key %q rank unstable: %v vs %v", key, got[k].name, again[k].name)
+				}
+			}
+		}
+		first[got[0].name]++
+
+		// Drop the winner: the relative order of the other two must hold.
+		var without []*backendState
+		for _, bs := range states {
+			if bs != got[0] {
+				without = append(without, bs)
+			}
+		}
+		sub := rank(without, key)
+		if sub[0].name != got[1].name || sub[1].name != got[2].name {
+			t.Fatalf("key %q: removing %s reordered survivors: %s,%s vs %s,%s",
+				key, got[0].name, sub[0].name, sub[1].name, got[1].name, got[2].name)
+		}
+	}
+	for _, bs := range states {
+		if first[bs.name] == 0 {
+			t.Errorf("backend %s never ranked first over 200 keys", bs.name)
+		}
+	}
+}
+
+// TestAffinityRouting: repeats of one job land on one backend.
+func TestAffinityRouting(t *testing.T) {
+	d, local, peers := newTestDispatcher(t, Options{})
+	job := baselineJob(42)
+	for i := 0; i < 8; i++ {
+		if _, _, err := d.Run(context.Background(), job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nonZero := 0
+	for _, b := range []*fakeBackend{local, peers[0], peers[1]} {
+		if n := b.calls.Load(); n > 0 {
+			nonZero++
+			if n != 8 {
+				t.Errorf("backend %s got %d of 8 calls", b.name, n)
+			}
+		}
+	}
+	if nonZero != 1 {
+		t.Errorf("job spread across %d backends, want exactly 1", nonZero)
+	}
+}
+
+// TestRetryBudgetThenLocalFallback: with both peers failing retryably and
+// a budget of 2, the dispatcher spends the budget on peers and still
+// completes on the guaranteed local fallback.
+func TestRetryBudgetThenLocalFallback(t *testing.T) {
+	d, local, peers := newTestDispatcher(t, Options{RetryBudget: 2})
+	peers[0].setRun(failRetryable(peers[0].name))
+	peers[1].setRun(failRetryable(peers[1].name))
+	job := jobRankedFirstOn(t, d, peers[0].name, true)
+
+	st, _, err := d.Run(context.Background(), job)
+	if err != nil {
+		t.Fatalf("local fallback did not save the run: %v", err)
+	}
+	if st.Instructions != job.Instrs {
+		t.Errorf("stats not from fake local: %+v", st)
+	}
+	if got := peers[0].calls.Load() + peers[1].calls.Load(); got != 2 {
+		t.Errorf("remote attempts = %d, want exactly the budget (2)", got)
+	}
+	if local.calls.Load() != 1 {
+		t.Errorf("local calls = %d, want 1", local.calls.Load())
+	}
+}
+
+// TestRetryBudgetExhaustion: when the local engine fails too, the last
+// error surfaces instead of hanging or retrying forever.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	d, local, peers := newTestDispatcher(t, Options{RetryBudget: 2})
+	peers[0].setRun(failRetryable(peers[0].name))
+	peers[1].setRun(failRetryable(peers[1].name))
+	localErr := errors.New("engine on fire")
+	local.setRun(func(context.Context, runner.Job) (metrics.RunStats, bool, error) {
+		return metrics.RunStats{}, false, localErr
+	})
+	job := jobRankedFirstOn(t, d, peers[0].name, true)
+	_, _, err := d.Run(context.Background(), job)
+	if !errors.Is(err, localErr) {
+		t.Fatalf("err = %v, want local engine error", err)
+	}
+	if local.calls.Load() != 1 {
+		t.Errorf("local calls = %d, want 1", local.calls.Load())
+	}
+}
+
+// TestNonRetryableStopsRouting: a 4xx from the first backend propagates
+// immediately — a bad request fails everywhere, so re-routing would only
+// triple the error rate.
+func TestNonRetryableStopsRouting(t *testing.T) {
+	d, local, peers := newTestDispatcher(t, Options{})
+	reject := &RemoteError{Backend: peers[0].name, Status: 400, Msg: "unknown workload"}
+	peers[0].setRun(func(context.Context, runner.Job) (metrics.RunStats, bool, error) {
+		return metrics.RunStats{}, false, reject
+	})
+	job := jobRankedFirstOn(t, d, peers[0].name, false)
+	_, _, err := d.Run(context.Background(), job)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Status != 400 {
+		t.Fatalf("err = %v, want the 400 RemoteError", err)
+	}
+	if local.calls.Load()+peers[1].calls.Load() != 0 {
+		t.Error("non-retryable error was re-routed")
+	}
+}
+
+// TestEjectionAndReinstatement drives the active health loop: probes
+// eject a failing peer after the threshold, routing skips it, and a
+// recovering probe reinstates it.
+func TestEjectionAndReinstatement(t *testing.T) {
+	d, _, peers := newTestDispatcher(t, Options{FailThreshold: 2, BackoffBase: time.Millisecond})
+	peers[0].setHealth(errors.New("probe refused"))
+
+	d.ProbeAll(context.Background())
+	if st := d.Status(); st.HealthyPeers != 2 {
+		t.Fatalf("one failure below threshold already ejected: %+v", st)
+	}
+	time.Sleep(2 * time.Millisecond) // let the backoff window pass
+	d.ProbeAll(context.Background())
+	st := d.Status()
+	if st.HealthyPeers != 1 {
+		t.Fatalf("healthy peers = %d after threshold, want 1", st.HealthyPeers)
+	}
+	var ejected *BackendStatus
+	for i := range st.Backends {
+		if st.Backends[i].Ejected {
+			ejected = &st.Backends[i]
+		}
+	}
+	if ejected == nil || ejected.Name != peers[0].name {
+		t.Fatalf("ejected backend missing from status: %+v", st.Backends)
+	}
+	if ejected.ConsecutiveFailures < 2 || ejected.LastError == "" {
+		t.Errorf("ejected status lacks failure detail: %+v", ejected)
+	}
+
+	// Jobs whose affinity points at the ejected peer re-route.
+	job := jobRankedFirstOn(t, d, peers[0].name, false)
+	if _, _, err := d.Run(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	if peers[0].calls.Load() != 0 {
+		t.Error("ejected backend still received work")
+	}
+
+	// Recovery: the next probe reinstates.
+	peers[0].setHealth(nil)
+	d.ProbeAll(context.Background())
+	if st := d.Status(); st.HealthyPeers != 2 {
+		t.Fatalf("recovered peer not reinstated: %+v", st)
+	}
+	if _, _, err := d.Run(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	if peers[0].calls.Load() == 0 {
+		t.Error("reinstated backend received no work")
+	}
+}
+
+// TestPassiveEjection: failed forwards eject a peer without waiting for
+// the probe loop.
+func TestPassiveEjection(t *testing.T) {
+	d, _, peers := newTestDispatcher(t, Options{FailThreshold: 2, RetryBudget: 4})
+	peers[0].setRun(failRetryable(peers[0].name))
+	job := jobRankedFirstOn(t, d, peers[0].name, false)
+	for i := 0; i < 2; i++ {
+		if _, _, err := d.Run(context.Background(), job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Status()
+	if st.HealthyPeers != 1 {
+		t.Fatalf("peer not passively ejected after %d failures: %+v", peers[0].calls.Load(), st)
+	}
+}
+
+// TestLocalFallbackAllEjected: with every peer out of the ring the
+// dispatcher still completes jobs in-process.
+func TestLocalFallbackAllEjected(t *testing.T) {
+	d, local, peers := newTestDispatcher(t, Options{FailThreshold: 1, BackoffBase: time.Hour})
+	peers[0].setHealth(errors.New("down"))
+	peers[1].setHealth(errors.New("down"))
+	d.ProbeAll(context.Background())
+	if st := d.Status(); st.HealthyPeers != 0 {
+		t.Fatalf("expected 0 healthy peers: %+v", st)
+	}
+	for i := uint64(1); i <= 10; i++ {
+		if _, _, err := d.Run(context.Background(), baselineJob(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if local.calls.Load() != 10 {
+		t.Errorf("local calls = %d, want 10", local.calls.Load())
+	}
+}
+
+// TestHedgeWinsAndCancelsLoser: a straggling primary is hedged, the fast
+// hedge response wins, the primary is cancelled, and no goroutine leaks.
+func TestHedgeWinsAndCancelsLoser(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var stalled atomic.Int64
+	stall := func(ctx context.Context, job runner.Job) (metrics.RunStats, bool, error) {
+		// First call overall stalls until cancelled; later calls (the
+		// hedge) answer immediately, whichever backend they land on.
+		if stalled.Add(1) == 1 {
+			<-ctx.Done()
+			return metrics.RunStats{}, false, ctx.Err()
+		}
+		return metrics.RunStats{Workload: "hedged", Instructions: job.Instrs}, true, nil
+	}
+
+	d, local, peers := newTestDispatcher(t, Options{HedgeAfter: 5 * time.Millisecond})
+	local.setRun(stall)
+	peers[0].setRun(stall)
+	peers[1].setRun(stall)
+
+	// Hedging only kicks in for remote primaries.
+	job := jobRankedFirstOn(t, d, peers[0].name, false)
+	st, cached, err := d.Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || st.Workload != "hedged" {
+		t.Errorf("result not from hedge: %+v cached=%v", st, cached)
+	}
+	status := d.Status()
+	var hedges, wins, cancelledTotal int64
+	for _, b := range status.Backends {
+		hedges += b.Hedges
+		wins += b.HedgesWon
+		cancelledTotal += b.Cancelled
+	}
+	if hedges != 1 || wins != 1 {
+		t.Errorf("hedges=%d wins=%d, want 1/1", hedges, wins)
+	}
+
+	// The cancelled primary's goroutine must drain promptly.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		st := d.Status()
+		cancelledTotal = 0
+		inFlight := int64(0)
+		for _, b := range st.Backends {
+			cancelledTotal += b.Cancelled
+			inFlight += b.InFlight
+		}
+		if cancelledTotal == 1 && inFlight == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if cancelledTotal != 1 {
+		t.Errorf("cancelled = %d, want 1 (hedge loser)", cancelledTotal)
+	}
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 { // health loop + slack
+		t.Errorf("goroutines grew from %d to %d after hedging", before, g)
+	}
+}
+
+// TestHedgeToLocal: with the only other peer ejected, a straggler's hedge
+// lands on the local engine — the fallback guarantee also covers hedging.
+func TestHedgeToLocal(t *testing.T) {
+	d, local, peers := newTestDispatcher(t, Options{HedgeAfter: time.Millisecond, FailThreshold: 1, BackoffBase: time.Hour})
+	peers[0].setRun(func(ctx context.Context, job runner.Job) (metrics.RunStats, bool, error) {
+		<-ctx.Done()
+		return metrics.RunStats{}, false, ctx.Err()
+	})
+	peers[1].setHealth(errors.New("down"))
+	d.ProbeAll(context.Background())
+	job := jobRankedFirstOn(t, d, peers[0].name, false)
+	if _, _, err := d.Run(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	if local.calls.Load() != 1 {
+		t.Errorf("local calls = %d, want the hedge", local.calls.Load())
+	}
+	if peers[1].calls.Load() != 0 {
+		t.Error("ejected peer was hedged to")
+	}
+}
+
+// TestAcquireBoundedQueue exercises the in-flight limit and bounded-queue
+// saturation path deterministically at the backendState level.
+func TestAcquireBoundedQueue(t *testing.T) {
+	bs := newBackendState(&fakeBackend{name: "q"}, false, 1)
+	release, err := bs.acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queued := make(chan struct{})
+	go func() {
+		rel, err := bs.acquire(context.Background(), 1)
+		if err != nil {
+			t.Errorf("queued acquire failed: %v", err)
+			close(queued)
+			return
+		}
+		close(queued)
+		rel()
+	}()
+	// Wait until the second acquire is queued.
+	deadline := time.Now().Add(2 * time.Second)
+	for bs.waiting.Load() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if bs.waiting.Load() != 1 {
+		t.Fatal("second acquire never queued")
+	}
+	// Queue is full: the third acquire saturates immediately.
+	if _, err := bs.acquire(context.Background(), 1); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	release()
+	<-queued
+
+	// Cancellation while queued returns the context error.
+	release2, err := bs.acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelled := make(chan error, 1)
+	go func() {
+		_, err := bs.acquire(ctx, 1)
+		cancelled <- err
+	}()
+	for bs.waiting.Load() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-cancelled; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued cancel err = %v", err)
+	}
+	release2()
+}
+
+// TestSaturationReroutes: a peer with a full slot and queue sheds load to
+// the rest of the ring without consuming retry budget.
+func TestSaturationReroutes(t *testing.T) {
+	d, local, peers := newTestDispatcher(t, Options{MaxInFlight: 1, MaxQueue: 1, RetryBudget: 1})
+	block := make(chan struct{})
+	peers[0].setRun(func(ctx context.Context, job runner.Job) (metrics.RunStats, bool, error) {
+		<-block
+		return metrics.RunStats{}, false, nil
+	})
+	job := jobRankedFirstOn(t, d, peers[0].name, false)
+
+	var wg sync.WaitGroup
+	// Occupy the single slot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = d.Run(context.Background(), job)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for peers[0].calls.Load() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// Occupy the single queue seat.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = d.Run(context.Background(), job)
+	}()
+	var sat *backendState
+	for _, bs := range d.states {
+		if bs.name == peers[0].name {
+			sat = bs
+		}
+	}
+	for sat.waiting.Load() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	// This submission finds slot+queue full and must complete elsewhere.
+	if _, _, err := d.Run(context.Background(), job); err != nil {
+		t.Fatalf("saturated submission failed instead of re-routing: %v", err)
+	}
+	if local.calls.Load()+peers[1].calls.Load() == 0 {
+		t.Error("saturated submission was not re-routed")
+	}
+	if sat.saturated.Load() == 0 {
+		t.Error("saturation not accounted")
+	}
+	close(block)
+	wg.Wait()
+}
+
+// TestRunAll preserves submission order and reports progress.
+func TestRunAll(t *testing.T) {
+	d, _, _ := newTestDispatcher(t, Options{})
+	jobs := make([]runner.Job, 20)
+	for i := range jobs {
+		jobs[i] = baselineJob(uint64(i + 1))
+	}
+	var progress atomic.Int64
+	stats, err := d.RunAll(context.Background(), jobs, runner.Matrix{
+		Progress: func(done, total int) { progress.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range stats {
+		if st.Instructions != uint64(i+1) {
+			t.Fatalf("result %d out of order: %+v", i, st)
+		}
+	}
+	if progress.Load() != 20 {
+		t.Errorf("progress callbacks = %d, want 20", progress.Load())
+	}
+}
+
+// TestRunAllCancellation: a cancelled matrix returns the context error.
+func TestRunAllCancellation(t *testing.T) {
+	d, local, peers := newTestDispatcher(t, Options{})
+	stall := func(ctx context.Context, job runner.Job) (metrics.RunStats, bool, error) {
+		<-ctx.Done()
+		return metrics.RunStats{}, false, ctx.Err()
+	}
+	local.setRun(stall)
+	peers[0].setRun(stall)
+	peers[1].setRun(stall)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	jobs := []runner.Job{baselineJob(1), baselineJob(2)}
+	if _, err := d.RunAll(ctx, jobs, runner.Matrix{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestNewValidation: a dispatcher without a local backend or with
+// duplicate names is a construction error.
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("nil Local accepted")
+	}
+	local := &fakeBackend{name: "x"}
+	if _, err := New(Options{Local: local, Peers: []Backend{&fakeBackend{name: "x"}}}); err == nil {
+		t.Error("duplicate backend name accepted")
+	}
+}

@@ -22,6 +22,15 @@ import (
 	"dlvp/internal/workloads"
 )
 
+// Engine executes simulation jobs on behalf of the experiment drivers.
+// Both *runner.Runner (in-process pool) and *dispatch.Dispatcher
+// (multi-backend scatter/gather) satisfy it, so a clustered daemon routes
+// matrix jobs across its peers while the CLIs keep running in-process.
+type Engine interface {
+	Run(ctx context.Context, job runner.Job) (metrics.RunStats, bool, error)
+	RunAll(ctx context.Context, jobs []runner.Job, opt runner.Matrix) ([]metrics.RunStats, error)
+}
+
 // Params bounds an experiment run.
 type Params struct {
 	// Instrs is the dynamic-instruction budget per workload (the paper used
@@ -34,8 +43,9 @@ type Params struct {
 	// Ctx cancels in-flight experiment work (nil = context.Background()).
 	Ctx context.Context `json:"-"`
 	// Runner executes the simulation jobs (nil = a process-wide shared
-	// engine with the default result cache).
-	Runner *runner.Runner `json:"-"`
+	// engine with the default result cache). Any Engine works: the HTTP
+	// daemon passes its dispatcher here so matrices scatter across peers.
+	Runner Engine `json:"-"`
 	// Progress, when non-nil, is called after each simulation job of a
 	// matrix completes.
 	Progress func(done, total int) `json:"-"`
@@ -59,7 +69,7 @@ func DefaultRunner() *runner.Runner {
 	return defaultRunner
 }
 
-func (p Params) runner() *runner.Runner {
+func (p Params) runner() Engine {
 	if p.Runner != nil {
 		return p.Runner
 	}

@@ -210,10 +210,12 @@ func (s *jobStore) get(id string) (*asyncJob, bool) {
 	return j, ok
 }
 
-// list returns job views newest-first, optionally filtered by status and
-// capped at limit (0 = no cap). Results are stripped: the list is an
-// operator inventory, not a payload channel.
-func (s *jobStore) list(status string, limit int) []jobView {
+// list returns one page of job views newest-first, optionally filtered by
+// status, skipping offset matches and capping the page at limit (0 = no
+// cap). The second result is the total number of matches regardless of
+// paging, so clients can walk the whole set. Results are stripped: the
+// list is an operator inventory, not a payload channel.
+func (s *jobStore) list(status string, limit, offset int) ([]jobView, int) {
 	s.mu.Lock()
 	ordered := make([]*asyncJob, 0, len(s.order))
 	for i := len(s.order) - 1; i >= 0; i-- {
@@ -222,19 +224,24 @@ func (s *jobStore) list(status string, limit int) []jobView {
 		}
 	}
 	s.mu.Unlock()
-	views := make([]jobView, 0, len(ordered))
+	views := make([]jobView, 0, min(len(ordered), max(limit, 0)))
+	total := 0
 	for _, j := range ordered {
 		if status != "" && j.currentStatus() != status {
 			continue
 		}
+		total++
+		if total <= offset {
+			continue
+		}
+		if limit > 0 && len(views) >= limit {
+			continue // keep counting the total past the page
+		}
 		v := j.view()
 		v.Result = nil
 		views = append(views, v)
-		if limit > 0 && len(views) >= limit {
-			break
-		}
 	}
-	return views
+	return views, total
 }
 
 // counts returns tracked job totals by status.

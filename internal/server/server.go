@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"dlvp/internal/config"
+	"dlvp/internal/dispatch"
 	"dlvp/internal/experiments"
 	"dlvp/internal/metrics"
 	"dlvp/internal/obs"
@@ -54,6 +55,13 @@ import (
 type Options struct {
 	// Runner executes all simulation work (nil = a fresh default engine).
 	Runner *runner.Runner
+	// Dispatcher, when non-nil, routes jobs across the backend ring
+	// (in-process engine + peers) with cache-affinity hashing, health
+	// checking, retries and hedging, and enables GET /v1/cluster.
+	// Requests carrying the dispatch.ForwardedHeader bypass it and run
+	// on the local engine, so peers never forward in a loop. Nil keeps
+	// the PR-1 standalone behaviour.
+	Dispatcher *dispatch.Dispatcher
 	// RequestTimeout bounds synchronous request handling (default 2m).
 	RequestTimeout time.Duration
 	// DefaultInstrs is the per-workload budget when a request omits one
@@ -75,10 +83,11 @@ type Options struct {
 
 // Server is the HTTP facade over the runner engine.
 type Server struct {
-	runner  *runner.Runner
-	mux     *http.ServeMux
-	jobs    *jobStore
-	timeout time.Duration
+	runner     *runner.Runner
+	dispatcher *dispatch.Dispatcher
+	mux        *http.ServeMux
+	jobs       *jobStore
+	timeout    time.Duration
 
 	defaultInstrs uint64
 	maxInstrs     uint64
@@ -127,6 +136,7 @@ func New(opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		runner:        opts.Runner,
+		dispatcher:    opts.Dispatcher,
 		mux:           http.NewServeMux(),
 		timeout:       opts.RequestTimeout,
 		defaultInstrs: opts.DefaultInstrs,
@@ -157,6 +167,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", reg.Handler())
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
@@ -271,8 +282,12 @@ type errorBody struct {
 type runRequest struct {
 	Workload string `json:"workload"`
 	Scheme   string `json:"scheme"`
-	Instrs   uint64 `json:"instrs"`
-	Async    bool   `json:"async"`
+	// Config, when present, overrides Scheme with an explicit core
+	// configuration. Dispatcher-forwarded jobs always use it so ablated
+	// configurations content-address identically on every peer.
+	Config *config.Core `json:"config"`
+	Instrs uint64       `json:"instrs"`
+	Async  bool         `json:"async"`
 }
 
 type runResponse struct {
@@ -344,16 +359,26 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, r, http.StatusBadRequest, errorBody{Error: "invalid JSON body: " + err.Error()})
 		return
 	}
-	if req.Scheme == "" {
-		req.Scheme = "baseline"
-	}
-	cfg, ok := config.ByScheme(req.Scheme)
-	if !ok {
-		s.writeJSON(w, r, http.StatusBadRequest, errorBody{
-			Error: fmt.Sprintf("unknown scheme %q", req.Scheme),
-			Known: config.SchemeNames(),
-		})
-		return
+	var cfg config.Core
+	switch {
+	case req.Config != nil:
+		cfg = *req.Config
+		if req.Scheme == "" {
+			req.Scheme = "custom"
+		}
+	default:
+		if req.Scheme == "" {
+			req.Scheme = "baseline"
+		}
+		var ok bool
+		cfg, ok = config.ByScheme(req.Scheme)
+		if !ok {
+			s.writeJSON(w, r, http.StatusBadRequest, errorBody{
+				Error: fmt.Sprintf("unknown scheme %q", req.Scheme),
+				Known: config.SchemeNames(),
+			})
+			return
+		}
 	}
 	if _, ok := workloads.ByName(req.Workload); !ok {
 		s.writeJSON(w, r, http.StatusBadRequest, errorBody{
@@ -368,12 +393,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job := runner.Job{Workload: req.Workload, Config: cfg, Instrs: instrs}
+	eng := s.engineFor(r)
 
 	if req.Async {
 		rec := s.jobs.add("run", obs.TraceID(r.Context()))
 		s.spawn(rec, rec.trace, func(ctx context.Context) (any, error) {
 			start := time.Now()
-			st, cached, err := s.runner.Run(ctx, job)
+			st, cached, err := eng.Run(ctx, job)
 			if err != nil {
 				return nil, err
 			}
@@ -393,7 +419,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
 	start := time.Now()
-	st, cached, err := s.runner.Run(ctx, job)
+	st, cached, err := eng.Run(ctx, job)
 	if err != nil {
 		s.writeRunError(w, r, err)
 		return
@@ -442,6 +468,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := artifactKey(id, instrs, req.Workloads, req.Serial)
+	eng := s.engineFor(r)
 	build := func(ctx context.Context) (*experiments.Artifact, bool, error) {
 		sp := obs.StartSpan(ctx, "artifact.build").Attr("experiment", id)
 		if a, ok := s.artifacts.Get(key); ok {
@@ -456,7 +483,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 			Workloads: req.Workloads,
 			Parallel:  !req.Serial,
 			Ctx:       ctx,
-			Runner:    s.runner,
+			Runner:    eng,
 		}
 		a, err := exp.RunArtifact(p)
 		if err != nil {
@@ -503,6 +530,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // ServerStats is the /v1/stats payload.
 type ServerStats struct {
 	UptimeSec float64       `json:"uptime_sec"`
+	Build     BuildInfo     `json:"build"`
 	Runner    runner.Stats  `json:"runner"`
 	Artifacts ArtifactStats `json:"artifact_cache"`
 	Jobs      JobStats      `json:"jobs"`
@@ -534,6 +562,7 @@ func (s *Server) stats() ServerStats {
 	counts := s.jobs.counts()
 	return ServerStats{
 		UptimeSec: time.Since(s.started).Seconds(),
+		Build:     ReadBuildInfo(),
 		Runner:    s.runner.Stats(),
 		Artifacts: ArtifactStats{
 			Entries:  s.artifacts.Len(),
@@ -555,10 +584,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, r, http.StatusOK, s.stats())
 }
 
+// Paging bounds for GET /v1/jobs: the listing defaults to one page of
+// DefaultJobListLimit and never returns more than MaxJobListLimit rows,
+// so sustained traffic cannot turn the inventory into an unbounded dump.
+const (
+	DefaultJobListLimit = 100
+	MaxJobListLimit     = 1000
+)
+
 // handleJobList enumerates tracked async jobs, newest first, so operators
 // can see in-flight work without knowing job IDs. ?status= filters by
-// lifecycle state; ?limit= caps the page (default all tracked). Results are
-// omitted from list entries — poll /v1/jobs/{id} for payloads.
+// lifecycle state; ?limit= and ?offset= page through the filtered set
+// (limit defaults to DefaultJobListLimit, capped at MaxJobListLimit). The
+// envelope reports the total matching count so clients can page. Results
+// are omitted from list entries — poll /v1/jobs/{id} for payloads.
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	status := r.URL.Query().Get("status")
 	switch status {
@@ -570,17 +609,32 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	limit := 0
+	limit := DefaultJobListLimit
 	if raw := r.URL.Query().Get("limit"); raw != "" {
 		n, err := strconv.Atoi(raw)
 		if err != nil || n < 1 {
 			s.writeJSON(w, r, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid limit %q", raw)})
 			return
 		}
-		limit = n
+		limit = min(n, MaxJobListLimit)
 	}
-	views := s.jobs.list(status, limit)
-	s.writeJSON(w, r, http.StatusOK, map[string]any{"jobs": views, "count": len(views)})
+	offset := 0
+	if raw := r.URL.Query().Get("offset"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			s.writeJSON(w, r, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid offset %q", raw)})
+			return
+		}
+		offset = n
+	}
+	views, total := s.jobs.list(status, limit, offset)
+	s.writeJSON(w, r, http.StatusOK, map[string]any{
+		"jobs":   views,
+		"count":  len(views),
+		"total":  total,
+		"limit":  limit,
+		"offset": offset,
+	})
 }
 
 // handleTraces lists retained traces, newest first.
@@ -638,9 +692,15 @@ func (s *Server) clampInstrs(instrs uint64) (uint64, error) {
 // writeRunError maps execution errors to HTTP statuses.
 func (s *Server) writeRunError(w http.ResponseWriter, r *http.Request, err error) {
 	var uw *runner.UnknownWorkloadError
+	var re *dispatch.RemoteError
 	switch {
 	case errors.As(err, &uw):
 		s.writeJSON(w, r, http.StatusBadRequest, errorBody{Error: err.Error(), Known: workloads.Names()})
+	case errors.As(err, &re):
+		// A peer rejected or failed the forwarded job and the local
+		// fallback could not save it either; surface it as an upstream
+		// failure rather than our own.
+		s.writeJSON(w, r, http.StatusBadGateway, errorBody{Error: err.Error()})
 	case errors.Is(err, context.DeadlineExceeded):
 		s.writeJSON(w, r, http.StatusGatewayTimeout, errorBody{Error: "request timed out: " + err.Error()})
 	case errors.Is(err, context.Canceled):

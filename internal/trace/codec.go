@@ -3,7 +3,6 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 
@@ -109,6 +108,7 @@ func (w *Writer) Close() error {
 type FileReader struct {
 	r      *bufio.Reader
 	remain uint64
+	total  uint64
 	err    error
 }
 
@@ -119,13 +119,14 @@ func NewFileReader(r io.Reader) (*FileReader, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: short header: %w", err)
 	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != traceMagic {
-		return nil, errors.New("trace: bad magic")
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic 0x%08x (want 0x%08x)", m, traceMagic)
 	}
 	if v := binary.LittleEndian.Uint32(hdr[4:]); v != traceVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", v)
+		return nil, fmt.Errorf("trace: unsupported version %d (reader supports %d)", v, traceVersion)
 	}
-	return &FileReader{r: br, remain: binary.LittleEndian.Uint64(hdr[8:])}, nil
+	total := binary.LittleEndian.Uint64(hdr[8:])
+	return &FileReader{r: br, remain: total, total: total}, nil
 }
 
 // Err returns the first decode error encountered (nil on clean EOF).
@@ -138,7 +139,11 @@ func (f *FileReader) Next(rec *Rec) bool {
 	}
 	var buf [recWireSize + 8]byte
 	if _, err := io.ReadFull(f.r, buf[:]); err != nil {
-		f.err = fmt.Errorf("trace: truncated record: %w", err)
+		// Name the failing record so a corrupt capture is diagnosable: a
+		// clean EOF here still means the header promised more records than
+		// the file holds (count mismatch), never a silent end-of-stream.
+		f.err = fmt.Errorf("trace: truncated record %d of %d: %w",
+			f.total-f.remain, f.total, err)
 		return false
 	}
 	o := 0
