@@ -3,6 +3,7 @@
 // Usage:
 //
 //	dlvpd [-addr :8080] [-workers 8] [-cache 4096] [-timeout 2m]
+//	      [-trace-cache-bytes 536870912]
 //	      [-peers http://h1:8080,http://h2:8080] [-self name]
 //	      [-hedge-after 0] [-health-interval 3s]
 //	      [-log-format json|text] [-log-level debug|info|warn|error]
@@ -51,12 +52,14 @@ import (
 	"dlvp/internal/obs"
 	"dlvp/internal/runner"
 	"dlvp/internal/server"
+	"dlvp/internal/tracecache"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "concurrent simulations (0: NumCPU)")
 	cache := flag.Int("cache", 0, "result cache entries (0: default, negative: disabled)")
+	traceCacheBytes := flag.Int64("trace-cache-bytes", 512<<20, "byte budget for captured emulation traces replayed across configs (0: disabled)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout for synchronous calls")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for draining work")
 	peers := flag.String("peers", "", "comma-separated peer base URLs (e.g. http://10.0.0.2:8080) forming the dispatch ring")
@@ -90,7 +93,12 @@ func main() {
 	}
 	ob := obs.NewObserver(logger)
 
-	eng := runner.New(runner.Options{Workers: *workers, CacheEntries: *cache, Obs: ob})
+	eng := runner.New(runner.Options{
+		Workers:      *workers,
+		CacheEntries: *cache,
+		Obs:          ob,
+		TraceCache:   tracecache.New(*traceCacheBytes),
+	})
 
 	var peerBackends []dispatch.Backend
 	for _, raw := range strings.Split(*peers, ",") {

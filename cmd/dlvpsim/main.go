@@ -22,6 +22,7 @@ import (
 	"dlvp/internal/config"
 	"dlvp/internal/metrics"
 	"dlvp/internal/runner"
+	"dlvp/internal/tracecache"
 	"dlvp/internal/uarch"
 	"dlvp/internal/workloads"
 )
@@ -34,6 +35,7 @@ func main() {
 	list := flag.Bool("list", false, "list available workloads")
 	disasm := flag.Bool("disasm", false, "print the workload's disassembly and exit")
 	pipeview := flag.Int("pipeview", 0, "record and print the pipeline timeline of N instructions (after warmup)")
+	traceCacheBytes := flag.Int64("trace-cache-bytes", 512<<20, "byte budget for captured emulation traces replayed across configs (0: disabled; speeds up -compare)")
 	asJSON := flag.Bool("json", false, "emit the run statistics as JSON")
 	flag.Parse()
 
@@ -63,7 +65,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	eng := runner.New(runner.Options{})
+	eng := runner.New(runner.Options{TraceCache: tracecache.New(*traceCacheBytes)})
 	var s metrics.RunStats
 	if *pipeview > 0 {
 		// Stage tracing needs direct access to the core instance, so the

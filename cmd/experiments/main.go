@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	experiments [-run fig6] [-instrs 300000] [-workloads perlbmk,gcc] [-serial] [-json]
+//	experiments [-run fig6] [-instrs 300000] [-workloads perlbmk,gcc] [-serial]
+//	            [-trace-cache-bytes 536870912] [-json]
 //
 // Without -run, every experiment is regenerated in paper order. Experiment
 // ids: fig1 fig2 tab1 tab2 tab3 tab4 fig4 fig5 fig6 fig7 fig8 fig9 fig10.
@@ -26,7 +27,9 @@ import (
 	"time"
 
 	"dlvp/internal/experiments"
+	"dlvp/internal/runner"
 	"dlvp/internal/tabletext"
+	"dlvp/internal/tracecache"
 	"dlvp/internal/workloads"
 )
 
@@ -35,6 +38,7 @@ func main() {
 	instrs := flag.Uint64("instrs", 300_000, "dynamic instructions per workload")
 	wl := flag.String("workloads", "", "comma-separated workload subset (default: all)")
 	serial := flag.Bool("serial", false, "disable parallel simulation")
+	traceCacheBytes := flag.Int64("trace-cache-bytes", 512<<20, "byte budget for captured emulation traces replayed across configs (0: disabled)")
 	charts := flag.Bool("charts", false, "also render per-workload tables as ASCII bar charts")
 	asJSON := flag.Bool("json", false, "emit machine-readable artifacts (the dlvpd wire shape)")
 	flag.Parse()
@@ -46,6 +50,17 @@ func main() {
 	p.Instrs = *instrs
 	p.Parallel = !*serial
 	p.Ctx = ctx
+	// Every experiment sweeps configurations over the same workloads, so
+	// the trace cache collapses their emulation cost to once per workload.
+	tc := tracecache.New(*traceCacheBytes)
+	p.Runner = runner.New(runner.Options{TraceCache: tc})
+	defer func() {
+		s := tc.Stats()
+		if s.Captures+s.Bypasses > 0 {
+			fmt.Fprintf(os.Stderr, "trace cache: %d emulations, %d replays (%.0f%% hit), %d MiB resident\n",
+				s.Emulations, s.Replays+s.Follows, 100*s.HitRatio(), s.ResidentBytes>>20)
+		}
+	}()
 	if *wl != "" {
 		p.Workloads = strings.Split(*wl, ",")
 		for _, name := range p.Workloads {

@@ -76,11 +76,14 @@ func (m *Meter) AddReads(name string, n uint64) { m.reads[name] += n }
 func (m *Meter) AddWrites(name string, n uint64) { m.writes[name] += n }
 
 // DynamicEnergy returns the total access energy across all structures.
+// The sum runs over the sorted breakdown, not the spec map: float addition
+// is not associative, so a map-order walk would change the total in the
+// last ULP from run to run and identical simulations would no longer
+// produce bit-identical RunStats.
 func (m *Meter) DynamicEnergy() float64 {
 	var e float64
-	for name, spec := range m.specs {
-		e += float64(m.reads[name]) * spec.ReadEnergy()
-		e += float64(m.writes[name]) * spec.WriteEnergy()
+	for _, s := range m.Breakdown() {
+		e += s.Energy
 	}
 	return e
 }

@@ -135,3 +135,25 @@ func TestCoreModelNilMeter(t *testing.T) {
 		t.Errorf("total = %v, want 20", got)
 	}
 }
+
+// The total must not depend on map iteration order: float addition is not
+// associative, and a run-to-run ULP wobble breaks bit-identical RunStats
+// (the trace-replay equivalence guarantee). Build the same meter many
+// times; every total must be exactly equal.
+func TestDynamicEnergyDeterministic(t *testing.T) {
+	build := func() *Meter {
+		m := NewMeter()
+		for i, name := range []string{"L1D", "L1I", "L2", "L3", "PRF", "PVT", "APT", "VTAGE"} {
+			m.Register(RAMSpec{Name: name, Bits: 1 << (10 + i), ReadPorts: 2, WritePorts: 1})
+			m.AddReads(name, uint64(1_000_003*(i+1)))
+			m.AddWrites(name, uint64(700_001*(i+1)))
+		}
+		return m
+	}
+	want := build().DynamicEnergy()
+	for i := 0; i < 50; i++ {
+		if got := build().DynamicEnergy(); got != want {
+			t.Fatalf("iteration %d: total %v differs from %v (order-dependent sum)", i, got, want)
+		}
+	}
+}

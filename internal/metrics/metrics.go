@@ -98,15 +98,30 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
+// MinSpeedupRatio is the floor applied to each per-workload cycle ratio
+// inside GeoMeanSpeedup. A slowdown of −100% or worse (a zero-IPC run)
+// has a non-positive ratio whose logarithm is -Inf/NaN and would poison
+// the whole mean and every JSON artifact derived from it; clamping to
+// one-thousandth (−99.9%) keeps such a run maximally penalised while the
+// aggregate stays finite and deterministic.
+const MinSpeedupRatio = 1e-3
+
 // GeoMeanSpeedup returns the geometric mean of (1 + x/100) minus one, in
-// percent — a robustness check alongside the arithmetic mean.
+// percent — a robustness check alongside the arithmetic mean. Entries at
+// or below −100% (and NaN entries) are clamped to MinSpeedupRatio rather
+// than skipped, so a pathological run still drags the mean down instead
+// of silently vanishing from it.
 func GeoMeanSpeedup(pcts []float64) float64 {
 	if len(pcts) == 0 {
 		return 0
 	}
 	var logSum float64
 	for _, p := range pcts {
-		logSum += math.Log(1 + p/100)
+		ratio := 1 + p/100
+		if !(ratio > MinSpeedupRatio) { // also catches NaN
+			ratio = MinSpeedupRatio
+		}
+		logSum += math.Log(ratio)
 	}
 	return 100 * (math.Exp(logSum/float64(len(pcts))) - 1)
 }

@@ -69,3 +69,29 @@ func TestGeoMeanSpeedup(t *testing.T) {
 		t.Error("empty geomean must be 0")
 	}
 }
+
+// A zero-IPC run reports a −100% (or worse) slowdown whose log-ratio is
+// -Inf/NaN; such entries are clamped to MinSpeedupRatio so one broken run
+// cannot poison the aggregate or the JSON artifacts.
+func TestGeoMeanSpeedupPathologicalSlowdowns(t *testing.T) {
+	clamped := 100 * (MinSpeedupRatio - 1) // −99.9%
+	for _, xs := range [][]float64{{-100}, {-150}, {math.NaN()}} {
+		got := GeoMeanSpeedup(xs)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("GeoMeanSpeedup(%v) = %v, want finite", xs, got)
+		}
+		if math.Abs(got-clamped) > 1e-9 {
+			t.Errorf("GeoMeanSpeedup(%v) = %v, want clamp at %v", xs, got, clamped)
+		}
+	}
+	// A clamped entry drags a mixed average down without destroying it,
+	// and the result is deterministic.
+	mixed := []float64{10, -100, 10}
+	got := GeoMeanSpeedup(mixed)
+	if math.IsNaN(got) || math.IsInf(got, 0) || got >= 0 {
+		t.Errorf("mixed geomean = %v, want finite negative", got)
+	}
+	if again := GeoMeanSpeedup(mixed); again != got {
+		t.Errorf("non-deterministic: %v vs %v", got, again)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -37,6 +38,8 @@ import (
 	"dlvp/internal/config"
 	"dlvp/internal/metrics"
 	"dlvp/internal/obs"
+	"dlvp/internal/trace"
+	"dlvp/internal/tracecache"
 	"dlvp/internal/uarch"
 	"dlvp/internal/workloads"
 )
@@ -91,14 +94,22 @@ type Options struct {
 	// per-phase span recording for traced contexts. Nil leaves the engine
 	// uninstrumented (library/CLI use); the hooks then cost one pointer test.
 	Obs *obs.Observer
+	// TraceCache, when non-nil, captures each workload's functional
+	// emulation stream on first use and replays it to every subsequent job
+	// over the same (workload, instrs), so a configuration matrix pays the
+	// emulation cost once per workload instead of once per job. Nil keeps
+	// the emulate-per-job behaviour.
+	TraceCache *tracecache.Cache
 }
 
 // instruments holds the engine's telemetry handles (nil when the runner
 // was built without an Observer).
 type instruments struct {
-	queueWait *obs.Histogram  // seconds a job waited for a worker slot
-	simDur    *obs.Histogram  // wall seconds of one executed simulation
-	lookups   *obs.CounterVec // cache lookups by outcome hit|miss|coalesced
+	queueWait  *obs.Histogram  // seconds a job waited for a worker slot
+	simDur     *obs.Histogram  // wall seconds of one executed simulation
+	captureDur *obs.Histogram  // wall seconds of simulations that captured their trace
+	replayDur  *obs.Histogram  // wall seconds of simulations fed by a replayed trace
+	lookups    *obs.CounterVec // cache lookups by outcome hit|miss|coalesced|cancelled|trace_cache
 }
 
 func newInstruments(o *obs.Observer) *instruments {
@@ -111,9 +122,37 @@ func newInstruments(o *obs.Observer) *instruments {
 			"Time jobs spent waiting for a worker slot.", nil).With(),
 		simDur: reg.Histogram("dlvpd_runner_sim_duration_seconds",
 			"Wall time of executed simulations (cache hits excluded).", nil).With(),
+		captureDur: reg.Histogram("dlvpd_runner_trace_capture_seconds",
+			"Wall time of simulations that recorded their emulation stream into the trace cache.", nil).With(),
+		replayDur: reg.Histogram("dlvpd_runner_trace_replay_seconds",
+			"Wall time of simulations fed by a replayed (or followed) trace-cache stream.", nil).With(),
 		lookups: reg.Counter("dlvpd_runner_cache_lookups_total",
 			"Result-cache lookups by outcome.", "outcome"),
 	}
+}
+
+// registerTraceCacheMetrics exposes the trace cache's counters at scrape
+// time. Safe under repeated registration (shared registries re-fetch the
+// existing family).
+func registerTraceCacheMetrics(reg *obs.Registry, tc *tracecache.Cache) {
+	reg.GaugeFunc("dlvpd_tracecache_bytes_resident",
+		"Bytes of captured trace records resident in the trace cache (complete and in-flight).",
+		func() float64 { s := tc.Stats(); return float64(s.ResidentBytes + s.CapturingBytes) })
+	reg.GaugeFunc("dlvpd_tracecache_entries",
+		"Complete trace captures resident in the trace cache.",
+		func() float64 { return float64(tc.Stats().Entries) })
+	reg.CounterFunc("dlvpd_tracecache_captures_total",
+		"Trace captures started (one live emulation each).",
+		func() float64 { return float64(tc.Stats().Captures) })
+	reg.CounterFunc("dlvpd_tracecache_replays_total",
+		"Simulations fed from a captured trace (replays plus follows).",
+		func() float64 { s := tc.Stats(); return float64(s.Replays + s.Follows) })
+	reg.CounterFunc("dlvpd_tracecache_evictions_total",
+		"Complete captures evicted to respect the byte budget.",
+		func() float64 { return float64(tc.Stats().Evictions) })
+	reg.CounterFunc("dlvpd_tracecache_emulations_total",
+		"Live emulator streams constructed (captures, bypasses and fallbacks).",
+		func() float64 { return float64(tc.Stats().Emulations) })
 }
 
 // Runner executes simulation jobs on a bounded pool with result caching.
@@ -122,6 +161,7 @@ type Runner struct {
 	workers int
 	sem     chan struct{}
 	cache   *LRU[metrics.RunStats]
+	tcache  *tracecache.Cache
 	inst    *instruments
 
 	mu      sync.Mutex
@@ -131,6 +171,7 @@ type Runner struct {
 	running   atomic.Int64
 	done      atomic.Int64
 	failed    atomic.Int64
+	cancelled atomic.Int64
 	executed  atomic.Int64
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -160,14 +201,22 @@ func New(opts Options) *Runner {
 	case opts.CacheEntries > 0:
 		cache = NewLRU[metrics.RunStats](opts.CacheEntries)
 	}
+	if opts.Obs != nil && opts.TraceCache != nil {
+		registerTraceCacheMetrics(opts.Obs.Metrics, opts.TraceCache)
+	}
 	return &Runner{
 		workers: workers,
 		sem:     make(chan struct{}, workers),
 		cache:   cache,
+		tcache:  opts.TraceCache,
 		inst:    newInstruments(opts.Obs),
 		flights: make(map[string]*flight),
 	}
 }
+
+// TraceCache returns the engine's trace capture/replay cache (nil when
+// disabled).
+func (r *Runner) TraceCache() *tracecache.Cache { return r.tcache }
 
 // Workers reports the pool bound.
 func (r *Runner) Workers() int { return r.workers }
@@ -179,6 +228,7 @@ func (r *Runner) Workers() int { return r.workers }
 func (r *Runner) Run(ctx context.Context, job Job) (metrics.RunStats, bool, error) {
 	var zero metrics.RunStats
 	if err := ctx.Err(); err != nil {
+		r.cancelled.Add(1)
 		return zero, false, err
 	}
 	w, ok := workloads.ByName(job.Workload)
@@ -212,7 +262,9 @@ func (r *Runner) Run(ctx context.Context, job Job) (metrics.RunStats, bool, erro
 		select {
 		case <-fl.done:
 			if fl.err != nil {
-				r.failed.Add(1)
+				// The flight's lead already accounted this failure (or
+				// cancellation); counting it again per waiter would
+				// multi-count one failed simulation.
 				sp.Attr("cache", "coalesced").Attr("error", fl.err.Error()).End()
 				return zero, false, fl.err
 			}
@@ -222,8 +274,12 @@ func (r *Runner) Run(ctx context.Context, job Job) (metrics.RunStats, bool, erro
 			sp.Attr("cache", "coalesced").End()
 			return fl.stats, true, nil
 		case <-ctx.Done():
-			r.failed.Add(1)
-			sp.Attr("cache", "coalesced").Attr("error", ctx.Err().Error()).End()
+			// The caller gave up waiting; the underlying simulation is
+			// unaffected (and usually succeeds), so this is a cancelled
+			// wait, not a failed job.
+			r.cancelled.Add(1)
+			r.countLookup("cancelled")
+			sp.Attr("cache", "cancelled").Attr("error", ctx.Err().Error()).End()
 			return zero, false, ctx.Err()
 		}
 	}
@@ -237,7 +293,11 @@ func (r *Runner) Run(ctx context.Context, job Job) (metrics.RunStats, bool, erro
 
 	st, err := r.lead(ctx, key, fl, w, job)
 	if err != nil {
-		r.failed.Add(1)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			r.cancelled.Add(1)
+		} else {
+			r.failed.Add(1)
+		}
 		sp.Attr("cache", "miss").Attr("error", err.Error()).End()
 		return zero, false, err
 	}
@@ -287,7 +347,32 @@ func (r *Runner) lead(ctx context.Context, key string, fl *flight, w workloads.W
 	xsp := obs.StartSpan(ctx, "runner.execute").Attr("workload", job.Workload)
 	r.running.Add(1)
 	start := time.Now()
-	core := uarch.New(job.Config, w.Build(), w.Reader(job.Instrs))
+
+	// The trace cache, when configured, replaces the per-job functional
+	// emulation with a capture-once/replay-many stream: the first job over
+	// a (workload, instrs) records the emulator's output, every other job
+	// replays (or tails) it. Outcomes are surfaced as runner.capture /
+	// runner.replay spans plus dedicated duration histograms.
+	reader := trace.Reader(nil)
+	outcome := tracecache.OutcomeBypass
+	if r.tcache != nil {
+		var release func()
+		reader, release, outcome = r.tcache.Reader(job.Workload, job.Instrs,
+			func() trace.Reader { return w.Reader(job.Instrs) })
+		defer release()
+	} else {
+		reader = w.Reader(job.Instrs)
+	}
+	var tsp *obs.ActiveSpan
+	switch outcome {
+	case tracecache.OutcomeCapture:
+		tsp = obs.StartSpan(ctx, "runner.capture").Attr("workload", job.Workload)
+	case tracecache.OutcomeReplay, tracecache.OutcomeFollow:
+		tsp = obs.StartSpan(ctx, "runner.replay").Attr("workload", job.Workload)
+		r.countLookup("trace_cache")
+	}
+
+	core := uarch.New(job.Config, w.Build(), reader)
 	st = core.Run(0)
 	elapsed := time.Since(start)
 	r.simNanos.Add(int64(elapsed))
@@ -296,6 +381,15 @@ func (r *Runner) lead(ctx context.Context, key string, fl *flight, w workloads.W
 	r.instrs.Add(st.Instructions)
 	if r.inst != nil {
 		r.inst.simDur.Observe(elapsed.Seconds())
+		switch outcome {
+		case tracecache.OutcomeCapture:
+			r.inst.captureDur.Observe(elapsed.Seconds())
+		case tracecache.OutcomeReplay, tracecache.OutcomeFollow:
+			r.inst.replayDur.Observe(elapsed.Seconds())
+		}
+	}
+	if tsp != nil {
+		tsp.End()
 	}
 	xsp.Attr("instructions", strconv.FormatUint(st.Instructions, 10)).End()
 
@@ -374,11 +468,16 @@ func (r *Runner) RunAll(ctx context.Context, jobs []Job, opt Matrix) ([]metrics.
 
 // Stats is a snapshot of the engine's counters.
 type Stats struct {
-	Workers         int     `json:"workers"`
-	JobsQueued      int64   `json:"jobs_queued"`  // waiting for a worker slot now
-	JobsRunning     int64   `json:"jobs_running"` // simulating now
-	JobsDone        int64   `json:"jobs_done"`    // completed, incl. cached/coalesced
-	JobsFailed      int64   `json:"jobs_failed"`
+	Workers     int   `json:"workers"`
+	JobsQueued  int64 `json:"jobs_queued"`  // waiting for a worker slot now
+	JobsRunning int64 `json:"jobs_running"` // simulating now
+	JobsDone    int64 `json:"jobs_done"`    // completed, incl. cached/coalesced
+	JobsFailed  int64 `json:"jobs_failed"`
+	// JobsCancelled counts jobs abandoned by their caller's context —
+	// while queued, or while coalesced-waiting on a twin flight whose
+	// simulation itself carries on. These are not failures: the
+	// underlying work either never started or finished for someone else.
+	JobsCancelled   int64   `json:"jobs_cancelled"`
 	SimsExecuted    int64   `json:"sims_executed"` // simulations actually run
 	CacheHits       int64   `json:"cache_hits"`
 	CacheMisses     int64   `json:"cache_misses"`
@@ -388,6 +487,8 @@ type Stats struct {
 	InstrsSimulated uint64  `json:"instrs_simulated"`
 	SimSeconds      float64 `json:"sim_seconds"`    // aggregate worker-seconds spent simulating
 	InstrsPerSec    float64 `json:"instrs_per_sec"` // InstrsSimulated / SimSeconds
+	// TraceCache reports the capture/replay cache when configured.
+	TraceCache *tracecache.Stats `json:"trace_cache,omitempty"`
 }
 
 // HitRatio returns cache hits (including coalesced twins) over all cache
@@ -408,6 +509,7 @@ func (r *Runner) Stats() Stats {
 		JobsRunning:     r.running.Load(),
 		JobsDone:        r.done.Load(),
 		JobsFailed:      r.failed.Load(),
+		JobsCancelled:   r.cancelled.Load(),
 		SimsExecuted:    r.executed.Load(),
 		CacheHits:       r.hits.Load(),
 		CacheMisses:     r.misses.Load(),
@@ -418,6 +520,10 @@ func (r *Runner) Stats() Stats {
 	if r.cache != nil {
 		s.CacheEntries = r.cache.Len()
 		s.CacheCapacity = r.cache.Cap()
+	}
+	if r.tcache != nil {
+		ts := r.tcache.Stats()
+		s.TraceCache = &ts
 	}
 	if s.SimSeconds > 0 {
 		s.InstrsPerSec = float64(s.InstrsSimulated) / s.SimSeconds

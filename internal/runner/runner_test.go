@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"dlvp/internal/config"
 )
@@ -235,6 +236,103 @@ func TestRunAllCancelMidMatrix(t *testing.T) {
 	if s := r.Stats(); s.SimsExecuted >= int64(len(jobs)) {
 		t.Errorf("SimsExecuted = %d of %d; cancellation did not stop the matrix", s.SimsExecuted, len(jobs))
 	}
+}
+
+// TestWaiterCancellationAccounting locks the failure-accounting contract:
+// a caller that cancels while coalesced-waiting on another job's flight is
+// counted as cancelled, not failed (the underlying simulation is
+// unaffected), and when a flight's lead fails every coalesced waiter
+// shares the error without multi-counting it.
+func TestWaiterCancellationAccounting(t *testing.T) {
+	r := New(Options{Workers: 1, CacheEntries: -1})
+	bg := context.Background()
+
+	// Occupy the single worker slot so the flight under test stays queued.
+	blockerDone := make(chan struct{})
+	go func() {
+		defer close(blockerDone)
+		if _, _, err := r.Run(bg, testJob("gap", 200_000)); err != nil {
+			t.Errorf("blocker: %v", err)
+		}
+	}()
+	waitFor(t, func() bool { return r.Stats().JobsRunning == 1 })
+
+	// Lead for a distinct job: creates the flight, then blocks in the
+	// queue behind the blocker.
+	leadCtx, cancelLead := context.WithCancel(bg)
+	defer cancelLead()
+	leadErr := make(chan error, 1)
+	job := testJob("mcf", testInstrs)
+	go func() {
+		_, _, err := r.Run(leadCtx, job)
+		leadErr <- err
+	}()
+	key, _ := job.Key()
+	waitFor(t, func() bool {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		_, ok := r.flights[key]
+		return ok
+	})
+
+	// Two waiters coalesce onto the lead's flight; cancel the first.
+	waiterCtx, cancelWaiter := context.WithCancel(bg)
+	waiter1Err := make(chan error, 1)
+	go func() {
+		_, _, err := r.Run(waiterCtx, job)
+		waiter1Err <- err
+	}()
+	waiter2Err := make(chan error, 1)
+	go func() {
+		_, _, err := r.Run(bg, job)
+		waiter2Err <- err
+	}()
+	waitFor(t, func() bool { return r.Stats().JobsQueued == 1 })
+	// Give both waiters a moment to attach to the flight; whichever path
+	// the cancellation lands on (coalesced wait or submission entry), it
+	// must count as cancelled, never failed.
+	time.Sleep(50 * time.Millisecond)
+
+	cancelWaiter()
+	if err := <-waiter1Err; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter 1 err = %v, want context.Canceled", err)
+	}
+	if s := r.Stats(); s.JobsCancelled != 1 || s.JobsFailed != 0 {
+		t.Errorf("after waiter cancel: cancelled=%d failed=%d, want 1/0", s.JobsCancelled, s.JobsFailed)
+	}
+
+	// Now cancel the lead while it is still queued: the lead's error is
+	// shared with the remaining waiter but accounted exactly once.
+	cancelLead()
+	if err := <-leadErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("lead err = %v, want context.Canceled", err)
+	}
+	if err := <-waiter2Err; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter 2 err = %v, want the lead's context.Canceled", err)
+	}
+	<-blockerDone
+	s := r.Stats()
+	if s.JobsCancelled != 2 {
+		t.Errorf("JobsCancelled = %d, want 2 (one waiter + one queued lead)", s.JobsCancelled)
+	}
+	if s.JobsFailed != 0 {
+		t.Errorf("JobsFailed = %d, want 0: cancellations and shared flight errors must not count as failures", s.JobsFailed)
+	}
+	if s.SimsExecuted != 1 {
+		t.Errorf("SimsExecuted = %d, want 1 (the blocker only)", s.SimsExecuted)
+	}
+}
+
+// waitFor polls cond for up to ~5s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 5000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never reached")
 }
 
 // TestRunCancelledContext checks a pre-cancelled submission never runs.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dlvp/internal/runner"
+	"dlvp/internal/tracecache"
 )
 
 const testInstrs = 4_000
@@ -333,4 +334,37 @@ func mustGet(t *testing.T, url string) *http.Response {
 		t.Fatal(err)
 	}
 	return resp
+}
+
+// A server whose runner carries a trace cache must surface the cache's
+// counters in the /v1/stats payload: two schemes over one workload means
+// one emulation and one replay.
+func TestStatsExposeTraceCache(t *testing.T) {
+	tc := tracecache.New(64 << 20)
+	s := New(Options{Runner: runner.New(runner.Options{TraceCache: tc})})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	for _, scheme := range []string{"baseline", "dlvp"} {
+		req := map[string]any{"workload": "perlbmk", "scheme": scheme, "instrs": testInstrs}
+		resp := decode[runResponse](t, postJSON(t, ts.URL+"/v1/runs", req))
+		if resp.Stats.Instructions == 0 {
+			t.Fatalf("scheme %s: empty stats", scheme)
+		}
+	}
+
+	stats := decode[ServerStats](t, mustGet(t, ts.URL+"/v1/stats"))
+	cs := stats.Runner.TraceCache
+	if cs == nil {
+		t.Fatal("/v1/stats runner block is missing trace_cache")
+	}
+	if cs.Emulations != 1 || cs.Replays+cs.Follows != 1 {
+		t.Errorf("trace cache stats = %+v, want 1 emulation and 1 replay", *cs)
+	}
+	if cs.ResidentBytes == 0 || cs.BudgetBytes != tc.Budget() {
+		t.Errorf("byte accounting missing from payload: %+v", *cs)
+	}
 }

@@ -94,7 +94,16 @@ func (w Workload) Reader(maxInstrs uint64) trace.Reader {
 
 type rng struct{ s uint64 }
 
-func newRng(seed uint64) *rng { return &rng{s: seed ^ 0x2545f4914f6cdd1d} }
+func newRng(seed uint64) *rng {
+	s := seed ^ 0x2545f4914f6cdd1d
+	if s == 0 {
+		// xorshift is a linear map with 0 as a fixed point: the seed equal
+		// to the mixing constant would otherwise produce all-zero output
+		// (degenerate data arrays, identity "permutations") forever.
+		s = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: s}
+}
 
 func (r *rng) next() uint64 {
 	r.s ^= r.s << 13

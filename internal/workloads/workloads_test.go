@@ -198,6 +198,54 @@ func TestHelpers(t *testing.T) {
 	}
 }
 
+// The xorshift state is seed ^ constant, so the adversarial seed equal to
+// the constant would collapse the state to zero and the generator would
+// emit zeros forever: all-zero data arrays and identity "permutations".
+func TestRngAdversarialSeeds(t *testing.T) {
+	const xorConst = 0x2545f4914f6cdd1d
+	for _, seed := range []uint64{0, 1, xorConst, ^uint64(0)} {
+		r := newRng(seed)
+		var zeros, distinct int
+		seen := map[uint64]bool{}
+		for i := 0; i < 64; i++ {
+			v := r.next()
+			if v == 0 {
+				zeros++
+			}
+			if !seen[v] {
+				seen[v] = true
+				distinct++
+			}
+		}
+		if zeros > 1 || distinct < 60 {
+			t.Errorf("seed %#x: degenerate stream (%d zeros, %d distinct of 64)", seed, zeros, distinct)
+		}
+	}
+	// The zero-state seed must not produce an identity permutation.
+	p := permutation(xorConst, 64)
+	identity := true
+	for i, v := range p {
+		if v != uint64(i) {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		t.Error("permutation(xorConst, 64) is the identity: rng state collapsed to zero")
+	}
+	// ... and data arrays drawn from it must not be all-zero.
+	allZero := true
+	for _, w := range randWords(xorConst, 64) {
+		if w != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		t.Error("randWords(xorConst, 64) is all-zero: rng state collapsed to zero")
+	}
+}
+
 func TestDuplicateRegistrationPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
