@@ -4,6 +4,7 @@
 //
 //	dlvpd [-addr :8080] [-workers 8] [-cache 4096] [-timeout 2m]
 //	      [-trace-cache-bytes 536870912]
+//	      [-timeline-interval 100000] [-timeline-capacity 512]
 //	      [-peers http://h1:8080,http://h2:8080] [-self name]
 //	      [-hedge-after 0] [-health-interval 3s]
 //	      [-log-format json|text] [-log-level debug|info|warn|error]
@@ -25,6 +26,11 @@
 // /metrics expose queue depths, cache hit ratios, latency histograms, and
 // simulated instructions per second in the Prometheus text format.
 // Identical requests are served from content-addressed caches.
+//
+// With -timeline-interval > 0 (the default), every executed simulation
+// records an interval flight-recorder timeline; async run jobs serve it at
+// GET /v1/runs/{id}/timeline (?format=prom for Prometheus text) and stream
+// it live over Server-Sent Events at GET /v1/runs/{id}/timeline/stream.
 //
 // Every request gets a trace ID (X-Request-ID honoured and echoed); span
 // records are queryable at GET /v1/traces/{id}. With -debug-addr set, a
@@ -60,6 +66,8 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent simulations (0: NumCPU)")
 	cache := flag.Int("cache", 0, "result cache entries (0: default, negative: disabled)")
 	traceCacheBytes := flag.Int64("trace-cache-bytes", 512<<20, "byte budget for captured emulation traces replayed across configs (0: disabled)")
+	timelineInterval := flag.Uint64("timeline-interval", 100_000, "flight-recorder sampling interval in committed instructions (0: disabled)")
+	timelineCapacity := flag.Int("timeline-capacity", 0, "flight-recorder sample ring bound per run (0: default)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout for synchronous calls")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for draining work")
 	peers := flag.String("peers", "", "comma-separated peer base URLs (e.g. http://10.0.0.2:8080) forming the dispatch ring")
@@ -98,6 +106,11 @@ func main() {
 		CacheEntries: *cache,
 		Obs:          ob,
 		TraceCache:   tracecache.New(*traceCacheBytes),
+		Timeline: runner.TimelineOptions{
+			Enabled:        *timelineInterval > 0,
+			IntervalInstrs: *timelineInterval,
+			Capacity:       *timelineCapacity,
+		},
 	})
 
 	var peerBackends []dispatch.Backend

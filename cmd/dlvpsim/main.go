@@ -6,7 +6,11 @@
 // Usage:
 //
 //	dlvpsim -workload perlbmk -scheme dlvp -instrs 300000
+//	dlvpsim -workload perlbmk -scheme dlvp -timeline run.json
 //	dlvpsim -list
+//
+// -timeline records an interval flight-recorder series during the run and
+// writes it as JSON — the input format of the dlvpstat timeline CLI.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"dlvp/internal/config"
 	"dlvp/internal/metrics"
 	"dlvp/internal/runner"
+	"dlvp/internal/timeline"
 	"dlvp/internal/tracecache"
 	"dlvp/internal/uarch"
 	"dlvp/internal/workloads"
@@ -37,6 +42,9 @@ func main() {
 	pipeview := flag.Int("pipeview", 0, "record and print the pipeline timeline of N instructions (after warmup)")
 	traceCacheBytes := flag.Int64("trace-cache-bytes", 512<<20, "byte budget for captured emulation traces replayed across configs (0: disabled; speeds up -compare)")
 	asJSON := flag.Bool("json", false, "emit the run statistics as JSON")
+	timelineOut := flag.String("timeline", "", "record a flight-recorder timeline and write it as JSON to this path (\"-\": stdout)")
+	timelineInterval := flag.Uint64("timeline-interval", 0, "timeline sampling interval in committed instructions (0: default 100000)")
+	timelineCapacity := flag.Int("timeline-capacity", 0, "timeline sample ring bound (0: default 512)")
 	flag.Parse()
 
 	if *list {
@@ -65,7 +73,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	eng := runner.New(runner.Options{TraceCache: tracecache.New(*traceCacheBytes)})
+	eng := runner.New(runner.Options{
+		TraceCache: tracecache.New(*traceCacheBytes),
+		Timeline: runner.TimelineOptions{
+			Enabled:        *timelineOut != "",
+			IntervalInstrs: *timelineInterval,
+			Capacity:       *timelineCapacity,
+		},
+	})
 	var s metrics.RunStats
 	if *pipeview > 0 {
 		// Stage tracing needs direct access to the core instance, so the
@@ -75,11 +90,17 @@ func main() {
 		s = core.Run(0)
 		fmt.Print(uarch.FormatStageTraces(core.StageTraces()))
 	} else {
-		var err error
-		s, _, err = eng.Run(ctx, runner.Job{Workload: w.Name, Config: cfg, Instrs: *instrs})
+		res, _, err := eng.RunResult(ctx, runner.Job{Workload: w.Name, Config: cfg, Instrs: *instrs})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		s = res.Stats
+		if *timelineOut != "" {
+			if err := writeTimeline(*timelineOut, res.Timeline); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 	}
 
@@ -120,4 +141,24 @@ func main() {
 			metrics.SpeedupPct(base, s), base.IPC(), s.IPC())
 		fmt.Printf("energy ratio  %.3f of baseline\n", s.CoreEnergy/base.CoreEnergy)
 	}
+}
+
+// writeTimeline writes the flight-recorder series as indented JSON to path
+// ("-" for stdout).
+func writeTimeline(path string, tl *timeline.Timeline) error {
+	if tl == nil {
+		return fmt.Errorf("no timeline recorded")
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tl)
 }

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dlvp/internal/timeline"
+)
+
+// fixture builds a timeline whose per-interval accuracy follows accs (in
+// percent, with 100 predictions per interval).
+func fixture(workload, scheme string, accs []float64) *timeline.Timeline {
+	r := timeline.NewRecorder(10_000, 0)
+	var cum timeline.Counters
+	for _, acc := range accs {
+		cum.Instructions += 10_000
+		cum.Cycles += 20_000
+		cum.Loads += 3_000
+		cum.VPEligible += 200
+		cum.VPPredicted += 100
+		cum.VPCorrect += uint64(acc)
+		cum.APTLookups += 300
+		cum.APTHits += 250
+		cum.Probes += 100
+		cum.ProbeHits += 80
+		cum.L1DAccesses += 3_000
+		cum.L1DMisses += 150
+		r.Sample(cum, 12)
+	}
+	return r.Finish(cum, 0, workload, scheme)
+}
+
+func writeFixture(t *testing.T, tl *timeline.Timeline) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), tl.Scheme+".json")
+	data, err := json.Marshal(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRenderShow(t *testing.T) {
+	tl := fixture("gcc", "dlvp", []float64{90, 92, 91, 93})
+	out := renderShow(tl)
+	for _, want := range []string{
+		"timeline  gcc (dlvp), 4 samples, interval 10000 instrs",
+		"IPC",
+		"VP accuracy %",
+		"paq-peak",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("show output missing %q\n%s", want, out)
+		}
+	}
+	if !strings.ContainsAny(out, "▁▂▃▄▅▆▇█") {
+		t.Error("show output has no sparkline glyphs")
+	}
+}
+
+func TestRenderShowEmpty(t *testing.T) {
+	out := renderShow(&timeline.Timeline{Workload: "gcc", Scheme: "dlvp", IntervalInstrs: 100})
+	if !strings.Contains(out, "no samples recorded") {
+		t.Errorf("empty show output = %q", out)
+	}
+}
+
+// diff must pinpoint the interval where an injected mid-run accuracy
+// regression bottomed out.
+func TestRenderDiffFlagsInjectedRegression(t *testing.T) {
+	base := fixture("gcc", "dlvp", []float64{90, 90, 90, 90, 90, 90})
+	// Run B regresses mid-run: interval 3 is the deepest drop.
+	regressed := fixture("gcc", "dlvp-conflict", []float64{90, 90, 82, 55, 84, 90})
+	out := renderDiff(base, regressed)
+	if !strings.Contains(out, "largest accuracy regression: interval 3 (instrs 30000-40000)") {
+		t.Errorf("diff did not pinpoint interval 3:\n%s", out)
+	}
+	if !strings.Contains(out, "90.00% -> 55.00% (-35.00 pts)") {
+		t.Errorf("diff did not report the regression magnitude:\n%s", out)
+	}
+	if !strings.Contains(out, "<-- largest accuracy regression") {
+		t.Errorf("diff table does not mark the regressed row:\n%s", out)
+	}
+}
+
+func TestRenderDiffNoRegression(t *testing.T) {
+	a := fixture("gcc", "dlvp", []float64{80, 80})
+	b := fixture("gcc", "dlvp", []float64{85, 90})
+	if out := renderDiff(a, b); !strings.Contains(out, "no accuracy regression") {
+		t.Errorf("improvement misreported:\n%s", out)
+	}
+}
+
+func TestLoadTimeline(t *testing.T) {
+	tl := fixture("mcf", "dlvp", []float64{88, 91})
+	path := writeFixture(t, tl)
+	got, err := loadTimeline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload != "mcf" || len(got.Samples) != 2 {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := loadTimeline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file did not error")
+	}
+}

@@ -85,6 +85,24 @@ func (r RunStats) PAQDropRate() float64 {
 	return 100 * float64(r.PAQDropped) / float64(r.PAQAllocated)
 }
 
+// ProbeHitRate returns L1D probe hits per probe in percent (0 when the
+// run issued no probes — baseline and VTAGE schemes).
+func (r RunStats) ProbeHitRate() float64 {
+	if r.Probes == 0 {
+		return 0
+	}
+	return 100 * float64(r.ProbeHits) / float64(r.Probes)
+}
+
+// FlushesPerKiloInstrs returns total pipeline flushes (branch, value,
+// ordering) per thousand committed instructions (0 for an empty run).
+func (r RunStats) FlushesPerKiloInstrs() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(r.BranchFlushes+r.ValueFlushes+r.OrderFlushes) / float64(r.Instructions)
+}
+
 // Mean returns the arithmetic mean of xs (the paper's "average speedup"
 // is an arithmetic mean across workloads).
 func Mean(xs []float64) float64 {

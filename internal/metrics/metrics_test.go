@@ -95,3 +95,41 @@ func TestGeoMeanSpeedupPathologicalSlowdowns(t *testing.T) {
 		t.Errorf("non-deterministic: %v vs %v", got, again)
 	}
 }
+
+// Every RunStats rate helper must return a finite value — specifically 0 —
+// when its denominator is zero, so empty or scheme-mismatched runs (a
+// baseline run has no probes, a zero-instruction run has no cycles) render
+// cleanly in tables, JSON artifacts, and the timeline CLI.
+func TestRateHelpersZeroDenominators(t *testing.T) {
+	tests := []struct {
+		name string
+		s    RunStats
+		fn   func(RunStats) float64
+		want float64
+	}{
+		{"IPC zero cycles", RunStats{Instructions: 5}, RunStats.IPC, 0},
+		{"IPC normal", RunStats{Instructions: 10, Cycles: 5}, RunStats.IPC, 2},
+		{"PAQDropRate zero alloc", RunStats{PAQDropped: 3}, RunStats.PAQDropRate, 0},
+		{"PAQDropRate normal", RunStats{PAQDropped: 1, PAQAllocated: 4}, RunStats.PAQDropRate, 25},
+		{"ProbeHitRate zero probes", RunStats{ProbeHits: 2}, RunStats.ProbeHitRate, 0},
+		{"ProbeHitRate normal", RunStats{ProbeHits: 3, Probes: 4}, RunStats.ProbeHitRate, 75},
+		{"FlushesPerKiloInstrs zero instrs", RunStats{BranchFlushes: 7}, RunStats.FlushesPerKiloInstrs, 0},
+		{"FlushesPerKiloInstrs normal",
+			RunStats{Instructions: 2000, BranchFlushes: 1, ValueFlushes: 2, OrderFlushes: 3},
+			RunStats.FlushesPerKiloInstrs, 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.fn(tc.s)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("got %v, want finite", got)
+			}
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Errorf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+	if got := SpeedupPct(RunStats{Cycles: 100}, RunStats{}); got != 0 {
+		t.Errorf("SpeedupPct with zero cycles = %v, want 0", got)
+	}
+}

@@ -62,11 +62,19 @@ type Predictor struct {
 	fpc   *predictor.FPC
 	hist  *predictor.LoadPathHistory
 
-	// Stats observable by experiments.
+	// Stats observable by experiments and the timeline sampler.
 	Lookups     uint64
 	Hits        uint64
 	Allocations uint64
 	ConfResets  uint64
+	// TagAliases counts trainings that found their entry reallocated
+	// between lookup and train — two static loads aliasing one APT slot.
+	TagAliases uint64
+	// ConfBumps counts successful FPC forward transitions;
+	// ConfSaturations counts entries newly reaching full confidence (the
+	// warm-up signal: a burst of saturations marks the APT going hot).
+	ConfBumps       uint64
+	ConfSaturations uint64
 }
 
 // New returns a PAP predictor with the given configuration.
@@ -174,6 +182,7 @@ func (p *Predictor) Train(lk Lookup, actualAddr uint64, sizeLog2 uint8, way int8
 	if e.tag != lk.Tag {
 		// The entry was reallocated between prediction and training; treat
 		// as a miss under the active policy.
+		p.TagAliases++
 		if e.valid && e.conf > 0 && !p.cfg.AllocPolicy1 {
 			e.conf--
 			return
@@ -183,7 +192,14 @@ func (p *Predictor) Train(lk Lookup, actualAddr uint64, sizeLog2 uint8, way int8
 		return
 	}
 	if e.addr == actualAddr {
+		before := e.conf
 		e.conf = p.fpc.Bump(e.conf)
+		if e.conf > before {
+			p.ConfBumps++
+			if p.fpc.Saturated(e.conf) {
+				p.ConfSaturations++
+			}
+		}
 		e.sizeLog2 = sizeLog2
 		if way >= 0 {
 			e.way = way

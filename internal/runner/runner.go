@@ -38,6 +38,7 @@ import (
 	"dlvp/internal/config"
 	"dlvp/internal/metrics"
 	"dlvp/internal/obs"
+	"dlvp/internal/timeline"
 	"dlvp/internal/trace"
 	"dlvp/internal/tracecache"
 	"dlvp/internal/uarch"
@@ -77,9 +78,32 @@ func (e *UnknownWorkloadError) Error() string {
 	return fmt.Sprintf("unknown workload %q", e.Name)
 }
 
+// Result is the full product of one job: the aggregate statistics and,
+// when the engine records timelines, the interval flight-recorder series.
+// Results are what the content-addressed cache stores, so a cached job
+// replays with its timeline intact.
+type Result struct {
+	Stats metrics.RunStats `json:"stats"`
+	// Timeline is nil when the engine ran without timeline recording.
+	Timeline *timeline.Timeline `json:"timeline,omitempty"`
+}
+
 // DefaultCacheEntries is the result-cache capacity when Options.CacheEntries
-// is zero. A RunStats is a few hundred bytes, so the default costs ~1-2 MB.
+// is zero. A RunStats is a few hundred bytes, so the default costs ~1-2 MB
+// (timeline-recording engines add up to ~200 KB per entry).
 const DefaultCacheEntries = 4096
+
+// TimelineOptions configures flight-recorder sampling for every job the
+// engine executes.
+type TimelineOptions struct {
+	// Enabled turns interval sampling on.
+	Enabled bool
+	// IntervalInstrs is the committed-instruction sampling interval
+	// (0: timeline.DefaultIntervalInstrs).
+	IntervalInstrs uint64
+	// Capacity bounds the per-run sample ring (0: timeline.DefaultCapacity).
+	Capacity int
+}
 
 // Options parameterises a Runner.
 type Options struct {
@@ -100,6 +124,10 @@ type Options struct {
 	// emulation cost once per workload instead of once per job. Nil keeps
 	// the emulate-per-job behaviour.
 	TraceCache *tracecache.Cache
+	// Timeline enables flight-recorder sampling on executed jobs; finished
+	// timelines ride on Result and the cache, live recorders are reachable
+	// through LiveTimeline while a job simulates (SSE streaming).
+	Timeline TimelineOptions
 }
 
 // instruments holds the engine's telemetry handles (nil when the runner
@@ -160,12 +188,14 @@ func registerTraceCacheMetrics(reg *obs.Registry, tc *tracecache.Cache) {
 type Runner struct {
 	workers int
 	sem     chan struct{}
-	cache   *LRU[metrics.RunStats]
+	cache   *LRU[Result]
 	tcache  *tracecache.Cache
 	inst    *instruments
+	tlOpts  TimelineOptions
 
 	mu      sync.Mutex
 	flights map[string]*flight
+	live    map[string]*timeline.Recorder
 
 	queued    atomic.Int64
 	running   atomic.Int64
@@ -183,9 +213,9 @@ type Runner struct {
 // flight is one in-progress computation of a job key; duplicates wait on
 // done instead of re-simulating.
 type flight struct {
-	done  chan struct{}
-	stats metrics.RunStats
-	err   error
+	done chan struct{}
+	res  Result
+	err  error
 }
 
 // New returns a runner with the given options.
@@ -194,12 +224,12 @@ func New(opts Options) *Runner {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	var cache *LRU[metrics.RunStats]
+	var cache *LRU[Result]
 	switch {
 	case opts.CacheEntries == 0:
-		cache = NewLRU[metrics.RunStats](DefaultCacheEntries)
+		cache = NewLRU[Result](DefaultCacheEntries)
 	case opts.CacheEntries > 0:
-		cache = NewLRU[metrics.RunStats](opts.CacheEntries)
+		cache = NewLRU[Result](opts.CacheEntries)
 	}
 	if opts.Obs != nil && opts.TraceCache != nil {
 		registerTraceCacheMetrics(opts.Obs.Metrics, opts.TraceCache)
@@ -210,7 +240,9 @@ func New(opts Options) *Runner {
 		cache:   cache,
 		tcache:  opts.TraceCache,
 		inst:    newInstruments(opts.Obs),
+		tlOpts:  opts.Timeline,
 		flights: make(map[string]*flight),
+		live:    make(map[string]*timeline.Recorder),
 	}
 }
 
@@ -226,7 +258,14 @@ func (r *Runner) Workers() int { return r.workers }
 // blocks until the job finishes, the result is found, or ctx is cancelled
 // while the job is still waiting for a worker slot.
 func (r *Runner) Run(ctx context.Context, job Job) (metrics.RunStats, bool, error) {
-	var zero metrics.RunStats
+	res, cached, err := r.RunResult(ctx, job)
+	return res.Stats, cached, err
+}
+
+// RunResult is Run returning the full Result (stats plus timeline when the
+// engine records them).
+func (r *Runner) RunResult(ctx context.Context, job Job) (Result, bool, error) {
+	var zero Result
 	if err := ctx.Err(); err != nil {
 		r.cancelled.Add(1)
 		return zero, false, err
@@ -247,12 +286,14 @@ func (r *Runner) Run(ctx context.Context, job Job) (metrics.RunStats, bool, erro
 		Attr("instrs", strconv.FormatUint(job.Instrs, 10))
 
 	if r.cache != nil {
-		if st, ok := r.cache.Get(key); ok {
+		// A cached result recorded without a timeline cannot satisfy a
+		// timeline-recording engine; fall through and re-simulate.
+		if res, ok := r.cache.Get(key); ok && (!r.tlOpts.Enabled || res.Timeline != nil) {
 			r.hits.Add(1)
 			r.done.Add(1)
 			r.countLookup("hit")
 			sp.Attr("cache", "hit").End()
-			return st, true, nil
+			return res, true, nil
 		}
 	}
 
@@ -272,7 +313,7 @@ func (r *Runner) Run(ctx context.Context, job Job) (metrics.RunStats, bool, erro
 			r.done.Add(1)
 			r.countLookup("coalesced")
 			sp.Attr("cache", "coalesced").End()
-			return fl.stats, true, nil
+			return fl.res, true, nil
 		case <-ctx.Done():
 			// The caller gave up waiting; the underlying simulation is
 			// unaffected (and usually succeeds), so this is a cancelled
@@ -291,7 +332,7 @@ func (r *Runner) Run(ctx context.Context, job Job) (metrics.RunStats, bool, erro
 		r.countLookup("miss")
 	}
 
-	st, err := r.lead(ctx, key, fl, w, job)
+	res, err := r.lead(ctx, key, fl, w, job)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			r.cancelled.Add(1)
@@ -303,8 +344,33 @@ func (r *Runner) Run(ctx context.Context, job Job) (metrics.RunStats, bool, erro
 	}
 	r.done.Add(1)
 	sp.Attr("cache", "miss").End()
-	return st, false, nil
+	return res, false, nil
 }
+
+// CachedResult returns the cached result for a job key, if present. It does
+// not count as a cache lookup in the engine statistics (the serving paths
+// use Run/RunResult); the timeline HTTP endpoints use it to fetch the
+// flight-recorder series of an already-finished run.
+func (r *Runner) CachedResult(key string) (Result, bool) {
+	if r.cache == nil {
+		return Result{}, false
+	}
+	return r.cache.Get(key)
+}
+
+// LiveTimeline returns the in-flight recorder for a job key while its
+// simulation is running (nil otherwise). The recorder is safe for
+// concurrent reads via Snapshot/Partial — this is what the SSE streaming
+// endpoint tails.
+func (r *Runner) LiveTimeline(key string) *timeline.Recorder {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.live[key]
+}
+
+// TimelineEnabled reports whether the engine records flight-recorder
+// timelines for executed jobs.
+func (r *Runner) TimelineEnabled() bool { return r.tlOpts.Enabled }
 
 // countLookup bumps the cache-outcome counter when instrumented.
 func (r *Runner) countLookup(outcome string) {
@@ -315,11 +381,12 @@ func (r *Runner) countLookup(outcome string) {
 
 // lead simulates a job as the unique owner of its flight, publishing the
 // outcome to any coalesced waiters and to the cache.
-func (r *Runner) lead(ctx context.Context, key string, fl *flight, w workloads.Workload, job Job) (st metrics.RunStats, err error) {
+func (r *Runner) lead(ctx context.Context, key string, fl *flight, w workloads.Workload, job Job) (res Result, err error) {
 	defer func() {
-		fl.stats, fl.err = st, err
+		fl.res, fl.err = res, err
 		r.mu.Lock()
 		delete(r.flights, key)
+		delete(r.live, key)
 		r.mu.Unlock()
 		close(fl.done)
 	}()
@@ -336,7 +403,7 @@ func (r *Runner) lead(ctx context.Context, key string, fl *flight, w workloads.W
 	case <-ctx.Done():
 		r.queued.Add(-1)
 		qsp.Attr("outcome", "cancelled").End()
-		return st, ctx.Err()
+		return res, ctx.Err()
 	}
 	defer func() { <-r.sem }()
 	if r.inst != nil {
@@ -373,7 +440,15 @@ func (r *Runner) lead(ctx context.Context, key string, fl *flight, w workloads.W
 	}
 
 	core := uarch.New(job.Config, w.Build(), reader)
-	st = core.Run(0)
+	if r.tlOpts.Enabled {
+		rec := core.EnableTimeline(r.tlOpts.IntervalInstrs, r.tlOpts.Capacity)
+		r.mu.Lock()
+		r.live[key] = rec
+		r.mu.Unlock()
+	}
+	res.Stats = core.Run(0)
+	res.Timeline = core.Timeline()
+	st := res.Stats
 	elapsed := time.Since(start)
 	r.simNanos.Add(int64(elapsed))
 	r.running.Add(-1)
@@ -394,9 +469,9 @@ func (r *Runner) lead(ctx context.Context, key string, fl *flight, w workloads.W
 	xsp.Attr("instructions", strconv.FormatUint(st.Instructions, 10)).End()
 
 	if r.cache != nil {
-		r.cache.Put(key, st)
+		r.cache.Put(key, res)
 	}
-	return st, nil
+	return res, nil
 }
 
 // Matrix parameterises a RunAll call.

@@ -347,3 +347,73 @@ func TestRunCancelledContext(t *testing.T) {
 		t.Errorf("SimsExecuted = %d, want 0", s.SimsExecuted)
 	}
 }
+
+// A timeline-recording engine attaches the flight-recorder series to its
+// results, caches it content-addressed alongside the stats, and exposes
+// nothing live once the job is done.
+func TestRunResultRecordsTimeline(t *testing.T) {
+	r := New(Options{Workers: 2, Timeline: TimelineOptions{Enabled: true, IntervalInstrs: 500}})
+	job := Job{Workload: "perlbmk", Config: config.DLVP(), Instrs: testInstrs}
+	res, cached, err := r.RunResult(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("first run reported cached")
+	}
+	if res.Timeline == nil {
+		t.Fatal("no timeline on a timeline-enabled engine's result")
+	}
+	if got := res.Timeline.Totals().Instructions; got != res.Stats.Instructions {
+		t.Errorf("timeline totals %d != stats %d", got, res.Stats.Instructions)
+	}
+	if len(res.Timeline.Samples) < 2 {
+		t.Errorf("samples = %d, want >= 2 at interval 500", len(res.Timeline.Samples))
+	}
+
+	again, cached, err := r.RunResult(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Error("second identical run not served from cache")
+	}
+	if again.Timeline == nil || len(again.Timeline.Samples) != len(res.Timeline.Samples) {
+		t.Error("cached result lost its timeline")
+	}
+
+	key, err := job.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.LiveTimeline(key); got != nil {
+		t.Error("LiveTimeline non-nil after completion")
+	}
+	if got, ok := r.CachedResult(key); !ok || got.Timeline == nil {
+		t.Errorf("CachedResult = %v/%v, want timeline-bearing hit", got.Timeline, ok)
+	}
+}
+
+// A result cached by a non-recording engine must not satisfy the same
+// engine once timelines are demanded — it would silently miss the series.
+func TestTimelineBypassesTimelineLessCacheEntries(t *testing.T) {
+	plain := New(Options{Workers: 1})
+	job := testJob("perlbmk", testInstrs)
+	if _, _, err := plain.Run(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	// Same cache semantics inside one engine: flip recording on via a new
+	// engine sharing nothing — the observable contract is that a
+	// timeline-enabled engine never returns a timeline-less result.
+	rec := New(Options{Workers: 1, Timeline: TimelineOptions{Enabled: true, IntervalInstrs: 500}})
+	res, _, err := rec.RunResult(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline == nil {
+		t.Fatal("timeline-enabled engine returned a timeline-less result")
+	}
+	if !rec.TimelineEnabled() || plain.TimelineEnabled() {
+		t.Error("TimelineEnabled flags wrong")
+	}
+}

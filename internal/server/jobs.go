@@ -39,6 +39,28 @@ type asyncJob struct {
 	result   any
 	errMsg   string
 	inst     *jobInstruments
+
+	// Run-job linkage for the timeline endpoints: the runner's
+	// content-address for the simulation plus the request's labels (empty
+	// for experiment jobs, which have no single timeline).
+	runKey   string
+	workload string
+	scheme   string
+}
+
+// setRun links a run job to its runner content-address so the timeline
+// endpoints can find the live recorder or the cached result.
+func (j *asyncJob) setRun(key, workload, scheme string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.runKey, j.workload, j.scheme = key, workload, scheme
+}
+
+// runInfo returns the run linkage recorded by setRun.
+func (j *asyncJob) runInfo() (key, workload, scheme string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.runKey, j.workload, j.scheme
 }
 
 func (j *asyncJob) setRunning() {
@@ -86,6 +108,8 @@ type jobView struct {
 	RunMS      float64    `json:"run_ms"`
 	Result     any        `json:"result,omitempty"`
 	Error      string     `json:"error,omitempty"`
+	// Timeline is the flight-recorder endpoint for run jobs ("" otherwise).
+	Timeline string `json:"timeline,omitempty"`
 }
 
 func (j *asyncJob) view() jobView {
@@ -99,6 +123,9 @@ func (j *asyncJob) view() jobView {
 		CreatedAt: j.created,
 		Result:    j.result,
 		Error:     j.errMsg,
+	}
+	if j.runKey != "" {
+		v.Timeline = "/v1/runs/" + j.id + "/timeline"
 	}
 	now := time.Now()
 	switch {

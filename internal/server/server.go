@@ -174,6 +174,8 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/runs/{id}/timeline", s.handleRunTimeline)
+	s.mux.HandleFunc("GET /v1/runs/{id}/timeline/stream", s.handleRunTimelineStream)
 	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	return s
@@ -397,6 +399,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	if req.Async {
 		rec := s.jobs.add("run", obs.TraceID(r.Context()))
+		if key, err := job.Key(); err == nil {
+			rec.setRun(key, req.Workload, req.Scheme)
+		}
 		s.spawn(rec, rec.trace, func(ctx context.Context) (any, error) {
 			start := time.Now()
 			st, cached, err := eng.Run(ctx, job)
@@ -637,10 +642,36 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleTraces lists retained traces, newest first.
+// Paging bounds for GET /v1/traces, mirroring the /v1/jobs conventions.
+const (
+	DefaultTraceListLimit = 50
+	MaxTraceListLimit     = 500
+)
+
+// handleTraces lists retained traces, newest first. ?limit= caps the page
+// (default DefaultTraceListLimit, at most MaxTraceListLimit); the envelope
+// reports the total retained count alongside the page.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit := DefaultTraceListLimit
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			s.writeJSON(w, r, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid limit %q", raw)})
+			return
+		}
+		limit = min(n, MaxTraceListLimit)
+	}
 	sums := s.obs.Tracer.Summaries()
-	s.writeJSON(w, r, http.StatusOK, map[string]any{"traces": sums, "count": len(sums)})
+	total := len(sums)
+	if len(sums) > limit {
+		sums = sums[:limit]
+	}
+	s.writeJSON(w, r, http.StatusOK, map[string]any{
+		"traces": sums,
+		"count":  len(sums),
+		"total":  total,
+		"limit":  limit,
+	})
 }
 
 // handleTrace returns the span records collected under one trace ID.

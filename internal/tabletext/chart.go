@@ -97,6 +97,36 @@ func (c *Chart) String() string {
 	return sb.String()
 }
 
+// sparkLevels are the eight block glyphs a sparkline quantises into.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders values as a one-line unicode sparkline, scaling linearly
+// between the slice's min and max (a flat series renders at the lowest
+// level). NaN values render as spaces.
+func Spark(values []float64) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	out := make([]rune, 0, len(values))
+	for _, v := range values {
+		switch {
+		case math.IsNaN(v):
+			out = append(out, ' ')
+		case hi == lo:
+			out = append(out, sparkLevels[0])
+		default:
+			idx := int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+			out = append(out, sparkLevels[idx])
+		}
+	}
+	return string(out)
+}
+
 // ChartFromColumn builds a chart from a table column (1-based value column
 // index), using column 0 as labels. Rows whose value cell does not parse
 // are skipped.

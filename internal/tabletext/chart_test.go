@@ -1,6 +1,7 @@
 package tabletext
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -66,5 +67,20 @@ func TestChartEmptyAllZero(t *testing.T) {
 	c.Add("z", 0)
 	if out := c.String(); !strings.Contains(out, "0.00") {
 		t.Errorf("zero chart broken:\n%s", out)
+	}
+}
+
+func TestSpark(t *testing.T) {
+	if got := Spark([]float64{0, 1, 2, 3, 4, 5, 6, 7}); got != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp sparkline = %q", got)
+	}
+	if got := Spark([]float64{5, 5, 5}); got != "▁▁▁" {
+		t.Errorf("flat sparkline = %q, want lowest level", got)
+	}
+	if got := Spark([]float64{0, math.NaN(), 10}); got != "▁ █" {
+		t.Errorf("NaN sparkline = %q, want space for NaN", got)
+	}
+	if got := Spark(nil); got != "" {
+		t.Errorf("empty sparkline = %q", got)
 	}
 }

@@ -53,6 +53,11 @@ func (c *Core) commitStage() {
 		}
 		e.valid = false
 		c.headSeq++
+		// Flight-recorder tick, after this instruction's stats landed so a
+		// boundary snapshot includes it. One nil check when sampling is off.
+		if c.tl != nil {
+			c.tlTick()
+		}
 	}
 }
 

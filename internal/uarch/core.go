@@ -37,6 +37,7 @@ import (
 	"dlvp/internal/predictor/tournament"
 	"dlvp/internal/predictor/vtage"
 	"dlvp/internal/program"
+	tline "dlvp/internal/timeline"
 	"dlvp/internal/trace"
 )
 
@@ -210,6 +211,15 @@ type Core struct {
 	stageTraces []StageTrace
 	traceStart  uint64
 	traceWant   int
+
+	// Flight recorder (EnableTimeline). tl is nil when sampling is off;
+	// tlCountdown counts committed instructions down to the next interval
+	// boundary; tlPAQPeak tracks the high-water PAQ occupancy since the
+	// last boundary.
+	tl          *tline.Recorder
+	tlCountdown uint64
+	tlPAQPeak   int
+	timeline    *tline.Timeline
 }
 
 type paqEntry struct {
@@ -354,6 +364,9 @@ func (c *Core) finalizeStats() {
 	}
 	c.meterEnergy()
 	c.stats.CoreEnergy = c.emodel.Total(c.stats.Cycles, c.stats.Instructions, c.meter)
+	if c.tl != nil {
+		c.tlSample(true)
+	}
 }
 
 // Stats returns the statistics accumulated so far (valid after Run).

@@ -200,6 +200,9 @@ func (c *Core) fetchAddressPrediction(e *entry, rec *trace.Rec, fga, lphist uint
 	})
 	e.paqIssued = true
 	c.stats.PAQAllocated++
+	if c.tl != nil && len(c.paq) > c.tlPAQPeak {
+		c.tlPAQPeak = len(c.paq)
+	}
 }
 
 // fetchDVTAGE makes fetch-time D-VTAGE predictions, reusing the VTAGE

@@ -1,0 +1,92 @@
+package uarch
+
+import (
+	"strings"
+	"testing"
+
+	"dlvp/internal/config"
+	"dlvp/internal/workloads"
+)
+
+// stageTraceRun simulates a workload with stage tracing enabled and
+// returns the captured traces.
+func stageTraceRun(t *testing.T, name string, cfg config.Core, instrs, start uint64, want int) []StageTrace {
+	t.Helper()
+	w, ok := workloads.ByName(name)
+	if !ok {
+		t.Fatalf("workload %q not registered", name)
+	}
+	c := New(cfg, w.Build(), w.Reader(instrs))
+	c.EnableStageTrace(start, want)
+	if s := c.Run(instrs * 100); s.Instructions == 0 {
+		t.Fatalf("%s: nothing committed", name)
+	}
+	return c.StageTraces()
+}
+
+// The trace window must start at the requested sequence number and stop
+// after exactly n captures, committed order, even mid-run.
+func TestStageTraceWindowBoundaries(t *testing.T) {
+	const instrs, start, want = 5_000, 1_000, 64
+	traces := stageTraceRun(t, "perlbmk", config.Baseline(), instrs, start, want)
+	if len(traces) != want {
+		t.Fatalf("captured %d traces, want %d", len(traces), want)
+	}
+	if traces[0].Seq < start {
+		t.Errorf("first trace seq = %d, before window start %d", traces[0].Seq, start)
+	}
+	for i := 1; i < len(traces); i++ {
+		if traces[i].Seq <= traces[i-1].Seq {
+			t.Fatalf("traces out of commit order at %d: %d then %d", i, traces[i-1].Seq, traces[i].Seq)
+		}
+	}
+	for i, tr := range traces {
+		if tr.Commit < tr.Fetch || tr.Complete < tr.Rename {
+			t.Errorf("trace %d has impossible stage ordering: %+v", i, tr)
+		}
+	}
+}
+
+// A window starting past the instruction budget captures nothing, and a
+// window larger than the run is truncated to what committed.
+func TestStageTraceWindowEdges(t *testing.T) {
+	if traces := stageTraceRun(t, "perlbmk", config.Baseline(), 2_000, 10_000, 16); len(traces) != 0 {
+		t.Errorf("window past the run captured %d traces, want 0", len(traces))
+	}
+	traces := stageTraceRun(t, "perlbmk", config.Baseline(), 2_000, 1_990, 500)
+	if len(traces) == 0 || len(traces) > 500 {
+		t.Errorf("tail window captured %d traces", len(traces))
+	}
+}
+
+// Value-predicted instructions must carry the Predicted mark, rendered as
+// "*" in the vp column.
+func TestStageTraceMarksPredicted(t *testing.T) {
+	traces := stageTraceRun(t, "mcf", config.DLVP(), 60_000, 30_000, 2_000)
+	predicted := 0
+	for _, tr := range traces {
+		if tr.Predicted {
+			predicted++
+		}
+	}
+	if predicted == 0 {
+		t.Fatal("no predicted instructions in a warmed-up DLVP window")
+	}
+	out := FormatStageTraces(traces)
+	if !strings.Contains(out, "*") {
+		t.Error("rendered table missing the '*' predicted mark")
+	}
+	if !strings.Contains(out, "F=fetch R=rename I=issue E=complete C=commit") {
+		t.Error("rendered diagram missing the stage legend")
+	}
+}
+
+// An empty capture renders the sentinel line rather than an empty table.
+func TestFormatStageTracesEmpty(t *testing.T) {
+	if got := FormatStageTraces(nil); got != "no stage traces recorded\n" {
+		t.Errorf("empty render = %q", got)
+	}
+	if got := FormatStageTraces([]StageTrace{}); got != "no stage traces recorded\n" {
+		t.Errorf("empty-slice render = %q", got)
+	}
+}
