@@ -3,7 +3,7 @@
 // Usage:
 //
 //	dlvpd [-addr :8080] [-workers 8] [-cache 4096] [-timeout 2m]
-//	      [-trace-cache-bytes 536870912]
+//	      [-trace-cache-bytes 536870912] [-checkpoint-bytes 268435456]
 //	      [-timeline-interval 100000] [-timeline-capacity 512]
 //	      [-peers http://h1:8080,http://h2:8080] [-self name]
 //	      [-hedge-after 0] [-health-interval 3s]
@@ -54,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"dlvp/internal/checkpoint"
 	"dlvp/internal/dispatch"
 	"dlvp/internal/obs"
 	"dlvp/internal/runner"
@@ -66,6 +67,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent simulations (0: NumCPU)")
 	cache := flag.Int("cache", 0, "result cache entries (0: default, negative: disabled)")
 	traceCacheBytes := flag.Int64("trace-cache-bytes", 512<<20, "byte budget for captured emulation traces replayed across configs (0: disabled)")
+	checkpointBytes := flag.Int64("checkpoint-bytes", 0, "byte budget for the architectural checkpoint store backing sampled runs (0: default 256 MiB)")
 	timelineInterval := flag.Uint64("timeline-interval", 100_000, "flight-recorder sampling interval in committed instructions (0: disabled)")
 	timelineCapacity := flag.Int("timeline-capacity", 0, "flight-recorder sample ring bound per run (0: default)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout for synchronous calls")
@@ -106,6 +108,7 @@ func main() {
 		CacheEntries: *cache,
 		Obs:          ob,
 		TraceCache:   tracecache.New(*traceCacheBytes),
+		Checkpoints:  checkpoint.NewStore(*checkpointBytes),
 		Timeline: runner.TimelineOptions{
 			Enabled:        *timelineInterval > 0,
 			IntervalInstrs: *timelineInterval,

@@ -45,6 +45,9 @@ func main() {
 	timelineOut := flag.String("timeline", "", "record a flight-recorder timeline and write it as JSON to this path (\"-\": stdout)")
 	timelineInterval := flag.Uint64("timeline-interval", 0, "timeline sampling interval in committed instructions (0: default 100000)")
 	timelineCapacity := flag.Int("timeline-capacity", 0, "timeline sample ring bound (0: default 512)")
+	sampleIntervals := flag.Int("sample-intervals", 0, "run as a checkpointed sampled simulation with this many intervals (0: full detailed run)")
+	sampleWarmup := flag.Uint64("sample-warmup", 0, "per-interval detailed warm-up instructions before measurement (0: stride/16)")
+	sampleBudget := flag.Uint64("sample-budget", 0, "per-interval measured instructions (0: stride/8)")
 	flag.Parse()
 
 	if *list {
@@ -69,6 +72,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scheme %q (known: %s)\n", *scheme, strings.Join(config.SchemeNames(), ", "))
 		os.Exit(2)
 	}
+	if *instrs == 0 {
+		fmt.Fprintln(os.Stderr, "-instrs must be positive: a zero-instruction run simulates nothing")
+		os.Exit(2)
+	}
+	var sampling *runner.SamplingSpec
+	if *sampleIntervals != 0 || *sampleWarmup != 0 || *sampleBudget != 0 {
+		if *pipeview > 0 {
+			fmt.Fprintln(os.Stderr, "-pipeview needs the full detailed stream and cannot be combined with sampling flags")
+			os.Exit(2)
+		}
+		sampling = &runner.SamplingSpec{
+			Intervals:      *sampleIntervals,
+			WarmupInstrs:   *sampleWarmup,
+			MeasuredInstrs: *sampleBudget,
+		}
+		if _, err := sampling.Normalize(*instrs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -82,6 +105,7 @@ func main() {
 		},
 	})
 	var s metrics.RunStats
+	var sampled *runner.SampledInfo
 	if *pipeview > 0 {
 		// Stage tracing needs direct access to the core instance, so the
 		// pipeview path bypasses the runner.
@@ -90,12 +114,13 @@ func main() {
 		s = core.Run(0)
 		fmt.Print(uarch.FormatStageTraces(core.StageTraces()))
 	} else {
-		res, _, err := eng.RunResult(ctx, runner.Job{Workload: w.Name, Config: cfg, Instrs: *instrs})
+		res, _, err := eng.RunResult(ctx, runner.Job{Workload: w.Name, Config: cfg, Instrs: *instrs, Sampling: sampling})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		s = res.Stats
+		sampled = res.Sampled
 		if *timelineOut != "" {
 			if err := writeTimeline(*timelineOut, res.Timeline); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -107,7 +132,14 @@ func main() {
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(s); err != nil {
+		var payload any = s
+		if sampled != nil {
+			payload = struct {
+				Stats   metrics.RunStats    `json:"stats"`
+				Sampled *runner.SampledInfo `json:"sampled"`
+			}{s, sampled}
+		}
+		if err := enc.Encode(payload); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -130,9 +162,18 @@ func main() {
 			s.LSCDInserts, s.LSCDFiltered, s.WayMispredicts)
 	}
 	fmt.Printf("core energy   %.3g units\n", s.CoreEnergy)
+	if sampled != nil {
+		fmt.Printf("sampling      %d intervals, stride %d (warmup %d + measured %d each)\n",
+			sampled.Intervals, sampled.StrideInstrs, sampled.WarmupInstrs, sampled.MeasuredInstrs)
+		fmt.Printf("              detailed %d of %d instrs (%.1f%%), est. full-run cycles %d\n",
+			sampled.DetailedInstrs, sampled.SpanInstrs,
+			100*float64(sampled.DetailedInstrs)/float64(sampled.SpanInstrs), sampled.EstimatedCycles)
+		fmt.Printf("              checkpoints: hit %d, chained %d, cold %d, coalesced %d\n",
+			sampled.CheckpointHits, sampled.CheckpointChained, sampled.CheckpointCold, sampled.CheckpointCoalesced)
+	}
 
 	if *compare {
-		base, _, err := eng.Run(ctx, runner.Job{Workload: w.Name, Config: config.Baseline(), Instrs: *instrs})
+		base, _, err := eng.Run(ctx, runner.Job{Workload: w.Name, Config: config.Baseline(), Instrs: *instrs, Sampling: sampling})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -41,15 +41,34 @@ func main() {
 	traceCacheBytes := flag.Int64("trace-cache-bytes", 512<<20, "byte budget for captured emulation traces replayed across configs (0: disabled)")
 	charts := flag.Bool("charts", false, "also render per-workload tables as ASCII bar charts")
 	asJSON := flag.Bool("json", false, "emit machine-readable artifacts (the dlvpd wire shape)")
+	sampleIntervals := flag.Int("sample-intervals", 0, "run every matrix job as a checkpointed sampled simulation with this many intervals (0: full detailed runs)")
+	sampleWarmup := flag.Uint64("sample-warmup", 0, "per-interval detailed warm-up instructions before measurement (0: stride/16)")
+	sampleBudget := flag.Uint64("sample-budget", 0, "per-interval measured instructions (0: stride/8)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *instrs == 0 {
+		fmt.Fprintln(os.Stderr, "-instrs must be positive: a zero-instruction budget simulates nothing")
+		os.Exit(2)
+	}
+
 	p := experiments.DefaultParams()
 	p.Instrs = *instrs
 	p.Parallel = !*serial
 	p.Ctx = ctx
+	if *sampleIntervals != 0 || *sampleWarmup != 0 || *sampleBudget != 0 {
+		p.Sampling = &runner.SamplingSpec{
+			Intervals:      *sampleIntervals,
+			WarmupInstrs:   *sampleWarmup,
+			MeasuredInstrs: *sampleBudget,
+		}
+		if _, err := p.Sampling.Normalize(p.Instrs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	// Every experiment sweeps configurations over the same workloads, so
 	// the trace cache collapses their emulation cost to once per workload.
 	tc := tracecache.New(*traceCacheBytes)

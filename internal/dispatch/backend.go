@@ -23,6 +23,23 @@ type Backend interface {
 	CheckHealth(ctx context.Context) error
 }
 
+// ResultBackend is the optional richer surface of a Backend: a full
+// runner.Result instead of flattened statistics, so sampled-run
+// provenance survives routing. Both shipped backends implement it; the
+// dispatcher falls back to Run for ones that don't.
+type ResultBackend interface {
+	RunResult(ctx context.Context, job runner.Job) (runner.Result, bool, error)
+}
+
+// runBackend invokes b through its richest supported surface.
+func runBackend(ctx context.Context, b Backend, job runner.Job) (runner.Result, bool, error) {
+	if rb, ok := b.(ResultBackend); ok {
+		return rb.RunResult(ctx, job)
+	}
+	st, cached, err := b.Run(ctx, job)
+	return runner.Result{Stats: st}, cached, err
+}
+
 // LocalBackend adapts an in-process runner engine to the Backend
 // interface. It is the dispatcher's guaranteed fallback: it is never
 // ejected, so a clustered daemon can never do worse than standalone mode.
@@ -47,6 +64,11 @@ func (b *LocalBackend) Name() string { return b.name }
 // Run implements Backend by executing on the wrapped engine.
 func (b *LocalBackend) Run(ctx context.Context, job runner.Job) (metrics.RunStats, bool, error) {
 	return b.eng.Run(ctx, job)
+}
+
+// RunResult implements ResultBackend on the wrapped engine.
+func (b *LocalBackend) RunResult(ctx context.Context, job runner.Job) (runner.Result, bool, error) {
+	return b.eng.RunResult(ctx, job)
 }
 
 // CheckHealth implements Backend; the in-process engine is always healthy.

@@ -178,7 +178,15 @@ func (d *Dispatcher) count(bs *backendState, outcome string) {
 // Run routes one job through the ring and blocks for its result. The
 // boolean reports whether the result came from a cache (local or remote).
 func (d *Dispatcher) Run(ctx context.Context, job runner.Job) (metrics.RunStats, bool, error) {
-	var zero metrics.RunStats
+	res, cached, err := d.RunResult(ctx, job)
+	return res.Stats, cached, err
+}
+
+// RunResult routes like Run but returns the full runner.Result, so
+// sampled-run provenance (and any backend-supplied extras) survives the
+// dispatch layer instead of being flattened to bare statistics.
+func (d *Dispatcher) RunResult(ctx context.Context, job runner.Job) (runner.Result, bool, error) {
+	var zero runner.Result
 	key, err := job.Key()
 	if err != nil {
 		return zero, false, err
@@ -213,10 +221,10 @@ func (d *Dispatcher) Run(ctx context.Context, job runner.Job) (metrics.RunStats,
 		if bs.local {
 			localTried = true
 		}
-		st, cached, err := d.execute(ctx, bs, release, job, order)
+		res, cached, err := d.execute(ctx, bs, release, job, order)
 		if err == nil {
 			sp.Attr("backend", bs.name).Attr("attempts", strconv.Itoa(attempts)).End()
-			return st, cached, nil
+			return res, cached, nil
 		}
 		if !isRetryable(ctx, err) {
 			sp.Attr("backend", bs.name).Attr("outcome", "error").Attr("error", err.Error()).End()
@@ -229,10 +237,10 @@ func (d *Dispatcher) Run(ctx context.Context, job runner.Job) (metrics.RunStats,
 	// every peer ejected or saturated — the job still runs in-process
 	// unless local execution itself was already attempted and failed.
 	if !localTried {
-		st, cached, err := d.execute(ctx, d.local, func() {}, job, nil)
+		res, cached, err := d.execute(ctx, d.local, func() {}, job, nil)
 		if err == nil {
 			sp.Attr("backend", d.local.name).Attr("attempts", strconv.Itoa(attempts+1)).Attr("fallback", "local").End()
-			return st, cached, nil
+			return res, cached, nil
 		}
 		lastErr = err
 	}
@@ -245,7 +253,7 @@ func (d *Dispatcher) Run(ctx context.Context, job runner.Job) (metrics.RunStats,
 
 // callResult carries one backend response through the hedge machinery.
 type callResult struct {
-	st     metrics.RunStats
+	res    runner.Result
 	cached bool
 	err    error
 	from   *backendState
@@ -255,8 +263,8 @@ type callResult struct {
 // and, when hedging is enabled and bs stalls, races a second copy on the
 // next ranked backend. The loser is cancelled; its goroutine drains into
 // a buffered channel, so no goroutine outlives its backend call.
-func (d *Dispatcher) execute(ctx context.Context, bs *backendState, release func(), job runner.Job, order []*backendState) (metrics.RunStats, bool, error) {
-	var zero metrics.RunStats
+func (d *Dispatcher) execute(ctx context.Context, bs *backendState, release func(), job runner.Job, order []*backendState) (runner.Result, bool, error) {
+	var zero runner.Result
 	if d.opts.HedgeAfter <= 0 || bs.local || order == nil {
 		defer release()
 		return d.call(ctx, bs, job)
@@ -266,16 +274,16 @@ func (d *Dispatcher) execute(ctx context.Context, bs *backendState, release func
 	defer pcancel()
 	ch := make(chan callResult, 2)
 	go func() {
-		st, cached, err := d.call(pctx, bs, job)
+		res, cached, err := d.call(pctx, bs, job)
 		release()
-		ch <- callResult{st, cached, err, bs}
+		ch <- callResult{res, cached, err, bs}
 	}()
 
 	timer := time.NewTimer(d.opts.HedgeAfter)
 	defer timer.Stop()
 	select {
 	case r := <-ch:
-		return r.st, r.cached, r.err
+		return r.res, r.cached, r.err
 	case <-ctx.Done():
 		return zero, false, ctx.Err()
 	case <-timer.C:
@@ -286,7 +294,7 @@ func (d *Dispatcher) execute(ctx context.Context, bs *backendState, release func
 		// Nowhere to hedge: wait out the primary.
 		select {
 		case r := <-ch:
-			return r.st, r.cached, r.err
+			return r.res, r.cached, r.err
 		case <-ctx.Done():
 			return zero, false, ctx.Err()
 		}
@@ -297,9 +305,9 @@ func (d *Dispatcher) execute(ctx context.Context, bs *backendState, release func
 	hctx, hcancel := context.WithCancel(ctx)
 	defer hcancel()
 	go func() {
-		st, cached, err := d.call(hctx, hedge, job)
+		res, cached, err := d.call(hctx, hedge, job)
 		hrelease()
-		ch <- callResult{st, cached, err, hedge}
+		ch <- callResult{res, cached, err, hedge}
 	}()
 
 	// First success wins and cancels the other; if the first finisher
@@ -317,7 +325,7 @@ func (d *Dispatcher) execute(ctx context.Context, bs *backendState, release func
 				hsp.Attr("winner", winner).End()
 				pcancel()
 				hcancel()
-				return r.st, r.cached, nil
+				return r.res, r.cached, nil
 			}
 			if firstErr == nil {
 				firstErr = r.err
@@ -347,11 +355,11 @@ func (d *Dispatcher) hedgeCandidate(order []*backendState, primary *backendState
 
 // call performs one backend attempt with accounting, latency observation
 // and passive health signalling.
-func (d *Dispatcher) call(ctx context.Context, bs *backendState, job runner.Job) (metrics.RunStats, bool, error) {
+func (d *Dispatcher) call(ctx context.Context, bs *backendState, job runner.Job) (runner.Result, bool, error) {
 	bs.attempts.Add(1)
 	bs.inflight.Add(1)
 	start := time.Now()
-	st, cached, err := bs.b.Run(ctx, job)
+	res, cached, err := runBackend(ctx, bs.b, job)
 	elapsed := time.Since(start)
 	bs.inflight.Add(-1)
 	if d.inst != nil {
@@ -363,19 +371,19 @@ func (d *Dispatcher) call(ctx context.Context, bs *backendState, job runner.Job)
 			// loser. Not a health signal, not a backend failure.
 			bs.cancelled.Add(1)
 			d.count(bs, "cancelled")
-			return st, false, err
+			return res, false, err
 		}
 		bs.failures.Add(1)
 		d.count(bs, "error")
 		if isRetryable(ctx, err) {
 			d.noteFailure(bs, err)
 		}
-		return st, false, err
+		return res, false, err
 	}
 	bs.successes.Add(1)
 	d.count(bs, "ok")
 	d.noteSuccess(bs)
-	return st, cached, nil
+	return res, cached, nil
 }
 
 // RunAll executes every job through the dispatcher with the same contract

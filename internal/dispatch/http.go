@@ -93,16 +93,18 @@ func (b *HTTPBackend) Name() string { return b.name }
 // config (rather than a scheme name) keeps ablated or otherwise customised
 // configurations addressable across the wire.
 type wireRunRequest struct {
-	Workload string       `json:"workload"`
-	Config   *config.Core `json:"config"`
-	Instrs   uint64       `json:"instrs"`
+	Workload string               `json:"workload"`
+	Config   *config.Core         `json:"config"`
+	Instrs   uint64               `json:"instrs"`
+	Sampling *runner.SamplingSpec `json:"sampling,omitempty"`
 }
 
 // wireRunResponse decodes the fields of the server's run response the
 // dispatcher needs.
 type wireRunResponse struct {
-	Cached bool             `json:"cached"`
-	Stats  metrics.RunStats `json:"stats"`
+	Cached  bool                `json:"cached"`
+	Stats   metrics.RunStats    `json:"stats"`
+	Sampled *runner.SampledInfo `json:"sampled,omitempty"`
 }
 
 type wireError struct {
@@ -111,8 +113,15 @@ type wireError struct {
 
 // Run implements Backend by POSTing the job to the peer's /v1/runs.
 func (b *HTTPBackend) Run(ctx context.Context, job runner.Job) (metrics.RunStats, bool, error) {
-	var zero metrics.RunStats
-	body, err := json.Marshal(wireRunRequest{Workload: job.Workload, Config: &job.Config, Instrs: job.Instrs})
+	res, cached, err := b.RunResult(ctx, job)
+	return res.Stats, cached, err
+}
+
+// RunResult implements ResultBackend: same POST, but the peer's sampled
+// provenance block (when the job sampled) rides back on the Result.
+func (b *HTTPBackend) RunResult(ctx context.Context, job runner.Job) (runner.Result, bool, error) {
+	var zero runner.Result
+	body, err := json.Marshal(wireRunRequest{Workload: job.Workload, Config: &job.Config, Instrs: job.Instrs, Sampling: job.Sampling})
 	if err != nil {
 		return zero, false, fmt.Errorf("dispatch: encode job: %w", err)
 	}
@@ -136,7 +145,7 @@ func (b *HTTPBackend) Run(ctx context.Context, job runner.Job) (metrics.RunStats
 	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
 		return zero, false, &TransportError{Backend: b.name, Err: fmt.Errorf("decode run response: %w", err)}
 	}
-	return rr.Stats, rr.Cached, nil
+	return runner.Result{Stats: rr.Stats, Sampled: rr.Sampled}, rr.Cached, nil
 }
 
 // CheckHealth implements Backend by probing the peer's liveness endpoint.

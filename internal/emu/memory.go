@@ -3,13 +3,21 @@
 // trace records; the cycle-level core model consumes that stream.
 package emu
 
-import "dlvp/internal/program"
+import (
+	"sort"
+
+	"dlvp/internal/program"
+)
 
 const (
 	pageShift = 12
 	pageSize  = 1 << pageShift
 	pageMask  = pageSize - 1
 )
+
+// PageSize is the memory's page granularity in bytes; checkpoints
+// serialize resident pages whole at this size.
+const PageSize = pageSize
 
 type page [pageSize]byte
 
@@ -113,3 +121,62 @@ func (m *Memory) WriteBytes(addr uint64, src []byte) {
 
 // Pages returns the number of resident pages (useful for footprint stats).
 func (m *Memory) Pages() int { return len(m.pages) }
+
+// Clone returns a deep copy of the memory (every resident page is
+// duplicated, so writes to either side never alias the other).
+func (m *Memory) Clone() *Memory {
+	out := &Memory{pages: make(map[uint64]*page, len(m.pages))}
+	for pn, pg := range m.pages {
+		cp := *pg
+		out.pages[pn] = &cp
+	}
+	return out
+}
+
+// PageNums returns the resident page numbers in ascending order (the
+// deterministic iteration order the checkpoint codec serializes in).
+func (m *Memory) PageNums() []uint64 {
+	nums := make([]uint64, 0, len(m.pages))
+	for pn := range m.pages {
+		nums = append(nums, pn)
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	return nums
+}
+
+// PageBytes returns the raw bytes of resident page pn (nil when the page
+// was never touched). The returned slice aliases live memory; callers
+// must not retain it across writes.
+func (m *Memory) PageBytes(pn uint64) []byte {
+	pg := m.pages[pn]
+	if pg == nil {
+		return nil
+	}
+	return pg[:]
+}
+
+// SetPageBytes installs a full page of raw bytes at page number pn
+// (len(src) must be PageSize); the checkpoint decoder uses it to rebuild
+// memory page-at-a-time without the byte-loop of WriteBytes.
+func (m *Memory) SetPageBytes(pn uint64, src []byte) {
+	pg := new(page)
+	copy(pg[:], src)
+	m.pages[pn] = pg
+}
+
+// Equal reports whether m and other hold identical contents: the same
+// resident page set with bit-identical bytes. (A resident all-zero page
+// is distinguishable from an absent page; determinism makes the page
+// sets of two identical emulations match exactly.)
+func (m *Memory) Equal(other *Memory) bool {
+	if len(m.pages) != len(other.pages) {
+		return false
+	}
+	for pn, pg := range m.pages {
+		og := other.pages[pn]
+		if og == nil || *pg != *og {
+			return false
+		}
+	}
+	return true
+}

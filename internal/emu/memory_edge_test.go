@@ -1,0 +1,130 @@
+package emu
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestWriteBytesAcrossPages drives a byte-slice write spanning a page
+// boundary and reads it back both in bulk and byte-at-a-time.
+func TestWriteBytesAcrossPages(t *testing.T) {
+	m := NewMemory()
+	src := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	base := uint64(pageSize - 3) // 3 bytes in page 0, 7 in page 1
+	m.WriteBytes(base, src)
+
+	if m.Pages() != 2 {
+		t.Errorf("resident pages = %d, want 2", m.Pages())
+	}
+	dst := make([]byte, len(src))
+	m.ReadBytes(base, dst)
+	if !bytes.Equal(dst, src) {
+		t.Errorf("ReadBytes = %v, want %v", dst, src)
+	}
+	for i, want := range src {
+		if got := m.ByteAt(base + uint64(i)); got != want {
+			t.Errorf("byte %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestReadNeverTouchedPages locks the sparse contract: reads of absent
+// pages return zero without materialising the page.
+func TestReadNeverTouchedPages(t *testing.T) {
+	m := NewMemory()
+	if got := m.Read(0x1234_5678, 8); got != 0 {
+		t.Errorf("Read from absent page = %#x, want 0", got)
+	}
+	if got := m.ByteAt(42); got != 0 {
+		t.Errorf("ByteAt from absent page = %d, want 0", got)
+	}
+	dst := []byte{0xaa, 0xbb}
+	m.ReadBytes(pageSize*7-1, dst) // spans two absent pages
+	if dst[0] != 0 || dst[1] != 0 {
+		t.Errorf("ReadBytes from absent pages = %v, want zeros", dst)
+	}
+	if m.Pages() != 0 {
+		t.Errorf("reads materialised %d pages, want 0", m.Pages())
+	}
+}
+
+// TestScalarAccessAtPageBoundary exercises the cross-page slow path of
+// Read/Write (the emulator's loads and stores) against the fast path.
+func TestScalarAccessAtPageBoundary(t *testing.T) {
+	const v = uint64(0x1122334455667788)
+	for _, size := range []int{2, 4, 8} {
+		for back := 1; back < size; back++ {
+			m := NewMemory()
+			addr := uint64(pageSize - back) // size-back bytes spill into page 1
+			m.Write(addr, v, size)
+			want := v
+			if size < 8 {
+				want &= 1<<(8*size) - 1
+			}
+			if got := m.Read(addr, size); got != want {
+				t.Errorf("size %d straddle %d: read %#x, want %#x", size, back, got, want)
+			}
+			if m.Pages() != 2 {
+				t.Errorf("size %d straddle %d: %d pages resident, want 2", size, back, m.Pages())
+			}
+			// The little-endian byte layout must match byte-at-a-time access.
+			for i := 0; i < size; i++ {
+				if got, want := m.ByteAt(addr+uint64(i)), byte(v>>(8*i)); got != want {
+					t.Errorf("size %d straddle %d byte %d: %#x, want %#x", size, back, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := NewMemory()
+	m.Write(100, 0xdead, 8)
+	cp := m.Clone()
+	if !m.Equal(cp) {
+		t.Fatal("clone not Equal to original")
+	}
+	cp.Write(100, 0xbeef, 8)
+	if m.Read(100, 8) != 0xdead {
+		t.Error("write to clone visible through the original")
+	}
+	m.Write(pageSize*3, 1, 1)
+	if cp.Pages() != 1 {
+		t.Error("page added to original appeared in the clone")
+	}
+}
+
+// TestEqualDistinguishesResidentZeroPage documents the Equal contract:
+// a resident all-zero page differs from an absent one, which is exactly
+// what makes snapshot equality a determinism check (identical emulations
+// touch identical page sets).
+func TestEqualDistinguishesResidentZeroPage(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	if !a.Equal(b) {
+		t.Fatal("two empty memories not Equal")
+	}
+	a.SetByteAt(0, 0) // materialises page 0 with zero contents
+	if a.Equal(b) {
+		t.Error("resident zero page compared equal to an absent page")
+	}
+}
+
+func TestSetPageBytesInstallsCopy(t *testing.T) {
+	m := NewMemory()
+	src := make([]byte, pageSize)
+	src[17] = 0x5a
+	m.SetPageBytes(4, src)
+	src[17] = 0 // the store must not alias the caller's slice
+	if got := m.ByteAt(4*pageSize + 17); got != 0x5a {
+		t.Errorf("byte = %#x, want 0x5a", got)
+	}
+	if got := m.PageBytes(4); got[17] != 0x5a {
+		t.Errorf("PageBytes[17] = %#x, want 0x5a", got[17])
+	}
+	if m.PageBytes(5) != nil {
+		t.Error("PageBytes of an absent page must be nil")
+	}
+	if nums := m.PageNums(); len(nums) != 1 || nums[0] != 4 {
+		t.Errorf("PageNums = %v, want [4]", nums)
+	}
+}

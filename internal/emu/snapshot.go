@@ -1,0 +1,66 @@
+package emu
+
+import (
+	"dlvp/internal/isa"
+	"dlvp/internal/program"
+)
+
+// Snapshot is a complete architectural checkpoint of a CPU: register
+// file, program counter, dynamic instruction count, halt flag, and a
+// private copy of the sparse memory. Because the emulator is
+// deterministic, a snapshot taken at instruction offset N fully
+// determines the rest of the stream — restoring it and continuing
+// produces records bit-identical to a fresh emulation run past N.
+type Snapshot struct {
+	Regs   [isa.NumRegs]uint64
+	PC     uint64
+	Seq    uint64
+	Halted bool
+	Mem    *Memory
+}
+
+// Snapshot captures the CPU's current architectural state. The memory is
+// deep-copied, so the snapshot stays valid while the CPU keeps running.
+func (c *CPU) Snapshot() *Snapshot {
+	return &Snapshot{
+		Regs:   c.regs,
+		PC:     c.pc,
+		Seq:    c.seq,
+		Halted: c.halt,
+		Mem:    c.mem.Clone(),
+	}
+}
+
+// Clone returns an independent deep copy of the snapshot.
+func (s *Snapshot) Clone() *Snapshot {
+	cp := *s
+	cp.Mem = s.Mem.Clone()
+	return &cp
+}
+
+// Equal reports whether two snapshots describe bit-identical
+// architectural state (the invariant the checkpoint tests enforce).
+func (s *Snapshot) Equal(other *Snapshot) bool {
+	return s.Regs == other.Regs &&
+		s.PC == other.PC &&
+		s.Seq == other.Seq &&
+		s.Halted == other.Halted &&
+		s.Mem.Equal(other.Mem)
+}
+
+// NewFromSnapshot returns a CPU for program p restored to snapshot s.
+// The snapshot's memory is deep-copied, so the caller may reuse s (and
+// restore it again) after the returned CPU runs. The CPU's Seq continues
+// from s.Seq — records it produces carry absolute dynamic instruction
+// numbers; consumers that need a 0-based stream rebase them
+// (trace.Rebase).
+func NewFromSnapshot(p *program.Program, s *Snapshot) *CPU {
+	return &CPU{
+		prog: p,
+		mem:  s.Mem.Clone(),
+		regs: s.Regs,
+		pc:   s.PC,
+		seq:  s.Seq,
+		halt: s.Halted,
+	}
+}

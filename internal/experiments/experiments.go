@@ -38,6 +38,12 @@ type Params struct {
 	Instrs uint64
 	// Workloads restricts the pool (nil = every registered workload).
 	Workloads []string
+	// Sampling, when non-nil, runs every matrix job as a checkpointed
+	// sampled simulation (K intervals, warm-up + measured region each)
+	// instead of one monolithic detailed run. Sampled artifacts trade a
+	// bounded statistical error for a large wall-clock reduction; see
+	// EXPERIMENTS.md.
+	Sampling *runner.SamplingSpec
 	// Parallel enables running workloads across CPUs.
 	Parallel bool
 	// Ctx cancels in-flight experiment work (nil = context.Background()).
@@ -119,7 +125,7 @@ func runMatrix(p Params, cfgs map[string]config.Core) (map[string]map[string]met
 	var slots []slot
 	for _, w := range pool {
 		for _, scheme := range schemes {
-			jobs = append(jobs, runner.Job{Workload: w.Name, Config: cfgs[scheme], Instrs: p.Instrs})
+			jobs = append(jobs, runner.Job{Workload: w.Name, Config: cfgs[scheme], Instrs: p.Instrs, Sampling: p.Sampling})
 			slots = append(slots, slot{workload: w.Name, scheme: scheme})
 		}
 	}

@@ -1,0 +1,78 @@
+package runner
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dlvp/internal/config"
+)
+
+// BenchmarkSampledVsFull is the PR's perf gate, run once in CI
+// bench-sanity (-benchtime 1x). It fails the run (b.Errorf) unless a
+// sampled 10M-instruction job — 8 intervals, 100k-instruction measured
+// windows with 25k warm-up (10% detailed fraction) — beats the
+// monolithic detailed simulation of the same job by at least 5× of
+// wall-clock, checkpoint chain construction included (every sampled
+// timing starts from a cold store).
+//
+// The gate compares best-of timings and retries a few times before
+// declaring a regression, so scheduler noise cannot flake CI; a genuine
+// regression — detailed-core work leaking outside the sample windows,
+// checkpoint chaining degrading to repeated from-zero emulation — fails
+// every attempt.
+func BenchmarkSampledVsFull(b *testing.B) {
+	const (
+		instrs     = 10_000_000
+		minSpeedup = 5.0
+		minOf      = 2
+		attempts   = 3
+		benchWrkld = "mcf"
+	)
+	full := Job{Workload: benchWrkld, Config: config.DLVP(), Instrs: instrs}
+	sampled := full
+	sampled.Sampling = &SamplingSpec{Intervals: 8, WarmupInstrs: 25_000, MeasuredInstrs: 100_000}
+
+	run := func(job Job) time.Duration {
+		b.Helper()
+		// A fresh engine per timing: result cache off, cold checkpoint
+		// store, so the sampled side always pays its chain build.
+		eng := New(Options{Workers: 4, CacheEntries: -1})
+		start := time.Now()
+		res, _, err := eng.RunResult(context.Background(), job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := time.Since(start)
+		if res.Stats.Instructions == 0 || res.Stats.Cycles == 0 {
+			b.Fatalf("implausible result for %+v: %+v", job.Sampling, res.Stats)
+		}
+		return d
+	}
+	bestOf := func(n int, job Job) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < n; i++ {
+			if d := run(job); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	for i := 0; i < b.N; i++ {
+		gate := false
+		var fullBest, sampledBest time.Duration
+		for a := 0; a < attempts && !gate; a++ {
+			fullBest = bestOf(minOf, full)
+			sampledBest = bestOf(minOf, sampled)
+			gate = float64(fullBest) >= minSpeedup*float64(sampledBest)
+		}
+		speedup := float64(fullBest) / float64(sampledBest)
+		if !gate {
+			b.Errorf("sampled run only %.1fx faster than monolithic (%v vs %v), want >= %.0fx",
+				speedup, sampledBest, fullBest, minSpeedup)
+		} else {
+			b.ReportMetric(speedup, "sampled-speedup")
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dlvp/internal/checkpoint"
 	"dlvp/internal/config"
 	"dlvp/internal/metrics"
 	"dlvp/internal/obs"
@@ -52,6 +53,12 @@ type Job struct {
 	Workload string      `json:"workload"`
 	Config   config.Core `json:"config"`
 	Instrs   uint64      `json:"instrs"`
+	// Sampling, when non-nil, selects checkpointed sampled execution:
+	// the result is a SimPoint-style estimate over Instrs rather than a
+	// monolithic detailed simulation. Sampled and full jobs over the
+	// same (workload, config, instrs) are distinct computations and hash
+	// to distinct cache keys.
+	Sampling *SamplingSpec `json:"sampling,omitempty"`
 }
 
 // Key returns the job's content address: a hex SHA-256 over the canonical
@@ -85,7 +92,11 @@ func (e *UnknownWorkloadError) Error() string {
 type Result struct {
 	Stats metrics.RunStats `json:"stats"`
 	// Timeline is nil when the engine ran without timeline recording.
+	// Sampled jobs always carry one (one sample per interval).
 	Timeline *timeline.Timeline `json:"timeline,omitempty"`
+	// Sampled is set on results produced by checkpointed sampled
+	// execution; nil means a monolithic detailed run.
+	Sampled *SampledInfo `json:"sampled,omitempty"`
 }
 
 // DefaultCacheEntries is the result-cache capacity when Options.CacheEntries
@@ -128,6 +139,11 @@ type Options struct {
 	// timelines ride on Result and the cache, live recorders are reachable
 	// through LiveTimeline while a job simulates (SSE streaming).
 	Timeline TimelineOptions
+	// Checkpoints is the architectural checkpoint store backing sampled
+	// jobs (and opportunistic checkpoint capture during full runs when
+	// the trace cache is enabled). Nil constructs a store with the
+	// default byte budget — every runner can serve sampled jobs.
+	Checkpoints *checkpoint.Store
 }
 
 // instruments holds the engine's telemetry handles (nil when the runner
@@ -183,6 +199,29 @@ func registerTraceCacheMetrics(reg *obs.Registry, tc *tracecache.Cache) {
 		func() float64 { return float64(tc.Stats().Emulations) })
 }
 
+// registerCheckpointMetrics exposes the checkpoint store's counters at
+// scrape time.
+func registerCheckpointMetrics(reg *obs.Registry, st *checkpoint.Store) {
+	reg.GaugeFunc("dlvpd_checkpoint_bytes_resident",
+		"Bytes of encoded architectural checkpoints resident in the store.",
+		func() float64 { return float64(st.Stats().ResidentBytes) })
+	reg.GaugeFunc("dlvpd_checkpoint_entries",
+		"Architectural checkpoints resident in the store.",
+		func() float64 { return float64(st.Stats().Entries) })
+	reg.CounterFunc("dlvpd_checkpoint_hits_total",
+		"Checkpoint restores served from a resident exact-offset checkpoint.",
+		func() float64 { return float64(st.Stats().Hits) })
+	reg.CounterFunc("dlvpd_checkpoint_builds_total",
+		"Checkpoint builds (chained from an earlier checkpoint or cold from the program entry).",
+		func() float64 { s := st.Stats(); return float64(s.Chained + s.Cold) })
+	reg.CounterFunc("dlvpd_checkpoint_captured_total",
+		"Checkpoints deposited opportunistically by full-run trace captures.",
+		func() float64 { return float64(st.Stats().Captured) })
+	reg.CounterFunc("dlvpd_checkpoint_evictions_total",
+		"Checkpoints evicted to respect the byte budget.",
+		func() float64 { return float64(st.Stats().Evictions) })
+}
+
 // Runner executes simulation jobs on a bounded pool with result caching.
 // The zero value is not usable; construct with New.
 type Runner struct {
@@ -190,6 +229,7 @@ type Runner struct {
 	sem     chan struct{}
 	cache   *LRU[Result]
 	tcache  *tracecache.Cache
+	ckpt    *checkpoint.Store
 	inst    *instruments
 	tlOpts  TimelineOptions
 
@@ -197,17 +237,19 @@ type Runner struct {
 	flights map[string]*flight
 	live    map[string]*timeline.Recorder
 
-	queued    atomic.Int64
-	running   atomic.Int64
-	done      atomic.Int64
-	failed    atomic.Int64
-	cancelled atomic.Int64
-	executed  atomic.Int64
-	hits      atomic.Int64
-	misses    atomic.Int64
-	coalesced atomic.Int64
-	instrs    atomic.Uint64
-	simNanos  atomic.Int64
+	queued           atomic.Int64
+	running          atomic.Int64
+	done             atomic.Int64
+	failed           atomic.Int64
+	cancelled        atomic.Int64
+	executed         atomic.Int64
+	hits             atomic.Int64
+	misses           atomic.Int64
+	coalesced        atomic.Int64
+	instrs           atomic.Uint64
+	simNanos         atomic.Int64
+	sampledRuns      atomic.Int64
+	sampledIntervals atomic.Int64
 }
 
 // flight is one in-progress computation of a job key; duplicates wait on
@@ -234,11 +276,19 @@ func New(opts Options) *Runner {
 	if opts.Obs != nil && opts.TraceCache != nil {
 		registerTraceCacheMetrics(opts.Obs.Metrics, opts.TraceCache)
 	}
+	ckpt := opts.Checkpoints
+	if ckpt == nil {
+		ckpt = checkpoint.NewStore(0)
+	}
+	if opts.Obs != nil {
+		registerCheckpointMetrics(opts.Obs.Metrics, ckpt)
+	}
 	return &Runner{
 		workers: workers,
 		sem:     make(chan struct{}, workers),
 		cache:   cache,
 		tcache:  opts.TraceCache,
+		ckpt:    ckpt,
 		inst:    newInstruments(opts.Obs),
 		tlOpts:  opts.Timeline,
 		flights: make(map[string]*flight),
@@ -249,6 +299,9 @@ func New(opts Options) *Runner {
 // TraceCache returns the engine's trace capture/replay cache (nil when
 // disabled).
 func (r *Runner) TraceCache() *tracecache.Cache { return r.tcache }
+
+// Checkpoints returns the engine's architectural checkpoint store.
+func (r *Runner) Checkpoints() *checkpoint.Store { return r.ckpt }
 
 // Workers reports the pool bound.
 func (r *Runner) Workers() int { return r.workers }
@@ -274,6 +327,12 @@ func (r *Runner) RunResult(ctx context.Context, job Job) (Result, bool, error) {
 	if !ok {
 		r.failed.Add(1)
 		return zero, false, &UnknownWorkloadError{Name: job.Workload}
+	}
+	if job.Sampling != nil {
+		if _, err := job.Sampling.Normalize(job.Instrs); err != nil {
+			r.failed.Add(1)
+			return zero, false, err
+		}
 	}
 	key, err := job.Key()
 	if err != nil {
@@ -411,6 +470,12 @@ func (r *Runner) lead(ctx context.Context, key string, fl *flight, w workloads.W
 	}
 	qsp.End()
 
+	// Sampled jobs take the checkpoint-and-interval path; the lead's
+	// worker slot (and any idle pool slots) back the interval fan-out.
+	if job.Sampling != nil {
+		return r.runSampled(ctx, key, w, job)
+	}
+
 	xsp := obs.StartSpan(ctx, "runner.execute").Attr("workload", job.Workload)
 	r.running.Add(1)
 	start := time.Now()
@@ -419,13 +484,17 @@ func (r *Runner) lead(ctx context.Context, key string, fl *flight, w workloads.W
 	// emulation with a capture-once/replay-many stream: the first job over
 	// a (workload, instrs) records the emulator's output, every other job
 	// replays (or tails) it. Outcomes are surfaced as runner.capture /
-	// runner.replay spans plus dedicated duration histograms.
+	// runner.replay spans plus dedicated duration histograms. The live
+	// emulation behind a capture additionally deposits architectural
+	// checkpoints into the engine's store as it streams — checkpoint
+	// capture rides the trace cache's single-flight guarantee, so a full
+	// run leaves behind the restore points a later sampled run needs.
 	reader := trace.Reader(nil)
 	outcome := tracecache.OutcomeBypass
 	if r.tcache != nil {
 		var release func()
 		reader, release, outcome = r.tcache.Reader(job.Workload, job.Instrs,
-			func() trace.Reader { return w.Reader(job.Instrs) })
+			func() trace.Reader { return r.ckpt.Capture(w.CPU(job.Instrs), job.Workload, 0) })
 		defer release()
 	} else {
 		reader = w.Reader(job.Instrs)
@@ -562,8 +631,14 @@ type Stats struct {
 	InstrsSimulated uint64  `json:"instrs_simulated"`
 	SimSeconds      float64 `json:"sim_seconds"`    // aggregate worker-seconds spent simulating
 	InstrsPerSec    float64 `json:"instrs_per_sec"` // InstrsSimulated / SimSeconds
+	// SampledRuns counts jobs executed in checkpointed sampled mode;
+	// SampledIntervals the detailed interval simulations behind them.
+	SampledRuns      int64 `json:"sampled_runs"`
+	SampledIntervals int64 `json:"sampled_intervals"`
 	// TraceCache reports the capture/replay cache when configured.
 	TraceCache *tracecache.Stats `json:"trace_cache,omitempty"`
+	// Checkpoints reports the architectural checkpoint store.
+	Checkpoints *checkpoint.Stats `json:"checkpoints,omitempty"`
 }
 
 // HitRatio returns cache hits (including coalesced twins) over all cache
@@ -579,18 +654,20 @@ func (s Stats) HitRatio() float64 {
 // Stats snapshots the engine counters.
 func (r *Runner) Stats() Stats {
 	s := Stats{
-		Workers:         r.workers,
-		JobsQueued:      r.queued.Load(),
-		JobsRunning:     r.running.Load(),
-		JobsDone:        r.done.Load(),
-		JobsFailed:      r.failed.Load(),
-		JobsCancelled:   r.cancelled.Load(),
-		SimsExecuted:    r.executed.Load(),
-		CacheHits:       r.hits.Load(),
-		CacheMisses:     r.misses.Load(),
-		Coalesced:       r.coalesced.Load(),
-		InstrsSimulated: r.instrs.Load(),
-		SimSeconds:      float64(r.simNanos.Load()) / 1e9,
+		Workers:          r.workers,
+		JobsQueued:       r.queued.Load(),
+		JobsRunning:      r.running.Load(),
+		JobsDone:         r.done.Load(),
+		JobsFailed:       r.failed.Load(),
+		JobsCancelled:    r.cancelled.Load(),
+		SimsExecuted:     r.executed.Load(),
+		CacheHits:        r.hits.Load(),
+		CacheMisses:      r.misses.Load(),
+		Coalesced:        r.coalesced.Load(),
+		InstrsSimulated:  r.instrs.Load(),
+		SimSeconds:       float64(r.simNanos.Load()) / 1e9,
+		SampledRuns:      r.sampledRuns.Load(),
+		SampledIntervals: r.sampledIntervals.Load(),
 	}
 	if r.cache != nil {
 		s.CacheEntries = r.cache.Len()
@@ -599,6 +676,10 @@ func (r *Runner) Stats() Stats {
 	if r.tcache != nil {
 		ts := r.tcache.Stats()
 		s.TraceCache = &ts
+	}
+	if r.ckpt != nil {
+		cs := r.ckpt.Stats()
+		s.Checkpoints = &cs
 	}
 	if s.SimSeconds > 0 {
 		s.InstrsPerSec = float64(s.InstrsSimulated) / s.SimSeconds

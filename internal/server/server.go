@@ -289,16 +289,21 @@ type runRequest struct {
 	// configurations content-address identically on every peer.
 	Config *config.Core `json:"config"`
 	Instrs uint64       `json:"instrs"`
-	Async  bool         `json:"async"`
+	// Sampling, when present, runs the job as a checkpointed sampled
+	// simulation instead of one monolithic detailed run. Validated against
+	// the clamped instruction budget before the job is admitted.
+	Sampling *runner.SamplingSpec `json:"sampling,omitempty"`
+	Async    bool                 `json:"async"`
 }
 
 type runResponse struct {
-	Workload  string           `json:"workload"`
-	Scheme    string           `json:"scheme"`
-	Instrs    uint64           `json:"instrs"`
-	Cached    bool             `json:"cached"`
-	ElapsedMS int64            `json:"elapsed_ms"`
-	Stats     metrics.RunStats `json:"stats"`
+	Workload  string              `json:"workload"`
+	Scheme    string              `json:"scheme"`
+	Instrs    uint64              `json:"instrs"`
+	Cached    bool                `json:"cached"`
+	ElapsedMS int64               `json:"elapsed_ms"`
+	Stats     metrics.RunStats    `json:"stats"`
+	Sampled   *runner.SampledInfo `json:"sampled,omitempty"`
 }
 
 type experimentRequest struct {
@@ -394,8 +399,27 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, r, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
-	job := runner.Job{Workload: req.Workload, Config: cfg, Instrs: instrs}
+	if req.Sampling != nil {
+		if _, err := req.Sampling.Normalize(instrs); err != nil {
+			s.writeJSON(w, r, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+	}
+	job := runner.Job{Workload: req.Workload, Config: cfg, Instrs: instrs, Sampling: req.Sampling}
 	eng := s.engineFor(r)
+	// Both the local runner and the dispatcher implement RunResult, so the
+	// sampled-run breakdown survives routing (remote peers return it on
+	// the wire); an engine without it degrades gracefully to stats only.
+	runJob := func(ctx context.Context) (metrics.RunStats, *runner.SampledInfo, bool, error) {
+		if rr, ok := eng.(interface {
+			RunResult(context.Context, runner.Job) (runner.Result, bool, error)
+		}); ok {
+			res, cached, err := rr.RunResult(ctx, job)
+			return res.Stats, res.Sampled, cached, err
+		}
+		st, cached, err := eng.Run(ctx, job)
+		return st, nil, cached, err
+	}
 
 	if req.Async {
 		rec := s.jobs.add("run", obs.TraceID(r.Context()))
@@ -404,7 +428,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		s.spawn(rec, rec.trace, func(ctx context.Context) (any, error) {
 			start := time.Now()
-			st, cached, err := eng.Run(ctx, job)
+			st, sampled, cached, err := runJob(ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -415,6 +439,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 				Cached:    cached,
 				ElapsedMS: time.Since(start).Milliseconds(),
 				Stats:     st,
+				Sampled:   sampled,
 			}, nil
 		})
 		s.writeJSON(w, r, http.StatusAccepted, acceptedResponse{JobID: rec.id, Status: statusQueued, Poll: "/v1/jobs/" + rec.id})
@@ -424,7 +449,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
 	start := time.Now()
-	st, cached, err := eng.Run(ctx, job)
+	st, sampled, cached, err := runJob(ctx)
 	if err != nil {
 		s.writeRunError(w, r, err)
 		return
@@ -436,6 +461,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Cached:    cached,
 		ElapsedMS: time.Since(start).Milliseconds(),
 		Stats:     st,
+		Sampled:   sampled,
 	})
 }
 

@@ -135,6 +135,50 @@ func TestRunEndpointRejectsUnknowns(t *testing.T) {
 	}
 }
 
+// A "sampling" object on /v1/runs selects checkpointed sampled
+// simulation: the response carries the SampledInfo provenance block, an
+// invalid spec is a 400, and sampled results never alias full ones in
+// the caches.
+func TestRunEndpointSampling(t *testing.T) {
+	_, ts := newTestServer(t)
+	const instrs = 40_000
+	full := decode[runResponse](t, postJSON(t, ts.URL+"/v1/runs",
+		map[string]any{"workload": "perlbmk", "scheme": "dlvp", "instrs": instrs}))
+	if full.Sampled != nil {
+		t.Errorf("full run carries sampled info: %+v", full.Sampled)
+	}
+
+	req := map[string]any{"workload": "perlbmk", "scheme": "dlvp", "instrs": instrs,
+		"sampling": map[string]any{"intervals": 4}}
+	resp := postJSON(t, ts.URL+"/v1/runs", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sampled run: status = %d", resp.StatusCode)
+	}
+	sampled := decode[runResponse](t, resp)
+	if sampled.Cached {
+		t.Error("sampled run aliased the full run's cache entry")
+	}
+	info := sampled.Sampled
+	if info == nil {
+		t.Fatal("sampled response carries no sampled block")
+	}
+	if info.Intervals != 4 || info.SpanInstrs != instrs || info.MeasuredTotal == 0 {
+		t.Errorf("sampled info = %+v", info)
+	}
+	if sampled.Stats.Instructions != info.MeasuredTotal {
+		t.Errorf("stats over %d instrs, want the measured total %d", sampled.Stats.Instructions, info.MeasuredTotal)
+	}
+
+	bad := postJSON(t, ts.URL+"/v1/runs", map[string]any{"workload": "perlbmk", "instrs": instrs,
+		"sampling": map[string]any{"intervals": -3}})
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid sampling spec: status = %d, want 400", bad.StatusCode)
+	}
+	if body := decode[errorBody](t, bad); !strings.Contains(body.Error, "intervals") {
+		t.Errorf("error body = %+v, want the spec complaint", body)
+	}
+}
+
 func TestExperimentEndpoint(t *testing.T) {
 	_, ts := newTestServer(t)
 	// tab4 is simulation-free: a pure round-trip of the artifact shape.

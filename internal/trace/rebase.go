@@ -1,0 +1,26 @@
+package trace
+
+// Rebase wraps r so every record's Seq is shifted down by base. A
+// checkpoint-restored emulator numbers its records from the restore
+// offset, but the timing core (and anything else treating Seq as a
+// stream position) requires a 0-based sequence; rebasing by the restore
+// offset makes the mid-stream tail indistinguishable from a fresh run.
+func Rebase(r Reader, base uint64) Reader {
+	if base == 0 {
+		return r
+	}
+	return &rebaseReader{inner: r, base: base}
+}
+
+type rebaseReader struct {
+	inner Reader
+	base  uint64
+}
+
+func (r *rebaseReader) Next(rec *Rec) bool {
+	if !r.inner.Next(rec) {
+		return false
+	}
+	rec.Seq -= r.base
+	return true
+}

@@ -1,0 +1,30 @@
+package trace
+
+import "testing"
+
+func TestRebaseShiftsSeq(t *testing.T) {
+	recs := []Rec{load(100, 0x40, 0x1000, 1), store(101, 0x44, 0x1008, 2), load(102, 0x48, 0x1000, 3)}
+	r := Rebase(&SliceReader{Recs: recs}, 100)
+	var rec Rec
+	for i := 0; r.Next(&rec); i++ {
+		if rec.Seq != uint64(i) {
+			t.Errorf("record %d: seq = %d, want %d", i, rec.Seq, i)
+		}
+		// Everything but Seq passes through untouched.
+		shifted := recs[i]
+		shifted.Seq = uint64(i)
+		if rec != shifted {
+			t.Errorf("record %d mutated beyond Seq: %+v", i, rec)
+		}
+	}
+	if r.Next(&rec) {
+		t.Error("reader did not terminate with its source")
+	}
+}
+
+func TestRebaseZeroIsIdentity(t *testing.T) {
+	src := &SliceReader{Recs: []Rec{load(0, 0x40, 0x1000, 1)}}
+	if got := Rebase(src, 0); got != Reader(src) {
+		t.Error("Rebase(r, 0) must return r unwrapped")
+	}
+}

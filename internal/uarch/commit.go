@@ -53,6 +53,12 @@ func (c *Core) commitStage() {
 		}
 		e.valid = false
 		c.headSeq++
+		// Sample-window countdown, after this instruction's stats landed
+		// so a boundary snapshot includes the just-committed instruction.
+		// One compare per commit when no window is armed.
+		if c.wmArmed && !c.mdDone {
+			c.wmTick()
+		}
 		// Flight-recorder tick, after this instruction's stats landed so a
 		// boundary snapshot includes it. One nil check when sampling is off.
 		if c.tl != nil {

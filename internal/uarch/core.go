@@ -220,6 +220,24 @@ type Core struct {
 	tlCountdown uint64
 	tlPAQPeak   int
 	timeline    *tline.Timeline
+
+	// Sample window (SetSampleWindow). wmRemaining counts committed
+	// instructions down to the measured-region boundary; wmSnap holds
+	// the cumulative counters at that boundary so MeasuredCounters can
+	// subtract the warm-up contribution out of the final totals. A
+	// bounded measured region counts down mdRemaining, snapshots
+	// mdSnap at the closing commit, and raises stopReq so Run ends
+	// without simulating (or measuring) the end-of-stream pipeline
+	// drain.
+	wmRemaining uint64
+	wmArmed     bool
+	wmDone      bool
+	wmSnap      tline.Counters
+	mdRemaining uint64
+	mdBounded   bool
+	mdDone      bool
+	mdSnap      tline.Counters
+	stopReq     bool
 }
 
 type paqEntry struct {
@@ -233,11 +251,28 @@ type paqEntry struct {
 // from reader. reader must be a fresh stream positioned at the program
 // entry (typically an *emu.CPU).
 func New(cfg config.Core, p *program.Program, reader trace.Reader) *Core {
+	return NewAt(cfg, p, reader, nil)
+}
+
+// NewAt builds a core whose committed-memory image starts from cmem
+// instead of the program image — the mid-stream form used by sampled
+// simulation, where reader is a checkpoint-restored (and seq-rebased)
+// emulator and cmem is the architectural memory at the restore offset.
+// cmem is cloned, never mutated; nil selects the program image
+// (equivalent to New). The probe-staleness model depends on this: a
+// DLVP probe reads the committed image, so an interval starting
+// mid-stream must see the memory the committed stream has produced so
+// far, not the initial data segments.
+func NewAt(cfg config.Core, p *program.Program, reader trace.Reader, cmem *emu.Memory) *Core {
+	mimg := emu.NewMemoryFromProgram(p)
+	if cmem != nil {
+		mimg = cmem.Clone()
+	}
 	c := &Core{
 		cfg:    cfg,
 		prog:   p,
 		reader: reader,
-		cmem:   emu.NewMemoryFromProgram(p),
+		cmem:   mimg,
 		hier:   mem.NewHierarchy(cfg.Mem),
 		tage:   branch.NewTAGE(cfg.TAGE),
 		ittage: branch.NewITTAGE(cfg.ITTAGE),
@@ -291,6 +326,11 @@ func (c *Core) Run(maxCycles uint64) metrics.RunStats {
 			break
 		}
 		c.commitStage()
+		if c.stopReq {
+			// A bounded sample window closed at a commit this cycle;
+			// everything past it (including the drain) is out of scope.
+			break
+		}
 		c.executeStage()
 		c.issueStage()
 		c.probeStage()

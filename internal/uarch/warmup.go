@@ -1,0 +1,79 @@
+package uarch
+
+import (
+	tline "dlvp/internal/timeline"
+)
+
+// SetSampleWindow marks the first warmup committed instructions of the
+// run as warm-up and the following measured committed instructions as
+// the measured region. The core simulates the warm-up normally —
+// predictors, caches, the branch history and the LSCD all train — but
+// its statistics are excluded from MeasuredCounters. The exclusion uses
+// the timeline delta machinery (cumulative snapshots at both region
+// boundaries, subtracted), so measured counters are exactly what a
+// flight-recorder interval over the measured region would report and
+// sums across sampling intervals stay reconcilable.
+//
+// With measured > 0 the window is bounded: at the commit that closes
+// it the core snapshots the counters and stops simulating, so the
+// end-of-stream pipeline drain is neither paid for nor measured —
+// short sampled intervals would otherwise amortise a full drain into
+// every window and bias IPC low. Feed the core a stream extending
+// beyond the window (the sampling driver adds slack) so the closing
+// commit happens at full pipeline occupancy. measured == 0 leaves the
+// window open to the end of the stream, drain included.
+//
+// Call before Run. With warmup == 0 the measured region starts
+// immediately. When the stream ends before the window completes,
+// MeasuredCounters reports that via its second return value.
+func (c *Core) SetSampleWindow(warmup, measured uint64) {
+	c.wmArmed = true
+	c.wmRemaining = warmup
+	c.wmDone = warmup == 0
+	c.mdRemaining = measured
+	c.mdBounded = measured > 0
+	c.mdDone = false
+}
+
+// wmTick is called once per committed instruction while a sample window
+// is armed and open; it snapshots the cumulative counters at both
+// region boundaries and requests a stop when a bounded window closes.
+func (c *Core) wmTick() {
+	if c.wmRemaining > 0 {
+		c.wmRemaining--
+		if c.wmRemaining == 0 {
+			c.tlCumulative(&c.wmSnap)
+			c.wmDone = true
+		}
+		return
+	}
+	if !c.mdBounded {
+		return
+	}
+	c.mdRemaining--
+	if c.mdRemaining == 0 {
+		c.tlCumulative(&c.mdSnap)
+		c.mdDone = true
+		c.stopReq = true
+	}
+}
+
+// MeasuredCounters returns the counter deltas accumulated over the
+// measured region (valid after Run) and whether the window actually
+// completed: the warm-up boundary was reached and, for a bounded
+// window, the closing commit happened before the stream ended. Without
+// SetSampleWindow it returns the whole run's counters.
+func (c *Core) MeasuredCounters() (tline.Counters, bool) {
+	if c.wmArmed && !c.wmDone {
+		return tline.Counters{}, false
+	}
+	if c.mdBounded {
+		if !c.mdDone {
+			return tline.Counters{}, false
+		}
+		return c.mdSnap.Sub(c.wmSnap), true
+	}
+	var cum tline.Counters
+	c.tlCumulative(&cum)
+	return cum.Sub(c.wmSnap), true
+}

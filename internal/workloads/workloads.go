@@ -82,12 +82,20 @@ func ByName(name string) (Workload, bool) {
 	return Workload{}, false
 }
 
-// Reader returns a fresh functional stream for w bounded to maxInstrs
-// dynamic instructions.
-func (w Workload) Reader(maxInstrs uint64) trace.Reader {
+// CPU returns a fresh functional emulator for w bounded to maxInstrs
+// dynamic instructions (callers that need the concrete emulator — e.g.
+// to snapshot checkpoints off the stream — use this; Reader is the
+// interface view).
+func (w Workload) CPU(maxInstrs uint64) *emu.CPU {
 	cpu := emu.New(w.Build())
 	cpu.MaxInstrs = maxInstrs
 	return cpu
+}
+
+// Reader returns a fresh functional stream for w bounded to maxInstrs
+// dynamic instructions.
+func (w Workload) Reader(maxInstrs uint64) trace.Reader {
+	return w.CPU(maxInstrs)
 }
 
 // --- deterministic data generators ------------------------------------------
