@@ -70,6 +70,8 @@ func main() {
 	checkpointBytes := flag.Int64("checkpoint-bytes", 0, "byte budget for the architectural checkpoint store backing sampled runs (0: default 256 MiB)")
 	timelineInterval := flag.Uint64("timeline-interval", 100_000, "flight-recorder sampling interval in committed instructions (0: disabled)")
 	timelineCapacity := flag.Int("timeline-capacity", 0, "flight-recorder sample ring bound per run (0: default)")
+	sites := flag.Bool("sites", true, "record per-load-site misprediction attribution, served at /v1/runs/{id}/sites")
+	maxSites := flag.Int("max-sites", 0, "per-load-site profile site bound per run (0: default 1024)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout for synchronous calls")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for draining work")
 	peers := flag.String("peers", "", "comma-separated peer base URLs (e.g. http://10.0.0.2:8080) forming the dispatch ring")
@@ -113,6 +115,10 @@ func main() {
 			Enabled:        *timelineInterval > 0,
 			IntervalInstrs: *timelineInterval,
 			Capacity:       *timelineCapacity,
+		},
+		Sites: runner.SiteOptions{
+			Enabled:  *sites,
+			MaxSites: *maxSites,
 		},
 	})
 

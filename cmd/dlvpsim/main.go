@@ -26,6 +26,7 @@ import (
 	"dlvp/internal/config"
 	"dlvp/internal/metrics"
 	"dlvp/internal/runner"
+	"dlvp/internal/siteprof"
 	"dlvp/internal/timeline"
 	"dlvp/internal/tracecache"
 	"dlvp/internal/uarch"
@@ -45,6 +46,8 @@ func main() {
 	timelineOut := flag.String("timeline", "", "record a flight-recorder timeline and write it as JSON to this path (\"-\": stdout)")
 	timelineInterval := flag.Uint64("timeline-interval", 0, "timeline sampling interval in committed instructions (0: default 100000)")
 	timelineCapacity := flag.Int("timeline-capacity", 0, "timeline sample ring bound (0: default 512)")
+	sitesOut := flag.String("sites", "", "record per-load-site misprediction attribution and write the profile as JSON to this path (\"-\": stdout)")
+	maxSites := flag.Int("max-sites", 0, "per-load-site profile site bound (0: default 1024)")
 	sampleIntervals := flag.Int("sample-intervals", 0, "run as a checkpointed sampled simulation with this many intervals (0: full detailed run)")
 	sampleWarmup := flag.Uint64("sample-warmup", 0, "per-interval detailed warm-up instructions before measurement (0: stride/16)")
 	sampleBudget := flag.Uint64("sample-budget", 0, "per-interval measured instructions (0: stride/8)")
@@ -103,6 +106,10 @@ func main() {
 			IntervalInstrs: *timelineInterval,
 			Capacity:       *timelineCapacity,
 		},
+		Sites: runner.SiteOptions{
+			Enabled:  *sitesOut != "",
+			MaxSites: *maxSites,
+		},
 	})
 	var s metrics.RunStats
 	var sampled *runner.SampledInfo
@@ -123,6 +130,12 @@ func main() {
 		sampled = res.Sampled
 		if *timelineOut != "" {
 			if err := writeTimeline(*timelineOut, res.Timeline); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *sitesOut != "" {
+			if err := writeSites(*sitesOut, res.Sites); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
@@ -190,6 +203,19 @@ func writeTimeline(path string, tl *timeline.Timeline) error {
 	if tl == nil {
 		return fmt.Errorf("no timeline recorded")
 	}
+	return writeIndentedJSON(path, tl)
+}
+
+// writeSites writes the per-load-site attribution profile as indented JSON
+// to path ("-" for stdout) — the input format of dlvpstat sites.
+func writeSites(path string, p *siteprof.Profile) error {
+	if p == nil {
+		return fmt.Errorf("no site profile recorded")
+	}
+	return writeIndentedJSON(path, p)
+}
+
+func writeIndentedJSON(path string, v any) error {
 	out := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)
@@ -201,5 +227,5 @@ func writeTimeline(path string, tl *timeline.Timeline) error {
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(tl)
+	return enc.Encode(v)
 }

@@ -7,12 +7,18 @@
 //
 //	dlvpstat show run.json            per-interval table + metric sparklines
 //	dlvpstat diff a.json b.json       align two runs interval-by-interval
+//	dlvpstat sites profile.json       ranked per-load-site cause breakdown
+//	dlvpstat sites diff a.json b.json per-site accuracy regression between runs
 //
 // show renders one run's phase behaviour: a sparkline per headline metric
 // (IPC, VP coverage/accuracy, APT hit rate, probe hit rate, L1D miss rate)
 // followed by the per-interval column view. diff compares two runs aligned
 // by interval position and flags the interval where run B's value-prediction
 // accuracy fell furthest below run A's — the store-conflict regression view.
+// sites reads a per-load-site attribution profile (internal/siteprof, from
+// dlvpsim -sites or GET /v1/runs/{id}/sites) and ranks static loads by
+// misprediction count with a cause-breakdown bar per site; sites diff flags
+// the shared site whose accuracy regressed most between two runs.
 package main
 
 import (
@@ -57,6 +63,31 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(renderDiff(a, b))
+	case "sites":
+		switch {
+		case len(os.Args) == 3:
+			p, err := loadSiteProfile(os.Args[2])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Print(renderSites(p))
+		case len(os.Args) == 5 && os.Args[2] == "diff":
+			a, err := loadSiteProfile(os.Args[3])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			b, err := loadSiteProfile(os.Args[4])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Print(renderSitesDiff(a, b))
+		default:
+			usage()
+			os.Exit(2)
+		}
 	default:
 		usage()
 		os.Exit(2)
@@ -64,7 +95,10 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dlvpstat show <timeline.json> | dlvpstat diff <a.json> <b.json>")
+	fmt.Fprintln(os.Stderr, `usage: dlvpstat show <timeline.json>
+       dlvpstat diff <a.json> <b.json>
+       dlvpstat sites <profile.json>
+       dlvpstat sites diff <a.json> <b.json>`)
 }
 
 // loadTimeline reads a timeline JSON file ("-" for stdin).

@@ -184,6 +184,7 @@ func All() []Experiment {
 		{ID: "fig10", Name: "Figure 10: flush vs oracle-replay recovery", Run: Fig10},
 		{ID: "ablations", Name: "Extension: design-choice ablations the paper describes but does not tabulate", Run: Ablations},
 		{ID: "dvtage", Name: "Extension: the differential D-VTAGE related-work predictor vs VTAGE and DLVP", Run: DVTAGEComparison},
+		{ID: "sites", Name: "Extension: top mispredicting load sites per scheme, cause-attributed", Run: Sites},
 		{ID: "summary", Name: "Headline paper-vs-measured digest (the EXPERIMENTS.md numbers)", Run: Summary},
 	}
 }

@@ -56,8 +56,8 @@ func TestByID(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	if len(ids) != 16 {
-		t.Errorf("experiment count = %d, want 16 (figures + tables + extensions + summary)", len(ids))
+	if len(ids) != 17 {
+		t.Errorf("experiment count = %d, want 17 (figures + tables + extensions + summary)", len(ids))
 	}
 }
 

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"dlvp/internal/config"
+	"dlvp/internal/runner"
+	"dlvp/internal/siteprof"
+	"dlvp/internal/tabletext"
+)
+
+// sitesTopN is how many worst-mispredicting static loads each
+// (workload, scheme) cell of the Sites table shows.
+const sitesTopN = 3
+
+// siteEngine is the optional capability an Engine may implement to serve
+// full results with attached site profiles. The local runner does;
+// engines that cannot (a dispatcher whose jobs executed on a peer, or a
+// runner built without site recording) fall back to a private
+// sites-enabled runner below.
+type siteEngine interface {
+	RunResult(ctx context.Context, job runner.Job) (runner.Result, bool, error)
+	SitesEnabled() bool
+}
+
+// Sites regenerates the per-load-site attribution table: for each
+// workload and scheme, the top mispredicting static loads with their
+// dominant cause — which sites store-conflict, which alias in the APT,
+// which never reach confidence. This is the drill-down behind the
+// aggregate accuracy columns of Figures 6-8: two schemes with equal
+// accuracy typically fail at different sites for different reasons.
+func Sites(p Params) ([]*tabletext.Table, error) {
+	pool, err := p.pool()
+	if err != nil {
+		return nil, err
+	}
+	cfgs := map[string]config.Core{
+		"dlvp":  config.DLVP(),
+		"cap":   config.CAPDLVP(),
+		"vtage": config.VTAGE(),
+	}
+	schemes := make([]string, 0, len(cfgs))
+	for name := range cfgs {
+		schemes = append(schemes, name)
+	}
+	sort.Strings(schemes)
+
+	eng, _ := p.runner().(siteEngine)
+	if eng == nil || !eng.SitesEnabled() {
+		// The ambient engine cannot attach site profiles; run the matrix on
+		// a private sites-enabled engine (results are small — the jobs here
+		// are few and the local pool still bounds parallelism).
+		eng = runner.New(runner.Options{Sites: runner.SiteOptions{Enabled: true}})
+	}
+
+	t := &tabletext.Table{
+		Title: "Top mispredicting load sites per scheme (cause-attributed)",
+		Header: []string{"workload", "scheme", "rank", "pc", "eligible", "cov%", "acc%",
+			"mispred", "top cause", "conflict%"},
+	}
+	done, total := 0, len(pool)*len(schemes)
+	for _, w := range pool {
+		for _, scheme := range schemes {
+			res, _, err := eng.RunResult(p.ctx(), runner.Job{
+				Workload: w.Name, Config: cfgs[scheme], Instrs: p.Instrs, Sampling: p.Sampling,
+			})
+			if err != nil {
+				return nil, err
+			}
+			done++
+			if p.Progress != nil {
+				p.Progress(done, total)
+			}
+			if res.Sites == nil {
+				return nil, fmt.Errorf("experiments: engine returned no site profile for %s/%s", w.Name, scheme)
+			}
+			rows := topMispredictingSites(res.Sites, sitesTopN)
+			if len(rows) == 0 {
+				t.AddRow(w.Name, scheme, "-", "-", "-", "-", "-", "0", "none", "-")
+				continue
+			}
+			for i, s := range rows {
+				top := "-"
+				if cause, _, ok := s.TopCause(); ok {
+					top = cause.String()
+				}
+				t.AddRow(
+					w.Name, scheme,
+					fmt.Sprintf("%d", i+1),
+					fmt.Sprintf("0x%x", s.PC),
+					fmt.Sprintf("%d", s.Eligible),
+					s.Coverage(), s.Accuracy(),
+					fmt.Sprintf("%d", s.Mispredicts()),
+					top,
+					s.ConflictShare(),
+				)
+			}
+		}
+	}
+	return []*tabletext.Table{t}, nil
+}
+
+// topMispredictingSites returns up to n sites with at least one
+// misprediction; the profile is already ranked mispredicts-first.
+func topMispredictingSites(p *siteprof.Profile, n int) []siteprof.SiteReport {
+	var out []siteprof.SiteReport
+	for _, s := range p.Sites {
+		if s.Mispredicts() == 0 {
+			break
+		}
+		out = append(out, s)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}

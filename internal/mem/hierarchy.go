@@ -183,6 +183,40 @@ type ProbeResult struct {
 	Latency    int // cycles to deliver the probed value (L1D latency (+TLB walk if miss))
 	TLBMiss    bool
 	WayCorrect bool // way prediction matched (valid when a way was predicted)
+	// Outcome is the probe's cause code; consumers (the per-site
+	// attribution layer) branch on it instead of reconstructing the
+	// outcome from the Hit/WayCorrect booleans.
+	Outcome ProbeOutcome
+}
+
+// ProbeOutcome classifies a DLVP L1D probe.
+type ProbeOutcome uint8
+
+const (
+	// ProbeMiss: the block is not in the L1D; the prediction is lost (the
+	// caller may prefetch).
+	ProbeMiss ProbeOutcome = iota
+	// ProbeHitWay: hit, delivered through the predicted (or only) path.
+	ProbeHitWay
+	// ProbeHitWayMispredict: hit, but the way prediction was wrong — the
+	// value arrives after the full-set fallback read.
+	ProbeHitWayMispredict
+)
+
+// Hit reports whether the probe found the block.
+func (o ProbeOutcome) Hit() bool { return o != ProbeMiss }
+
+// String returns the outcome's wire name.
+func (o ProbeOutcome) String() string {
+	switch o {
+	case ProbeMiss:
+		return "miss"
+	case ProbeHitWay:
+		return "hit"
+	case ProbeHitWayMispredict:
+		return "hit_way_mispredict"
+	}
+	return "unknown"
 }
 
 // Probe speculatively reads the L1D for a predicted address (DLVP step 3).
@@ -211,11 +245,13 @@ func (h *Hierarchy) Probe(addr uint64, predictedWay int) ProbeResult {
 	res.Way = way
 	if hit {
 		h.ProbeHits++
+		res.Outcome = ProbeHitWay
 		if predictedWay >= 0 {
 			h.WayPredictions++
 			res.WayCorrect = predictedWay == way
 			if !res.WayCorrect {
 				h.WayMispredictions++
+				res.Outcome = ProbeHitWayMispredict
 				// Fallback full-set read after the mispredicted way.
 				res.Latency += h.cfg.L1D.Latency
 			}

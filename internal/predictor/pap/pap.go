@@ -161,23 +161,73 @@ func (p *Predictor) LookupWith(pc, hist uint64) Lookup {
 	return lk
 }
 
-// Train updates the APT after the load executed, per Section 3.1.2:
+// TrainOutcome is the cause code Train returns for each update — what
+// happened to the looked-up APT entry between prediction and training.
+// Consumers (the per-site attribution layer, tests) branch on the code
+// instead of re-deriving the outcome from the table's aggregate counters.
+type TrainOutcome uint8
+
+const (
+	// TrainMissDecayed: APT miss; Policy-2 protected the confident victim
+	// by decaying it instead of reallocating.
+	TrainMissDecayed TrainOutcome = iota
+	// TrainMissAllocated: APT miss; the slot was (re)allocated to this load.
+	TrainMissAllocated
+	// TrainAliasDecayed: the entry was reallocated by another static load
+	// between lookup and train (a tag alias); the usurper survived decay.
+	TrainAliasDecayed
+	// TrainAliasAllocated: tag alias; the slot was reclaimed for this load.
+	TrainAliasAllocated
+	// TrainConfirmed: hit with matching address; confidence bumped (or
+	// held, under the probabilistic counter).
+	TrainConfirmed
+	// TrainReset: hit with mismatching address — the load's access pattern
+	// changed; confidence reset and the entry reallocated.
+	TrainReset
+)
+
+// Alias reports whether the outcome detected a lookup-to-train tag alias.
+func (o TrainOutcome) Alias() bool {
+	return o == TrainAliasDecayed || o == TrainAliasAllocated
+}
+
+// String returns the outcome's wire name.
+func (o TrainOutcome) String() string {
+	switch o {
+	case TrainMissDecayed:
+		return "miss_decayed"
+	case TrainMissAllocated:
+		return "miss_allocated"
+	case TrainAliasDecayed:
+		return "alias_decayed"
+	case TrainAliasAllocated:
+		return "alias_allocated"
+	case TrainConfirmed:
+		return "confirmed"
+	case TrainReset:
+		return "reset"
+	}
+	return "unknown"
+}
+
+// Train updates the APT after the load executed, per Section 3.1.2, and
+// returns the outcome code:
 //
 //	APT miss + Policy-2: allocate only if the victim's confidence is zero,
 //	otherwise decrement it (confident entries survive eviction pressure).
 //	APT hit, address match: probabilistically bump confidence.
 //	APT hit, address mismatch: reset confidence and reallocate with the
 //	executed load's information.
-func (p *Predictor) Train(lk Lookup, actualAddr uint64, sizeLog2 uint8, way int8) {
+func (p *Predictor) Train(lk Lookup, actualAddr uint64, sizeLog2 uint8, way int8) TrainOutcome {
 	e := &p.table[lk.Index]
 	if !lk.Hit {
 		if e.valid && e.conf > 0 && !p.cfg.AllocPolicy1 {
 			e.conf--
-			return
+			return TrainMissDecayed
 		}
 		p.Allocations++
 		*e = entry{tag: lk.Tag, addr: actualAddr, conf: 0, sizeLog2: sizeLog2, way: way, valid: true}
-		return
+		return TrainMissAllocated
 	}
 	if e.tag != lk.Tag {
 		// The entry was reallocated between prediction and training; treat
@@ -185,11 +235,11 @@ func (p *Predictor) Train(lk Lookup, actualAddr uint64, sizeLog2 uint8, way int8
 		p.TagAliases++
 		if e.valid && e.conf > 0 && !p.cfg.AllocPolicy1 {
 			e.conf--
-			return
+			return TrainAliasDecayed
 		}
 		p.Allocations++
 		*e = entry{tag: lk.Tag, addr: actualAddr, conf: 0, sizeLog2: sizeLog2, way: way, valid: true}
-		return
+		return TrainAliasAllocated
 	}
 	if e.addr == actualAddr {
 		before := e.conf
@@ -204,10 +254,11 @@ func (p *Predictor) Train(lk Lookup, actualAddr uint64, sizeLog2 uint8, way int8
 		if way >= 0 {
 			e.way = way
 		}
-		return
+		return TrainConfirmed
 	}
 	p.ConfResets++
 	*e = entry{tag: lk.Tag, addr: actualAddr, conf: 0, sizeLog2: sizeLog2, way: way, valid: true}
+	return TrainReset
 }
 
 // PushLoad speculatively shifts a load's PC into the load-path history.

@@ -39,6 +39,7 @@ import (
 	"dlvp/internal/config"
 	"dlvp/internal/metrics"
 	"dlvp/internal/obs"
+	"dlvp/internal/siteprof"
 	"dlvp/internal/timeline"
 	"dlvp/internal/trace"
 	"dlvp/internal/tracecache"
@@ -97,6 +98,10 @@ type Result struct {
 	// Sampled is set on results produced by checkpointed sampled
 	// execution; nil means a monolithic detailed run.
 	Sampled *SampledInfo `json:"sampled,omitempty"`
+	// Sites is the per-load-site misprediction attribution profile; nil
+	// when the engine ran without site profiling. Sampled jobs merge one
+	// profile per measured interval.
+	Sites *siteprof.Profile `json:"sites,omitempty"`
 }
 
 // DefaultCacheEntries is the result-cache capacity when Options.CacheEntries
@@ -114,6 +119,17 @@ type TimelineOptions struct {
 	IntervalInstrs uint64
 	// Capacity bounds the per-run sample ring (0: timeline.DefaultCapacity).
 	Capacity int
+}
+
+// SiteOptions configures per-load-site misprediction attribution for
+// every job the engine executes.
+type SiteOptions struct {
+	// Enabled turns per-site attribution on.
+	Enabled bool
+	// MaxSites bounds tracked static load PCs per run
+	// (0: siteprof.DefaultMaxSites). Excess sites fold into the profile's
+	// overflow bucket, so totals stay exact.
+	MaxSites int
 }
 
 // Options parameterises a Runner.
@@ -144,6 +160,10 @@ type Options struct {
 	// the trace cache is enabled). Nil constructs a store with the
 	// default byte budget — every runner can serve sampled jobs.
 	Checkpoints *checkpoint.Store
+	// Sites enables per-load-site misprediction attribution on executed
+	// jobs; finished profiles ride on Result and the cache, live
+	// collectors are reachable through LiveSites while a job simulates.
+	Sites SiteOptions
 }
 
 // instruments holds the engine's telemetry handles (nil when the runner
@@ -232,10 +252,12 @@ type Runner struct {
 	ckpt    *checkpoint.Store
 	inst    *instruments
 	tlOpts  TimelineOptions
+	spOpts  SiteOptions
 
-	mu      sync.Mutex
-	flights map[string]*flight
-	live    map[string]*timeline.Recorder
+	mu        sync.Mutex
+	flights   map[string]*flight
+	live      map[string]*timeline.Recorder
+	liveSites map[string]*siteprof.Collector
 
 	queued           atomic.Int64
 	running          atomic.Int64
@@ -284,15 +306,17 @@ func New(opts Options) *Runner {
 		registerCheckpointMetrics(opts.Obs.Metrics, ckpt)
 	}
 	return &Runner{
-		workers: workers,
-		sem:     make(chan struct{}, workers),
-		cache:   cache,
-		tcache:  opts.TraceCache,
-		ckpt:    ckpt,
-		inst:    newInstruments(opts.Obs),
-		tlOpts:  opts.Timeline,
-		flights: make(map[string]*flight),
-		live:    make(map[string]*timeline.Recorder),
+		workers:   workers,
+		sem:       make(chan struct{}, workers),
+		cache:     cache,
+		tcache:    opts.TraceCache,
+		ckpt:      ckpt,
+		inst:      newInstruments(opts.Obs),
+		tlOpts:    opts.Timeline,
+		spOpts:    opts.Sites,
+		flights:   make(map[string]*flight),
+		live:      make(map[string]*timeline.Recorder),
+		liveSites: make(map[string]*siteprof.Collector),
 	}
 }
 
@@ -345,9 +369,9 @@ func (r *Runner) RunResult(ctx context.Context, job Job) (Result, bool, error) {
 		Attr("instrs", strconv.FormatUint(job.Instrs, 10))
 
 	if r.cache != nil {
-		// A cached result recorded without a timeline cannot satisfy a
-		// timeline-recording engine; fall through and re-simulate.
-		if res, ok := r.cache.Get(key); ok && (!r.tlOpts.Enabled || res.Timeline != nil) {
+		// A cached result that predates a recording feature cannot satisfy
+		// an engine configured to produce it; fall through and re-simulate.
+		if res, ok := r.cache.Get(key); ok && r.satisfies(res) {
 			r.hits.Add(1)
 			r.done.Add(1)
 			r.countLookup("hit")
@@ -406,6 +430,20 @@ func (r *Runner) RunResult(ctx context.Context, job Job) (Result, bool, error) {
 	return res, false, nil
 }
 
+// satisfies reports whether a cached result carries every recorded
+// artifact this engine is configured to produce. Results cached by an
+// engine with fewer recording features enabled (or before a feature
+// existed) miss here, forcing a re-simulation that backfills the artifact.
+func (r *Runner) satisfies(res Result) bool {
+	if r.tlOpts.Enabled && res.Timeline == nil {
+		return false
+	}
+	if r.spOpts.Enabled && res.Sites == nil {
+		return false
+	}
+	return true
+}
+
 // CachedResult returns the cached result for a job key, if present. It does
 // not count as a cache lookup in the engine statistics (the serving paths
 // use Run/RunResult); the timeline HTTP endpoints use it to fetch the
@@ -431,6 +469,20 @@ func (r *Runner) LiveTimeline(key string) *timeline.Recorder {
 // timelines for executed jobs.
 func (r *Runner) TimelineEnabled() bool { return r.tlOpts.Enabled }
 
+// LiveSites returns the in-flight site-attribution collector for a job
+// key while its simulation is running (nil otherwise). The collector is
+// safe for concurrent reads via Snapshot — this is what the live
+// /v1/runs/{id}/sites endpoint polls.
+func (r *Runner) LiveSites(key string) *siteprof.Collector {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.liveSites[key]
+}
+
+// SitesEnabled reports whether the engine records per-load-site
+// attribution profiles for executed jobs.
+func (r *Runner) SitesEnabled() bool { return r.spOpts.Enabled }
+
 // countLookup bumps the cache-outcome counter when instrumented.
 func (r *Runner) countLookup(outcome string) {
 	if r.inst != nil {
@@ -446,6 +498,7 @@ func (r *Runner) lead(ctx context.Context, key string, fl *flight, w workloads.W
 		r.mu.Lock()
 		delete(r.flights, key)
 		delete(r.live, key)
+		delete(r.liveSites, key)
 		r.mu.Unlock()
 		close(fl.done)
 	}()
@@ -515,8 +568,15 @@ func (r *Runner) lead(ctx context.Context, key string, fl *flight, w workloads.W
 		r.live[key] = rec
 		r.mu.Unlock()
 	}
+	if r.spOpts.Enabled {
+		col := core.EnableSiteProfile(r.spOpts.MaxSites)
+		r.mu.Lock()
+		r.liveSites[key] = col
+		r.mu.Unlock()
+	}
 	res.Stats = core.Run(0)
 	res.Timeline = core.Timeline()
+	res.Sites = core.SiteProfile()
 	st := res.Stats
 	elapsed := time.Since(start)
 	r.simNanos.Add(int64(elapsed))

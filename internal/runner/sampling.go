@@ -11,6 +11,7 @@ import (
 	"dlvp/internal/metrics"
 	"dlvp/internal/obs"
 	"dlvp/internal/predictor"
+	"dlvp/internal/siteprof"
 	"dlvp/internal/timeline"
 	"dlvp/internal/trace"
 	"dlvp/internal/uarch"
@@ -243,6 +244,7 @@ func (r *Runner) runSampled(ctx context.Context, key string, w workloads.Workloa
 		resMu     sync.Mutex
 		measured  = make([]timeline.Counters, len(plan))
 		detailed  = make([]uint64, len(plan))
+		profiles  = make([]*siteprof.Profile, len(plan))
 		completed = make([]bool, len(plan))
 		firstErr  error
 		published int
@@ -285,6 +287,9 @@ func (r *Runner) runSampled(ctx context.Context, key string, w workloads.Workloa
 		reader := trace.Rebase(cpu, iv.restore)
 		core := uarch.NewAt(job.Config, prog, reader, snap.Mem)
 		core.SetSampleWindow(iv.warmup, spec.MeasuredInstrs)
+		if r.spOpts.Enabled {
+			core.EnableSiteProfile(r.spOpts.MaxSites)
+		}
 		st := core.Run(0)
 		meas, complete := core.MeasuredCounters()
 		if !complete {
@@ -296,6 +301,7 @@ func (r *Runner) runSampled(ctx context.Context, key string, w workloads.Workloa
 		countOutcome(outcome)
 		measured[i] = meas
 		detailed[i] = st.Instructions
+		profiles[i] = core.SiteProfile()
 		completed[i] = true
 		publishLocked()
 		resMu.Unlock()
@@ -359,6 +365,14 @@ func (r *Runner) runSampled(ctx context.Context, key string, w workloads.Workloa
 
 	res.Stats = statsFromMeasured(job.Workload, scheme, sum)
 	res.Timeline = rec.Finish(cum, 0, job.Workload, scheme)
+	if r.spOpts.Enabled {
+		// Per-interval profiles cover only measured regions (warm-up is
+		// excluded per interval), so the merged profile reconciles with
+		// the summed measured counters.
+		merged := siteprof.Merge(profiles, r.spOpts.MaxSites)
+		merged.Workload, merged.Scheme = job.Workload, scheme
+		res.Sites = merged
+	}
 	res.Sampled = &info
 	if r.cache != nil {
 		r.cache.Put(key, res)

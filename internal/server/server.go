@@ -176,6 +176,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/runs/{id}/timeline", s.handleRunTimeline)
 	s.mux.HandleFunc("GET /v1/runs/{id}/timeline/stream", s.handleRunTimelineStream)
+	s.mux.HandleFunc("GET /v1/runs/{id}/sites", s.handleRunSites)
 	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	return s

@@ -1,0 +1,50 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"dlvp/internal/siteprof"
+)
+
+// sitesFor resolves the per-load-site attribution profile for a run job:
+// a partial snapshot of the live collector while the simulation executes,
+// the cached result's finished profile afterwards. Like timelines, site
+// profiles come from the local engine only.
+func (s *Server) sitesFor(key string) (*siteprof.Profile, bool) {
+	if col := s.runner.LiveSites(key); col != nil {
+		return col.Snapshot(), true
+	}
+	if res, ok := s.runner.CachedResult(key); ok && res.Sites != nil {
+		return res.Sites, true
+	}
+	return nil, false
+}
+
+// handleRunSites serves GET /v1/runs/{id}/sites: the per-static-load
+// misprediction-attribution profile for an async run job, as JSON or —
+// with ?format=prom — in the Prometheus text exposition format. While
+// the run executes the response is a point-in-time snapshot with
+// "partial": true; poll until it clears to get the finished profile.
+func (s *Server) handleRunSites(w http.ResponseWriter, r *http.Request) {
+	key, _, _, ok := s.resolveRunJob(w, r)
+	if !ok {
+		return
+	}
+	prof, ok := s.sitesFor(key)
+	if !ok {
+		s.writeJSON(w, r, http.StatusNotFound, errorBody{
+			Error: "no site profile for this run: site attribution disabled, job not started, or result evicted"})
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		s.writeJSON(w, r, http.StatusOK, prof)
+	case "prom":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		siteprof.WritePrometheus(w, prof)
+	default:
+		s.writeJSON(w, r, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("unknown format %q", format), Known: []string{"json", "prom"}})
+	}
+}

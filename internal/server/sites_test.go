@@ -1,0 +1,107 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dlvp/internal/runner"
+	"dlvp/internal/siteprof"
+)
+
+// newSitesTestServer builds a server whose engine records per-load-site
+// attribution profiles.
+func newSitesTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Options{Runner: runner.New(runner.Options{
+		Sites: runner.SiteOptions{Enabled: true},
+	})})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func TestRunSitesEndpoint(t *testing.T) {
+	_, ts := newSitesTestServer(t)
+	id := submitAsyncRun(t, ts, "perlbmk", testInstrs)
+	waitForSitesJob(t, ts, id)
+
+	resp := mustGet(t, ts.URL+"/v1/runs/"+id+"/sites")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	p := decode[siteprof.Profile](t, resp)
+	if p.Workload != "perlbmk" || p.Partial {
+		t.Errorf("profile header = %q partial=%v", p.Workload, p.Partial)
+	}
+	if len(p.Sites) == 0 {
+		t.Fatal("no sites in the served profile")
+	}
+	if tot := p.Totals(); tot.Eligible == 0 {
+		t.Error("served profile has zero eligible loads")
+	}
+
+	prom := mustGet(t, ts.URL+"/v1/runs/"+id+"/sites?format=prom")
+	defer prom.Body.Close()
+	body, err := io.ReadAll(prom.Body)
+	if err != nil {
+		t.Fatalf("read prom body: %v", err)
+	}
+	if !strings.Contains(string(body), "dlvp_site_eligible_total{workload=\"perlbmk\"") {
+		t.Error("prometheus exposition missing dlvp_site_eligible_total series")
+	}
+	if ct := prom.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("prom content type = %q", ct)
+	}
+
+	if resp := mustGet(t, ts.URL+"/v1/runs/"+id+"/sites?format=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus format status = %d, want 400", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	if resp := mustGet(t, ts.URL+"/v1/runs/nope/sites"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status = %d, want 404", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// A server whose engine records no site profiles must 404 the endpoint
+// rather than serve an empty profile.
+func TestRunSitesDisabledEngine(t *testing.T) {
+	_, ts := newTestServer(t)
+	id := submitAsyncRun(t, ts, "perlbmk", testInstrs)
+	waitForSitesJob(t, ts, id)
+	resp := mustGet(t, ts.URL+"/v1/runs/"+id+"/sites")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("sites on a non-recording engine = %d, want 404", resp.StatusCode)
+	}
+}
+
+// waitForSitesJob polls until the run job reaches a terminal state,
+// without requiring the timeline link waitForJob asserts (a sites-only
+// engine records no timelines).
+func waitForSitesJob(t *testing.T, ts *httptest.Server, id string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		view := decode[jobView](t, mustGet(t, ts.URL+"/v1/jobs/"+id))
+		switch view.Status {
+		case statusDone:
+			return
+		case statusError:
+			t.Fatalf("job failed: %s", view.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", view.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

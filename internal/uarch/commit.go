@@ -99,6 +99,11 @@ func (c *Core) accountPrediction(e *entry) {
 		}
 	}
 	c.stats.VP.Record(predicted, correct)
+	// Site attribution rides the same outcome so per-site sums reconcile
+	// with the aggregate exactly. One nil check when profiling is off.
+	if c.sp != nil {
+		c.spRecord(e, predicted, correct)
+	}
 	if e.vpMade {
 		switch e.vpSource {
 		case tournament.SideDLVP:

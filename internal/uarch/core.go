@@ -37,6 +37,7 @@ import (
 	"dlvp/internal/predictor/tournament"
 	"dlvp/internal/predictor/vtage"
 	"dlvp/internal/program"
+	"dlvp/internal/siteprof"
 	tline "dlvp/internal/timeline"
 	"dlvp/internal/trace"
 )
@@ -82,8 +83,13 @@ type entry struct {
 	paqIssued    bool // an address prediction was enqueued for this load
 	probeDone    bool
 	probeHit     bool
+	probeTLB     bool   // the probe walked the TLB (attribution detail)
 	probeDeliver uint64 // cycle the probed value reaches the VPE
 	probeVals    [trace.MaxDests]uint64
+
+	// APT train outcome (set at execute; consumed by site attribution).
+	papTrain      pap.TrainOutcome
+	papTrainValid bool
 
 	// VTAGE state (shared by VTAGE and D-VTAGE; dvLks carries the
 	// differential predictor's training context).
@@ -238,6 +244,12 @@ type Core struct {
 	mdDone      bool
 	mdSnap      tline.Counters
 	stopReq     bool
+
+	// Per-load-site attribution (EnableSiteProfile). sp is nil when
+	// profiling is off; the commit path then pays one nil check per
+	// eligible instruction.
+	sp          *siteprof.Collector
+	siteProfile *siteprof.Profile
 }
 
 type paqEntry struct {
@@ -406,6 +418,9 @@ func (c *Core) finalizeStats() {
 	c.stats.CoreEnergy = c.emodel.Total(c.stats.Cycles, c.stats.Instructions, c.meter)
 	if c.tl != nil {
 		c.tlSample(true)
+	}
+	if c.sp != nil {
+		c.spFinish()
 	}
 }
 

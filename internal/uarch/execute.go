@@ -85,7 +85,8 @@ func (c *Core) trainAddressPredictors(e *entry) {
 		for b := int(rec.Bytes); b > 1; b >>= 1 {
 			sizeLog2++
 		}
-		c.papPred.Train(e.papLk, rec.Addr, sizeLog2, e.l1Way)
+		e.papTrain = c.papPred.Train(e.papLk, rec.Addr, sizeLog2, e.l1Way)
+		e.papTrainValid = true
 	}
 	if e.capLkValid {
 		c.capPred.Train(e.capLk, rec.PC, rec.Addr)

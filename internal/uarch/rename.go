@@ -175,7 +175,8 @@ func (c *Core) probeStage() {
 		b++
 		res := c.hier.Probe(pe.addr, int(pe.way))
 		e.probeDone = true
-		if res.Hit {
+		e.probeTLB = res.TLBMiss
+		if res.Outcome.Hit() {
 			e.probeHit = true
 			e.probeDeliver = c.now + uint64(res.Latency) + 1 // +1 transfer to VPE
 			c.readProbedValues(e, pe.addr)

@@ -1,0 +1,137 @@
+package uarch
+
+import (
+	"dlvp/internal/predictor/tournament"
+	"dlvp/internal/siteprof"
+)
+
+// EnableSiteProfile attaches a per-load-site misprediction attribution
+// collector tracking at most maxSites static load PCs (0 selects the
+// siteprof package default). Call before Run. The returned collector may
+// be read concurrently while the simulation runs (Snapshot); the finished
+// profile is available from Core.SiteProfile after Run.
+//
+// Profiling is off by default. When off, the commit path pays one nil
+// check per eligible instruction; when on, each committed eligible load
+// adds a classification (a handful of field compares) and one counter
+// update behind a direct-mapped PC cache (BenchmarkSiteprofOverhead holds
+// the slowdown under 3%).
+//
+// Under a sample window (SetSampleWindow), warm-up commits are excluded so
+// the profile covers exactly the measured region and per-site sums stay
+// reconcilable with MeasuredCounters.
+func (c *Core) EnableSiteProfile(maxSites int) *siteprof.Collector {
+	c.sp = siteprof.NewCollector(maxSites, c.stats.Workload, c.stats.Scheme)
+	return c.sp
+}
+
+// SiteProfile returns the finished per-site attribution profile (nil
+// unless EnableSiteProfile was called; valid after Run).
+func (c *Core) SiteProfile() *siteprof.Profile { return c.siteProfile }
+
+// spRecord classifies one committed statistics-eligible instruction and
+// feeds it to the collector. Called from accountPrediction behind a nil
+// check, with the (predicted, correct) outcome it already computed, so the
+// per-site Eligible/Predicted/Correct partition matches the aggregate
+// stats.VP accounting by construction.
+func (c *Core) spRecord(e *entry, predicted, correct bool) {
+	if c.wmArmed && (!c.wmDone || c.mdDone) {
+		// Outside the measured region: still warming up, or the bounded
+		// window already closed (the closing cycle can retire a few more
+		// instructions before Run observes the stop request).
+		return
+	}
+	ev := siteprof.Event{Cause: c.spCause(e, predicted, correct)}
+	if e.probeDone {
+		ev.Probed = true
+		ev.ProbeHit = e.probeHit
+		ev.ProbeTLB = e.probeTLB
+	}
+	if e.vpMade && !correct {
+		if c.cfg.VP.SelectiveReplay {
+			ev.Replay = true
+		} else {
+			// Estimated recovery cost of this mispredict's flush: the
+			// value-check penalty plus refilling the front of the pipe.
+			ev.FlushCycles = uint64(c.cfg.ValueCheckPenalty) + uint64(c.cfg.FrontLatency)
+		}
+	}
+	c.sp.Record(e.rec.PC, ev)
+}
+
+// spCause derives the attribution cause from the evidence already on the
+// window entry: the fetch-time predictor lookups, the LSCD decision, the
+// probe outcome, the train-time APT outcome code, and the committed
+// record's actual address.
+func (c *Core) spCause(e *entry, predicted, correct bool) siteprof.Cause {
+	if correct {
+		return siteprof.CauseCorrect
+	}
+	if predicted {
+		// A prediction was made (or oracle-suppressed) and was wrong: why?
+		if e.vpSource == tournament.SideVTAGE {
+			return siteprof.CauseValueWrong // value-side miss, no address context
+		}
+		var predictedAddr uint64
+		have := false
+		switch {
+		case e.papLkValid:
+			predictedAddr, have = e.papLk.Addr, true
+		case e.capLkValid:
+			predictedAddr, have = e.capLk.Addr, true
+		}
+		if !have {
+			return siteprof.CauseValueWrong
+		}
+		if predictedAddr == e.rec.Addr {
+			// Right address, wrong value: a store rewrote the location
+			// between the probe and the load — the paper's Challenge #1.
+			return siteprof.CauseStoreConflict
+		}
+		if e.papTrainValid && e.papTrain.Alias() {
+			// Training found the APT slot reallocated between lookup and
+			// train: the predicted address belonged to an aliasing site.
+			return siteprof.CauseTagAlias
+		}
+		return siteprof.CauseAddrMispredict
+	}
+	// No prediction was made: walk the pipeline backwards to the first
+	// stage that dropped it.
+	switch {
+	case e.lscdSkip:
+		return siteprof.CauseLSCDFiltered
+	case e.papLkValid:
+		if !e.papLk.Hit {
+			return siteprof.CauseAPTMiss
+		}
+		if !e.papLk.Confident {
+			return siteprof.CauseConfidenceDropped
+		}
+		// Confident at fetch but nothing installed: lost to PAQ overflow,
+		// lifetime expiry, a late or missing probe, the install budget, or
+		// a full PVT.
+		return siteprof.CausePAQDrop
+	case e.capLkValid:
+		if !e.capLk.LBHit || !e.capLk.LinkHit {
+			return siteprof.CauseAPTMiss
+		}
+		if !e.capLk.Confident {
+			return siteprof.CauseConfidenceDropped
+		}
+		return siteprof.CausePAQDrop
+	default:
+		return siteprof.CauseUnpredicted
+	}
+}
+
+// spFinish freezes the collector into the run's profile, scoped to the
+// measured region when a sample window was armed and completed.
+func (c *Core) spFinish() {
+	instrs := c.stats.Instructions
+	if c.wmArmed {
+		if meas, ok := c.MeasuredCounters(); ok {
+			instrs = meas.Instructions
+		}
+	}
+	c.siteProfile = c.sp.Finish(instrs)
+}
