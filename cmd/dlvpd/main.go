@@ -5,6 +5,7 @@
 //	dlvpd [-addr :8080] [-workers 8] [-cache 4096] [-timeout 2m]
 //	      [-trace-cache-bytes 536870912] [-checkpoint-bytes 268435456]
 //	      [-timeline-interval 100000] [-timeline-capacity 512]
+//	      [-matrix-dir /var/lib/dlvp/matrices] [-matrix-shard-workers 2]
 //	      [-peers http://h1:8080,http://h2:8080] [-self name]
 //	      [-hedge-after 0] [-health-interval 3s]
 //	      [-log-format json|text] [-log-level debug|info|warn|error]
@@ -18,6 +19,14 @@
 // re-route; and when every peer is down, jobs fall back to the local
 // engine — a clustered daemon never does worse than standalone mode.
 // GET /v1/cluster reports the ring state.
+//
+// POST /v1/matrices runs a whole (workload x scheme) sweep as per-workload
+// shards scattered over the ring with work-stealing; GET
+// /v1/matrices/{id}/stream tails partial result tables over SSE. With
+// -matrix-dir, sweep state persists across restarts: a matrix interrupted
+// by shutdown resumes on the next boot, re-running only its unfinished
+// shards (completed shards' results are restored from disk, and re-run
+// cells usually hit the peers' content-addressed result caches).
 //
 // The daemon wraps the shared runner engine (internal/runner) behind the
 // internal/server API: POST /v1/runs executes one simulation, POST
@@ -56,6 +65,7 @@ import (
 
 	"dlvp/internal/checkpoint"
 	"dlvp/internal/dispatch"
+	"dlvp/internal/matrix"
 	"dlvp/internal/obs"
 	"dlvp/internal/runner"
 	"dlvp/internal/server"
@@ -74,6 +84,8 @@ func main() {
 	maxSites := flag.Int("max-sites", 0, "per-load-site profile site bound per run (0: default 1024)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout for synchronous calls")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for draining work")
+	matrixDir := flag.String("matrix-dir", "", "directory persisting matrix sweep state for resume after restart (empty: in-memory only)")
+	matrixWorkers := flag.Int("matrix-shard-workers", 0, "concurrent shards per dispatch target during matrix sweeps (0: default 2)")
 	peers := flag.String("peers", "", "comma-separated peer base URLs (e.g. http://10.0.0.2:8080) forming the dispatch ring")
 	self := flag.String("self", "", "this daemon's name in the dispatch ring; peers should use the same string as its URL (empty: \"local\")")
 	hedgeAfter := flag.Duration("hedge-after", 0, "launch a hedged copy of a straggling job on the next backend after this delay (0: disabled)")
@@ -148,7 +160,31 @@ func main() {
 	}
 	defer disp.Close()
 
-	srv := server.New(server.Options{Runner: eng, Dispatcher: disp, RequestTimeout: *timeout, Obs: ob})
+	var matrixStore *matrix.Store
+	if *matrixDir != "" {
+		matrixStore, err = matrix.NewStore(*matrixDir)
+		if err != nil {
+			logger.Error("matrix store unavailable", "dir", *matrixDir, "error", err)
+			os.Exit(2)
+		}
+	}
+	orch := matrix.New(matrix.Options{
+		Cluster:          disp,
+		Store:            matrixStore,
+		Obs:              ob,
+		WorkersPerTarget: *matrixWorkers,
+	})
+	if matrixStore != nil {
+		resumed, err := orch.Resume()
+		if err != nil {
+			logger.Warn("matrix resume incomplete", "dir", *matrixDir, "error", err)
+		}
+		if resumed > 0 {
+			logger.Info("resumed interrupted matrices", "count", resumed, "dir", *matrixDir)
+		}
+	}
+
+	srv := server.New(server.Options{Runner: eng, Dispatcher: disp, Matrix: orch, RequestTimeout: *timeout, Obs: ob})
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -202,6 +238,10 @@ func main() {
 	if debugSrv != nil {
 		_ = debugSrv.Shutdown(shutdownCtx)
 	}
+	// Stopping the orchestrator before srv.Close persists interrupted
+	// matrices as resumable (still "running" on disk) rather than
+	// cancelled; -matrix-dir picks them up on the next boot.
+	orch.Close()
 	srv.Close()
 	logger.Info("dlvpd stopped")
 }

@@ -9,6 +9,7 @@
 //	dlvpstat diff a.json b.json       align two runs interval-by-interval
 //	dlvpstat sites profile.json       ranked per-load-site cause breakdown
 //	dlvpstat sites diff a.json b.json per-site accuracy regression between runs
+//	dlvpstat matrix [-json] view.json distributed sweep: per-shard progress
 //
 // show renders one run's phase behaviour: a sparkline per headline metric
 // (IPC, VP coverage/accuracy, APT hit rate, probe hit rate, L1D miss rate)
@@ -18,7 +19,12 @@
 // sites reads a per-load-site attribution profile (internal/siteprof, from
 // dlvpsim -sites or GET /v1/runs/{id}/sites) and ranks static loads by
 // misprediction count with a cause-breakdown bar per site; sites diff flags
-// the shared site whose accuracy regressed most between two runs.
+// the shared site whose accuracy regressed most between two runs. matrix
+// renders a distributed sweep's status (a saved GET /v1/matrices/{id}
+// payload, stdin, or a live daemon URL): shard progress strip, per-shard
+// provenance (assigned vs owning target, steals, restores, cache hits),
+// per-target busy time, and the current result tables; -json emits the
+// shard provenance machine-readably for scripts.
 package main
 
 import (
@@ -63,6 +69,32 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(renderDiff(a, b))
+	case "matrix":
+		args := os.Args[2:]
+		asJSON := false
+		if len(args) > 0 && args[0] == "-json" {
+			asJSON = true
+			args = args[1:]
+		}
+		if len(args) != 1 {
+			usage()
+			os.Exit(2)
+		}
+		v, err := loadMatrixView(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if asJSON {
+			out, err := renderMatrixJSON(v)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Print(out)
+		} else {
+			fmt.Print(renderMatrix(v))
+		}
 	case "sites":
 		switch {
 		case len(os.Args) == 3:
@@ -98,7 +130,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: dlvpstat show <timeline.json>
        dlvpstat diff <a.json> <b.json>
        dlvpstat sites <profile.json>
-       dlvpstat sites diff <a.json> <b.json>`)
+       dlvpstat sites diff <a.json> <b.json>
+       dlvpstat matrix [-json] <view.json | matrix URL>`)
 }
 
 // loadTimeline reads a timeline JSON file ("-" for stdin).

@@ -1,0 +1,211 @@
+//go:build integration
+
+package integration
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// matrixAccepted is the POST /v1/matrices acknowledgement.
+type matrixAccepted struct {
+	ID     string `json:"id"`
+	Shards int    `json:"shards"`
+	Cells  int    `json:"cells"`
+}
+
+// matrixStatus is the slice of GET /v1/matrices/{id} this test needs.
+// Tables stays raw so the distributed and single-process payloads can be
+// compared byte-for-byte.
+type matrixStatus struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Counts struct {
+		Pending   int `json:"pending"`
+		Running   int `json:"running"`
+		Done      int `json:"done"`
+		Cancelled int `json:"cancelled"`
+		Failed    int `json:"failed"`
+	} `json:"counts"`
+	Shards []struct {
+		ID       int    `json:"id"`
+		Workload string `json:"workload"`
+		State    string `json:"state"`
+		Assigned string `json:"assigned"`
+		Owner    string `json:"owner"`
+		Stolen   bool   `json:"stolen"`
+		Attempts int    `json:"attempts"`
+	} `json:"shards"`
+	Stolen int             `json:"stolen"`
+	Error  string          `json:"error"`
+	Tables json.RawMessage `json:"tables"`
+}
+
+// postMatrix submits one sweep and fails the test on anything but 202.
+func postMatrix(t *testing.T, base string, spec map[string]any) matrixAccepted {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/v1/matrices", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/matrices: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/matrices: status %d", resp.StatusCode)
+	}
+	var acc matrixAccepted
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+	return acc
+}
+
+func getMatrix(t *testing.T, base, id string) matrixStatus {
+	t.Helper()
+	var v matrixStatus
+	getJSON(t, base+"/v1/matrices/"+id, &v)
+	return v
+}
+
+// waitMatrixTerminal polls until the matrix leaves "running".
+func waitMatrixTerminal(t *testing.T, base, id string, timeout time.Duration) matrixStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		v := getMatrix(t, base, id)
+		if v.Status != "running" {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("matrix %s still running after %s: %+v", id, timeout, v.Counts)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// waitClusterPeers polls /v1/cluster until base reports want healthy peers.
+func waitClusterPeers(t *testing.T, base string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		var cv clusterView
+		getJSON(t, base+"/v1/cluster", &cv)
+		if cv.Mode == "cluster" && cv.Dispatch != nil && cv.Dispatch.HealthyPeers == want {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("%s never reported %d healthy peers", base, want)
+}
+
+// TestMatrixSweepCluster drives the distributed matrix orchestrator end
+// to end over a real three-daemon mesh: a 4-scheme x 8-workload sweep is
+// submitted to daemon A, one peer is killed mid-sweep, and the surviving
+// targets must steal and requeue its shards until the sweep completes.
+// The final result tables must be byte-identical to the same sweep run on
+// a standalone single-process daemon — distribution, steals, and peer
+// death may never change the science.
+func TestMatrixSweepCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	bin := buildDaemon(t)
+	portA, portB, portC := freePort(t), freePort(t), freePort(t)
+	urlA := fmt.Sprintf("http://127.0.0.1:%d", portA)
+	urlB := fmt.Sprintf("http://127.0.0.1:%d", portB)
+	urlC := fmt.Sprintf("http://127.0.0.1:%d", portC)
+	a := startDaemon(t, bin, portA, urlB+","+urlC)
+	startDaemon(t, bin, portB, urlA+","+urlC)
+	c := startDaemon(t, bin, portC, urlA+","+urlB)
+	waitClusterPeers(t, a.base, 2)
+
+	var pool struct {
+		Workloads []struct {
+			Name string `json:"name"`
+		} `json:"workloads"`
+	}
+	getJSON(t, a.base+"/v1/workloads", &pool)
+	if len(pool.Workloads) < 8 {
+		t.Fatalf("workload pool too small: %d", len(pool.Workloads))
+	}
+	workloads := make([]string, 0, 8)
+	for _, w := range pool.Workloads[:8] {
+		workloads = append(workloads, w.Name)
+	}
+	spec := map[string]any{
+		"workloads": workloads,
+		"schemes":   []string{"baseline", "dlvp", "cap", "vtage"},
+		"instrs":    3_000_000,
+	}
+
+	acc := postMatrix(t, a.base, spec)
+	if acc.Shards != 8 || acc.Cells != 32 {
+		t.Fatalf("accepted %d shards / %d cells, want 8/32", acc.Shards, acc.Cells)
+	}
+
+	// Let the sweep get under way, then pull daemon C out from under it.
+	killDeadline := time.Now().Add(2 * time.Minute)
+	killedMidSweep := false
+	for {
+		v := getMatrix(t, a.base, acc.ID)
+		if v.Status != "running" {
+			t.Log("matrix finished before the peer kill; skipping mid-sweep death assertions")
+			break
+		}
+		if v.Counts.Done >= 2 {
+			c.kill(t)
+			killedMidSweep = true
+			break
+		}
+		if time.Now().After(killDeadline) {
+			t.Fatalf("matrix never progressed: %+v", v.Counts)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	final := waitMatrixTerminal(t, a.base, acc.ID, 5*time.Minute)
+	if final.Status != "done" {
+		t.Fatalf("matrix status = %s (%s), counts %+v", final.Status, final.Error, final.Counts)
+	}
+	if final.Counts.Done != 8 || final.Counts.Failed != 0 {
+		t.Fatalf("counts = %+v, want 8 done / 0 failed", final.Counts)
+	}
+	for _, s := range final.Shards {
+		if s.State != "done" || s.Owner == "" {
+			t.Fatalf("shard %d (%s) state=%s owner=%q", s.ID, s.Workload, s.State, s.Owner)
+		}
+	}
+	if killedMidSweep {
+		// Shards bound for the dead peer must have been finished by
+		// someone else: stolen, or requeued onto a survivor.
+		moved := final.Stolen
+		for _, s := range final.Shards {
+			if s.Owner != s.Assigned || s.Attempts > 1 {
+				moved++
+			}
+		}
+		if moved == 0 {
+			t.Error("peer died mid-sweep but no shard was stolen or requeued")
+		}
+	}
+	if len(final.Tables) == 0 || string(final.Tables) == "null" {
+		t.Fatal("finished matrix has no tables")
+	}
+
+	// Reference run: the identical sweep on a standalone daemon.
+	portD := freePort(t)
+	d := startDaemon(t, bin, portD, "")
+	refAcc := postMatrix(t, d.base, spec)
+	ref := waitMatrixTerminal(t, d.base, refAcc.ID, 5*time.Minute)
+	if ref.Status != "done" {
+		t.Fatalf("reference matrix status = %s (%s)", ref.Status, ref.Error)
+	}
+	if !bytes.Equal(final.Tables, ref.Tables) {
+		t.Fatalf("distributed tables differ from single-process run\ncluster:    %s\nstandalone: %s",
+			final.Tables, ref.Tables)
+	}
+}

@@ -194,6 +194,12 @@ func (d *Dispatcher) RunResult(ctx context.Context, job runner.Job) (runner.Resu
 	sp := obs.StartSpan(ctx, "dispatch.route").Attr("workload", job.Workload)
 	order := rank(d.states, key)
 
+	// One logical request blames each backend at most once. Without this,
+	// a hedged retry can land on a backend that already failed as an
+	// earlier attempt of the same request and eject it on what is really a
+	// single logical failure — two passive signals for one request.
+	blamed := make(map[string]bool)
+
 	var lastErr error
 	attempts := 0
 	localTried := false
@@ -221,7 +227,7 @@ func (d *Dispatcher) RunResult(ctx context.Context, job runner.Job) (runner.Resu
 		if bs.local {
 			localTried = true
 		}
-		res, cached, err := d.execute(ctx, bs, release, job, order)
+		res, cached, err := d.execute(ctx, bs, release, job, order, blamed)
 		if err == nil {
 			sp.Attr("backend", bs.name).Attr("attempts", strconv.Itoa(attempts)).End()
 			return res, cached, nil
@@ -237,7 +243,7 @@ func (d *Dispatcher) RunResult(ctx context.Context, job runner.Job) (runner.Resu
 	// every peer ejected or saturated — the job still runs in-process
 	// unless local execution itself was already attempted and failed.
 	if !localTried {
-		res, cached, err := d.execute(ctx, d.local, func() {}, job, nil)
+		res, cached, err := d.execute(ctx, d.local, func() {}, job, nil, blamed)
 		if err == nil {
 			sp.Attr("backend", d.local.name).Attr("attempts", strconv.Itoa(attempts+1)).Attr("fallback", "local").End()
 			return res, cached, nil
@@ -263,18 +269,18 @@ type callResult struct {
 // and, when hedging is enabled and bs stalls, races a second copy on the
 // next ranked backend. The loser is cancelled; its goroutine drains into
 // a buffered channel, so no goroutine outlives its backend call.
-func (d *Dispatcher) execute(ctx context.Context, bs *backendState, release func(), job runner.Job, order []*backendState) (runner.Result, bool, error) {
+func (d *Dispatcher) execute(ctx context.Context, bs *backendState, release func(), job runner.Job, order []*backendState, blamed map[string]bool) (runner.Result, bool, error) {
 	var zero runner.Result
 	if d.opts.HedgeAfter <= 0 || bs.local || order == nil {
 		defer release()
-		return d.call(ctx, bs, job)
+		return d.call(ctx, bs, job, blamed)
 	}
 
 	pctx, pcancel := context.WithCancel(ctx)
 	defer pcancel()
 	ch := make(chan callResult, 2)
 	go func() {
-		res, cached, err := d.call(pctx, bs, job)
+		res, cached, err := d.call(pctx, bs, job, blamed)
 		release()
 		ch <- callResult{res, cached, err, bs}
 	}()
@@ -305,7 +311,7 @@ func (d *Dispatcher) execute(ctx context.Context, bs *backendState, release func
 	hctx, hcancel := context.WithCancel(ctx)
 	defer hcancel()
 	go func() {
-		res, cached, err := d.call(hctx, hedge, job)
+		res, cached, err := d.call(hctx, hedge, job, blamed)
 		hrelease()
 		ch <- callResult{res, cached, err, hedge}
 	}()
@@ -354,8 +360,12 @@ func (d *Dispatcher) hedgeCandidate(order []*backendState, primary *backendState
 }
 
 // call performs one backend attempt with accounting, latency observation
-// and passive health signalling.
-func (d *Dispatcher) call(ctx context.Context, bs *backendState, job runner.Job) (runner.Result, bool, error) {
+// and passive health signalling. blamed, when non-nil, is the logical
+// request's once-per-backend failure ledger: the first retryable failure
+// on a backend feeds the ejection state machine, repeats within the same
+// logical request (hedges re-landing on an already-failed backend) only
+// count in the per-attempt statistics.
+func (d *Dispatcher) call(ctx context.Context, bs *backendState, job runner.Job, blamed map[string]bool) (runner.Result, bool, error) {
 	bs.attempts.Add(1)
 	bs.inflight.Add(1)
 	start := time.Now()
@@ -375,7 +385,10 @@ func (d *Dispatcher) call(ctx context.Context, bs *backendState, job runner.Job)
 		}
 		bs.failures.Add(1)
 		d.count(bs, "error")
-		if isRetryable(ctx, err) {
+		if isRetryable(ctx, err) && (blamed == nil || !blamed[bs.name]) {
+			if blamed != nil {
+				blamed[bs.name] = true
+			}
 			d.noteFailure(bs, err)
 		}
 		return res, false, err

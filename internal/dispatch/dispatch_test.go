@@ -584,3 +584,127 @@ func TestNewValidation(t *testing.T) {
 		t.Error("duplicate backend name accepted")
 	}
 }
+
+// TestHedgedFailureBlamesOnce is the double-ejection regression: within
+// one logical request, a peer that fails as the primary attempt and then
+// fails again as a later attempt's hedge must feed the ejection state
+// machine exactly once. With FailThreshold=2, one logical request must
+// not eject it; a second logical request must.
+func TestHedgedFailureBlamesOnce(t *testing.T) {
+	d, _, peers := newTestDispatcher(t, Options{
+		FailThreshold: 2,
+		RetryBudget:   3,
+		HedgeAfter:    2 * time.Millisecond,
+	})
+	// peer-a fails instantly; peer-b stalls long enough for the hedge to
+	// fire, then succeeds — so the hedge re-lands on already-failed peer-a.
+	peers[0].setRun(failRetryable(peers[0].name))
+	peers[1].setRun(func(ctx context.Context, job runner.Job) (metrics.RunStats, bool, error) {
+		select {
+		case <-time.After(30 * time.Millisecond):
+		case <-ctx.Done():
+			return metrics.RunStats{}, false, ctx.Err()
+		}
+		return metrics.RunStats{Workload: job.Workload, Instructions: job.Instrs}, false, nil
+	})
+	job := jobRankedFirstOn(t, d, peers[0].name, true)
+
+	if _, _, err := d.Run(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	if got := peers[0].calls.Load(); got < 2 {
+		t.Fatalf("peer-a saw %d calls, want primary + hedge", got)
+	}
+	if !d.TargetHealthy(peers[0].name) {
+		t.Fatal("peer ejected by a single logical request (hedge double-blame)")
+	}
+
+	// A second logical request is a second passive signal: now it ejects.
+	peers[1].setRun(nil)
+	if _, _, err := d.Run(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	if d.TargetHealthy(peers[0].name) {
+		t.Fatal("peer still healthy after two independently failing requests")
+	}
+}
+
+// TestRunOnPinsTarget: shard-level submission executes on the named
+// member only, never re-routes, and rejects unknown names.
+func TestRunOnPinsTarget(t *testing.T) {
+	d, local, peers := newTestDispatcher(t, Options{})
+	job := baselineJob(100)
+
+	if _, _, err := d.RunOn(context.Background(), peers[1].name, job); err != nil {
+		t.Fatal(err)
+	}
+	if peers[1].calls.Load() != 1 || peers[0].calls.Load() != 0 || local.calls.Load() != 0 {
+		t.Fatalf("calls local=%d a=%d b=%d, want only b",
+			local.calls.Load(), peers[0].calls.Load(), peers[1].calls.Load())
+	}
+
+	// A failing pinned target reports the error instead of re-routing.
+	peers[0].setRun(failRetryable(peers[0].name))
+	if _, _, err := d.RunOn(context.Background(), peers[0].name, job); err == nil {
+		t.Fatal("want error from pinned failing target")
+	}
+	if local.calls.Load() != 0 {
+		t.Fatal("RunOn fell back to local")
+	}
+
+	if _, _, err := d.RunOn(context.Background(), "nope", job); !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("err = %v, want ErrUnknownBackend", err)
+	}
+}
+
+// TestTargetSurface covers the ring introspection the matrix
+// orchestrator schedules with.
+func TestTargetSurface(t *testing.T) {
+	d, _, peers := newTestDispatcher(t, Options{FailThreshold: 1})
+	targets := d.Targets()
+	if len(targets) != 3 || targets[0] != "local" {
+		t.Fatalf("targets = %v, want local first of 3", targets)
+	}
+	if d.LocalTarget() != "local" {
+		t.Fatalf("local target = %s", d.LocalTarget())
+	}
+
+	order := d.RankTargets("some-shard-key")
+	if len(order) != 3 {
+		t.Fatalf("rank = %v", order)
+	}
+	key, _ := baselineJob(42).Key()
+	a, b := d.RankTargets(key), d.RankTargets(key)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank unstable: %v vs %v", a, b)
+		}
+	}
+
+	if !d.TargetHealthy("local") || !d.TargetHealthy(peers[0].name) {
+		t.Fatal("fresh ring members must be healthy")
+	}
+	if d.TargetHealthy("nope") {
+		t.Fatal("unknown member reported healthy")
+	}
+
+	// Ejection flips TargetHealthy; rank still lists the member so the
+	// orchestrator can use it as a failover position.
+	peers[0].setRun(failRetryable(peers[0].name))
+	job := jobRankedFirstOn(t, d, peers[0].name, false)
+	if _, _, err := d.Run(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	if d.TargetHealthy(peers[0].name) {
+		t.Fatal("peer healthy after ejection")
+	}
+	found := false
+	for _, name := range d.RankTargets(key) {
+		if name == peers[0].name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ejected member missing from rank order")
+	}
+}

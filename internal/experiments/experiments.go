@@ -105,11 +105,23 @@ func (p Params) pool() ([]workloads.Workload, error) {
 	return out, nil
 }
 
-// runMatrix simulates every workload under every named configuration via
-// the runner, returning results[workloadName][schemeName]. Jobs are
-// submitted in deterministic (workload, scheme) order; the runner fans
-// them out across CPUs unless p.Parallel is off.
-func runMatrix(p Params, cfgs map[string]config.Core) (map[string]map[string]metrics.RunStats, error) {
+// JobSpec couples one runner job with its (workload, scheme) slot in an
+// experiment matrix. It is the planning currency between the experiment
+// drivers (which decompose a figure into its simulations) and whatever
+// executes them — the in-process engine (runMatrix), the dispatcher, or
+// the cluster-wide matrix orchestrator (internal/matrix), which scatters
+// specs across peers as shards instead of running them here.
+type JobSpec struct {
+	Workload string     `json:"workload"`
+	Scheme   string     `json:"scheme"`
+	Job      runner.Job `json:"job"`
+}
+
+// PlanMatrix decomposes the (workload x scheme) experiment matrix into
+// job specs without running anything. Specs come out in deterministic
+// (workload, sorted scheme) order, so every consumer — local fan-out and
+// distributed sharding alike — sees the same plan for the same inputs.
+func (p Params) PlanMatrix(cfgs map[string]config.Core) ([]JobSpec, error) {
 	pool, err := p.pool()
 	if err != nil {
 		return nil, err
@@ -120,14 +132,31 @@ func runMatrix(p Params, cfgs map[string]config.Core) (map[string]map[string]met
 	}
 	sort.Strings(schemes)
 
-	type slot struct{ workload, scheme string }
-	var jobs []runner.Job
-	var slots []slot
+	specs := make([]JobSpec, 0, len(pool)*len(schemes))
 	for _, w := range pool {
 		for _, scheme := range schemes {
-			jobs = append(jobs, runner.Job{Workload: w.Name, Config: cfgs[scheme], Instrs: p.Instrs, Sampling: p.Sampling})
-			slots = append(slots, slot{workload: w.Name, scheme: scheme})
+			specs = append(specs, JobSpec{
+				Workload: w.Name,
+				Scheme:   scheme,
+				Job:      runner.Job{Workload: w.Name, Config: cfgs[scheme], Instrs: p.Instrs, Sampling: p.Sampling},
+			})
 		}
+	}
+	return specs, nil
+}
+
+// runMatrix simulates every workload under every named configuration via
+// the runner, returning results[workloadName][schemeName]. Jobs are
+// planned by PlanMatrix in deterministic (workload, scheme) order; the
+// runner fans them out across CPUs unless p.Parallel is off.
+func runMatrix(p Params, cfgs map[string]config.Core) (map[string]map[string]metrics.RunStats, error) {
+	specs, err := p.PlanMatrix(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]runner.Job, len(specs))
+	for i, s := range specs {
+		jobs[i] = s.Job
 	}
 
 	opt := runner.Matrix{Progress: p.Progress}
@@ -139,12 +168,12 @@ func runMatrix(p Params, cfgs map[string]config.Core) (map[string]map[string]met
 		return nil, err
 	}
 
-	results := make(map[string]map[string]metrics.RunStats, len(pool))
-	for _, w := range pool {
-		results[w.Name] = make(map[string]metrics.RunStats, len(schemes))
-	}
-	for i, s := range slots {
-		results[s.workload][s.scheme] = stats[i]
+	results := make(map[string]map[string]metrics.RunStats)
+	for i, s := range specs {
+		if results[s.Workload] == nil {
+			results[s.Workload] = make(map[string]metrics.RunStats)
+		}
+		results[s.Workload][s.Scheme] = stats[i]
 	}
 	return results, nil
 }

@@ -1,0 +1,171 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+
+	"dlvp/internal/metrics"
+	"dlvp/internal/tabletext"
+)
+
+// baseSchemeName picks the speedup reference column: "baseline" when the
+// matrix includes it, otherwise the first scheme in sorted order.
+func baseSchemeName(schemes []string) string {
+	for _, s := range schemes {
+		if s == "baseline" {
+			return s
+		}
+	}
+	if len(schemes) > 0 {
+		return schemes[0]
+	}
+	return ""
+}
+
+// planAxes returns the matrix's workload axis (plan order, which is the
+// registry's deterministic order) and scheme axis (sorted).
+func planAxes(plan Plan) (workloads, schemes []string) {
+	for _, sh := range plan.Shards {
+		workloads = append(workloads, sh.Workload)
+	}
+	if len(plan.Shards) > 0 {
+		for _, c := range plan.Shards[0].Cells {
+			schemes = append(schemes, c.Scheme)
+		}
+	}
+	sort.Strings(schemes)
+	return workloads, schemes
+}
+
+// Aggregate merges completed cells into the matrix's result tables. It is
+// a pure function of (plan, cells): rows follow the plan's workload order
+// and columns the sorted scheme order, never arrival order, so two runs
+// of the same matrix — single-process or sharded across peers, shards
+// finishing in any order, stolen or resumed — marshal to bit-identical
+// artifacts. Provenance (peers, timings, matrix ID) deliberately stays
+// out of the tables; it lives in the View.
+//
+// With an incomplete cell set (the streaming partials) each table notes
+// how much of the matrix it reflects; derived rows (speedup, summary)
+// are computed only over workloads whose reference and subject cells are
+// both present.
+func Aggregate(plan Plan, cells map[string]CellResult) []*tabletext.Table {
+	workloads, schemes := planAxes(plan)
+	base := baseSchemeName(schemes)
+
+	// stat looks up one cell by its plan position.
+	byPos := make(map[string]map[string]metrics.RunStats, len(workloads))
+	done := 0
+	for _, sh := range plan.Shards {
+		for _, c := range sh.Cells {
+			if r, ok := cells[c.Key]; ok {
+				if byPos[c.Workload] == nil {
+					byPos[c.Workload] = make(map[string]metrics.RunStats, len(schemes))
+				}
+				byPos[c.Workload][c.Scheme] = r.Stats
+				done++
+			}
+		}
+	}
+	var notes []string
+	if done < plan.Cells {
+		notes = []string{fmt.Sprintf("partial: %d/%d cells aggregated", done, plan.Cells)}
+	}
+
+	// Table 1: raw IPC per (workload, scheme); missing cells render "-".
+	ipc := &tabletext.Table{Title: "Matrix: IPC by workload and scheme", Header: append([]string{"workload"}, schemes...)}
+	for _, w := range workloads {
+		row := make([]any, 0, 1+len(schemes))
+		row = append(row, w)
+		for _, s := range schemes {
+			if r, ok := byPos[w][s]; ok {
+				row = append(row, r.IPC())
+			} else {
+				row = append(row, "-")
+			}
+		}
+		ipc.AddRow(row...)
+	}
+	ipc.Notes = notes
+	tables := []*tabletext.Table{ipc}
+
+	// Table 2: percentage speedup over the reference scheme, with the
+	// paper's arithmetic-mean and geo-mean summary rows. Only meaningful
+	// when there is something to compare against.
+	if base != "" && len(schemes) > 1 {
+		sp := &tabletext.Table{Title: fmt.Sprintf("Matrix: speedup vs %s (%%)", base), Header: []string{"workload"}}
+		var cols []string
+		for _, s := range schemes {
+			if s != base {
+				cols = append(cols, s)
+				sp.Header = append(sp.Header, s)
+			}
+		}
+		perCol := make(map[string][]float64, len(cols))
+		for _, w := range workloads {
+			b, haveBase := byPos[w][base]
+			row := make([]any, 0, 1+len(cols))
+			row = append(row, w)
+			for _, s := range cols {
+				r, ok := byPos[w][s]
+				if !haveBase || !ok {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, metrics.SpeedupPct(b, r))
+			}
+			sp.AddRow(row...)
+			if haveBase {
+				for _, s := range cols {
+					if r, ok := byPos[w][s]; ok {
+						perCol[s] = append(perCol[s], metrics.SpeedupPct(b, r))
+					}
+				}
+			}
+		}
+		meanRow := []any{"mean"}
+		geoRow := []any{"geomean"}
+		for _, s := range cols {
+			if xs := perCol[s]; len(xs) > 0 {
+				meanRow = append(meanRow, metrics.Mean(xs))
+				geoRow = append(geoRow, metrics.GeoMeanSpeedup(xs))
+			} else {
+				meanRow = append(meanRow, "-")
+				geoRow = append(geoRow, "-")
+			}
+		}
+		sp.AddRow(meanRow...)
+		sp.AddRow(geoRow...)
+		sp.Notes = notes
+		tables = append(tables, sp)
+	}
+
+	// Table 3: per-scheme prediction summary across completed workloads.
+	sum := &tabletext.Table{
+		Title:  "Matrix: value-prediction summary by scheme",
+		Header: []string{"scheme", "workloads", "predicted", "correct", "accuracy %", "mean coverage %"},
+	}
+	for _, s := range schemes {
+		var n int
+		var predicted, correct uint64
+		var cov []float64
+		for _, w := range workloads {
+			r, ok := byPos[w][s]
+			if !ok {
+				continue
+			}
+			n++
+			predicted += r.VP.Predicted
+			correct += r.VP.Correct
+			cov = append(cov, r.VP.Coverage())
+		}
+		acc := 0.0
+		if predicted > 0 {
+			acc = 100 * float64(correct) / float64(predicted)
+		}
+		sum.AddRow(s, fmt.Sprint(n), fmt.Sprint(predicted), fmt.Sprint(correct), acc, metrics.Mean(cov))
+	}
+	sum.Notes = notes
+	tables = append(tables, sum)
+	return tables
+}

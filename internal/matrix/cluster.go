@@ -1,0 +1,60 @@
+package matrix
+
+import (
+	"context"
+
+	"dlvp/internal/runner"
+)
+
+// Cluster is the shard-execution surface the orchestrator schedules
+// over. *dispatch.Dispatcher satisfies it structurally (dispatch does not
+// import matrix), exposing the rendezvous ring, per-peer health, and
+// shard-level submission with per-peer in-flight accounting; SingleEngine
+// satisfies it for standalone daemons and tests.
+type Cluster interface {
+	// Targets returns every member's name (local first, stable order).
+	Targets() []string
+	// RankTargets returns members in rendezvous order for a content
+	// address, highest affinity first, ejected members included.
+	RankTargets(key string) []string
+	// TargetHealthy reports whether the named member currently accepts
+	// work. The local member must always be healthy, so scheduling can
+	// always make progress.
+	TargetHealthy(name string) bool
+	// RunOn executes one job on the named member, returning the result,
+	// whether a result cache served it, and any error. It must respect
+	// ctx cancellation.
+	RunOn(ctx context.Context, name string, job runner.Job) (runner.Result, bool, error)
+}
+
+// SingleEngine adapts an in-process runner to the Cluster surface: one
+// always-healthy target executing every shard. It is what a daemon
+// without peers (and the unit tests) schedules over.
+type SingleEngine struct {
+	Name   string // target name (defaults to "local")
+	Engine *runner.Runner
+}
+
+func (s SingleEngine) name() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return "local"
+}
+
+// Targets implements Cluster.
+func (s SingleEngine) Targets() []string { return []string{s.name()} }
+
+// RankTargets implements Cluster.
+func (s SingleEngine) RankTargets(string) []string { return []string{s.name()} }
+
+// TargetHealthy implements Cluster.
+func (s SingleEngine) TargetHealthy(name string) bool { return name == s.name() }
+
+// RunOn implements Cluster.
+func (s SingleEngine) RunOn(ctx context.Context, name string, job runner.Job) (runner.Result, bool, error) {
+	if name != s.name() {
+		return runner.Result{}, false, ErrUnknownTarget
+	}
+	return s.Engine.RunResult(ctx, job)
+}

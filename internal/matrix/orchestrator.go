@@ -1,0 +1,701 @@
+package matrix
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dlvp/internal/obs"
+	"dlvp/internal/tabletext"
+)
+
+// ErrUnknownTarget reports a shard submission naming a cluster member
+// that does not exist.
+var ErrUnknownTarget = errors.New("matrix: unknown target")
+
+// ErrTooManyMatrices reports that the orchestrator's retention cap is
+// full of still-running matrices.
+var ErrTooManyMatrices = errors.New("matrix: too many active matrices")
+
+// Options configures an Orchestrator.
+type Options struct {
+	// Cluster executes shards (required).
+	Cluster Cluster
+	// Store, when non-nil, persists plan + shard state after every shard
+	// completion, making matrices resumable across daemon restarts.
+	Store *Store
+	// Obs collects metrics and logs (nil = discard).
+	Obs *obs.Observer
+	// WorkersPerTarget is how many shards one target executes
+	// concurrently (default 2). Idle workers steal from other targets'
+	// queues.
+	WorkersPerTarget int
+	// MaxMatrices caps retained matrices; oldest terminal ones are
+	// evicted (default 64).
+	MaxMatrices int
+	// MaxShardAttempts caps how often one shard is retried on peer
+	// failure before it is marked failed (default 2*targets+1).
+	MaxShardAttempts int
+	// Poll is the idle worker's queue re-check interval (default 10ms;
+	// tests tighten it).
+	Poll time.Duration
+}
+
+// Orchestrator owns every matrix submitted to this daemon: it plans,
+// schedules shards over the cluster with work-stealing, streams events,
+// and persists/restores state.
+type Orchestrator struct {
+	cluster Cluster
+	store   *Store
+	obs     *obs.Observer
+	opts    Options
+
+	ctx    context.Context
+	stop   context.CancelFunc
+	runWG  sync.WaitGroup
+	closed bool
+
+	mu       sync.Mutex
+	matrices map[string]*Matrix
+	order    []string // submission order, oldest first
+
+	submitted *obs.Counter
+	shardRuns *obs.CounterVec // outcome: done|failed|cancelled|requeued|stolen
+	cellRuns  *obs.CounterVec // cache: hit|miss
+}
+
+// New returns an orchestrator scheduling over opts.Cluster.
+func New(opts Options) *Orchestrator {
+	if opts.Cluster == nil {
+		panic("matrix: Options.Cluster is required")
+	}
+	if opts.WorkersPerTarget <= 0 {
+		opts.WorkersPerTarget = 2
+	}
+	if opts.MaxMatrices <= 0 {
+		opts.MaxMatrices = 64
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 10 * time.Millisecond
+	}
+	if opts.Obs == nil {
+		opts.Obs = obs.NewObserver(nil)
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	reg := opts.Obs.Metrics
+	o := &Orchestrator{
+		cluster:  opts.Cluster,
+		store:    opts.Store,
+		obs:      opts.Obs,
+		opts:     opts,
+		ctx:      ctx,
+		stop:     stop,
+		matrices: make(map[string]*Matrix),
+
+		submitted: reg.Counter("dlvp_matrix_submitted_total", "Matrices submitted.").With(),
+		shardRuns: reg.Counter("dlvp_matrix_shards_total", "Shard scheduling outcomes.", "outcome"),
+		cellRuns:  reg.Counter("dlvp_matrix_cells_total", "Cells executed, by result-cache outcome.", "cache"),
+	}
+	return o
+}
+
+// Matrix is one submitted sweep's live state.
+type Matrix struct {
+	plan Plan
+
+	mu          sync.Mutex
+	shards      []*shardRun
+	queues      map[string][]int // target -> pending shard IDs
+	targets     []string
+	cells       map[string]CellResult
+	status      string
+	errMsg      string
+	events      []Event
+	tables      []*tabletext.Table // final tables, set at terminal transition
+	started     time.Time
+	finished    time.Time
+	maxAttempts int
+	resumed     bool
+	restored    int  // cells restored from persisted state
+	userCancel  bool // Cancel() was called (vs. daemon shutdown)
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// shardRun is one shard's mutable scheduling state (guarded by Matrix.mu).
+type shardRun struct {
+	state     string
+	assigned  string
+	owner     string
+	stolen    bool
+	attempts  int
+	cacheHits int
+	restored  bool
+	startedAt time.Time
+	finishAt  time.Time
+	errMsg    string
+}
+
+// ID returns the matrix identifier.
+func (m *Matrix) ID() string { return m.plan.ID }
+
+// Plan returns the immutable decomposition this matrix executes.
+func (m *Matrix) Plan() Plan { return m.plan }
+
+// Done is closed when the matrix reaches a terminal state.
+func (m *Matrix) Done() <-chan struct{} { return m.done }
+
+// newMatrix builds the runtime state for a plan with every shard pending.
+func newMatrix(plan Plan) *Matrix {
+	m := &Matrix{
+		plan:   plan,
+		status: StatusRunning,
+		cells:  make(map[string]CellResult, plan.Cells),
+		done:   make(chan struct{}),
+		cancel: func() {},
+	}
+	m.shards = make([]*shardRun, len(plan.Shards))
+	for i := range m.shards {
+		m.shards[i] = &shardRun{state: ShardPending}
+	}
+	return m
+}
+
+// Submit validates, plans, registers, and starts a matrix.
+func (o *Orchestrator) Submit(spec Spec) (*Matrix, error) {
+	plan, err := NewPlan(spec)
+	if err != nil {
+		return nil, err
+	}
+	m := newMatrix(plan)
+	if err := o.register(m); err != nil {
+		return nil, err
+	}
+	o.submitted.Inc()
+	o.start(m)
+	return m, nil
+}
+
+// register inserts m, evicting the oldest terminal matrices past the cap.
+func (o *Orchestrator) register(m *Matrix) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return fmt.Errorf("matrix: orchestrator closed")
+	}
+	for len(o.order) >= o.opts.MaxMatrices {
+		evicted := false
+		for i, id := range o.order {
+			old := o.matrices[id]
+			if old.terminal() {
+				delete(o.matrices, id)
+				o.order = append(o.order[:i], o.order[i+1:]...)
+				if o.store != nil {
+					if err := o.store.Delete(id); err != nil {
+						o.obs.Log.Warn("matrix: evict delete failed", "id", id, "err", err)
+					}
+				}
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return ErrTooManyMatrices
+		}
+	}
+	o.matrices[m.plan.ID] = m
+	o.order = append(o.order, m.plan.ID)
+	return nil
+}
+
+// start assigns pending shards to their rendezvous-preferred targets and
+// launches the per-target worker pool.
+func (o *Orchestrator) start(m *Matrix) {
+	ctx, cancel := context.WithCancel(o.ctx)
+
+	m.mu.Lock()
+	m.cancel = cancel
+	if m.started.IsZero() {
+		m.started = time.Now()
+	}
+	m.targets = o.cluster.Targets()
+	if m.maxAttempts = o.opts.MaxShardAttempts; m.maxAttempts <= 0 {
+		m.maxAttempts = 2*len(m.targets) + 1
+	}
+	m.queues = make(map[string][]int, len(m.targets))
+	for _, t := range m.targets {
+		m.queues[t] = nil
+	}
+	for i, sr := range m.shards {
+		if sr.state != ShardPending {
+			continue
+		}
+		order := o.cluster.RankTargets(m.plan.Shards[i].Key)
+		assigned := order[0]
+		for _, t := range order {
+			if o.cluster.TargetHealthy(t) {
+				assigned = t
+				break
+			}
+		}
+		sr.assigned = assigned
+		m.queues[assigned] = append(m.queues[assigned], i)
+	}
+	m.mu.Unlock()
+
+	o.persist(m)
+	o.runWG.Add(1)
+	go func() {
+		defer o.runWG.Done()
+		defer cancel()
+		var wg sync.WaitGroup
+		for _, t := range m.targets {
+			for w := 0; w < o.opts.WorkersPerTarget; w++ {
+				wg.Add(1)
+				go func(target string) {
+					defer wg.Done()
+					o.worker(ctx, m, target)
+				}(t)
+			}
+		}
+		wg.Wait()
+		o.finish(ctx, m)
+	}()
+}
+
+// worker executes shards on behalf of one target until every shard is
+// terminal: first its own queue, then — when idle — a steal from the
+// longest other queue, so a dead or slow peer's backlog drains through
+// whoever has spare capacity.
+func (o *Orchestrator) worker(ctx context.Context, m *Matrix, target string) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		id, claimed, keepWaiting, stole := m.claim(o.cluster, target)
+		if !claimed {
+			if !keepWaiting {
+				return
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(o.opts.Poll):
+			}
+			continue
+		}
+		if stole {
+			o.shardRuns.With("stolen").Inc()
+		}
+		o.runShard(ctx, m, id, target)
+	}
+}
+
+// claim pops a pending shard for target. Returns (id, claimed,
+// keepWaiting, stole): !claimed && !keepWaiting means every shard is
+// terminal and the worker should exit.
+func (m *Matrix) claim(c Cluster, target string) (int, bool, bool, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	live := false
+	for _, sr := range m.shards {
+		if sr.state == ShardPending || sr.state == ShardRunning {
+			live = true
+			break
+		}
+	}
+	if !live {
+		return 0, false, false, false
+	}
+	// An unhealthy target must not pull work; its queue drains via steals
+	// and it may be reinstated later.
+	if !c.TargetHealthy(target) {
+		return 0, false, true, false
+	}
+	if q := m.queues[target]; len(q) > 0 {
+		id := q[0]
+		m.queues[target] = q[1:]
+		m.startShardLocked(id, target)
+		return id, true, true, false
+	}
+	// Steal from the tail of the longest other queue (name-ordered
+	// tie-break keeps victim selection deterministic). Single-ownership
+	// under this mutex is what makes stealing double-count-free: a shard
+	// leaves exactly one queue exactly once, and results commit only from
+	// its current owner.
+	victim := ""
+	for name, q := range m.queues {
+		if name == target || len(q) == 0 {
+			continue
+		}
+		if victim == "" || len(q) > len(m.queues[victim]) ||
+			(len(q) == len(m.queues[victim]) && name < victim) {
+			victim = name
+		}
+	}
+	if victim == "" {
+		return 0, false, true, false
+	}
+	q := m.queues[victim]
+	id := q[len(q)-1]
+	m.queues[victim] = q[:len(q)-1]
+	m.shards[id].stolen = true
+	m.startShardLocked(id, target)
+	return id, true, true, true
+}
+
+func (m *Matrix) startShardLocked(id int, target string) {
+	sr := m.shards[id]
+	sr.state = ShardRunning
+	sr.owner = target
+	sr.attempts++
+	if sr.startedAt.IsZero() {
+		sr.startedAt = time.Now()
+	}
+}
+
+// runShard executes every cell of one shard on target, committing the
+// results or routing the failure.
+func (o *Orchestrator) runShard(ctx context.Context, m *Matrix, id int, target string) {
+	shard := m.plan.Shards[id]
+	results := make([]CellResult, 0, len(shard.Cells))
+	for _, cell := range shard.Cells {
+		begin := time.Now()
+		res, cached, err := o.cluster.RunOn(ctx, target, cell.Job)
+		if err != nil {
+			o.shardFailed(ctx, m, id, target, err)
+			return
+		}
+		results = append(results, CellResult{
+			Key:       cell.Key,
+			Workload:  cell.Workload,
+			Scheme:    cell.Scheme,
+			Stats:     res.Stats,
+			Cached:    cached,
+			Peer:      target,
+			ElapsedMS: time.Since(begin).Milliseconds(),
+		})
+	}
+	o.shardDone(m, id, target, results)
+}
+
+// shardDone commits one shard's results and emits a "shard" event
+// carrying the refreshed partial tables.
+func (o *Orchestrator) shardDone(m *Matrix, id int, target string, results []CellResult) {
+	m.mu.Lock()
+	sr := m.shards[id]
+	if sr.state != ShardRunning || sr.owner != target {
+		// Ownership moved (defensive: the claim mutex should prevent this);
+		// never double-commit.
+		m.mu.Unlock()
+		return
+	}
+	sr.state = ShardDone
+	sr.finishAt = time.Now()
+	sr.errMsg = ""
+	hits := 0
+	for _, r := range results {
+		if r.Cached {
+			hits++
+		}
+		m.cells[r.Key] = r
+	}
+	sr.cacheHits = hits
+	sv := m.shardViewLocked(id)
+	m.appendEventLocked(Event{Type: "shard", Shard: &sv, Tables: Aggregate(m.plan, m.cells)})
+	m.mu.Unlock()
+
+	o.shardRuns.With("done").Inc()
+	o.cellRuns.With("hit").Add(int64(hits))
+	o.cellRuns.With("miss").Add(int64(len(results) - hits))
+	o.persist(m)
+	o.obs.Log.Debug("matrix: shard done", "matrix", m.plan.ID, "shard", id, "workload", m.plan.Shards[id].Workload, "owner", target, "cache_hits", hits)
+}
+
+// shardFailed handles one failed cell: a cancelled context marks the
+// shard cancelled; otherwise the whole shard requeues onto the next
+// healthy target in its rendezvous order until the attempt budget runs
+// out.
+func (o *Orchestrator) shardFailed(ctx context.Context, m *Matrix, id int, target string, err error) {
+	m.mu.Lock()
+	sr := m.shards[id]
+	if sr.state != ShardRunning || sr.owner != target {
+		m.mu.Unlock()
+		return
+	}
+	if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+		sr.state = ShardCancelled
+		sr.finishAt = time.Now()
+		m.mu.Unlock()
+		o.shardRuns.With("cancelled").Inc()
+		return
+	}
+	sr.errMsg = err.Error()
+	attempts := sr.attempts
+	if attempts >= m.maxAttempts {
+		sr.state = ShardFailed
+		sr.finishAt = time.Now()
+		sv := m.shardViewLocked(id)
+		m.appendEventLocked(Event{Type: "shard", Shard: &sv, Tables: Aggregate(m.plan, m.cells)})
+		m.mu.Unlock()
+		o.shardRuns.With("failed").Inc()
+		o.persist(m)
+		o.obs.Log.Warn("matrix: shard failed", "matrix", m.plan.ID, "shard", id, "attempts", attempts, "err", err)
+		return
+	}
+	// Requeue after the failing target in the shard's rendezvous order;
+	// the local member (Targets()[0]) is the guaranteed fallback.
+	order := o.cluster.RankTargets(m.plan.Shards[id].Key)
+	at := 0
+	for i, name := range order {
+		if name == target {
+			at = i
+			break
+		}
+	}
+	next := ""
+	for off := 1; off <= len(order); off++ {
+		cand := order[(at+off)%len(order)]
+		if cand != target && o.cluster.TargetHealthy(cand) {
+			next = cand
+			break
+		}
+	}
+	if next == "" {
+		next = o.cluster.Targets()[0]
+	}
+	sr.state = ShardPending
+	sr.owner = ""
+	m.queues[next] = append(m.queues[next], id)
+	m.mu.Unlock()
+	o.shardRuns.With("requeued").Inc()
+	o.obs.Log.Info("matrix: shard requeued", "matrix", m.plan.ID, "shard", id, "from", target, "to", next, "attempts", attempts, "err", err)
+}
+
+// finish runs after every worker exits: it cancels any shard still
+// queued, decides the terminal status, and emits the terminal event with
+// the final tables.
+func (o *Orchestrator) finish(ctx context.Context, m *Matrix) {
+	m.mu.Lock()
+	if ctx.Err() != nil && !m.userCancel && o.ctx.Err() != nil {
+		// Daemon shutdown, not user cancellation: the matrix stays
+		// resumable. In-flight shards fall back to pending, the persisted
+		// status stays "running", and Resume picks the matrix up after
+		// restart; work that actually finished on the peers turns into
+		// content-addressed cache hits on re-execution.
+		for _, sr := range m.shards {
+			if sr.state == ShardRunning || sr.state == ShardCancelled {
+				sr.state = ShardPending
+				sr.owner = ""
+			}
+		}
+		m.mu.Unlock()
+		o.persist(m)
+		o.obs.Log.Info("matrix: interrupted by shutdown, state persisted", "matrix", m.plan.ID)
+		return
+	}
+	for _, sr := range m.shards {
+		if sr.state == ShardPending || sr.state == ShardRunning {
+			sr.state = ShardCancelled
+			if sr.finishAt.IsZero() {
+				sr.finishAt = time.Now()
+			}
+		}
+	}
+	status := StatusDone
+	errMsg := ""
+	if ctx.Err() != nil {
+		status = StatusCancelled
+	} else {
+		for i, sr := range m.shards {
+			if sr.state == ShardFailed {
+				status = StatusFailed
+				if errMsg == "" {
+					errMsg = fmt.Sprintf("shard %d (%s): %s", i, m.plan.Shards[i].Workload, sr.errMsg)
+				}
+			}
+		}
+	}
+	m.status = status
+	m.errMsg = errMsg
+	m.finished = time.Now()
+	m.tables = Aggregate(m.plan, m.cells)
+	evType := map[string]string{StatusDone: "done", StatusCancelled: "cancelled", StatusFailed: "error"}[status]
+	m.appendEventLocked(Event{Type: evType, Tables: m.tables, Error: errMsg})
+	m.mu.Unlock()
+
+	close(m.done)
+	o.persist(m)
+	o.obs.Log.Info("matrix: finished", "matrix", m.plan.ID, "status", status, "cells", m.plan.Cells)
+}
+
+// appendEventLocked stamps and appends one event (Matrix.mu held).
+func (m *Matrix) appendEventLocked(ev Event) {
+	ev.Seq = len(m.events)
+	ev.At = time.Now()
+	m.events = append(m.events, ev)
+}
+
+// EventsSince returns the events after seq and whether the matrix has
+// reached a terminal state (so SSE handlers know when to stop polling).
+func (m *Matrix) EventsSince(seq int) ([]Event, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if seq < 0 {
+		seq = 0
+	}
+	var evs []Event
+	if seq < len(m.events) {
+		evs = append(evs, m.events[seq:]...)
+	}
+	return evs, m.status != StatusRunning
+}
+
+func (m *Matrix) terminal() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.status != StatusRunning
+}
+
+// shardViewLocked renders one shard's state (Matrix.mu held).
+func (m *Matrix) shardViewLocked(id int) ShardView {
+	sr := m.shards[id]
+	sh := m.plan.Shards[id]
+	sv := ShardView{
+		ID:        id,
+		Workload:  sh.Workload,
+		Cells:     len(sh.Cells),
+		State:     sr.state,
+		Assigned:  sr.assigned,
+		Owner:     sr.owner,
+		Stolen:    sr.stolen,
+		Attempts:  sr.attempts,
+		CacheHits: sr.cacheHits,
+		Restored:  sr.restored,
+		Error:     sr.errMsg,
+	}
+	switch {
+	case !sr.finishAt.IsZero() && !sr.startedAt.IsZero():
+		sv.ElapsedMS = float64(sr.finishAt.Sub(sr.startedAt).Milliseconds())
+	case !sr.startedAt.IsZero():
+		sv.ElapsedMS = float64(time.Since(sr.startedAt).Milliseconds())
+	}
+	return sv
+}
+
+// View renders the matrix's full status, including the current
+// (partial or final) tables.
+func (m *Matrix) View() View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := View{
+		ID:         m.plan.ID,
+		Status:     m.status,
+		Workloads:  len(m.plan.Shards),
+		Instrs:     m.plan.Spec.Instrs,
+		Sampled:    m.plan.Spec.Sampling != nil,
+		Created:    m.plan.Created,
+		CellsTotal: m.plan.Cells,
+		Resumed:    m.resumed,
+		Restored:   m.restored,
+		Error:      m.errMsg,
+		Targets:    append([]string(nil), m.targets...),
+	}
+	_, v.Schemes = planAxes(m.plan)
+	if !m.started.IsZero() {
+		t := m.started
+		v.Started = &t
+		if !m.finished.IsZero() {
+			f := m.finished
+			v.Finished = &f
+			v.ElapsedMS = float64(f.Sub(t).Milliseconds())
+		} else {
+			v.ElapsedMS = float64(time.Since(t).Milliseconds())
+		}
+	}
+	for i := range m.shards {
+		sv := m.shardViewLocked(i)
+		v.Shards = append(v.Shards, sv)
+		switch sv.State {
+		case ShardPending:
+			v.Counts.Pending++
+		case ShardRunning:
+			v.Counts.Running++
+		case ShardDone:
+			v.Counts.Done++
+		case ShardCancelled:
+			v.Counts.Cancelled++
+		case ShardFailed:
+			v.Counts.Failed++
+		}
+		if sv.Stolen {
+			v.Stolen++
+		}
+		v.CacheHits += sv.CacheHits
+	}
+	v.CellsDone = len(m.cells)
+	if m.tables != nil {
+		v.Tables = m.tables
+	} else {
+		v.Tables = Aggregate(m.plan, m.cells)
+	}
+	return v
+}
+
+// Get returns a matrix by ID.
+func (o *Orchestrator) Get(id string) (*Matrix, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m, ok := o.matrices[id]
+	return m, ok
+}
+
+// List returns every retained matrix, oldest first.
+func (o *Orchestrator) List() []*Matrix {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]*Matrix, 0, len(o.order))
+	for _, id := range o.order {
+		out = append(out, o.matrices[id])
+	}
+	return out
+}
+
+// Cancel requests cancellation of a running matrix. It reports whether
+// the matrix exists; cancelling a terminal matrix is a no-op.
+func (o *Orchestrator) Cancel(id string) bool {
+	m, ok := o.Get(id)
+	if !ok {
+		return false
+	}
+	m.mu.Lock()
+	m.userCancel = true
+	cancel := m.cancel
+	m.mu.Unlock()
+	cancel()
+	return true
+}
+
+// Close cancels every running matrix and waits for their workers to
+// drain. Terminal state still persists on the way down, which is what
+// Resume replays after restart.
+func (o *Orchestrator) Close() {
+	o.mu.Lock()
+	o.closed = true
+	o.mu.Unlock()
+	o.stop()
+	o.runWG.Wait()
+}
+
+// persist snapshots m into the store (no-op without one).
+func (o *Orchestrator) persist(m *Matrix) {
+	if o.store == nil {
+		return
+	}
+	if err := o.store.Save(m.snapshot()); err != nil {
+		o.obs.Log.Warn("matrix: persist failed", "matrix", m.plan.ID, "err", err)
+	}
+}

@@ -15,6 +15,11 @@
 //	POST /v1/experiments/{id}    regenerate a paper artifact as JSON
 //	GET  /v1/jobs                list async submissions (?status=, ?limit=)
 //	GET  /v1/jobs/{id}           poll an async submission
+//	POST /v1/matrices            submit a distributed experiment matrix
+//	GET  /v1/matrices            list matrices (compact per-matrix rows)
+//	GET  /v1/matrices/{id}       per-shard status, provenance, partial/final tables
+//	POST /v1/matrices/{id}/cancel cancel a running matrix
+//	GET  /v1/matrices/{id}/stream SSE tail: shard completions with partial tables
 //	GET  /v1/traces              recent request/job traces, newest first
 //	GET  /v1/traces/{id}         span records for one trace ID
 //
@@ -45,6 +50,7 @@ import (
 	"dlvp/internal/config"
 	"dlvp/internal/dispatch"
 	"dlvp/internal/experiments"
+	"dlvp/internal/matrix"
 	"dlvp/internal/metrics"
 	"dlvp/internal/obs"
 	"dlvp/internal/runner"
@@ -62,6 +68,12 @@ type Options struct {
 	// on the local engine, so peers never forward in a loop. Nil keeps
 	// the PR-1 standalone behaviour.
 	Dispatcher *dispatch.Dispatcher
+	// Matrix, when non-nil, serves the distributed matrix endpoints from
+	// this orchestrator; the caller owns its lifecycle (cmd/dlvpd builds
+	// one over the dispatcher with optional persistence and resumes it
+	// at boot). Nil constructs a memory-only orchestrator over the
+	// Dispatcher (when present) or the local engine, closed by Close.
+	Matrix *matrix.Orchestrator
 	// RequestTimeout bounds synchronous request handling (default 2m).
 	RequestTimeout time.Duration
 	// DefaultInstrs is the per-workload budget when a request omits one
@@ -83,11 +95,13 @@ type Options struct {
 
 // Server is the HTTP facade over the runner engine.
 type Server struct {
-	runner     *runner.Runner
-	dispatcher *dispatch.Dispatcher
-	mux        *http.ServeMux
-	jobs       *jobStore
-	timeout    time.Duration
+	runner      *runner.Runner
+	dispatcher  *dispatch.Dispatcher
+	matrices    *matrix.Orchestrator
+	ownMatrices bool // Close() owns the orchestrator (none was injected)
+	mux         *http.ServeMux
+	jobs        *jobStore
+	timeout     time.Duration
 
 	defaultInstrs uint64
 	maxInstrs     uint64
@@ -163,6 +177,17 @@ func New(opts Options) *Server {
 		runDur: reg.Histogram("dlvpd_job_run_seconds",
 			"Async job execution time from start to completion.", nil).With(),
 	})
+	s.matrices = opts.Matrix
+	if s.matrices == nil {
+		var cluster matrix.Cluster
+		if opts.Dispatcher != nil {
+			cluster = opts.Dispatcher
+		} else {
+			cluster = matrix.SingleEngine{Engine: opts.Runner}
+		}
+		s.matrices = matrix.New(matrix.Options{Cluster: cluster, Obs: opts.Obs})
+		s.ownMatrices = true
+	}
 	s.registerStatsMetrics(reg)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", reg.Handler())
@@ -174,6 +199,11 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("POST /v1/matrices", s.handleMatrixSubmit)
+	s.mux.HandleFunc("GET /v1/matrices", s.handleMatrixList)
+	s.mux.HandleFunc("GET /v1/matrices/{id}", s.handleMatrixGet)
+	s.mux.HandleFunc("POST /v1/matrices/{id}/cancel", s.handleMatrixCancel)
+	s.mux.HandleFunc("GET /v1/matrices/{id}/stream", s.handleMatrixStream)
 	s.mux.HandleFunc("GET /v1/runs/{id}/timeline", s.handleRunTimeline)
 	s.mux.HandleFunc("GET /v1/runs/{id}/timeline/stream", s.handleRunTimelineStream)
 	s.mux.HandleFunc("GET /v1/runs/{id}/sites", s.handleRunSites)
@@ -273,7 +303,12 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // Close cancels the base context shared by async jobs. Call after Drain.
-func (s *Server) Close() { s.cancel() }
+func (s *Server) Close() {
+	s.cancel()
+	if s.ownMatrices {
+		s.matrices.Close()
+	}
+}
 
 // --- wire shapes -------------------------------------------------------------
 
