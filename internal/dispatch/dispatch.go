@@ -262,7 +262,23 @@ type callResult struct {
 	res    runner.Result
 	cached bool
 	err    error
+	blame  bool
 	from   *backendState
+}
+
+// blame feeds one retryable failure into the passive ejection machinery,
+// at most once per logical request when a ledger is present. Only the
+// request's main goroutine calls it — hedge goroutines report the blame
+// flag through their callResult instead of touching the ledger — so the
+// map needs no locking and never outlives the request.
+func (d *Dispatcher) blame(bs *backendState, err error, blamed map[string]bool) {
+	if blamed != nil {
+		if blamed[bs.name] {
+			return
+		}
+		blamed[bs.name] = true
+	}
+	d.noteFailure(bs, err)
 }
 
 // execute runs the job on bs (releasing its slot when the call returns)
@@ -273,22 +289,29 @@ func (d *Dispatcher) execute(ctx context.Context, bs *backendState, release func
 	var zero runner.Result
 	if d.opts.HedgeAfter <= 0 || bs.local || order == nil {
 		defer release()
-		return d.call(ctx, bs, job, blamed)
+		res, cached, err, blameworthy := d.call(ctx, bs, job)
+		if blameworthy {
+			d.blame(bs, err, blamed)
+		}
+		return res, cached, err
 	}
 
 	pctx, pcancel := context.WithCancel(ctx)
 	defer pcancel()
 	ch := make(chan callResult, 2)
 	go func() {
-		res, cached, err := d.call(pctx, bs, job, blamed)
+		res, cached, err, blameworthy := d.call(pctx, bs, job)
 		release()
-		ch <- callResult{res, cached, err, bs}
+		ch <- callResult{res, cached, err, blameworthy, bs}
 	}()
 
 	timer := time.NewTimer(d.opts.HedgeAfter)
 	defer timer.Stop()
 	select {
 	case r := <-ch:
+		if r.blame {
+			d.blame(r.from, r.err, blamed)
+		}
 		return r.res, r.cached, r.err
 	case <-ctx.Done():
 		return zero, false, ctx.Err()
@@ -300,6 +323,9 @@ func (d *Dispatcher) execute(ctx context.Context, bs *backendState, release func
 		// Nowhere to hedge: wait out the primary.
 		select {
 		case r := <-ch:
+			if r.blame {
+				d.blame(r.from, r.err, blamed)
+			}
 			return r.res, r.cached, r.err
 		case <-ctx.Done():
 			return zero, false, ctx.Err()
@@ -311,17 +337,22 @@ func (d *Dispatcher) execute(ctx context.Context, bs *backendState, release func
 	hctx, hcancel := context.WithCancel(ctx)
 	defer hcancel()
 	go func() {
-		res, cached, err := d.call(hctx, hedge, job, blamed)
+		res, cached, err, blameworthy := d.call(hctx, hedge, job)
 		hrelease()
-		ch <- callResult{res, cached, err, hedge}
+		ch <- callResult{res, cached, err, blameworthy, hedge}
 	}()
 
 	// First success wins and cancels the other; if the first finisher
-	// failed, the race continues on the survivor.
+	// failed, the race continues on the survivor. A still-running loser's
+	// blame is dropped with its result — it only ever reaches the ledger
+	// through this loop, never from the loser's own goroutine.
 	var firstErr error
 	for i := 0; i < 2; i++ {
 		select {
 		case r := <-ch:
+			if r.blame {
+				d.blame(r.from, r.err, blamed)
+			}
 			if r.err == nil {
 				winner := "primary"
 				if r.from == hedge {
@@ -360,12 +391,12 @@ func (d *Dispatcher) hedgeCandidate(order []*backendState, primary *backendState
 }
 
 // call performs one backend attempt with accounting, latency observation
-// and passive health signalling. blamed, when non-nil, is the logical
-// request's once-per-backend failure ledger: the first retryable failure
-// on a backend feeds the ejection state machine, repeats within the same
-// logical request (hedges re-landing on an already-failed backend) only
-// count in the per-attempt statistics.
-func (d *Dispatcher) call(ctx context.Context, bs *backendState, job runner.Job, blamed map[string]bool) (runner.Result, bool, error) {
+// and per-attempt statistics. The trailing boolean reports whether the
+// failure is blameworthy — a retryable error not caused by cancellation —
+// and the caller feeds it to the ejection state machine (via blame) from
+// the request's main goroutine, so the once-per-request ledger is never
+// shared across goroutines.
+func (d *Dispatcher) call(ctx context.Context, bs *backendState, job runner.Job) (runner.Result, bool, error, bool) {
 	bs.attempts.Add(1)
 	bs.inflight.Add(1)
 	start := time.Now()
@@ -381,22 +412,16 @@ func (d *Dispatcher) call(ctx context.Context, bs *backendState, job runner.Job,
 			// loser. Not a health signal, not a backend failure.
 			bs.cancelled.Add(1)
 			d.count(bs, "cancelled")
-			return res, false, err
+			return res, false, err, false
 		}
 		bs.failures.Add(1)
 		d.count(bs, "error")
-		if isRetryable(ctx, err) && (blamed == nil || !blamed[bs.name]) {
-			if blamed != nil {
-				blamed[bs.name] = true
-			}
-			d.noteFailure(bs, err)
-		}
-		return res, false, err
+		return res, false, err, isRetryable(ctx, err)
 	}
 	bs.successes.Add(1)
 	d.count(bs, "ok")
 	d.noteSuccess(bs)
-	return res, cached, nil
+	return res, cached, nil, false
 }
 
 // RunAll executes every job through the dispatcher with the same contract

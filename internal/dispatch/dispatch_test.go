@@ -629,6 +629,52 @@ func TestHedgedFailureBlamesOnce(t *testing.T) {
 	}
 }
 
+// TestHedgedSimultaneousFailures: primary and hedge failing at the same
+// moment — the exact multi-peer-outage scenario hedging targets — must
+// not race on the per-request blame ledger (only the main goroutine may
+// touch it; -race catches a regression here) and still blames each
+// backend at most once before the local guarantee completes the job.
+func TestHedgedSimultaneousFailures(t *testing.T) {
+	d, _, peers := newTestDispatcher(t, Options{
+		FailThreshold: 2,
+		RetryBudget:   3,
+		HedgeAfter:    2 * time.Millisecond,
+	})
+	// Both peers block until both have been called (primary stalls past
+	// HedgeAfter, so the hedge fires and lands on the other peer), then
+	// fail together.
+	arrived := make(chan struct{}, 16)
+	start := make(chan struct{})
+	failTogether := func(name string) func(context.Context, runner.Job) (metrics.RunStats, bool, error) {
+		return func(context.Context, runner.Job) (metrics.RunStats, bool, error) {
+			arrived <- struct{}{}
+			<-start
+			return metrics.RunStats{}, false, &TransportError{Backend: name, Err: errors.New("connection refused")}
+		}
+	}
+	peers[0].setRun(failTogether(peers[0].name))
+	peers[1].setRun(failTogether(peers[1].name))
+	go func() {
+		<-arrived
+		<-arrived
+		close(start)
+	}()
+	job := jobRankedFirstOn(t, d, peers[0].name, true)
+
+	st, _, err := d.Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workload != job.Workload {
+		t.Fatalf("fallback result workload = %q, want %q", st.Workload, job.Workload)
+	}
+	for _, p := range peers {
+		if !d.TargetHealthy(p.name) {
+			t.Fatalf("%s ejected by one logical request's simultaneous failures", p.name)
+		}
+	}
+}
+
 // TestRunOnPinsTarget: shard-level submission executes on the named
 // member only, never re-routes, and rejects unknown names.
 func TestRunOnPinsTarget(t *testing.T) {

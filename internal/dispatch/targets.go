@@ -79,7 +79,11 @@ func (d *Dispatcher) RunOn(ctx context.Context, name string, job runner.Job) (ru
 		return zero, false, err
 	}
 	defer release()
-	return d.call(ctx, bs, job, nil)
+	res, cached, err, blameworthy := d.call(ctx, bs, job)
+	if blameworthy {
+		d.blame(bs, err, nil)
+	}
+	return res, cached, err
 }
 
 // findTarget resolves a ring member by name.

@@ -400,6 +400,35 @@ func TestExhaustedAttemptsFailMatrix(t *testing.T) {
 	}
 }
 
+// TestBackendCancelErrorRequeues: a backend error that merely wraps
+// context.Canceled while the matrix context is still live is an ordinary
+// shard failure (requeue to the next target), not matrix cancellation —
+// a peer internally cancelling a job must not yield a "done" matrix with
+// silently missing cells.
+func TestBackendCancelErrorRequeues(t *testing.T) {
+	fc := newFakeCluster("ok", "flaky")
+	fc.rankFn = func(string) []string { return []string{"flaky", "ok"} }
+	fc.fail["flaky"] = fmt.Errorf("job aborted: %w", context.Canceled)
+	fc.ejectAt = 2
+	o := New(Options{Cluster: fc, Poll: time.Millisecond, WorkersPerTarget: 1})
+	defer o.Close()
+
+	m, err := o.Submit(testSpec("linpack", "soplex"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, m)
+	if v.Status != StatusDone {
+		t.Fatalf("status = %s (%s)", v.Status, v.Error)
+	}
+	if v.Counts.Cancelled != 0 {
+		t.Fatalf("live matrix recorded cancelled shards: %+v", v.Counts)
+	}
+	if v.CellsDone != v.CellsTotal {
+		t.Fatalf("cells %d/%d — wrapped context.Canceled dropped shards", v.CellsDone, v.CellsTotal)
+	}
+}
+
 // TestCancelMidMatrix covers the cancellation satellite: in-flight
 // shards count as cancelled (not failed) and the engine's result cache
 // stays consistent for later reuse.
@@ -542,6 +571,13 @@ func TestStoreResume(t *testing.T) {
 	}
 	o1.Close() // daemon dies mid-matrix
 	close(gate)
+	// An interrupted matrix never goes terminal, but Done() must still
+	// unblock: no more work will happen on it in this process.
+	select {
+	case <-m1.Done():
+	default:
+		t.Fatal("Done() not closed after orchestrator shutdown")
+	}
 
 	store2, err := NewStore(dir)
 	if err != nil {

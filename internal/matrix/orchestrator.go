@@ -123,6 +123,11 @@ type Matrix struct {
 
 	cancel context.CancelFunc
 	done   chan struct{}
+
+	// persistMu serializes snapshot+save pairs so two shards finishing at
+	// once cannot interleave their renames and land an older snapshot on
+	// disk after a newer one. Always acquired before (never under) mu.
+	persistMu sync.Mutex
 }
 
 // shardRun is one shard's mutable scheduling state (guarded by Matrix.mu).
@@ -145,7 +150,10 @@ func (m *Matrix) ID() string { return m.plan.ID }
 // Plan returns the immutable decomposition this matrix executes.
 func (m *Matrix) Plan() Plan { return m.plan }
 
-// Done is closed when the matrix reaches a terminal state.
+// Done is closed when no more work will happen on the matrix in this
+// process: it reached a terminal state, or daemon shutdown interrupted it
+// (still "running" on disk, resumable on the next boot). Check View() or
+// terminal state after waking to tell the cases apart.
 func (m *Matrix) Done() <-chan struct{} { return m.done }
 
 // newMatrix builds the runtime state for a plan with every shard pending.
@@ -247,7 +255,20 @@ func (o *Orchestrator) start(m *Matrix) {
 	m.mu.Unlock()
 
 	o.persist(m)
+	// The Add must not race Close's runWG.Wait: registering it under o.mu
+	// against the closed flag guarantees either the Add lands before Close
+	// flips closed (and Wait covers the workers), or start observes closed
+	// and launches nothing.
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		cancel()
+		close(m.done)
+		o.obs.Log.Info("matrix: orchestrator closed before start, state persisted", "matrix", m.plan.ID)
+		return
+	}
 	o.runWG.Add(1)
+	o.mu.Unlock()
 	go func() {
 		defer o.runWG.Done()
 		defer cancel()
@@ -415,10 +436,13 @@ func (o *Orchestrator) shardDone(m *Matrix, id int, target string, results []Cel
 	o.obs.Log.Debug("matrix: shard done", "matrix", m.plan.ID, "shard", id, "workload", m.plan.Shards[id].Workload, "owner", target, "cache_hits", hits)
 }
 
-// shardFailed handles one failed cell: a cancelled context marks the
-// shard cancelled; otherwise the whole shard requeues onto the next
-// healthy target in its rendezvous order until the attempt budget runs
-// out.
+// shardFailed handles one failed cell: when the matrix context itself is
+// cancelled the shard is marked cancelled; otherwise the whole shard
+// requeues onto the next healthy target in its rendezvous order until
+// the attempt budget runs out. Only the matrix ctx decides cancellation —
+// a backend error that merely wraps context.Canceled (a peer cancelling
+// its own work) while the matrix is still live is an ordinary failure,
+// not a reason to silently drop the shard from a "done" sweep.
 func (o *Orchestrator) shardFailed(ctx context.Context, m *Matrix, id int, target string, err error) {
 	m.mu.Lock()
 	sr := m.shards[id]
@@ -426,7 +450,7 @@ func (o *Orchestrator) shardFailed(ctx context.Context, m *Matrix, id int, targe
 		m.mu.Unlock()
 		return
 	}
-	if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+	if ctx.Err() != nil {
 		sr.state = ShardCancelled
 		sr.finishAt = time.Now()
 		m.mu.Unlock()
@@ -494,6 +518,9 @@ func (o *Orchestrator) finish(ctx context.Context, m *Matrix) {
 		}
 		m.mu.Unlock()
 		o.persist(m)
+		// The matrix is not terminal — but no more work will happen on it
+		// in this process, so waiters on Done() must still wake up.
+		close(m.done)
 		o.obs.Log.Info("matrix: interrupted by shutdown, state persisted", "matrix", m.plan.ID)
 		return
 	}
@@ -690,11 +717,17 @@ func (o *Orchestrator) Close() {
 	o.runWG.Wait()
 }
 
-// persist snapshots m into the store (no-op without one).
+// persist snapshots m into the store (no-op without one). The per-matrix
+// persist mutex spans snapshot and save together, so concurrent callers
+// write in snapshot order and the newest state always lands last — the
+// "state on disk after every shard completion" contract survives two
+// shards finishing at once.
 func (o *Orchestrator) persist(m *Matrix) {
 	if o.store == nil {
 		return
 	}
+	m.persistMu.Lock()
+	defer m.persistMu.Unlock()
 	if err := o.store.Save(m.snapshot()); err != nil {
 		o.obs.Log.Warn("matrix: persist failed", "matrix", m.plan.ID, "err", err)
 	}

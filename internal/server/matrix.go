@@ -171,6 +171,12 @@ func (s *Server) handleMatrixStream(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-s.shutdownCh:
+			// Daemon draining: a running matrix deliberately never goes
+			// terminal on shutdown (it stays resumable), so the stream must
+			// end itself or it stalls http.Server.Shutdown for the whole
+			// grace period. Clients reconnect and replay after restart.
+			return
 		case <-ticker.C:
 		}
 	}

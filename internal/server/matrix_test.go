@@ -171,6 +171,45 @@ func TestMatrixStreamSSE(t *testing.T) {
 	}
 }
 
+// An open stream on a still-running matrix must end when shutdown begins:
+// http.Server.Shutdown waits for in-flight requests without cancelling
+// their contexts, and an interrupted matrix deliberately never goes
+// terminal, so without this the connected client stalls shutdown for the
+// whole grace period.
+func TestMatrixStreamEndsOnShutdown(t *testing.T) {
+	oldPoll := matrixStreamPoll
+	matrixStreamPoll = 2 * time.Millisecond
+	t.Cleanup(func() { matrixStreamPoll = oldPoll })
+
+	s, ts := newTestServer(t)
+	// A wide sweep of full-size runs keeps the matrix in flight.
+	acc := submitMatrix(t, ts.URL, map[string]any{
+		"schemes": []string{"baseline", "dlvp", "cap", "vtage"},
+		"instrs":  2_000_000,
+	})
+	resp := mustGet(t, ts.URL+acc.Stream)
+	defer resp.Body.Close()
+
+	closed := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+		}
+		closed <- sc.Err()
+	}()
+
+	s.BeginShutdown()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("stream read after shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream still open after BeginShutdown")
+	}
+}
+
 func TestMatrixCancelEndpoint(t *testing.T) {
 	_, ts := newTestServer(t)
 	// A wide sweep of full-size runs outlives the cancel round-trip.

@@ -110,11 +110,13 @@ type Server struct {
 	artifactHits   atomic.Int64
 	artifactMisses atomic.Int64
 
-	started  time.Time
-	baseCtx  context.Context
-	cancel   context.CancelFunc
-	async    sync.WaitGroup
-	draining atomic.Bool
+	started      time.Time
+	baseCtx      context.Context
+	cancel       context.CancelFunc
+	async        sync.WaitGroup
+	draining     atomic.Bool
+	shutdownCh   chan struct{} // closed at BeginShutdown; unblocks SSE streams
+	shutdownOnce sync.Once
 
 	obs       *obs.Observer
 	httpReqs  *obs.CounterVec   // requests by route/status
@@ -159,6 +161,7 @@ func New(opts Options) *Server {
 		started:       time.Now(),
 		baseCtx:       ctx,
 		cancel:        cancel,
+		shutdownCh:    make(chan struct{}),
 		obs:           opts.Obs,
 		httpReqs: reg.Counter("dlvpd_http_requests_total",
 			"HTTP requests served, by route pattern and status code.", "route", "status"),
@@ -279,9 +282,15 @@ func (s *Server) Handler() http.Handler {
 }
 
 // BeginShutdown flips /healthz to 503 so load balancers stop routing new
-// traffic to a draining daemon. Safe to call more than once; Drain calls
-// it implicitly.
-func (s *Server) BeginShutdown() { s.draining.Store(true) }
+// traffic to a draining daemon, and unblocks long-lived SSE streams so
+// http.Server.Shutdown — which waits for in-flight requests but does not
+// cancel their contexts — is not held hostage by a connected stream
+// client for the full grace period. Safe to call more than once; Drain
+// calls it implicitly.
+func (s *Server) BeginShutdown() {
+	s.draining.Store(true)
+	s.shutdownOnce.Do(func() { close(s.shutdownCh) })
+}
 
 // Draining reports whether shutdown has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }

@@ -153,6 +153,10 @@ func (s *Server) handleRunTimelineStream(w http.ResponseWriter, r *http.Request)
 		select {
 		case <-r.Context().Done():
 			return
+		case <-s.shutdownCh:
+			// Daemon draining: end the stream so http.Server.Shutdown is not
+			// blocked by a connected client until the grace period expires.
+			return
 		case <-ticker.C:
 		}
 	}
