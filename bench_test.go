@@ -13,6 +13,7 @@ import (
 	"dlvp/internal/obs"
 	"dlvp/internal/runner"
 	"dlvp/internal/trace"
+	"dlvp/internal/uarch"
 )
 
 // benchParams shrinks the per-workload budget so a full -bench=. sweep
@@ -93,6 +94,50 @@ func BenchmarkInstrumentedRun(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCoreThroughput is the CI-gated measure of the cycle-level
+// core's own speed: simulated (committed) instructions per wall-clock
+// second on the commit path, with functional emulation taken out of the
+// loop by replaying a pre-captured in-memory trace. BENCH_9.json records
+// the committed trajectory; TestCoreThroughputGate (run with
+// DLVP_BENCH_GATE=1) fails CI when the measured rate regresses more than
+// 10% against it.
+func BenchmarkCoreThroughput(b *testing.B) {
+	const instrs = 100_000
+	for _, tc := range []struct {
+		name string
+		cfg  CoreConfig
+	}{
+		{"baseline", Baseline()},
+		{"dlvp", DLVP()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			w, ok := WorkloadByName("perlbmk")
+			if !ok {
+				b.Fatal("perlbmk not registered")
+			}
+			prog := w.Build()
+			recs := trace.Collect(w.Reader(instrs), 0)
+			arena := uarch.NewArena() // reused across runs, like the runner does
+			b.ReportAllocs()
+			b.ResetTimer()
+			var committed uint64
+			for i := 0; i < b.N; i++ {
+				core := uarch.NewAtArena(tc.cfg, prog, &trace.SliceReader{Recs: recs}, nil, arena)
+				stats := core.Run(0)
+				if stats.Instructions == 0 {
+					b.Fatal("nothing committed")
+				}
+				committed += stats.Instructions
+			}
+			b.StopTimer()
+			secs := b.Elapsed().Seconds()
+			if secs > 0 {
+				b.ReportMetric(float64(committed)/secs, "instrs/sec")
+			}
+		})
+	}
 }
 
 // --- component microbenchmarks ------------------------------------------------

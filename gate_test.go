@@ -1,0 +1,89 @@
+package dlvp
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"dlvp/internal/trace"
+	"dlvp/internal/uarch"
+)
+
+// benchRecord is the committed core-throughput trajectory (BENCH_9.json).
+// measured_instrs_per_sec is the best-of-N rate observed on the machine
+// that produced the file (informational — see the README perf table);
+// reference_instrs_per_sec is the gate reference: a conservative floor of
+// the measurement band, chosen so cross-machine and load variance (±30%
+// observed) cannot trip the gate but an algorithmic regression — e.g.
+// reintroducing an O(window) walk on the issue path, which costs 2-3× —
+// still lands far below it.
+type benchRecord struct {
+	Schema   string `json:"schema"`
+	Note     string `json:"note"`
+	Workload string `json:"workload"`
+	Instrs   uint64 `json:"instrs"`
+	Entries  map[string]struct {
+		Measured  float64 `json:"measured_instrs_per_sec"`
+		Reference float64 `json:"reference_instrs_per_sec"`
+	} `json:"entries"`
+}
+
+// measureThroughput replays the pre-captured trace `runs` times through a
+// fresh core on a shared arena and returns committed instructions per
+// wall-clock second — the same measure BenchmarkCoreThroughput reports.
+func measureThroughput(cfg CoreConfig, name string, instrs uint64, runs int) float64 {
+	w, ok := WorkloadByName(name)
+	if !ok {
+		panic("workload not registered: " + name)
+	}
+	prog := w.Build()
+	recs := trace.Collect(w.Reader(instrs), 0)
+	arena := uarch.NewArena()
+	var committed uint64
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		core := uarch.NewAtArena(cfg, prog, &trace.SliceReader{Recs: recs}, nil, arena)
+		committed += core.Run(0).Instructions
+	}
+	return float64(committed) / time.Since(start).Seconds()
+}
+
+// TestCoreThroughputGate is the CI regression gate for the rewritten core:
+// with DLVP_BENCH_GATE=1 it measures simulated-instructions/sec (best of
+// three trials, to ride out transient load) and fails when any configuration
+// lands more than 10% below its committed reference in BENCH_9.json.
+func TestCoreThroughputGate(t *testing.T) {
+	if os.Getenv("DLVP_BENCH_GATE") != "1" {
+		t.Skip("set DLVP_BENCH_GATE=1 to run the throughput gate")
+	}
+	raw, err := os.ReadFile("BENCH_9.json")
+	if err != nil {
+		t.Fatalf("reading committed trajectory: %v", err)
+	}
+	var ref benchRecord
+	if err := json.Unmarshal(raw, &ref); err != nil {
+		t.Fatalf("parsing BENCH_9.json: %v", err)
+	}
+	cfgs := map[string]CoreConfig{"baseline": Baseline(), "dlvp": DLVP()}
+	for name, entry := range ref.Entries {
+		cfg, ok := cfgs[name]
+		if !ok {
+			t.Errorf("BENCH_9.json entry %q has no matching configuration", name)
+			continue
+		}
+		const trials, runs = 3, 8
+		var best float64
+		for i := 0; i < trials; i++ {
+			if r := measureThroughput(cfg, ref.Workload, ref.Instrs, runs); r > best {
+				best = r
+			}
+		}
+		floor := entry.Reference * 0.9
+		t.Logf("%s: %.0f instrs/sec (reference %.0f, gate floor %.0f)", name, best, entry.Reference, floor)
+		if best < floor {
+			t.Errorf("%s throughput %.0f instrs/sec regressed >10%% below the committed reference %.0f",
+				name, best, entry.Reference)
+		}
+	}
+}

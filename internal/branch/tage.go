@@ -38,6 +38,18 @@ type tageEntry struct {
 	valid bool
 }
 
+// maxTables bounds the tagged-table count so lookup contexts can be
+// fixed-size values embedded in pipeline state.
+const maxTables = 8
+
+// Lookup carries the per-table indices and tags computed for one
+// (pc, hist) pair. The pipeline captures it at prediction time and hands
+// it back to UpdateLk at resolve time, so training re-hashes nothing.
+type Lookup struct {
+	idxs [maxTables]uint32
+	tags [maxTables]uint16
+}
+
 // TAGE is the conditional branch direction predictor.
 type TAGE struct {
 	cfg     TAGEConfig
@@ -45,6 +57,8 @@ type TAGE struct {
 	tables  [][]tageEntry
 	rng     *predictor.Rand
 	preds   uint64
+	idxBits uint8
+	scratch Lookup // for the stateless Predict/Update entry points
 
 	Predictions uint64
 	Mispredicts uint64
@@ -59,10 +73,16 @@ func NewTAGE(cfg TAGEConfig) *TAGE {
 		cfg.TableEntries&(cfg.TableEntries-1) != 0 {
 		panic("branch: table sizes must be powers of two")
 	}
+	if len(cfg.Histories) > maxTables {
+		panic("branch: too many tagged tables for Lookup")
+	}
 	t := &TAGE{
 		cfg:     cfg,
 		bimodal: make([]int8, cfg.BimodalEntries),
 		rng:     predictor.NewRand(cfg.Seed),
+	}
+	for n := cfg.TableEntries; n > 1; n >>= 1 {
+		t.idxBits++
 	}
 	for range cfg.Histories {
 		t.tables = append(t.tables, make([]tageEntry, cfg.TableEntries))
@@ -70,17 +90,16 @@ func NewTAGE(cfg TAGEConfig) *TAGE {
 	return t
 }
 
-func (t *TAGE) indexTag(table int, pc, hist uint64) (uint32, uint16) {
-	hb := t.cfg.Histories[table]
-	idxBits := uint8(0)
-	for n := t.cfg.TableEntries; n > 1; n >>= 1 {
-		idxBits++
+// computeIndices fills lk with every table's index/tag for (pc, hist).
+func (t *TAGE) computeIndices(lk *Lookup, pc, hist uint64) {
+	mp := predictor.MixPC(pc)
+	idxMask := uint32(t.cfg.TableEntries - 1)
+	tagMask := uint16(1<<t.cfg.TagBits - 1)
+	for i, hb := range t.cfg.Histories {
+		m := mp + uint64(i)*0xabcd
+		lk.idxs[i] = (uint32(m) ^ uint32(predictor.Fold(hist, hb, t.idxBits))) & idxMask
+		lk.tags[i] = (uint16(m>>14) ^ uint16(predictor.Fold(hist, hb, t.cfg.TagBits))) & tagMask
 	}
-	m := predictor.MixPC(pc) + uint64(table)*0xabcd
-	idx := (uint32(m) ^ uint32(predictor.Fold(hist, hb, idxBits))) & uint32(t.cfg.TableEntries-1)
-	tag := (uint16(m>>14) ^ uint16(predictor.Fold(hist, hb, t.cfg.TagBits))) &
-		uint16(1<<t.cfg.TagBits-1)
-	return idx, tag
 }
 
 func (t *TAGE) bimodalIndex(pc uint64) uint32 {
@@ -90,18 +109,26 @@ func (t *TAGE) bimodalIndex(pc uint64) uint32 {
 // Predict returns the predicted direction for the conditional branch at pc
 // under global history hist.
 func (t *TAGE) Predict(pc, hist uint64) bool {
-	taken, _, _ := t.predictInternal(pc, hist)
+	t.computeIndices(&t.scratch, pc, hist)
+	taken, _, _ := t.predictFrom(&t.scratch, pc)
 	return taken
 }
 
-// predictInternal returns (prediction, provider table index or -1 for
-// bimodal, alternate prediction).
-func (t *TAGE) predictInternal(pc, hist uint64) (bool, int, bool) {
+// PredictLk is Predict capturing the lookup context in lk, for reuse by a
+// later UpdateLk with the same (pc, hist).
+func (t *TAGE) PredictLk(lk *Lookup, pc, hist uint64) bool {
+	t.computeIndices(lk, pc, hist)
+	taken, _, _ := t.predictFrom(lk, pc)
+	return taken
+}
+
+// predictFrom returns (prediction, provider table index or -1 for
+// bimodal, alternate prediction) using the precomputed lookup context.
+func (t *TAGE) predictFrom(lk *Lookup, pc uint64) (bool, int, bool) {
 	provider, alt := -1, -1
 	for i := len(t.tables) - 1; i >= 0; i-- {
-		idx, tag := t.indexTag(i, pc, hist)
-		e := &t.tables[i][idx]
-		if e.valid && e.tag == tag {
+		e := &t.tables[i][lk.idxs[i]]
+		if e.valid && e.tag == lk.tags[i] {
 			if provider < 0 {
 				provider = i
 			} else {
@@ -113,14 +140,12 @@ func (t *TAGE) predictInternal(pc, hist uint64) (bool, int, bool) {
 	bimodalPred := t.bimodal[t.bimodalIndex(pc)] >= 0
 	altPred := bimodalPred
 	if alt >= 0 {
-		idx, _ := t.indexTag(alt, pc, hist)
-		altPred = t.tables[alt][idx].ctr >= 0
+		altPred = t.tables[alt][lk.idxs[alt]].ctr >= 0
 	}
 	if provider < 0 {
 		return bimodalPred, -1, altPred
 	}
-	idx, _ := t.indexTag(provider, pc, hist)
-	e := &t.tables[provider][idx]
+	e := &t.tables[provider][lk.idxs[provider]]
 	// Weak, newly allocated entries defer to the alternate prediction.
 	if (e.ctr == 0 || e.ctr == -1) && e.u == 0 {
 		return altPred, provider, altPred
@@ -131,8 +156,15 @@ func (t *TAGE) predictInternal(pc, hist uint64) (bool, int, bool) {
 // Update trains the predictor with the resolved outcome. pc/hist must be
 // the fetch-time values (the pipeline re-supplies its snapshots).
 func (t *TAGE) Update(pc, hist uint64, taken bool) {
+	t.computeIndices(&t.scratch, pc, hist)
+	t.UpdateLk(&t.scratch, pc, taken)
+}
+
+// UpdateLk is Update with the lookup context captured by PredictLk for the
+// same (pc, hist), skipping the re-hash of every table.
+func (t *TAGE) UpdateLk(lk *Lookup, pc uint64, taken bool) {
 	t.Predictions++
-	pred, provider, altPred := t.predictInternal(pc, hist)
+	pred, provider, altPred := t.predictFrom(lk, pc)
 	if pred != taken {
 		t.Mispredicts++
 	}
@@ -158,8 +190,7 @@ func (t *TAGE) Update(pc, hist uint64, taken bool) {
 	}
 
 	if provider >= 0 {
-		idx, _ := t.indexTag(provider, pc, hist)
-		e := &t.tables[provider][idx]
+		e := &t.tables[provider][lk.idxs[provider]]
 		providerPred := e.ctr >= 0
 		if providerPred != altPred {
 			if providerPred == taken {
@@ -184,21 +215,19 @@ func (t *TAGE) Update(pc, hist uint64, taken bool) {
 		first := start + int(t.rng.Next()%uint64(n))
 		for k := 0; k < n; k++ {
 			ti := start + (first-start+k)%n
-			idx, tag := t.indexTag(ti, pc, hist)
-			e := &t.tables[ti][idx]
+			e := &t.tables[ti][lk.idxs[ti]]
 			if !e.valid || e.u == 0 {
 				ctr := int8(0)
 				if !taken {
 					ctr = -1
 				}
-				*e = tageEntry{tag: tag, ctr: ctr, u: 0, valid: true}
+				*e = tageEntry{tag: lk.tags[ti], ctr: ctr, u: 0, valid: true}
 				return
 			}
 		}
 		// All victims useful: decay them so future allocations succeed.
 		for ti := start; ti < len(t.tables); ti++ {
-			idx, _ := t.indexTag(ti, pc, hist)
-			if e := &t.tables[ti][idx]; e.u > 0 {
+			if e := &t.tables[ti][lk.idxs[ti]]; e.u > 0 {
 				e.u--
 			}
 		}

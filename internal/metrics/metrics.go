@@ -28,6 +28,11 @@ type RunStats struct {
 	ValueFlushes  uint64
 	BranchFlushes uint64
 	OrderFlushes  uint64
+	// StoreFwdPartialStalls counts loads held at issue because an older
+	// in-flight store only partially covered their bytes: the store queue
+	// cannot forward a partial value, so the load waits until the store
+	// drains to committed memory. Counted once per fetched load instance.
+	StoreFwdPartialStalls uint64
 	// ValueReplays counts value mispredictions recovered by selective
 	// replay (dependents re-executed, no flush).
 	ValueReplays uint64

@@ -244,12 +244,11 @@ func (p *Predictor) Train(lk Lookup, actualAddr uint64, sizeLog2 uint8, way int8
 	if e.addr == actualAddr {
 		before := e.conf
 		e.conf = p.fpc.Bump(e.conf)
-		if e.conf > before {
-			p.ConfBumps++
-			if p.fpc.Saturated(e.conf) {
-				p.ConfSaturations++
-			}
-		}
+		// Branchless accounting: the bump outcome feeds the counters as
+		// arithmetic rather than a (mispredicting) branch on the hot path.
+		bumped := b2u64(e.conf > before)
+		p.ConfBumps += bumped
+		p.ConfSaturations += bumped & b2u64(p.fpc.Saturated(e.conf))
 		e.sizeLog2 = sizeLog2
 		if way >= 0 {
 			e.way = way
@@ -259,6 +258,13 @@ func (p *Predictor) Train(lk Lookup, actualAddr uint64, sizeLog2 uint8, way int8
 	p.ConfResets++
 	*e = entry{tag: lk.Tag, addr: actualAddr, conf: 0, sizeLog2: sizeLog2, way: way, valid: true}
 	return TrainReset
+}
+
+func b2u64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // PushLoad speculatively shifts a load's PC into the load-path history.

@@ -62,14 +62,27 @@ func NewFPC(rng *Rand, probDenoms ...uint32) *FPC {
 func (f *FPC) Max() uint8 { return uint8(len(f.ProbDenoms)) }
 
 // Bump probabilistically advances counter c and returns the new value.
+// The advance is computed as a data dependency on the rng draw rather
+// than a branch; the rng is consumed exactly when Chance would consume
+// it (denominator > 1), so counter sequences are unchanged.
 func (f *FPC) Bump(c uint8) uint8 {
-	if c >= f.Max() {
-		return f.Max()
+	max := uint8(len(f.ProbDenoms))
+	if c >= max {
+		return max
 	}
-	if f.rng.Chance(f.ProbDenoms[c]) {
+	d := f.ProbDenoms[c]
+	if d <= 1 {
 		return c + 1
 	}
-	return c
+	hit := f.rng.Next()&uint64(d-1) == 0
+	return c + b2u8(hit)
+}
+
+func b2u8(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Saturated reports whether c is at the confident (saturated) state.
@@ -161,7 +174,10 @@ func (g *GlobalHistory) Snapshot() uint64 { return g.h }
 func (g *GlobalHistory) Restore(s uint64) { g.h = s }
 
 // Fold compresses the low histBits of h into outBits by XOR-folding,
-// the standard TAGE-style index compression.
+// the standard TAGE-style index compression. The doubling loop computes
+// XOR of h>>(k*outBits) for every k in logarithmic steps: after the i-th
+// step the value is the XOR over all k < 2^i, and the loop stops once the
+// span covers histBits (further terms shift in only zeros).
 func Fold(h uint64, histBits, outBits uint8) uint64 {
 	if histBits == 0 || outBits == 0 {
 		return 0
@@ -169,11 +185,10 @@ func Fold(h uint64, histBits, outBits uint8) uint64 {
 	if histBits < 64 {
 		h &= (uint64(1) << histBits) - 1
 	}
-	var f uint64
-	for b := uint8(0); b < histBits; b += outBits {
-		f ^= h >> b
+	for s := uint(outBits); s < uint(histBits); s <<= 1 {
+		h ^= h >> s
 	}
-	return f & ((uint64(1) << outBits) - 1)
+	return h & ((uint64(1) << outBits) - 1)
 }
 
 // MixPC whitens a PC for index hashing (instructions are 4-byte aligned, so

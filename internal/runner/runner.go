@@ -561,7 +561,9 @@ func (r *Runner) lead(ctx context.Context, key string, fl *flight, w workloads.W
 		r.countLookup("trace_cache")
 	}
 
-	core := uarch.New(job.Config, w.Build(), reader)
+	arena := uarch.AcquireArena()
+	defer uarch.ReleaseArena(arena)
+	core := uarch.NewAtArena(job.Config, w.Build(), reader, nil, arena)
 	if r.tlOpts.Enabled {
 		rec := core.EnableTimeline(r.tlOpts.IntervalInstrs, r.tlOpts.Capacity)
 		r.mu.Lock()

@@ -248,10 +248,12 @@ func TestWaiterCancellationAccounting(t *testing.T) {
 	bg := context.Background()
 
 	// Occupy the single worker slot so the flight under test stays queued.
+	// The budget must keep the worker busy for the whole cancellation
+	// sequence below (a few hundred ms of wall clock even on a fast core).
 	blockerDone := make(chan struct{})
 	go func() {
 		defer close(blockerDone)
-		if _, _, err := r.Run(bg, testJob("gap", 200_000)); err != nil {
+		if _, _, err := r.Run(bg, testJob("gap", 3_000_000)); err != nil {
 			t.Errorf("blocker: %v", err)
 		}
 	}()

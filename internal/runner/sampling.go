@@ -285,7 +285,9 @@ func (r *Runner) runSampled(ctx context.Context, key string, w workloads.Workloa
 		// stops it); the slack costs only functional emulation.
 		cpu.MaxInstrs = iv.restore + iv.detailed + sampleStreamSlack
 		reader := trace.Rebase(cpu, iv.restore)
-		core := uarch.NewAt(job.Config, prog, reader, snap.Mem)
+		arena := uarch.AcquireArena()
+		defer uarch.ReleaseArena(arena)
+		core := uarch.NewAtArena(job.Config, prog, reader, snap.Mem, arena)
 		core.SetSampleWindow(iv.warmup, spec.MeasuredInstrs)
 		if r.spOpts.Enabled {
 			core.EnableSiteProfile(r.spOpts.MaxSites)

@@ -70,6 +70,15 @@ type Reader interface {
 	Next(rec *Rec) bool
 }
 
+// RandomAccess is implemented by readers that can serve any record by
+// position without re-streaming. A simulator replaying such a trace can
+// skip its staging ring and serve records zero-copy — including refetches
+// after a squash, which a pure stream cannot rewind for.
+type RandomAccess interface {
+	RecAt(pos uint64) *Rec
+	NumRecs() uint64
+}
+
 // SliceReader adapts a pre-recorded []Rec into a Reader; used by tests.
 type SliceReader struct {
 	Recs []Rec
@@ -85,6 +94,12 @@ func (s *SliceReader) Next(rec *Rec) bool {
 	s.pos++
 	return true
 }
+
+// RecAt implements RandomAccess. The caller must not mutate the record.
+func (s *SliceReader) RecAt(pos uint64) *Rec { return &s.Recs[pos] }
+
+// NumRecs implements RandomAccess.
+func (s *SliceReader) NumRecs() uint64 { return uint64(len(s.Recs)) }
 
 // Collect drains up to max records from r (all records if max <= 0).
 func Collect(r Reader, max int) []Rec {

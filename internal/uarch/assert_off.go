@@ -1,0 +1,9 @@
+//go:build !uarchassert
+
+package uarch
+
+// assertEnabled gates the package's internal invariant checks. The default
+// build compiles them out entirely; `go test -tags uarchassert` turns them
+// into panics so a scheduler or bookkeeping regression fails loudly instead
+// of silently perturbing statistics.
+const assertEnabled = false

@@ -1,0 +1,7 @@
+//go:build uarchassert
+
+package uarch
+
+// assertEnabled gates the package's internal invariant checks; this build
+// tag turns violations into panics (see assert_off.go for the default).
+const assertEnabled = true

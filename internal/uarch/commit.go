@@ -4,6 +4,7 @@ import (
 	"dlvp/internal/config"
 	"dlvp/internal/isa"
 	"dlvp/internal/predictor/tournament"
+	"dlvp/internal/trace"
 )
 
 // commitStage retires up to CommitWidth completed instructions per cycle in
@@ -12,35 +13,40 @@ import (
 // are accounted on the committed path only, matching how the paper counts
 // dynamic loads.
 func (c *Core) commitStage() {
+	w := &c.a.w
 	for n := 0; n < c.cfg.CommitWidth; n++ {
 		if c.headSeq >= c.fetchSeq {
 			return
 		}
-		e := c.ent(c.headSeq)
-		if !e.valid {
+		seq := c.headSeq
+		slot := seq & windowMask
+		f := w.flags[slot]
+		if f&fValid == 0 {
 			return
 		}
-		if !e.renamed || !e.completed || e.execDone > c.now {
+		if f&fRenamed == 0 || f&fCompleted == 0 || w.execDone[slot] > c.now {
 			return
 		}
-		rec := &e.rec
+		rec := c.rec(seq)
 
-		c.captureStageTrace(e)
+		c.captureStageTrace(seq)
 		c.stats.Instructions++
 		switch {
 		case rec.IsLoad():
 			c.stats.Loads++
+			c.a.ldqIdx.popFront()
 		case rec.IsStore():
 			c.stats.Stores++
-			c.commitStore(e)
+			c.a.stqIdx.popFront()
+			c.commitStore(rec)
 		}
-		c.accountPrediction(e)
+		c.accountPrediction(seq)
 
 		// Architectural history state advances with the committed stream.
-		c.committedGhist = e.ghistAfter
-		c.committedLphist = e.lphistAfter
-		if e.hasRasAfter {
-			c.rasBase = e.rasAfter
+		c.committedGhist = w.ghistAfter[slot]
+		c.committedLphist = w.lphistAfter[slot]
+		if f&fHasRasAfter != 0 {
+			c.rasBase = c.cold(seq).rasAfter
 		}
 
 		c.freeRegs += int(rec.NDst)
@@ -51,7 +57,7 @@ func (c *Core) commitStage() {
 		if rec.IsStore() {
 			c.stqCount--
 		}
-		e.valid = false
+		w.flags[slot] &^= fValid
 		c.headSeq++
 		// Sample-window countdown, after this instruction's stats landed
 		// so a boundary snapshot includes the just-committed instruction.
@@ -69,8 +75,7 @@ func (c *Core) commitStage() {
 
 // commitStore applies a committing store to the committed-memory image (the
 // state DLVP probes observe) and to the cache hierarchy.
-func (c *Core) commitStore(e *entry) {
-	rec := &e.rec
+func (c *Core) commitStore(rec *trace.Rec) {
 	switch rec.Op {
 	case isa.STP:
 		c.cmem.Write(rec.Addr, rec.Vals[0], 8)
@@ -82,17 +87,19 @@ func (c *Core) commitStore(e *entry) {
 }
 
 // accountPrediction tallies coverage/accuracy at commit.
-func (c *Core) accountPrediction(e *entry) {
-	rec := &e.rec
+func (c *Core) accountPrediction(seq uint64) {
+	rec := c.rec(seq)
 	if !c.eligibleForStats(rec.Op, int(rec.NDst)) {
 		return
 	}
-	predicted := e.vpMade || e.vpOracleDropped
+	f := c.a.w.flags[seq&windowMask]
+	cd := c.cold(seq)
+	predicted := f&(fVpMade|fVpOracleDropped) != 0
 	correct := false
-	if e.vpMade {
+	if f&fVpMade != 0 {
 		correct = true
 		for j := 0; j < int(rec.NDst); j++ {
-			if e.vpPerDest[j] && e.vpVals[j] != rec.DestValue(j) {
+			if cd.vpPerDest[j] && cd.vpVals[j] != rec.DestValue(j) {
 				correct = false
 				break
 			}
@@ -102,10 +109,10 @@ func (c *Core) accountPrediction(e *entry) {
 	// Site attribution rides the same outcome so per-site sums reconcile
 	// with the aggregate exactly. One nil check when profiling is off.
 	if c.sp != nil {
-		c.spRecord(e, predicted, correct)
+		c.spRecord(seq, predicted, correct)
 	}
-	if e.vpMade {
-		switch e.vpSource {
+	if f&fVpMade != 0 {
+		switch cd.vpSource {
 		case tournament.SideDLVP:
 			c.stats.TournamentDLVP++
 		case tournament.SideVTAGE:

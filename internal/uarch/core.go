@@ -18,6 +18,12 @@
 // and a DLVP probe reads that image — so a store committing between probe
 // and load execution (or still in flight) yields a stale probed value and a
 // genuine value misprediction, the paper's Challenge #1.
+//
+// The implementation is data-oriented: the instruction window is a
+// struct-of-arrays block (window.go), the scheduler picks ready
+// instructions from a bitmap with TrailingZeros64, memory-order checks walk
+// compact LDQ/STQ sequence rings instead of the window, and all bulk state
+// lives in an Arena a caller can recycle across runs.
 package uarch
 
 import (
@@ -42,88 +48,6 @@ import (
 	"dlvp/internal/trace"
 )
 
-// windowCap bounds in-flight instructions (ROB + front-end queue); it must
-// be a power of two and comfortably exceed ROBSize + front-end depth.
-const windowCap = 1024
-
-// frontQCap bounds fetched-but-unrenamed instructions (the decode queue).
-const frontQCap = 64
-
-type entry struct {
-	rec   trace.Rec
-	valid bool
-
-	fetchCycle  uint64
-	renameReady uint64 // earliest rename cycle (fetch + front latency + icache)
-	renamed     bool
-	renameCycle uint64
-	issued      bool
-	issueCycle  uint64
-	execDone    uint64 // cycle the result is available
-	completed   bool
-
-	deps [trace.MaxSrcs]uint64 // producer seq+1 per source (0 = already ready)
-
-	// Branch state.
-	brMispredict bool
-	ghistBefore  uint64 // fetch-time history (for trainer re-indexing)
-
-	// History snapshots *after* this instruction (for squash recovery).
-	ghistAfter  uint64
-	lphistAfter uint64
-
-	// Address prediction context.
-	papLk      pap.Lookup
-	papLkValid bool
-	capLk      cap.Lookup
-	capLkValid bool
-	lscdSkip   bool // LSCD filtered: neither predict nor train
-
-	// DLVP probe state.
-	paqIssued    bool // an address prediction was enqueued for this load
-	probeDone    bool
-	probeHit     bool
-	probeTLB     bool   // the probe walked the TLB (attribution detail)
-	probeDeliver uint64 // cycle the probed value reaches the VPE
-	probeVals    [trace.MaxDests]uint64
-
-	// APT train outcome (set at execute; consumed by site attribution).
-	papTrain      pap.TrainOutcome
-	papTrainValid bool
-
-	// VTAGE state (shared by VTAGE and D-VTAGE; dvLks carries the
-	// differential predictor's training context).
-	dvLks   []dvtage.Lookup
-	vtLks   []vtage.Lookup
-	vtVals  [trace.MaxDests]uint64
-	vtValid [trace.MaxDests]bool
-	vtAny   bool
-
-	// Final value prediction installed in the PVT at rename.
-	vpMade     bool
-	vpSource   tournament.Side
-	vpVals     [trace.MaxDests]uint64
-	vpPerDest  [trace.MaxDests]bool
-	vpNumDests int
-	// vpOracleDropped marks a prediction suppressed by the oracle-replay
-	// model (counted as a misprediction without a flush).
-	vpOracleDropped bool
-
-	l1Way   int8 // way the demand access found/filled (trains way prediction)
-	mdpWait bool
-
-	// One-shot guards for execution side effects (an instruction may
-	// execute more than once under selective replay).
-	trained   bool
-	validated bool
-	// notBefore delays (re-)issue until the replay penalty has elapsed.
-	notBefore uint64
-
-	// RAS snapshot after this instruction (calls/returns only).
-	rasAfter    branch.RASState
-	hasRasAfter bool
-}
-
 type flushKind uint8
 
 const (
@@ -145,6 +69,10 @@ type Core struct {
 	cfg    config.Core
 	prog   *program.Program
 	reader trace.Reader
+	// ra is set when reader supports positional access: records are then
+	// served straight out of the reader (zero-copy) and the staging ring
+	// in the arena goes unused.
+	ra trace.RandomAccess
 
 	// Committed architectural memory image (probe staleness model).
 	cmem *emu.Memory
@@ -165,12 +93,14 @@ type Core struct {
 	chooser *tournament.Chooser
 	lscd    *pap.LSCD
 
-	// Trace buffer: records [bufBase, bufBase+len(buf)) fetched or fetchable.
-	buf      []trace.Rec
-	bufBase  uint64
+	// a holds the SoA window, the trace ring, and every other bulk
+	// per-run allocation (see window.go).
+	a *Arena
+
+	// Trace ring cursor: records [bufHi-bufCap, bufHi) are resident.
+	bufHi    uint64 // next seq to pull from the reader
 	traceEOF bool
 
-	window    [windowCap]entry
 	headSeq   uint64 // oldest in-flight seq (== next to commit)
 	fetchSeq  uint64 // next seq to fetch
 	renameSeq uint64 // next seq to rename
@@ -185,21 +115,30 @@ type Core struct {
 	committedLphist uint64
 
 	// Occupancy.
-	frontCount int      // fetched, unrenamed
-	robCount   int      // renamed, uncommitted
-	iq         []uint64 // seqs renamed & unissued
-	inflight   []uint64 // seqs issued & not complete
+	frontCount int // fetched, unrenamed
+	robCount   int // renamed, uncommitted
+	iqCount    int // bits set in a.iqBits (renamed & unissued)
 	ldqCount   int
 	stqCount   int
 	freeRegs   int
 	pvtCount   int
 
-	lastWriter    [64]uint64 // seq+1 of last in-flight writer per arch reg
-	pendingStores []uint64   // in-flight, not-yet-issued store seqs, ascending
+	lastWriter [64]uint64 // seq+1 of last in-flight writer per arch reg
 
-	paq             []paqEntry
+	// PAQ ring cursors over a.paqBuf.
+	paqHead uint32
+	paqTail uint32
+
 	fetchStallUntil uint64
-	pendingFlush    *flushReq
+	pendingFlush    flushReq
+	flushPending    bool
+
+	replayEpoch uint64 // selective-replay taint-mark epoch
+
+	// eventWake re-activates every sleeping scheduler candidate next cycle;
+	// set by the transitions that can create readiness out of band: an
+	// issue, a VP install at rename, a selective replay, a flush.
+	eventWake bool
 
 	// Energy access counters (per-structure counts fed into the meter).
 	prfReads  uint64
@@ -263,7 +202,7 @@ type paqEntry struct {
 // from reader. reader must be a fresh stream positioned at the program
 // entry (typically an *emu.CPU).
 func New(cfg config.Core, p *program.Program, reader trace.Reader) *Core {
-	return NewAt(cfg, p, reader, nil)
+	return NewAtArena(cfg, p, reader, nil, nil)
 }
 
 // NewAt builds a core whose committed-memory image starts from cmem
@@ -276,21 +215,50 @@ func New(cfg config.Core, p *program.Program, reader trace.Reader) *Core {
 // mid-stream must see the memory the committed stream has produced so
 // far, not the initial data segments.
 func NewAt(cfg config.Core, p *program.Program, reader trace.Reader, cmem *emu.Memory) *Core {
+	return NewAtArena(cfg, p, reader, cmem, nil)
+}
+
+// NewAtArena is NewAt with an explicit arena. Passing an arena recycled
+// from a finished run (never one still in use — arenas are not
+// concurrency-safe) reuses its memory, making back-to-back simulations
+// allocation-free on the bulk state. nil allocates a fresh arena.
+func NewAtArena(cfg config.Core, p *program.Program, reader trace.Reader, cmem *emu.Memory, a *Arena) *Core {
 	mimg := emu.NewMemoryFromProgram(p)
 	if cmem != nil {
 		mimg = cmem.Clone()
+	}
+	if a == nil {
+		a = NewArena()
+	} else {
+		a.reset()
 	}
 	c := &Core{
 		cfg:    cfg,
 		prog:   p,
 		reader: reader,
 		cmem:   mimg,
+		a:      a,
 		hier:   mem.NewHierarchy(cfg.Mem),
 		tage:   branch.NewTAGE(cfg.TAGE),
 		ittage: branch.NewITTAGE(cfg.ITTAGE),
 		mdp:    mdp.New(cfg.MDP),
 		meter:  energy.NewMeter(),
 		emodel: energy.DefaultCoreModel(),
+	}
+	if ra, ok := reader.(trace.RandomAccess); ok {
+		// Zero-copy replay: the stream length is known up front, so the
+		// cursor starts at the end and the EOF flag is pre-set — done()
+		// then reads identically to a drained streaming reader.
+		c.ra = ra
+		c.bufHi = ra.NumRecs()
+		c.traceEOF = true
+	}
+	paqCap := cfg.PAQEntries
+	if paqCap < 1 {
+		paqCap = 1
+	}
+	if len(a.paqBuf) != paqCap { // the ring always keeps len == capacity
+		a.paqBuf = make([]paqEntry, paqCap)
 	}
 	c.freeRegs = cfg.PhysRegs - 64
 	switch cfg.VP.Scheme {
@@ -320,14 +288,24 @@ func (c *Core) usesAddressPrediction() bool {
 	return s == config.VPDLVP || s == config.VPCAP || s == config.VPTournament
 }
 
-func (c *Core) ent(seq uint64) *entry { return &c.window[seq&(windowCap-1)] }
+// rec returns the trace record for an in-flight (or just-fetched) seq; the
+// ring slot is valid for any seq in [bufHi-bufCap, bufHi).
+func (c *Core) rec(seq uint64) *trace.Rec {
+	if c.ra != nil {
+		return c.ra.RecAt(seq)
+	}
+	return &c.a.buf[seq&bufMask]
+}
+
+// cold returns the cold column block for seq.
+func (c *Core) cold(seq uint64) *coldState { return &c.a.w.cold[seq&windowMask] }
 
 // live reports whether seq refers to an in-flight instruction.
 func (c *Core) live(seq uint64) bool {
 	if seq < c.headSeq || seq >= c.fetchSeq {
 		return false
 	}
-	return c.ent(seq).valid
+	return c.a.w.flags[seq&windowMask]&fValid != 0
 }
 
 // Run simulates until the stream is exhausted and the pipeline drains, or
@@ -366,39 +344,49 @@ func (c *Core) done() bool {
 		return true
 	}
 	// End of stream: nothing in flight AND nothing left to (re)fetch.
-	return c.traceEOF && c.fetchSeq >= c.bufBase+uint64(len(c.buf))
+	return c.traceEOF && c.fetchSeq >= c.bufHi
 }
 
-// fill ensures the trace buffer covers seq; returns false at end of stream.
+// fill ensures the trace ring covers seq; returns false at end of stream.
+// The reader writes records directly into ring slots (every Reader fully
+// overwrites the record), so the steady state moves each record exactly
+// once and allocates nothing.
 func (c *Core) fill(seq uint64) bool {
-	if seq < c.bufBase {
-		panic(fmt.Sprintf("uarch: trace rewound below buffer base (seq %d < base %d)", seq, c.bufBase))
+	if seq+bufCap < c.bufHi {
+		panic(fmt.Sprintf("uarch: trace rewound below ring (seq %d, next %d)", seq, c.bufHi))
 	}
-	for c.bufBase+uint64(len(c.buf)) <= seq {
+	for c.bufHi <= seq {
 		if c.traceEOF {
 			return false
 		}
-		var r trace.Rec
-		if !c.reader.Next(&r) {
+		if !c.reader.Next(&c.a.buf[c.bufHi&bufMask]) {
 			c.traceEOF = true
 			return false
 		}
-		c.buf = append(c.buf, r)
-	}
-	// Compact: drop records far below the commit head.
-	if c.headSeq > c.bufBase+2048 {
-		drop := int(c.headSeq - c.bufBase - 512)
-		c.buf = append(c.buf[:0], c.buf[drop:]...)
-		c.bufBase += uint64(drop)
+		c.bufHi++
 	}
 	return true
 }
 
 func (c *Core) recAt(seq uint64) *trace.Rec {
+	if c.ra != nil {
+		if seq >= c.bufHi { // bufHi == NumRecs in random-access mode
+			return nil
+		}
+		return c.ra.RecAt(seq)
+	}
 	if !c.fill(seq) {
 		return nil
 	}
-	return &c.buf[seq-c.bufBase]
+	return &c.a.buf[seq&bufMask]
+}
+
+// paqLen returns the PAQ occupancy.
+func (c *Core) paqLen() int { return int(c.paqTail - c.paqHead) }
+
+// paqAt returns the i-th PAQ entry from the front.
+func (c *Core) paqAt(i int) *paqEntry {
+	return &c.a.paqBuf[(int(c.paqHead)+i)%len(c.a.paqBuf)]
 }
 
 func (c *Core) finalizeStats() {

@@ -5,7 +5,7 @@ import "fmt"
 // Debug returns a one-line internal-state summary for diagnostics.
 func (c *Core) Debug() string {
 	s := fmt.Sprintf("head=%d fetch=%d rename=%d paq=%d stall=%d",
-		c.headSeq, c.fetchSeq, c.renameSeq, len(c.paq), c.fetchStallUntil)
+		c.headSeq, c.fetchSeq, c.renameSeq, c.paqLen(), c.fetchStallUntil)
 	if c.papPred != nil {
 		s += fmt.Sprintf(" pap[lookups=%d hits=%d allocs=%d resets=%d hist=%#x]",
 			c.papPred.Lookups, c.papPred.Hits, c.papPred.Allocations,

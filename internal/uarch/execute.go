@@ -11,61 +11,99 @@ import (
 // mismatch, per the paper's flush-based recovery), and train the address
 // and value predictors — APT training happens "when the load executes"
 // (Section 3.1.2).
+//
+// In-flight instructions live in the completion wheel, so each cycle drains
+// only the bucket for this cycle rather than walking everything issued. The
+// bucket's push order is issue order — the order side effects (predictor
+// training, flush scheduling) happen in, part of the model's definition.
+// Entries whose issue was undone (squash, selective replay) fail the stamp
+// or flag checks and fall out here.
 func (c *Core) executeStage() {
-	for i := 0; i < len(c.inflight); i++ {
-		seq := c.inflight[i]
+	w := &c.a.w
+	bkt := &c.a.done[c.now&doneWheelMask]
+	if len(*bkt) == 0 {
+		return
+	}
+	ents := *bkt
+	*bkt = ents[:0] // this cycle's pushes all target future buckets
+	for i := 0; i < len(ents); i++ {
+		seq := ents[i].seq
 		if !c.live(seq) {
-			c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
-			i--
 			continue
 		}
-		e := c.ent(seq)
-		if e.completed || e.execDone > c.now {
+		slot := seq & windowMask
+		if w.issueCycle[slot] != ents[i].issuedAt {
+			continue // a replayed instance re-issued; its new entry is elsewhere
+		}
+		f := w.flags[slot]
+		if f&fIssued == 0 || f&fCompleted != 0 {
 			continue
 		}
-		e.completed = true
-		c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
-		i--
+		if w.execDone[slot] > c.now {
+			// Only possible for a beyond-horizon completion that was
+			// clamped at push; park it again.
+			c.pushDone(seq, ents[i].issuedAt)
+			continue
+		}
+		w.flags[slot] |= fCompleted
 
-		rec := &e.rec
+		rec := c.rec(seq)
 		c.prfWrites += uint64(rec.NDst)
 		switch {
 		case rec.Op.IsBranch():
-			if !e.trained {
-				c.resolveBranch(e)
+			if f&fTrained == 0 {
+				c.resolveBranch(seq, rec)
 			}
 		case rec.IsLoad():
-			if !e.trained {
-				c.trainAddressPredictors(e)
-				c.trainVTAGE(e)
+			if f&fTrained == 0 {
+				c.trainAddressPredictors(seq, rec)
+				c.trainVTAGE(seq, rec)
 			}
-			c.validatePrediction(e)
+			c.validatePrediction(seq, rec)
 		default:
-			if !e.trained {
-				c.trainVTAGE(e)
+			if f&fTrained == 0 {
+				c.trainVTAGE(seq, rec)
 			}
-			c.validatePrediction(e)
+			c.validatePrediction(seq, rec)
 		}
-		e.trained = true
+		w.flags[slot] |= fTrained
 	}
+}
+
+// pushDone parks an issued instruction in the completion wheel bucket for
+// its execDone cycle. A completion beyond the horizon is clamped to the
+// wheel's last bucket and re-parked when it pops early; a completion not in
+// the future (possible only for the degenerate zero-latency case, since
+// issue runs after execute in the cycle) is processed next cycle, exactly
+// when the old in-flight walk would first have seen it.
+func (c *Core) pushDone(seq, issuedAt uint64) {
+	t := c.a.w.execDone[seq&windowMask]
+	if t <= c.now {
+		t = c.now + 1
+	} else if t >= c.now+doneWheelSize {
+		t = c.now + doneWheelSize - 1
+	}
+	c.a.done[t&doneWheelMask] = append(c.a.done[t&doneWheelMask], doneEnt{seq: seq, issuedAt: issuedAt})
 }
 
 // resolveBranch trains the direction/target predictors at resolution and,
 // for a mispredicted branch, redirects the stalled front end and repairs
 // the speculative global history.
-func (c *Core) resolveBranch(e *entry) {
-	rec := &e.rec
+func (c *Core) resolveBranch(seq uint64, rec *trace.Rec) {
+	w := &c.a.w
+	slot := seq & windowMask
 	switch rec.Op.Class() {
 	case isa.ClassBr:
 		if rec.Op.IsCondBranch() {
-			c.tage.Update(rec.PC, e.ghistBefore, rec.Taken)
+			// Reuse the fetch-time lookup context: same (pc, hist), no re-hash.
+			c.tage.UpdateLk(&c.cold(seq).tageLk, rec.PC, rec.Taken)
 		}
 	case isa.ClassJmp:
-		c.ittage.Update(rec.PC, e.ghistBefore, rec.Target)
+		c.ittage.Update(rec.PC, w.ghistBefore[slot], rec.Target)
 	}
-	if e.brMispredict {
+	if w.flags[slot]&fBrMispredict != 0 {
 		c.stats.BranchFlushes++
-		c.ghist.Restore(e.ghistAfter)
+		c.ghist.Restore(w.ghistAfter[slot])
 		if c.fetchStallUntil > c.now+1 {
 			c.fetchStallUntil = c.now + 1
 		}
@@ -75,35 +113,39 @@ func (c *Core) resolveBranch(e *entry) {
 // trainAddressPredictors updates PAP/CAP with the executed address. The
 // paper always trains on execution — except for LSCD-blacklisted loads,
 // which neither predict nor update so their entries age out.
-func (c *Core) trainAddressPredictors(e *entry) {
-	if e.lscdSkip {
+func (c *Core) trainAddressPredictors(seq uint64, rec *trace.Rec) {
+	w := &c.a.w
+	slot := seq & windowMask
+	f := w.flags[slot]
+	if f&fLscdSkip != 0 {
 		return
 	}
-	rec := &e.rec
-	if e.papLkValid {
+	cd := c.cold(seq)
+	if f&fPapLkValid != 0 {
 		sizeLog2 := uint8(0)
 		for b := int(rec.Bytes); b > 1; b >>= 1 {
 			sizeLog2++
 		}
-		e.papTrain = c.papPred.Train(e.papLk, rec.Addr, sizeLog2, e.l1Way)
-		e.papTrainValid = true
+		cd.papTrain = c.papPred.Train(cd.papLk, rec.Addr, sizeLog2, cd.l1Way)
+		w.flags[slot] |= fPapTrainValid
 	}
-	if e.capLkValid {
-		c.capPred.Train(e.capLk, rec.PC, rec.Addr)
+	if f&fCapLkValid != 0 {
+		c.capPred.Train(cd.capLk, rec.PC, rec.Addr)
 	}
 }
 
 // trainVTAGE updates VTAGE (and D-VTAGE) for every destination with the
 // executed values.
-func (c *Core) trainVTAGE(e *entry) {
+func (c *Core) trainVTAGE(seq uint64, rec *trace.Rec) {
+	cd := c.cold(seq)
 	if c.vtPred != nil {
-		for j := range e.vtLks {
-			c.vtPred.Train(e.vtLks[j], e.rec.Op, e.rec.DestValue(j))
+		for j := range cd.vtLks {
+			c.vtPred.Train(cd.vtLks[j], rec.Op, rec.DestValue(j))
 		}
 	}
 	if c.dvPred != nil {
-		for j := range e.dvLks {
-			c.dvPred.Train(e.dvLks[j], e.rec.DestValue(j))
+		for j := range cd.dvLks {
+			c.dvPred.Train(cd.dvLks[j], rec.DestValue(j))
 		}
 	}
 }
@@ -113,42 +155,59 @@ func (c *Core) trainVTAGE(e *entry) {
 // 1-cycle check penalty. When the predicted *address* was correct but the
 // value was not — the signature of an older in-flight store — the load's
 // PC enters the LSCD so future instances are not predicted.
-func (c *Core) validatePrediction(e *entry) {
-	if e.validated {
+func (c *Core) validatePrediction(seq uint64, rec *trace.Rec) {
+	w := &c.a.w
+	slot := seq & windowMask
+	if w.flags[slot]&fValidated != 0 {
 		return // a replayed instruction validates only once
 	}
-	e.validated = true
-	rec := &e.rec
+	w.flags[slot] |= fValidated
 	if c.chooser != nil {
-		c.trainChooser(e)
+		c.trainChooser(seq, rec)
 	}
-	if e.vpMade {
-		c.pvtCount -= e.vpNumDests
+	cd := c.cold(seq)
+	if w.flags[slot]&fVpMade != 0 {
+		c.pvtCount -= cd.vpNumDests
 		correct := true
 		for j := 0; j < int(rec.NDst); j++ {
-			if e.vpPerDest[j] && e.vpVals[j] != rec.DestValue(j) {
+			if cd.vpPerDest[j] && cd.vpVals[j] != rec.DestValue(j) {
 				correct = false
 				break
 			}
 		}
 		if !correct {
 			if c.cfg.VP.SelectiveReplay {
-				c.replayDependents(e)
+				c.replayDependents(seq)
 			} else {
 				penalty := uint64(c.cfg.ValueCheckPenalty)
 				c.scheduleFlush(flushReq{
-					seq:       rec.Seq,
-					refetchAt: rec.Seq + 1,
+					seq:       seq,
+					refetchAt: seq + 1,
 					resume:    c.now + penalty + 1,
 					kind:      flushValue,
 				})
 			}
-			c.maybeTrainLSCD(e)
+			c.maybeTrainLSCD(seq, rec)
 		}
-	} else if e.vpOracleDropped && e.vpSource != 0 {
+	} else if w.flags[slot]&fVpOracleDropped != 0 && cd.vpSource != 0 {
 		// Oracle replay still observes the conflict for LSCD training.
-		c.maybeTrainLSCD(e)
+		c.maybeTrainLSCD(seq, rec)
 	}
+}
+
+// taint marks seq as a transitive dependent in the current replay pass.
+func (c *Core) taint(seq uint64) {
+	slot := seq & windowMask
+	c.a.w.taintSeq[slot] = seq
+	c.a.w.taintEp[slot] = c.replayEpoch
+}
+
+// tainted reports whether seq was marked in the current replay pass. The
+// full seq is stored, so a committed producer whose slot was since reused
+// never reads as tainted.
+func (c *Core) tainted(seq uint64) bool {
+	slot := seq & windowMask
+	return c.a.w.taintEp[slot] == c.replayEpoch && c.a.w.taintSeq[slot] == seq
 }
 
 // replayDependents implements selective replay (the paper's Section 5.2.4
@@ -156,19 +215,23 @@ func (c *Core) validatePrediction(e *entry) {
 // mispredicted load re-execute. Tainted instructions that already issued
 // return to the scheduler; they may re-issue once the check penalty has
 // elapsed, now sourcing the load's architecturally correct value.
-func (c *Core) replayDependents(load *entry) {
+func (c *Core) replayDependents(loadSeq uint64) {
 	c.stats.ValueReplays++
+	c.eventWake = true // sleepers must recompute wakes against the new state
+	w := &c.a.w
 	notBefore := c.now + uint64(c.cfg.ValueCheckPenalty) + 1
-	tainted := map[uint64]bool{load.rec.Seq: true}
-	var reissue []uint64
-	for seq := load.rec.Seq + 1; seq < c.fetchSeq; seq++ {
+	c.replayEpoch++
+	c.taint(loadSeq)
+	reissue := c.a.reissue[:0]
+	for seq := loadSeq + 1; seq < c.fetchSeq; seq++ {
 		if !c.live(seq) {
 			continue
 		}
-		e := c.ent(seq)
+		slot := seq & windowMask
+		rec := c.rec(seq)
 		dep := false
-		for i := 0; i < int(e.rec.NSrc); i++ {
-			if d := e.deps[i]; d != 0 && tainted[d-1] {
+		for i := 0; i < int(rec.NSrc); i++ {
+			if d := w.deps[slot][i]; d != 0 && c.tainted(d-1) {
 				dep = true
 				break
 			}
@@ -176,107 +239,90 @@ func (c *Core) replayDependents(load *entry) {
 		if !dep {
 			continue
 		}
-		tainted[seq] = true
-		if !e.issued {
-			e.notBefore = notBefore
+		c.taint(seq)
+		if w.flags[slot]&fIssued == 0 {
+			w.notBefore[slot] = notBefore
 			continue
 		}
 		// Undo the issue; the instruction re-executes with correct inputs.
-		e.issued = false
-		e.completed = false
-		e.execDone = 0
-		e.notBefore = notBefore
-		if e.rec.IsStore() {
+		w.flags[slot] &^= fIssued | fCompleted
+		w.execDone[slot] = 0
+		w.notBefore[slot] = notBefore
+		if rec.IsStore() {
 			c.insertPendingStore(seq)
 		}
 		reissue = append(reissue, seq)
 	}
-	if len(reissue) == 0 {
-		return
+	c.a.reissue = reissue
+	// Return the un-issued instructions to the scheduler (setting a slot's
+	// iqBits bit re-enters it in age order). Their completion-wheel entries
+	// are now stale and fall out at pop: fIssued is cleared, and a re-issue
+	// stamps a new, later issueCycle.
+	for _, s := range reissue {
+		slot := s & windowMask
+		c.a.iqBits[slot>>6] |= 1 << (slot & 63)
+		c.iqCount++
 	}
-	// Remove replayed entries from the in-flight list and return them to
-	// the scheduler in age order.
-	kept := c.inflight[:0]
-	for _, s := range c.inflight {
-		if !tainted[s] || c.ent(s).issued {
-			kept = append(kept, s)
-		}
-	}
-	c.inflight = kept
-	c.iq = mergeSorted(c.iq, reissue)
 }
 
 // insertPendingStore re-registers a store as unissued, keeping the slice
 // sorted by sequence number.
 func (c *Core) insertPendingStore(seq uint64) {
-	for _, s := range c.pendingStores {
+	ps := c.a.pendingStores
+	for _, s := range ps {
 		if s == seq {
 			return
 		}
 	}
-	c.pendingStores = append(c.pendingStores, seq)
-	for i := len(c.pendingStores) - 1; i > 0 && c.pendingStores[i-1] > c.pendingStores[i]; i-- {
-		c.pendingStores[i-1], c.pendingStores[i] = c.pendingStores[i], c.pendingStores[i-1]
+	ps = append(ps, seq)
+	for i := len(ps) - 1; i > 0 && ps[i-1] > ps[i]; i-- {
+		ps[i-1], ps[i] = ps[i], ps[i-1]
 	}
-}
-
-// mergeSorted merges two ascending sequence slices into one.
-func mergeSorted(a, b []uint64) []uint64 {
-	out := make([]uint64, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if a[i] <= b[j] {
-			out = append(out, a[i])
-			i++
-		} else {
-			out = append(out, b[j])
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	c.a.pendingStores = ps
 }
 
 // maybeTrainLSCD inserts the load into the LSCD when its address prediction
 // was correct but the probed value was stale (in-flight store conflict).
-func (c *Core) maybeTrainLSCD(e *entry) {
+func (c *Core) maybeTrainLSCD(seq uint64, rec *trace.Rec) {
 	if c.lscd == nil {
 		return
 	}
+	f := c.a.w.flags[seq&windowMask]
+	cd := c.cold(seq)
 	var predictedAddr uint64
 	var have bool
 	switch {
-	case e.papLkValid && e.papLk.Confident:
-		predictedAddr, have = e.papLk.Addr, true
-	case e.capLkValid && e.capLk.Confident:
-		predictedAddr, have = e.capLk.Addr, true
+	case f&fPapLkValid != 0 && cd.papLk.Confident:
+		predictedAddr, have = cd.papLk.Addr, true
+	case f&fCapLkValid != 0 && cd.capLk.Confident:
+		predictedAddr, have = cd.capLk.Addr, true
 	}
-	if have && predictedAddr == e.rec.Addr && e.probeHit {
-		c.lscd.Insert(e.rec.PC)
+	if have && predictedAddr == rec.Addr && f&fProbeHit != 0 {
+		c.lscd.Insert(rec.PC)
 	}
 }
 
 // trainChooser updates the tournament chooser with both components'
 // outcomes when both produced a confident prediction for this load.
-func (c *Core) trainChooser(e *entry) {
-	rec := &e.rec
-	dlvpPredicted := e.probeDone && e.probeHit
-	vtagePredicted := e.vtAny
+func (c *Core) trainChooser(seq uint64, rec *trace.Rec) {
+	f := c.a.w.flags[seq&windowMask]
+	cd := c.cold(seq)
+	dlvpPredicted := f&fProbeDone != 0 && f&fProbeHit != 0
+	vtagePredicted := f&fVtAny != 0
 	if !dlvpPredicted || !vtagePredicted {
 		return
 	}
 	nd := int(rec.NDst)
 	dlvpCorrect := true
 	for j := 0; j < nd; j++ {
-		if e.probeVals[j] != rec.DestValue(j) {
+		if cd.probeVals[j] != rec.DestValue(j) {
 			dlvpCorrect = false
 			break
 		}
 	}
 	vtageCorrect := true
 	for j := 0; j < nd; j++ {
-		if e.vtValid[j] && e.vtVals[j] != rec.DestValue(j) {
+		if cd.vtValid[j] && cd.vtVals[j] != rec.DestValue(j) {
 			vtageCorrect = false
 			break
 		}

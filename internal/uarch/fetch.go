@@ -2,8 +2,6 @@ package uarch
 
 import (
 	"dlvp/internal/isa"
-	"dlvp/internal/predictor/dvtage"
-	"dlvp/internal/predictor/vtage"
 	"dlvp/internal/trace"
 )
 
@@ -23,6 +21,7 @@ func (c *Core) fetchStage() {
 	}
 	fga := uint64(0)
 	loadsInGroup := 0
+	w := &c.a.w
 
 	for n := 0; n < c.cfg.FetchWidth; n++ {
 		if c.frontCount >= frontQCap || c.fetchSeq-c.headSeq >= windowCap-8 {
@@ -38,61 +37,79 @@ func (c *Core) fetchStage() {
 			groupStart = false
 		}
 
-		e := c.ent(c.fetchSeq)
-		*e = entry{rec: *rec, valid: true, fetchCycle: c.now}
-		e.renameReady = c.now + uint64(c.cfg.FrontLatency) + uint64(groupExtra)
+		seq := c.fetchSeq
+		slot := seq & windowMask
+		fl := fValid
+		if rec.IsLoad() {
+			fl |= fIsLoad
+		} else if rec.IsStore() {
+			fl |= fIsStore
+		}
+		w.flags[slot] = fl
+		w.fetchCycle[slot] = c.now
+		w.notBefore[slot] = 0
+		c.a.waiters[slot] = c.a.waiters[slot][:0] // drop a squashed occupant's sleepers
+		w.renameReady[slot] = c.now + uint64(c.cfg.FrontLatency) + uint64(groupExtra)
 
-		// Register dependencies against the last in-flight writers.
+		// Register dependencies against the last in-flight writers. Unused
+		// source slots are zeroed so the scheduler can scan all of them.
+		w.deps[slot] = [trace.MaxSrcs]uint64{}
 		for i := 0; i < int(rec.NSrc); i++ {
-			e.deps[i] = c.lastWriter[rec.Src[i]]
+			w.deps[slot][i] = c.lastWriter[rec.Src[i]]
 		}
 
 		// Branch prediction.
 		stall := false
 		if rec.Op.IsBranch() {
-			stall = c.fetchBranch(e, rec)
+			stall = c.fetchBranch(seq, rec)
 		}
 
 		// Load handling: MDP consultation, load-path history, address and
 		// value prediction.
 		if rec.IsLoad() {
-			e.mdpWait = c.mdp.ShouldWait(rec.PC) || rec.Op.IsOrdered()
-			c.fetchAddressPrediction(e, rec, fga, lphistAtGroup, loadsInGroup)
+			if c.mdp.ShouldWait(rec.PC) || rec.Op.IsOrdered() {
+				w.flags[slot] |= fMdpWait
+			}
+			c.fetchAddressPrediction(seq, rec, fga, lphistAtGroup, loadsInGroup)
 			loadsInGroup++
 			if c.papPred != nil {
 				c.papPred.PushLoad(rec.PC)
 			}
+			c.a.ldqIdx.push(seq)
 		}
 		if c.vtPred != nil {
-			c.fetchVTAGE(e, rec)
+			c.fetchVTAGE(seq, rec)
 		}
 		if c.dvPred != nil {
-			c.fetchDVTAGE(e, rec)
+			c.fetchDVTAGE(seq, rec)
 		}
 		if rec.IsStore() {
-			c.pendingStores = append(c.pendingStores, rec.Seq)
+			c.a.pendingStores = append(c.a.pendingStores, seq)
+			c.a.stqIdx.push(seq)
 		}
 
 		// Update the in-flight writer map and take recovery snapshots.
 		nd := int(rec.NDst)
 		for j := 0; j < nd; j++ {
-			c.lastWriter[rec.Dst[j]] = rec.Seq + 1
+			c.lastWriter[rec.Dst[j]] = seq + 1
 		}
-		e.ghistAfter = c.ghist.Value()
+		w.ghistAfter[slot] = c.ghist.Value()
 		if rec.Op.IsCondBranch() {
 			// The post-instruction snapshot must hold the *actual* outcome
 			// so that squash recovery repairs a wrongly speculated bit.
-			e.ghistAfter = e.ghistBefore<<1 | b2u(rec.Taken)
+			w.ghistAfter[slot] = w.ghistBefore[slot]<<1 | b2u(rec.Taken)
 		}
+		lph := uint64(0)
 		if c.papPred != nil {
-			e.lphistAfter = c.papPred.HistorySnapshot()
+			lph = c.papPred.HistorySnapshot()
 		}
+		w.lphistAfter[slot] = lph
 
 		c.frontCount++
 		c.fetchSeq++
 		if rec.Op == isa.HALT {
 			c.haltSeen = true
-			c.haltSeq = rec.Seq
+			c.haltSeq = seq
 			return
 		}
 		if stall {
@@ -108,15 +125,18 @@ func (c *Core) fetchStage() {
 	}
 }
 
-// fetchBranch predicts the branch in e, updates speculative state, and
-// reports whether the front end must stall (misprediction).
-func (c *Core) fetchBranch(e *entry, rec *trace.Rec) bool {
-	e.ghistBefore = c.ghist.Value()
+// fetchBranch predicts the branch, updates speculative state, and reports
+// whether the front end must stall (misprediction).
+func (c *Core) fetchBranch(seq uint64, rec *trace.Rec) bool {
+	w := &c.a.w
+	slot := seq & windowMask
+	before := c.ghist.Value()
+	w.ghistBefore[slot] = before
 	mispredict := false
 	switch rec.Op.Class() {
 	case isa.ClassBr:
 		if rec.Op.IsCondBranch() {
-			pred := c.tage.Predict(rec.PC, e.ghistBefore)
+			pred := c.tage.PredictLk(&c.cold(seq).tageLk, rec.PC, before)
 			mispredict = pred != rec.Taken
 			// Speculative history receives the predicted bit; recovery later
 			// repairs it with the actual outcome (see fetchStage).
@@ -125,18 +145,20 @@ func (c *Core) fetchBranch(e *entry, rec *trace.Rec) bool {
 		// Unconditional B: target known at decode, no misprediction.
 	case isa.ClassCall:
 		c.ras.Push(rec.PC + 4)
-		e.rasAfter = c.ras.Snapshot()
-		e.hasRasAfter = true
+		c.cold(seq).rasAfter = c.ras.Snapshot()
+		w.flags[slot] |= fHasRasAfter
 	case isa.ClassRet:
 		tgt, ok := c.ras.Pop()
-		e.rasAfter = c.ras.Snapshot()
-		e.hasRasAfter = true
+		c.cold(seq).rasAfter = c.ras.Snapshot()
+		w.flags[slot] |= fHasRasAfter
 		mispredict = !ok || tgt != rec.Target
 	case isa.ClassJmp:
-		tgt, ok := c.ittage.Predict(rec.PC, e.ghistBefore)
+		tgt, ok := c.ittage.Predict(rec.PC, before)
 		mispredict = !ok || tgt != rec.Target
 	}
-	e.brMispredict = mispredict
+	if mispredict {
+		w.flags[slot] |= fBrMispredict
+	}
 	return mispredict
 }
 
@@ -152,7 +174,7 @@ func b2u(b bool) uint64 {
 // (step 2). Only the first two loads of a fetch group are predicted, keyed
 // by the fetch group address (the paper's FGA proxy); memory-ordering
 // loads and LSCD-blacklisted loads are excluded.
-func (c *Core) fetchAddressPrediction(e *entry, rec *trace.Rec, fga, lphist uint64, loadIdx int) {
+func (c *Core) fetchAddressPrediction(seq uint64, rec *trace.Rec, fga, lphist uint64, loadIdx int) {
 	if !c.usesAddressPrediction() {
 		return
 	}
@@ -163,10 +185,13 @@ func (c *Core) fetchAddressPrediction(e *entry, rec *trace.Rec, fga, lphist uint
 		c.stats.GroupSlotMissed++
 		return
 	}
+	w := &c.a.w
+	slot := seq & windowMask
 	if c.lscd != nil && c.lscd.Contains(rec.PC) {
-		e.lscdSkip = true
+		w.flags[slot] |= fLscdSkip
 		return
 	}
+	cd := c.cold(seq)
 	var addr uint64
 	var way int8 = -1
 	confident := false
@@ -178,36 +203,39 @@ func (c *Core) fetchAddressPrediction(e *entry, rec *trace.Rec, fga, lphist uint
 		// so the load PC itself is the faithful equivalent of that stable
 		// key; the two-loads-per-group limit still applies.
 		_ = fga
-		e.papLk = c.papPred.LookupWith(rec.PC, lphist)
-		e.papLkValid = true
-		addr, way, confident = e.papLk.Addr, e.papLk.Way, e.papLk.Confident
+		cd.papLk = c.papPred.LookupWith(rec.PC, lphist)
+		w.flags[slot] |= fPapLkValid
+		addr, way, confident = cd.papLk.Addr, cd.papLk.Way, cd.papLk.Confident
 	case c.capPred != nil:
-		e.capLk = c.capPred.Lookup(rec.PC)
-		e.capLkValid = true
-		addr, confident = e.capLk.Addr, e.capLk.Confident
+		cd.capLk = c.capPred.Lookup(rec.PC)
+		w.flags[slot] |= fCapLkValid
+		addr, confident = cd.capLk.Addr, cd.capLk.Confident
 	}
 	if !confident {
 		return
 	}
-	if len(c.paq) >= c.cfg.PAQEntries {
+	if c.paqLen() >= c.cfg.PAQEntries {
 		c.stats.PAQFull++
 		return // PAQ full: prediction lost
 	}
-	c.paq = append(c.paq, paqEntry{
-		seq: rec.Seq, addr: addr, way: way,
+	*c.paqAt(c.paqLen()) = paqEntry{
+		seq: seq, addr: addr, way: way,
 		// One cycle for prediction, one to ship to the back end.
 		allocated: c.now + 2,
-	})
-	e.paqIssued = true
+	}
+	c.paqTail++
+	w.flags[slot] |= fPaqIssued
 	c.stats.PAQAllocated++
-	if c.tl != nil && len(c.paq) > c.tlPAQPeak {
-		c.tlPAQPeak = len(c.paq)
+	if c.tl != nil && c.paqLen() > c.tlPAQPeak {
+		c.tlPAQPeak = c.paqLen()
 	}
 }
 
 // fetchDVTAGE makes fetch-time D-VTAGE predictions, reusing the VTAGE
 // per-destination plumbing (vtVals/vtValid feed the same VPE install path).
-func (c *Core) fetchDVTAGE(e *entry, rec *trace.Rec) {
+func (c *Core) fetchDVTAGE(seq uint64, rec *trace.Rec) {
+	cd := c.cold(seq)
+	cd.dvLks = cd.dvLks[:0]
 	nd := int(rec.NDst)
 	if nd > trace.MaxDests {
 		nd = trace.MaxDests
@@ -216,21 +244,22 @@ func (c *Core) fetchDVTAGE(e *entry, rec *trace.Rec) {
 		return
 	}
 	hist := c.ghist.Value()
-	e.dvLks = make([]dvtage.Lookup, nd)
 	for j := 0; j < nd; j++ {
 		lk := c.dvPred.PredictWith(rec.PC, j, hist)
-		e.dvLks[j] = lk
+		cd.dvLks = append(cd.dvLks, lk)
+		cd.vtValid[j] = lk.Confident
+		cd.vtVals[j] = lk.Value
 		if lk.Confident {
-			e.vtValid[j] = true
-			e.vtVals[j] = lk.Value
-			e.vtAny = true
+			c.a.w.flags[seq&windowMask] |= fVtAny
 		}
 	}
 }
 
 // fetchVTAGE makes fetch-time VTAGE predictions for every destination of an
 // eligible instruction, using the branch history at fetch.
-func (c *Core) fetchVTAGE(e *entry, rec *trace.Rec) {
+func (c *Core) fetchVTAGE(seq uint64, rec *trace.Rec) {
+	cd := c.cold(seq)
+	cd.vtLks = cd.vtLks[:0]
 	nd := int(rec.NDst)
 	if nd > trace.MaxDests {
 		nd = trace.MaxDests
@@ -239,14 +268,13 @@ func (c *Core) fetchVTAGE(e *entry, rec *trace.Rec) {
 		return
 	}
 	hist := c.ghist.Value()
-	e.vtLks = make([]vtage.Lookup, nd)
 	for j := 0; j < nd; j++ {
 		lk := c.vtPred.PredictWith(rec.PC, j, hist)
-		e.vtLks[j] = lk
+		cd.vtLks = append(cd.vtLks, lk)
+		cd.vtValid[j] = lk.Confident
+		cd.vtVals[j] = lk.Value
 		if lk.Confident {
-			e.vtValid[j] = true
-			e.vtVals[j] = lk.Value
-			e.vtAny = true
+			c.a.w.flags[seq&windowMask] |= fVtAny
 		}
 	}
 }

@@ -3,9 +3,9 @@ package uarch
 // scheduleFlush records a squash request; when several trigger in one cycle
 // the oldest wins (it supersedes any younger squash).
 func (c *Core) scheduleFlush(req flushReq) {
-	if c.pendingFlush == nil || req.refetchAt < c.pendingFlush.refetchAt {
-		r := req
-		c.pendingFlush = &r
+	if !c.flushPending || req.refetchAt < c.pendingFlush.refetchAt {
+		c.pendingFlush = req
+		c.flushPending = true
 	}
 }
 
@@ -16,11 +16,11 @@ func (c *Core) scheduleFlush(req flushReq) {
 // load-path history (PAP's single-register restore, Section 2.2), the RAS,
 // and the PAQ.
 func (c *Core) applyFlush() {
-	req := c.pendingFlush
-	if req == nil {
+	if !c.flushPending {
 		return
 	}
-	c.pendingFlush = nil
+	req := c.pendingFlush
+	c.flushPending = false
 	switch req.kind {
 	case flushBranch:
 		c.stats.BranchFlushes++
@@ -30,12 +30,13 @@ func (c *Core) applyFlush() {
 		c.stats.OrderFlushes++
 	}
 
+	w := &c.a.w
 	refetch := req.refetchAt
 	if refetch < c.headSeq {
 		refetch = c.headSeq
 	}
 	for seq := refetch; seq < c.fetchSeq; seq++ {
-		c.ent(seq).valid = false
+		w.flags[seq&windowMask] &^= fValid
 	}
 	c.fetchSeq = refetch
 	if c.renameSeq > refetch {
@@ -44,25 +45,32 @@ func (c *Core) applyFlush() {
 	if c.haltSeen && c.haltSeq >= refetch {
 		c.haltSeen = false
 	}
+	c.a.ldqIdx.truncateFrom(refetch)
+	c.a.stqIdx.truncateFrom(refetch)
 
 	// Rebuild occupancy, scheduler contents, and the writer map from the
-	// surviving window.
+	// surviving window. The completion wheel is rebuilt too, in sequence
+	// order, which is the order the old in-flight list rebuild produced.
 	c.frontCount, c.robCount, c.ldqCount, c.stqCount, c.pvtCount = 0, 0, 0, 0, 0
 	used := 0
-	c.iq = c.iq[:0]
-	c.inflight = c.inflight[:0]
-	c.pendingStores = c.pendingStores[:0]
+	c.a.iqBits = [windowWords]uint64{}
+	c.iqCount = 0
+	for i := range c.a.done {
+		c.a.done[i] = c.a.done[i][:0]
+	}
+	c.a.pendingStores = c.a.pendingStores[:0]
 	for r := range c.lastWriter {
 		c.lastWriter[r] = 0
 	}
 	stallForBranch := false
 	for seq := c.headSeq; seq < c.fetchSeq; seq++ {
-		e := c.ent(seq)
-		if !e.valid {
+		slot := seq & windowMask
+		f := w.flags[slot]
+		if f&fValid == 0 {
 			continue
 		}
-		rec := &e.rec
-		if e.renamed {
+		rec := c.rec(seq)
+		if f&fRenamed != 0 {
 			c.robCount++
 			used += int(rec.NDst)
 			if rec.IsLoad() {
@@ -71,24 +79,25 @@ func (c *Core) applyFlush() {
 			if rec.IsStore() {
 				c.stqCount++
 			}
-			if !e.issued {
-				c.iq = append(c.iq, seq)
-			} else if !e.completed {
-				c.inflight = append(c.inflight, seq)
+			if f&fIssued == 0 {
+				c.a.iqBits[slot>>6] |= 1 << (slot & 63)
+				c.iqCount++
+			} else if f&fCompleted == 0 {
+				c.pushDone(seq, w.issueCycle[slot])
 			}
-			if e.vpMade && !e.completed {
-				c.pvtCount += e.vpNumDests
+			if f&fVpMade != 0 && f&fCompleted == 0 {
+				c.pvtCount += c.cold(seq).vpNumDests
 			}
 		} else {
 			c.frontCount++
 		}
-		if rec.IsStore() && !e.issued {
-			c.pendingStores = append(c.pendingStores, seq)
+		if rec.IsStore() && f&fIssued == 0 {
+			c.a.pendingStores = append(c.a.pendingStores, seq)
 		}
 		for j := 0; j < int(rec.NDst); j++ {
 			c.lastWriter[rec.Dst[j]] = seq + 1
 		}
-		if e.brMispredict && !e.completed {
+		if f&fBrMispredict != 0 && f&fCompleted == 0 {
 			stallForBranch = true
 		}
 	}
@@ -96,10 +105,10 @@ func (c *Core) applyFlush() {
 
 	// Speculative history restoration.
 	if req.seq >= c.headSeq && c.live(req.seq) {
-		e := c.ent(req.seq)
-		c.ghist.Restore(e.ghistAfter)
+		slot := req.seq & windowMask
+		c.ghist.Restore(w.ghistAfter[slot])
 		if c.papPred != nil {
-			c.papPred.RestoreHistory(e.lphistAfter)
+			c.papPred.RestoreHistory(w.lphistAfter[slot])
 		}
 	} else {
 		c.ghist.Restore(c.committedGhist)
@@ -112,9 +121,9 @@ func (c *Core) applyFlush() {
 	restored := false
 	for seq := c.fetchSeq; seq > c.headSeq; {
 		seq--
-		e := c.ent(seq)
-		if e.valid && e.hasRasAfter {
-			c.ras.Restore(e.rasAfter)
+		f := w.flags[seq&windowMask]
+		if f&fValid != 0 && f&fHasRasAfter != 0 {
+			c.ras.Restore(c.cold(seq).rasAfter)
 			restored = true
 			break
 		}
@@ -123,17 +132,21 @@ func (c *Core) applyFlush() {
 		c.ras.Restore(c.rasBase)
 	}
 
-	// Squashed PAQ entries.
-	kept := c.paq[:0]
-	for _, pe := range c.paq {
+	// Squashed PAQ entries: compact the ring in place, preserving order.
+	n := c.paqLen()
+	kept := 0
+	for i := 0; i < n; i++ {
+		pe := *c.paqAt(i)
 		if pe.seq < refetch {
-			kept = append(kept, pe)
+			*c.paqAt(kept) = pe
+			kept++
 		}
 	}
-	c.paq = kept
+	c.paqTail = c.paqHead + uint32(kept)
 
 	c.fetchStallUntil = req.resume
 	if stallForBranch {
 		c.fetchStallUntil = ^uint64(0) >> 1
 	}
+	c.eventWake = true // survivors' sleep state is stale; re-examine everyone
 }

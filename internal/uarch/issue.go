@@ -1,50 +1,138 @@
 package uarch
 
 import (
+	"fmt"
+	"math/bits"
+
 	"dlvp/internal/isa"
+	"dlvp/internal/trace"
 )
 
 // issueStage selects up to IssueWidth ready instructions per cycle, oldest
 // first, with at most LSLanes memory operations (Table 4: 8 lanes, 2 of
 // which support load-store). Leftover load-store lanes become the bubbles
 // the DLVP probe engine uses (probeStage).
+//
+// Candidates come from the iqBits bitmap (renamed & unissued slots) rather
+// than a queue scan: the words are walked starting from the commit head's
+// slot — which is age order, because a slot's seq is unique among live
+// instructions — and each word yields its candidates via TrailingZeros64.
 func (c *Core) issueStage() {
 	issued, memIssued, loadsIssued := 0, 0, 0
-	for i := 0; i < len(c.iq) && issued < c.cfg.IssueWidth; i++ {
-		seq := c.iq[i]
-		if !c.live(seq) {
-			continue
+	w := &c.a.w
+	// Wake sleeping candidates first: the wheel bucket for this cycle holds
+	// every timed sleeper whose wake cycle arrived, and an event wake
+	// re-activates everyone (conservatively — woken candidates that are
+	// still not ready simply fail their checks and sleep again).
+	if bkt := &c.a.wheel[c.now&wheelMask]; len(*bkt) > 0 {
+		for _, slot := range *bkt {
+			c.a.activeBits[slot>>6] |= 1 << (slot & 63)
 		}
-		e := c.ent(seq)
-		if e.issued || !e.renamed || e.notBefore > c.now {
-			continue
+		*bkt = (*bkt)[:0]
+	}
+	if c.eventWake {
+		c.eventWake = false
+		for i := range c.a.activeBits {
+			c.a.activeBits[i] |= c.a.iqBits[i]
 		}
-		rec := &e.rec
-		isMem := rec.Op.IsMem()
-		if isMem && memIssued >= c.cfg.LSLanes {
-			continue
+	}
+	if c.iqCount > 0 {
+		startSlot := int(c.headSeq & windowMask)
+		base := c.headSeq - uint64(startSlot)
+		startWord := startSlot >> 6
+		startBit := uint(startSlot & 63)
+		// iqBits are only ever set for slots in [headSeq, fetchSeq), so the
+		// scan can stop after the words that span the live region. Only when
+		// the occupied span wraps past the head word does the final partial
+		// revisit (k == windowWords) have anything to contribute.
+		lastK := int((uint64(startBit) + (c.fetchSeq - c.headSeq) + 63) >> 6)
+		if lastK > windowWords {
+			lastK = windowWords + 1
 		}
-		if !c.depsReady(e) {
-			continue
-		}
-		if rec.IsLoad() && e.mdpWait && c.olderStoreUnissued(seq) {
-			continue // MDP holds the load until older stores resolve
-		}
+	scan:
+		for k := 0; k < lastK; k++ {
+			wi := (startWord + k) & (windowWords - 1)
+			word := c.a.activeBits[wi] & c.a.iqBits[wi]
+			if k == 0 {
+				word &^= (1 << startBit) - 1 // slots below the head belong to the wrapped tail
+			} else if k == windowWords {
+				word &= (1 << startBit) - 1 // wrapped tail: only slots below the head
+			}
+			for word != 0 {
+				if issued >= c.cfg.IssueWidth {
+					break scan
+				}
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				slot := wi<<6 | b
+				seq := base + uint64(slot)
+				if slot < startSlot {
+					seq += windowCap
+				}
 
-		e.issued = true
-		e.issueCycle = c.now
-		c.iq = append(c.iq[:i], c.iq[i+1:]...)
-		i--
-		issued++
-		if isMem {
-			memIssued++
+				if nb := w.notBefore[slot]; nb > c.now {
+					c.sleepUntil(slot, nb) // replay cool-down
+					continue
+				}
+				f := w.flags[slot]
+				isMem := f&fIsMem != 0
+				if isMem && memIssued >= c.cfg.LSLanes {
+					continue // structural only: stays active for next cycle
+				}
+				if ready, wake, blocker := c.depsReady(seq); !ready {
+					if wake > c.now {
+						c.sleepUntil(slot, wake)
+					} else {
+						// The blocking producer has not issued, so its
+						// completion time is unknown: sleep on its waiter
+						// list until it issues or gets a value prediction.
+						c.a.waiters[blocker] = append(c.a.waiters[blocker], uint32(slot))
+						c.a.activeBits[wi] &^= 1 << uint(b)
+					}
+					continue
+				}
+				if f&fMdpWait != 0 && c.olderStoreUnissued(seq) {
+					// MDP holds the load until older stores resolve. Stays
+					// active: an older store may issue later this same scan.
+					continue
+				}
+				ldFwd := fwdNone
+				if f&fIsLoad != 0 {
+					_, ldFwd = c.forwardingStore(seq, c.rec(seq))
+					if ldFwd == fwdPartial {
+						// An older issued store partially covers this load's
+						// bytes: the STQ cannot forward a partial value, so
+						// the load waits for the store to drain to committed
+						// memory (it leaves the STQ at commit). Stays active;
+						// commit runs earlier in the cycle, so the load can
+						// issue the same cycle the store commits.
+						if f&fPartialStall == 0 {
+							w.flags[slot] = f | fPartialStall
+							c.stats.StoreFwdPartialStalls++
+						}
+						continue
+					}
+				}
+
+				w.flags[slot] = f | fIssued
+				w.issueCycle[slot] = c.now
+				c.a.iqBits[wi] &^= 1 << uint(b)
+				c.a.activeBits[wi] &^= 1 << uint(b)
+				c.iqCount--
+				c.wakeWaiters(slot)
+				issued++
+				if isMem {
+					memIssued++
+				}
+				if f&fIsLoad != 0 {
+					loadsIssued++
+				}
+				rec := c.rec(seq)
+				c.executeAt(seq, rec, ldFwd)
+				c.pushDone(seq, c.now)
+				c.prfReads += uint64(rec.NSrc)
+			}
 		}
-		if rec.IsLoad() {
-			loadsIssued++
-		}
-		c.executeAt(e)
-		c.inflight = append(c.inflight, seq)
-		c.prfReads += uint64(rec.NSrc)
 	}
 	// Probe bandwidth: DLVP probes use the L1D *read* path (the paper
 	// reuses the L1 prefetcher's probe path). Loads occupy it on issue;
@@ -54,12 +142,42 @@ func (c *Core) issueStage() {
 	c.memIssuedThisCycle = memIssued
 }
 
-// depsReady reports whether every source operand of e is available: either
-// the producer completed, or the producer carries a value prediction for
-// that register and has passed rename (the PVT supplies the value).
-func (c *Core) depsReady(e *entry) bool {
-	for i := 0; i < int(e.rec.NSrc); i++ {
-		dep := e.deps[i]
+// sleepUntil removes a scheduler candidate from the active set until cycle
+// t (clamped to the wheel horizon; waking early is safe).
+func (c *Core) sleepUntil(slot int, t uint64) {
+	if t >= c.now+wheelSize {
+		t = c.now + wheelSize - 1
+	}
+	c.a.wheel[t&wheelMask] = append(c.a.wheel[t&wheelMask], uint32(slot))
+	c.a.activeBits[slot>>6] &^= 1 << (uint(slot) & 63)
+}
+
+// wakeWaiters re-activates every candidate sleeping on producer slot p.
+func (c *Core) wakeWaiters(p int) {
+	ws := c.a.waiters[p]
+	if len(ws) == 0 {
+		return
+	}
+	for _, s := range ws {
+		c.a.activeBits[s>>6] |= 1 << (s & 63)
+	}
+	c.a.waiters[p] = ws[:0]
+}
+
+// depsReady reports whether every source operand is available: either the
+// producer completed, or the producer carries a value prediction for that
+// register and has passed rename (the PVT supplies the value). Unused
+// source slots hold 0, so all of them can be scanned without the record.
+//
+// On failure, wake is the cycle the blocking operand becomes available when
+// that is already known (the producer has issued, so its completion time is
+// fixed). When it is not (wake 0), blocker is the producer's window slot:
+// readiness then requires that producer to issue or be value-predicted.
+func (c *Core) depsReady(seq uint64) (ready bool, wake uint64, blocker int) {
+	w := &c.a.w
+	slot := seq & windowMask
+	for i := 0; i < trace.MaxSrcs; i++ {
+		dep := w.deps[slot][i]
 		if dep == 0 {
 			continue
 		}
@@ -67,25 +185,34 @@ func (c *Core) depsReady(e *entry) bool {
 		if !c.live(s) {
 			continue // committed: value in the PRF
 		}
-		p := c.ent(s)
-		if p.completed && p.execDone <= c.now {
+		ps := s & windowMask
+		pf := w.flags[ps]
+		if pf&fCompleted != 0 && w.execDone[ps] <= c.now {
 			continue
 		}
-		if p.vpMade && p.renamed && p.renameCycle <= c.now &&
-			c.predictsReg(p, e.rec.Src[i]) {
+		if pf&fVpMade != 0 && pf&fRenamed != 0 && w.renameCycle[ps] <= c.now &&
+			c.predictsReg(s, c.rec(seq).Src[i]) {
 			continue
 		}
-		return false
+		if pf&fIssued != 0 {
+			if t := w.execDone[ps]; t > c.now {
+				return false, t, 0
+			}
+			return false, c.now + 1, 0 // completing this very cycle; re-check next
+		}
+		return false, 0, int(ps)
 	}
-	return true
+	return true, 0, 0
 }
 
-// predictsReg reports whether producer p carries a predicted value for
+// predictsReg reports whether producer pseq carries a predicted value for
 // architectural register r.
-func (c *Core) predictsReg(p *entry, r isa.Reg) bool {
-	nd := int(p.rec.NDst)
+func (c *Core) predictsReg(pseq uint64, r isa.Reg) bool {
+	prec := c.rec(pseq)
+	cd := c.cold(pseq)
+	nd := int(prec.NDst)
 	for j := 0; j < nd; j++ {
-		if p.rec.Dst[j] == r && p.vpPerDest[j] {
+		if prec.Dst[j] == r && cd.vpPerDest[j] {
 			return true
 		}
 	}
@@ -95,7 +222,7 @@ func (c *Core) predictsReg(p *entry, r isa.Reg) bool {
 // olderStoreUnissued reports whether any in-flight store older than seq has
 // not yet issued (its address is unresolved).
 func (c *Core) olderStoreUnissued(seq uint64) bool {
-	for _, s := range c.pendingStores {
+	for _, s := range c.a.pendingStores {
 		if s >= seq {
 			return false
 		}
@@ -107,38 +234,50 @@ func (c *Core) olderStoreUnissued(seq uint64) bool {
 }
 
 // executeAt computes the completion time of a just-issued instruction and
-// performs its memory-system interaction.
-func (c *Core) executeAt(e *entry) {
-	rec := &e.rec
+// performs its memory-system interaction. For loads, ldFwd is the store-
+// queue classification the issue scan already computed this cycle (a load
+// never issues while classified fwdPartial).
+func (c *Core) executeAt(seq uint64, rec *trace.Rec, ldFwd fwdOutcome) {
+	w := &c.a.w
+	slot := seq & windowMask
 	switch {
 	case rec.IsStore():
 		// Address generation; data rides along. The cache write happens at
 		// commit through the store buffer.
-		e.execDone = c.now + 1
-		c.removePendingStore(rec.Seq)
-		c.checkOrderViolation(e)
+		w.execDone[slot] = c.now + 1
+		c.removePendingStore(seq)
+		c.checkOrderViolation(seq, rec)
 	case rec.IsLoad():
 		agu := c.now + 1
-		if fwd, ok := c.forwardingStore(e); ok {
-			_ = fwd
-			e.execDone = agu + 1 // store-to-load forward
-			e.l1Way = -1
+		if ldFwd == fwdHit {
+			w.execDone[slot] = agu + 1 // store-to-load forward
+			c.cold(seq).l1Way = -1
 		} else {
 			res := c.hier.Load(agu, rec.PC, rec.Addr)
-			e.execDone = agu + uint64(res.Latency)
-			e.l1Way = int8(res.L1Way)
+			w.execDone[slot] = agu + uint64(res.Latency)
+			c.cold(seq).l1Way = int8(res.L1Way)
 		}
 	default:
-		e.execDone = c.now + uint64(rec.Op.ExecLatency())
+		w.execDone[slot] = c.now + uint64(rec.Op.ExecLatency())
 	}
 }
 
+// removePendingStore unregisters a store whose address just resolved. Every
+// resolving store must be present: fetch registers it, and the only paths
+// that mark a store unissued again (selective replay, flush rebuild)
+// re-register it. A miss means the unissued-store bookkeeping diverged
+// from the window, which the assert build refuses to ignore.
 func (c *Core) removePendingStore(seq uint64) {
-	for i, s := range c.pendingStores {
+	ps := c.a.pendingStores
+	for i, s := range ps {
 		if s == seq {
-			c.pendingStores = append(c.pendingStores[:i], c.pendingStores[i+1:]...)
+			c.a.pendingStores = append(ps[:i], ps[i+1:]...)
 			return
 		}
+	}
+	if assertEnabled {
+		panic(fmt.Sprintf("uarch: pending-store bookkeeping lost store seq %d (head=%d fetch=%d pending=%d)",
+			seq, c.headSeq, c.fetchSeq, len(ps)))
 	}
 }
 
@@ -146,43 +285,76 @@ func overlap(a1 uint64, n1 int, a2 uint64, n2 int) bool {
 	return a1 < a2+uint64(n2) && a2 < a1+uint64(n1)
 }
 
+// fwdOutcome classifies a load against the store queue.
+type fwdOutcome int8
+
+const (
+	// fwdNone: no issued older store overlaps the load; read from the
+	// cache hierarchy.
+	fwdNone fwdOutcome = iota
+	// fwdHit: the youngest overlapping store fully contains the load's
+	// bytes; the store queue forwards the value.
+	fwdHit
+	// fwdPartial: the youngest overlapping store covers only part of the
+	// load's bytes. The STQ cannot compose a value from store data plus
+	// memory, so the load must wait until that store commits and its
+	// bytes reach committed memory.
+	fwdPartial
+)
+
 // forwardingStore finds the youngest older in-flight store whose resolved
-// address overlaps the load; the load then forwards from the store queue.
-func (c *Core) forwardingStore(e *entry) (uint64, bool) {
-	for seq := e.rec.Seq; seq > c.headSeq; {
-		seq--
-		if !c.live(seq) {
-			break
-		}
-		p := c.ent(seq)
-		if !p.rec.IsStore() || !p.issued {
+// address overlaps the load and classifies the pair: full containment
+// (st.Addr <= ld.Addr && ld.Addr+ld.Bytes <= st.Addr+st.Bytes) forwards,
+// partial overlap blocks. The STQ index holds exactly the in-flight stores
+// in ascending seq order, so the search binary-searches to the load and
+// walks younger-to-older; the youngest overlapping store decides, since its
+// bytes are the architecturally visible ones.
+func (c *Core) forwardingStore(seq uint64, ld *trace.Rec) (uint64, fwdOutcome) {
+	stq := &c.a.stqIdx
+	w := &c.a.w
+	for i := stq.lowerBound(seq) - 1; i >= 0; i-- {
+		s := stq.at(i)
+		if w.flags[s&windowMask]&fIssued == 0 {
 			continue
 		}
-		if overlap(p.rec.Addr, int(p.rec.Bytes), e.rec.Addr, int(e.rec.Bytes)) {
-			return seq, true
+		st := c.rec(s)
+		if !overlap(st.Addr, int(st.Bytes), ld.Addr, int(ld.Bytes)) {
+			continue
 		}
+		if st.Addr <= ld.Addr && ld.Addr+uint64(ld.Bytes) <= st.Addr+uint64(st.Bytes) {
+			return s, fwdHit
+		}
+		return s, fwdPartial
 	}
-	return 0, false
+	return 0, fwdNone
 }
 
 // checkOrderViolation fires when a store resolves its address after a
 // younger overlapping load already executed: a memory-ordering violation.
 // The load (and everything younger) is squashed and refetched, and the MDP
-// learns to hold that load in the future.
-func (c *Core) checkOrderViolation(st *entry) {
-	for seq := st.rec.Seq + 1; seq < c.fetchSeq; seq++ {
-		if !c.live(seq) {
+// learns to hold that load in the future. The LDQ index holds exactly the
+// in-flight loads in ascending seq order, oldest violation wins.
+func (c *Core) checkOrderViolation(seq uint64, st *trace.Rec) {
+	ldq := &c.a.ldqIdx
+	w := &c.a.w
+	n := ldq.len()
+	for i := ldq.lowerBound(seq + 1); i < n; i++ {
+		s := ldq.at(i)
+		slot := s & windowMask
+		// Same-cycle loads (issueCycle == now) are excluded: the issue scan
+		// is oldest-first, so a load issuing this cycle was processed after
+		// this (older) store and already saw it in the store queue — it
+		// forwarded or stalled correctly and read no stale data. Admitting
+		// it would make the squash/forward outcome depend on IQ position.
+		if w.flags[slot]&fIssued == 0 || w.issueCycle[slot] >= c.now {
 			continue
 		}
-		e := c.ent(seq)
-		if !e.rec.IsLoad() || !e.issued || e.issueCycle > c.now {
-			continue
-		}
-		if overlap(st.rec.Addr, int(st.rec.Bytes), e.rec.Addr, int(e.rec.Bytes)) {
-			c.mdp.RecordViolation(e.rec.PC)
+		ld := c.rec(s)
+		if overlap(st.Addr, int(st.Bytes), ld.Addr, int(ld.Bytes)) {
+			c.mdp.RecordViolation(ld.PC)
 			c.scheduleFlush(flushReq{
-				seq:       seq - 1,
-				refetchAt: seq,
+				seq:       s - 1,
+				refetchAt: s,
 				resume:    c.now + 2,
 				kind:      flushOrder,
 			})

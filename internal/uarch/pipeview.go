@@ -34,25 +34,28 @@ func (c *Core) EnableStageTrace(start uint64, n int) {
 func (c *Core) StageTraces() []StageTrace { return c.stageTraces }
 
 // captureStageTrace is called at commit for every instruction.
-func (c *Core) captureStageTrace(e *entry) {
+func (c *Core) captureStageTrace(seq uint64) {
+	rec := c.rec(seq)
 	if c.stageTraces == nil || len(c.stageTraces) >= c.traceWant ||
-		e.rec.Seq < c.traceStart {
+		rec.Seq < c.traceStart {
 		return
 	}
-	disasm := e.rec.Op.String()
-	if inst := c.prog.InstAt(e.rec.PC); inst != nil {
+	disasm := rec.Op.String()
+	if inst := c.prog.InstAt(rec.PC); inst != nil {
 		disasm = inst.String()
 	}
+	w := &c.a.w
+	slot := seq & windowMask
 	c.stageTraces = append(c.stageTraces, StageTrace{
-		Seq:       e.rec.Seq,
-		PC:        e.rec.PC,
+		Seq:       rec.Seq,
+		PC:        rec.PC,
 		Disasm:    disasm,
-		Fetch:     e.fetchCycle,
-		Rename:    e.renameCycle,
-		Issue:     e.issueCycle,
-		Complete:  e.execDone,
+		Fetch:     w.fetchCycle[slot],
+		Rename:    w.renameCycle[slot],
+		Issue:     w.issueCycle[slot],
+		Complete:  w.execDone[slot],
 		Commit:    c.now,
-		Predicted: e.vpMade,
+		Predicted: w.flags[slot]&fVpMade != 0,
 	})
 }
 

@@ -15,16 +15,19 @@ import (
 // PVT's write ports).
 func (c *Core) renameStage() {
 	vpBudget := c.cfg.VP.MaxPredictionsPerCycle
+	w := &c.a.w
 	for n := 0; n < c.cfg.FetchWidth; n++ {
 		if c.renameSeq >= c.fetchSeq {
 			return
 		}
-		e := c.ent(c.renameSeq)
-		if !e.valid || e.renamed || e.renameReady > c.now {
+		seq := c.renameSeq
+		slot := seq & windowMask
+		f := w.flags[slot]
+		if f&fValid == 0 || f&fRenamed != 0 || w.renameReady[slot] > c.now {
 			return
 		}
-		rec := &e.rec
-		if c.robCount >= c.cfg.ROBSize || len(c.iq) >= c.cfg.IQSize {
+		rec := c.rec(seq)
+		if c.robCount >= c.cfg.ROBSize || c.iqCount >= c.cfg.IQSize {
 			return
 		}
 		if rec.IsLoad() && c.ldqCount >= c.cfg.LDQSize {
@@ -38,8 +41,8 @@ func (c *Core) renameStage() {
 			return
 		}
 
-		e.renamed = true
-		e.renameCycle = c.now
+		w.flags[slot] |= fRenamed
+		w.renameCycle[slot] = c.now
 		c.freeRegs -= nd
 		c.frontCount--
 		c.robCount++
@@ -49,8 +52,10 @@ func (c *Core) renameStage() {
 		if rec.IsStore() {
 			c.stqCount++
 		}
-		c.installPrediction(e, &vpBudget)
-		c.iq = append(c.iq, rec.Seq)
+		c.installPrediction(seq, rec, &vpBudget)
+		c.a.iqBits[slot>>6] |= 1 << (slot & 63)
+		c.a.activeBits[slot>>6] |= 1 << (slot & 63)
+		c.iqCount++
 		c.renameSeq++
 	}
 }
@@ -58,18 +63,21 @@ func (c *Core) renameStage() {
 // installPrediction decides, at rename, which value prediction (if any) is
 // installed in the PVT for this instruction, honouring the per-cycle write
 // budget, PVT capacity, and the oracle-replay model.
-func (c *Core) installPrediction(e *entry, vpBudget *int) {
-	rec := &e.rec
+func (c *Core) installPrediction(seq uint64, rec *trace.Rec, vpBudget *int) {
 	nd := int(rec.NDst)
 	if nd == 0 || nd > trace.MaxDests {
 		return
 	}
+	w := &c.a.w
+	slot := seq & windowMask
+	f := w.flags[slot]
+	cd := c.cold(seq)
 
-	dlvpReady := e.probeDone && e.probeHit && e.probeDeliver <= c.now
-	if e.probeDone && e.probeHit && e.probeDeliver > c.now {
+	dlvpReady := f&fProbeDone != 0 && f&fProbeHit != 0 && cd.probeDeliver <= c.now
+	if f&fProbeDone != 0 && f&fProbeHit != 0 && cd.probeDeliver > c.now {
 		c.stats.VPDropLate++
 	}
-	vtageReady := e.vtAny
+	vtageReady := f&fVtAny != 0
 
 	side := tournament.SideNone
 	switch c.cfg.VP.Scheme {
@@ -88,22 +96,23 @@ func (c *Core) installPrediction(e *entry, vpBudget *int) {
 		return
 	}
 
-	// Assemble the per-destination predicted values.
-	var vals [trace.MaxDests]uint64
-	var per [trace.MaxDests]bool
+	// Assemble the per-destination predicted values directly in the cold
+	// slot: every reader is gated by fVpMade and bounded by this record's
+	// destination count, so a dropped install leaves no observable state.
 	count := 0
 	switch side {
 	case tournament.SideDLVP:
 		for j := 0; j < nd; j++ {
-			vals[j] = e.probeVals[j]
-			per[j] = true
+			cd.vpVals[j] = cd.probeVals[j]
+			cd.vpPerDest[j] = true
 			count++
 		}
 	case tournament.SideVTAGE:
 		for j := 0; j < nd; j++ {
-			if e.vtValid[j] {
-				vals[j] = e.vtVals[j]
-				per[j] = true
+			ok := cd.vtValid[j]
+			cd.vpVals[j] = cd.vtVals[j]
+			cd.vpPerDest[j] = ok
+			if ok {
 				count++
 			}
 		}
@@ -122,26 +131,25 @@ func (c *Core) installPrediction(e *entry, vpBudget *int) {
 
 	correct := true
 	for j := 0; j < nd; j++ {
-		if per[j] && vals[j] != rec.DestValue(j) {
+		if cd.vpPerDest[j] && cd.vpVals[j] != rec.DestValue(j) {
 			correct = false
 		}
 	}
 	if c.cfg.VP.OracleReplay && !correct {
 		// Oracle replay: the misprediction is converted into a
 		// no-prediction — counted, never flushed, never woken early.
-		e.vpOracleDropped = true
-		e.vpSource = side
+		w.flags[slot] |= fVpOracleDropped
+		cd.vpSource = side
 		return
 	}
 
 	*vpBudget -= count
 	c.pvtCount += count
 	c.pvtWrites += uint64(count)
-	e.vpMade = true
-	e.vpSource = side
-	e.vpVals = vals
-	e.vpPerDest = per
-	e.vpNumDests = count
+	c.wakeWaiters(int(slot)) // dependents sleeping on this producer can now issue
+	w.flags[slot] |= fVpMade
+	cd.vpSource = side
+	cd.vpNumDests = count
 }
 
 // probeStage pops Predicted Address Queue entries on load-store lane
@@ -151,14 +159,15 @@ func (c *Core) installPrediction(e *entry, vpBudget *int) {
 // leaves the probed value stale — the paper's in-flight-store hazard.
 func (c *Core) probeStage() {
 	bubbles := c.loadPortsFreeThisCycle
-	for b := 0; b < bubbles && len(c.paq) > 0; {
-		pe := c.paq[0]
-		c.paq = c.paq[1:]
+	w := &c.a.w
+	for b := 0; b < bubbles && c.paqLen() > 0; {
+		// Peek first: an entry still in transit to the back end stays
+		// queued without consuming a bubble.
+		pe := *c.paqAt(0)
 		if pe.allocated > c.now {
-			// Not yet arrived at the back end; put it back and stop.
-			c.paq = append([]paqEntry{pe}, c.paq...)
 			return
 		}
+		c.paqHead++
 		if c.now-pe.allocated > uint64(c.cfg.PAQLifetime) {
 			c.stats.PAQDropped++
 			continue // dropped without consuming a bubble
@@ -166,20 +175,22 @@ func (c *Core) probeStage() {
 		if !c.live(pe.seq) {
 			continue // squashed in the meantime
 		}
-		e := c.ent(pe.seq)
-		if e.renamed {
+		slot := pe.seq & windowMask
+		if w.flags[slot]&fRenamed != 0 {
 			// Too late: the load already passed rename.
 			c.stats.PAQDropped++
 			continue
 		}
 		b++
 		res := c.hier.Probe(pe.addr, int(pe.way))
-		e.probeDone = true
-		e.probeTLB = res.TLBMiss
+		w.flags[slot] |= fProbeDone
+		if res.TLBMiss {
+			w.flags[slot] |= fProbeTLB
+		}
 		if res.Outcome.Hit() {
-			e.probeHit = true
-			e.probeDeliver = c.now + uint64(res.Latency) + 1 // +1 transfer to VPE
-			c.readProbedValues(e, pe.addr)
+			w.flags[slot] |= fProbeHit
+			c.cold(pe.seq).probeDeliver = c.now + uint64(res.Latency) + 1 // +1 transfer to VPE
+			c.readProbedValues(pe.seq, pe.addr)
 		} else if c.cfg.VP.ProbePrefetch {
 			c.hier.Prefetch(c.now, pe.addr)
 			c.stats.Prefetches++ // DLVP-generated (the stride prefetcher is counted separately)
@@ -190,8 +201,10 @@ func (c *Core) probeStage() {
 // readProbedValues reads the committed-memory image at the predicted
 // address, reconstructing every destination value exactly as the load
 // would (sizes, sign extension, pair/multiple layout, post-index base).
-func (c *Core) readProbedValues(e *entry, addr uint64) {
-	if inst := c.prog.InstAt(e.rec.PC); inst != nil {
-		c.readLoadValues(inst, addr, &e.probeVals)
+func (c *Core) readProbedValues(seq uint64, addr uint64) {
+	cd := c.cold(seq)
+	cd.probeVals = [trace.MaxDests]uint64{}
+	if inst := c.prog.InstAt(c.rec(seq).PC); inst != nil {
+		c.readLoadValues(inst, addr, &cd.probeVals)
 	}
 }

@@ -34,20 +34,21 @@ func (c *Core) SiteProfile() *siteprof.Profile { return c.siteProfile }
 // check, with the (predicted, correct) outcome it already computed, so the
 // per-site Eligible/Predicted/Correct partition matches the aggregate
 // stats.VP accounting by construction.
-func (c *Core) spRecord(e *entry, predicted, correct bool) {
+func (c *Core) spRecord(seq uint64, predicted, correct bool) {
 	if c.wmArmed && (!c.wmDone || c.mdDone) {
 		// Outside the measured region: still warming up, or the bounded
 		// window already closed (the closing cycle can retire a few more
 		// instructions before Run observes the stop request).
 		return
 	}
-	ev := siteprof.Event{Cause: c.spCause(e, predicted, correct)}
-	if e.probeDone {
+	f := c.a.w.flags[seq&windowMask]
+	ev := siteprof.Event{Cause: c.spCause(seq, predicted, correct)}
+	if f&fProbeDone != 0 {
 		ev.Probed = true
-		ev.ProbeHit = e.probeHit
-		ev.ProbeTLB = e.probeTLB
+		ev.ProbeHit = f&fProbeHit != 0
+		ev.ProbeTLB = f&fProbeTLB != 0
 	}
-	if e.vpMade && !correct {
+	if f&fVpMade != 0 && !correct {
 		if c.cfg.VP.SelectiveReplay {
 			ev.Replay = true
 		} else {
@@ -56,39 +57,41 @@ func (c *Core) spRecord(e *entry, predicted, correct bool) {
 			ev.FlushCycles = uint64(c.cfg.ValueCheckPenalty) + uint64(c.cfg.FrontLatency)
 		}
 	}
-	c.sp.Record(e.rec.PC, ev)
+	c.sp.Record(c.rec(seq).PC, ev)
 }
 
 // spCause derives the attribution cause from the evidence already on the
 // window entry: the fetch-time predictor lookups, the LSCD decision, the
 // probe outcome, the train-time APT outcome code, and the committed
 // record's actual address.
-func (c *Core) spCause(e *entry, predicted, correct bool) siteprof.Cause {
+func (c *Core) spCause(seq uint64, predicted, correct bool) siteprof.Cause {
 	if correct {
 		return siteprof.CauseCorrect
 	}
+	f := c.a.w.flags[seq&windowMask]
+	cd := c.cold(seq)
 	if predicted {
 		// A prediction was made (or oracle-suppressed) and was wrong: why?
-		if e.vpSource == tournament.SideVTAGE {
+		if cd.vpSource == tournament.SideVTAGE {
 			return siteprof.CauseValueWrong // value-side miss, no address context
 		}
 		var predictedAddr uint64
 		have := false
 		switch {
-		case e.papLkValid:
-			predictedAddr, have = e.papLk.Addr, true
-		case e.capLkValid:
-			predictedAddr, have = e.capLk.Addr, true
+		case f&fPapLkValid != 0:
+			predictedAddr, have = cd.papLk.Addr, true
+		case f&fCapLkValid != 0:
+			predictedAddr, have = cd.capLk.Addr, true
 		}
 		if !have {
 			return siteprof.CauseValueWrong
 		}
-		if predictedAddr == e.rec.Addr {
+		if predictedAddr == c.rec(seq).Addr {
 			// Right address, wrong value: a store rewrote the location
 			// between the probe and the load — the paper's Challenge #1.
 			return siteprof.CauseStoreConflict
 		}
-		if e.papTrainValid && e.papTrain.Alias() {
+		if f&fPapTrainValid != 0 && cd.papTrain.Alias() {
 			// Training found the APT slot reallocated between lookup and
 			// train: the predicted address belonged to an aliasing site.
 			return siteprof.CauseTagAlias
@@ -98,24 +101,24 @@ func (c *Core) spCause(e *entry, predicted, correct bool) siteprof.Cause {
 	// No prediction was made: walk the pipeline backwards to the first
 	// stage that dropped it.
 	switch {
-	case e.lscdSkip:
+	case f&fLscdSkip != 0:
 		return siteprof.CauseLSCDFiltered
-	case e.papLkValid:
-		if !e.papLk.Hit {
+	case f&fPapLkValid != 0:
+		if !cd.papLk.Hit {
 			return siteprof.CauseAPTMiss
 		}
-		if !e.papLk.Confident {
+		if !cd.papLk.Confident {
 			return siteprof.CauseConfidenceDropped
 		}
 		// Confident at fetch but nothing installed: lost to PAQ overflow,
 		// lifetime expiry, a late or missing probe, the install budget, or
 		// a full PVT.
 		return siteprof.CausePAQDrop
-	case e.capLkValid:
-		if !e.capLk.LBHit || !e.capLk.LinkHit {
+	case f&fCapLkValid != 0:
+		if !cd.capLk.LBHit || !cd.capLk.LinkHit {
 			return siteprof.CauseAPTMiss
 		}
-		if !e.capLk.Confident {
+		if !cd.capLk.Confident {
 			return siteprof.CauseConfidenceDropped
 		}
 		return siteprof.CausePAQDrop

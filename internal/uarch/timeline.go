@@ -47,7 +47,7 @@ func (c *Core) tlSample(final bool) {
 	} else {
 		c.tl.Sample(cum, c.tlPAQPeak)
 	}
-	c.tlPAQPeak = len(c.paq)
+	c.tlPAQPeak = c.paqLen()
 }
 
 // tlCumulative fills cum with the core's monotone counters. Everything is
