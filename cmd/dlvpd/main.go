@@ -41,10 +41,18 @@
 // GET /v1/runs/{id}/timeline (?format=prom for Prometheus text) and stream
 // it live over Server-Sent Events at GET /v1/runs/{id}/timeline/stream.
 //
-// Every request gets a trace ID (X-Request-ID honoured and echoed); span
-// records are queryable at GET /v1/traces/{id}. With -debug-addr set, a
-// separate admin listener serves net/http/pprof, a runtime/metrics
-// snapshot at /debug/runtime, and the metrics exposition.
+// Every request gets a trace ID (X-Request-ID honoured and echoed) and
+// trace context is propagated across the cluster: forwarded jobs and
+// matrix shards carry a traceparent header, so every daemon that touches
+// a request records spans under the same trace. GET /v1/traces/{id}
+// serves this daemon's local spans; GET /v1/traces/{id}?cluster=1
+// scrapes every healthy peer and stitches one cross-process tree with
+// hedged losers, retries, and stolen shards marked (rendered by
+// `dlvpstat trace`). GET /v1/cluster/metrics federates every member's
+// Prometheus exposition under instance labels, annotating unreachable
+// peers instead of failing. With -debug-addr set, a separate admin
+// listener serves net/http/pprof, a runtime/metrics snapshot at
+// /debug/runtime, and the metrics exposition.
 //
 // On SIGINT/SIGTERM the daemon marks /healthz as draining (503), stops
 // accepting connections, drains in-flight requests and background jobs,

@@ -10,6 +10,7 @@
 //	dlvpstat sites profile.json       ranked per-load-site cause breakdown
 //	dlvpstat sites diff a.json b.json per-site accuracy regression between runs
 //	dlvpstat matrix [-json] view.json distributed sweep: per-shard progress
+//	dlvpstat trace -server URL id     distributed trace waterfall across the cluster
 //
 // show renders one run's phase behaviour: a sparkline per headline metric
 // (IPC, VP coverage/accuracy, APT hit rate, probe hit rate, L1D miss rate)
@@ -95,6 +96,23 @@ func main() {
 		} else {
 			fmt.Print(renderMatrix(v))
 		}
+	case "trace":
+		args := os.Args[2:]
+		server := ""
+		if len(args) >= 2 && args[0] == "-server" {
+			server = args[1]
+			args = args[2:]
+		}
+		if len(args) != 1 {
+			usage()
+			os.Exit(2)
+		}
+		doc, err := loadTraceDoc(args[0], server)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(renderTrace(doc))
 	case "sites":
 		switch {
 		case len(os.Args) == 3:
@@ -131,7 +149,8 @@ func usage() {
        dlvpstat diff <a.json> <b.json>
        dlvpstat sites <profile.json>
        dlvpstat sites diff <a.json> <b.json>
-       dlvpstat matrix [-json] <view.json | matrix URL>`)
+       dlvpstat matrix [-json] <view.json | matrix URL>
+       dlvpstat trace [-server URL] <trace ID | trace.json | trace URL>`)
 }
 
 // loadTimeline reads a timeline JSON file ("-" for stdin).

@@ -46,10 +46,20 @@ type matrixStatus struct {
 }
 
 // postMatrix submits one sweep and fails the test on anything but 202.
-func postMatrix(t *testing.T, base string, spec map[string]any) matrixAccepted {
+// A non-empty reqID pins the submission's trace ID via X-Request-ID so
+// the test can later query the distributed trace it produced.
+func postMatrix(t *testing.T, base string, spec map[string]any, reqID string) matrixAccepted {
 	t.Helper()
 	body, _ := json.Marshal(spec)
-	resp, err := http.Post(base+"/v1/matrices", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/matrices", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if reqID != "" {
+		req.Header.Set("X-Request-ID", reqID)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatalf("POST /v1/matrices: %v", err)
 	}
@@ -142,7 +152,8 @@ func TestMatrixSweepCluster(t *testing.T) {
 		"instrs":    3_000_000,
 	}
 
-	acc := postMatrix(t, a.base, spec)
+	const traceID = "sweep-trace-1"
+	acc := postMatrix(t, a.base, spec, traceID)
 	if acc.Shards != 8 || acc.Cells != 32 {
 		t.Fatalf("accepted %d shards / %d cells, want 8/32", acc.Shards, acc.Cells)
 	}
@@ -196,10 +207,12 @@ func TestMatrixSweepCluster(t *testing.T) {
 		t.Fatal("finished matrix has no tables")
 	}
 
+	assertClusterTrace(t, a.base, urlA, traceID)
+
 	// Reference run: the identical sweep on a standalone daemon.
 	portD := freePort(t)
 	d := startDaemon(t, bin, portD, "")
-	refAcc := postMatrix(t, d.base, spec)
+	refAcc := postMatrix(t, d.base, spec, "")
 	ref := waitMatrixTerminal(t, d.base, refAcc.ID, 5*time.Minute)
 	if ref.Status != "done" {
 		t.Fatalf("reference matrix status = %s (%s)", ref.Status, ref.Error)
@@ -208,4 +221,67 @@ func TestMatrixSweepCluster(t *testing.T) {
 		t.Fatalf("distributed tables differ from single-process run\ncluster:    %s\nstandalone: %s",
 			final.Tables, ref.Tables)
 	}
+}
+
+// traceNode is the slice of the assembled span tree this test needs.
+// Span fields are inlined because obs.TreeNode embeds obs.Span.
+type traceNode struct {
+	Name     string            `json:"name"`
+	SpanID   string            `json:"span_id"`
+	Marker   string            `json:"marker"`
+	Instance string            `json:"instance"`
+	Attrs    map[string]string `json:"attrs"`
+	Children []*traceNode      `json:"children"`
+}
+
+// clusterTrace is the GET /v1/traces/{id}?cluster=1 envelope.
+type clusterTrace struct {
+	ID        string       `json:"id"`
+	Cluster   bool         `json:"cluster"`
+	Instances []string     `json:"instances"`
+	Spans     int          `json:"spans"`
+	Roots     []*traceNode `json:"roots"`
+}
+
+// assertClusterTrace checks that the sweep left one assembled
+// cross-process trace on the originating daemon: spans from at least one
+// peer stitched into the tree, and the orchestrator's matrix.shard spans
+// present. Polled briefly because the last shard spans record just after
+// the matrix flips to done.
+func assertClusterTrace(t *testing.T, base, localInstance, id string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var last string
+	for time.Now().Before(deadline) {
+		var tr clusterTrace
+		getJSON(t, base+"/v1/traces/"+id+"?cluster=1", &tr)
+		if !tr.Cluster || tr.ID != id {
+			t.Fatalf("trace envelope = id %q cluster %v", tr.ID, tr.Cluster)
+		}
+		shardSpans, peerSpans := 0, 0
+		var walk func(n *traceNode)
+		walk = func(n *traceNode) {
+			if n.Name == "matrix.shard" {
+				shardSpans++
+			}
+			if n.Instance != "" && n.Instance != localInstance {
+				peerSpans++
+			}
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		for _, r := range tr.Roots {
+			walk(r)
+		}
+		if shardSpans > 0 && peerSpans > 0 && len(tr.Instances) >= 2 {
+			t.Logf("cluster trace: %d spans from %v (%d matrix.shard, %d peer-side)",
+				tr.Spans, tr.Instances, shardSpans, peerSpans)
+			return
+		}
+		last = fmt.Sprintf("spans=%d instances=%v shardSpans=%d peerSpans=%d",
+			tr.Spans, tr.Instances, shardSpans, peerSpans)
+		time.Sleep(200 * time.Millisecond)
+	}
+	t.Fatalf("assembled cluster trace never showed peer-executed shard work: %s", last)
 }

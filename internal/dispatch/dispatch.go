@@ -191,7 +191,8 @@ func (d *Dispatcher) RunResult(ctx context.Context, job runner.Job) (runner.Resu
 	if err != nil {
 		return zero, false, err
 	}
-	sp := obs.StartSpan(ctx, "dispatch.route").Attr("workload", job.Workload)
+	ctx, sp := obs.StartSpanCtx(ctx, "dispatch.route")
+	sp.Attr("workload", job.Workload)
 	order := rank(d.states, key)
 
 	// One logical request blames each backend at most once. Without this,
@@ -236,6 +237,10 @@ func (d *Dispatcher) RunResult(ctx context.Context, job runner.Job) (runner.Resu
 			sp.Attr("backend", bs.name).Attr("outcome", "error").Attr("error", err.Error()).End()
 			return zero, false, err
 		}
+		// Marker span: this attempt failed retryably and the loop will
+		// re-route, so the trace shows why the same job appears twice.
+		obs.StartSpan(ctx, "dispatch.retry").Mark(obs.MarkerRetry).
+			Attr("backend", bs.name).Attr("error", err.Error()).End()
 		lastErr = err
 	}
 
@@ -354,12 +359,16 @@ func (d *Dispatcher) execute(ctx context.Context, bs *backendState, release func
 				d.blame(r.from, r.err, blamed)
 			}
 			if r.err == nil {
-				winner := "primary"
+				winner, loser := "primary", hedge
 				if r.from == hedge {
-					winner = "hedge"
+					winner, loser = "hedge", bs
 					hedge.hedgeWins.Add(1)
 				}
 				hsp.Attr("winner", winner).End()
+				// Marker span: the loser's in-flight work is about to be
+				// cancelled and would otherwise vanish from the trace.
+				obs.StartSpan(ctx, "dispatch.hedge_loser").Mark(obs.MarkerHedgeLoser).
+					Attr("backend", loser.name).Attr("winner", r.from.name).End()
 				pcancel()
 				hcancel()
 				return r.res, r.cached, nil
@@ -399,8 +408,15 @@ func (d *Dispatcher) hedgeCandidate(order []*backendState, primary *backendState
 func (d *Dispatcher) call(ctx context.Context, bs *backendState, job runner.Job) (runner.Result, bool, error, bool) {
 	bs.attempts.Add(1)
 	bs.inflight.Add(1)
+	// The attempt span becomes the current span of the backend call's
+	// context: an HTTP backend propagates its ID in the traceparent header,
+	// so the peer's entire server-side subtree hangs under this attempt in
+	// the assembled cluster trace; the local backend's runner spans nest
+	// under it directly.
+	sctx, sp := obs.StartSpanCtx(ctx, "dispatch.attempt")
+	sp.Attr("backend", bs.name).Attr("workload", job.Workload)
 	start := time.Now()
-	res, cached, err := runBackend(ctx, bs.b, job)
+	res, cached, err := runBackend(sctx, bs.b, job)
 	elapsed := time.Since(start)
 	bs.inflight.Add(-1)
 	if d.inst != nil {
@@ -412,15 +428,18 @@ func (d *Dispatcher) call(ctx context.Context, bs *backendState, job runner.Job)
 			// loser. Not a health signal, not a backend failure.
 			bs.cancelled.Add(1)
 			d.count(bs, "cancelled")
+			sp.Attr("outcome", "cancelled").End()
 			return res, false, err, false
 		}
 		bs.failures.Add(1)
 		d.count(bs, "error")
+		sp.Attr("outcome", "error").Attr("error", err.Error()).End()
 		return res, false, err, isRetryable(ctx, err)
 	}
 	bs.successes.Add(1)
 	d.count(bs, "ok")
 	d.noteSuccess(bs)
+	sp.Attr("outcome", "ok").Attr("cached", strconv.FormatBool(cached)).End()
 	return res, cached, nil, false
 }
 

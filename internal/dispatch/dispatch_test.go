@@ -12,6 +12,7 @@ import (
 
 	"dlvp/internal/config"
 	"dlvp/internal/metrics"
+	"dlvp/internal/obs"
 	"dlvp/internal/runner"
 )
 
@@ -107,6 +108,93 @@ func newTestDispatcher(t *testing.T, opts Options) (*Dispatcher, *fakeBackend, [
 	}
 	t.Cleanup(d.Close)
 	return d, local, peers
+}
+
+// TestDispatchRetryMarkersAndSpanTree: a retryable failure records a
+// dispatch.retry marker span, and per-attempt spans parent under the
+// route span so the assembled trace shows one subtree per attempt.
+func TestDispatchRetryMarkersAndSpanTree(t *testing.T) {
+	ob := obs.NewObserver(nil)
+	d, _, peers := newTestDispatcher(t, Options{Obs: ob})
+	peers[0].setRun(failRetryable(peers[0].name))
+	peers[1].setRun(failRetryable(peers[1].name))
+
+	ob.Tracer.Begin("tr")
+	ctx := obs.ContextWithTrace(context.Background(), ob.Tracer, "tr")
+	job := jobRankedFirstOn(t, d, peers[0].name, true)
+	if _, _, err := d.RunResult(ctx, job); err != nil {
+		t.Fatalf("local fallback should have saved the job: %v", err)
+	}
+
+	view, ok := ob.Tracer.Get("tr")
+	if !ok {
+		t.Fatal("trace missing")
+	}
+	var routeID string
+	retries, attempts := 0, 0
+	for _, sp := range view.Spans {
+		switch sp.Name {
+		case "dispatch.route":
+			routeID = sp.SpanID
+		case "dispatch.retry":
+			retries++
+			if sp.Marker != obs.MarkerRetry {
+				t.Errorf("retry span marker = %q, want %q", sp.Marker, obs.MarkerRetry)
+			}
+		}
+	}
+	if retries == 0 {
+		t.Error("no dispatch.retry marker spans recorded")
+	}
+	if routeID == "" {
+		t.Fatal("no dispatch.route span recorded")
+	}
+	for _, sp := range view.Spans {
+		if sp.Name == "dispatch.attempt" {
+			attempts++
+			if sp.ParentID != routeID {
+				t.Errorf("attempt span parent = %q, want route %q", sp.ParentID, routeID)
+			}
+		}
+	}
+	if attempts < 2 {
+		t.Errorf("attempt spans = %d, want >= 2 (failed peer + fallback)", attempts)
+	}
+}
+
+// TestDispatchHedgeLoserMarker: when the hedge wins, the cancelled
+// primary is recorded as an explicit hedge_loser marker span.
+func TestDispatchHedgeLoserMarker(t *testing.T) {
+	ob := obs.NewObserver(nil)
+	d, _, peers := newTestDispatcher(t, Options{Obs: ob, HedgeAfter: 5 * time.Millisecond})
+	peers[0].setRun(func(ctx context.Context, job runner.Job) (metrics.RunStats, bool, error) {
+		<-ctx.Done() // stall until the winner cancels us
+		return metrics.RunStats{}, false, ctx.Err()
+	})
+
+	ob.Tracer.Begin("hedged")
+	ctx := obs.ContextWithTrace(context.Background(), ob.Tracer, "hedged")
+	job := jobRankedFirstOn(t, d, peers[0].name, false)
+	if _, _, err := d.RunResult(ctx, job); err != nil {
+		t.Fatalf("hedge should have won: %v", err)
+	}
+
+	view, _ := ob.Tracer.Get("hedged")
+	found := false
+	for _, sp := range view.Spans {
+		if sp.Name == "dispatch.hedge_loser" {
+			found = true
+			if sp.Marker != obs.MarkerHedgeLoser {
+				t.Errorf("marker = %q, want %q", sp.Marker, obs.MarkerHedgeLoser)
+			}
+			if sp.Attrs["backend"] != peers[0].name {
+				t.Errorf("loser backend = %q, want %q", sp.Attrs["backend"], peers[0].name)
+			}
+		}
+	}
+	if !found {
+		t.Error("no dispatch.hedge_loser marker span recorded")
+	}
 }
 
 // TestRankStability: identical keys produce identical orders, different

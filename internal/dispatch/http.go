@@ -14,6 +14,7 @@ import (
 
 	"dlvp/internal/config"
 	"dlvp/internal/metrics"
+	"dlvp/internal/obs"
 	"dlvp/internal/runner"
 )
 
@@ -133,6 +134,16 @@ func (b *HTTPBackend) RunResult(ctx context.Context, job runner.Job) (runner.Res
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ForwardedHeader, "1")
+	// Propagate the originating trace so the peer's access-log line, job
+	// record and spans join the caller's trace instead of minting a fresh
+	// unlinkable ID. The traceparent header additionally carries the
+	// current span ID, parenting the peer's subtree under this attempt.
+	if id := obs.TraceID(ctx); obs.ValidTraceID(id) {
+		req.Header.Set("X-Request-ID", id)
+		if tp := obs.FormatTraceParent(id, obs.SpanID(ctx)); tp != "" {
+			req.Header.Set(obs.TraceParentHeader, tp)
+		}
+	}
 	resp, err := b.client.Do(req)
 	if err != nil {
 		return zero, false, &TransportError{Backend: b.name, Err: err}
@@ -150,7 +161,9 @@ func (b *HTTPBackend) RunResult(ctx context.Context, job runner.Job) (runner.Res
 
 // CheckHealth implements Backend by probing the peer's liveness endpoint.
 // A draining peer answers 503 and is treated as unhealthy, so the
-// dispatcher stops routing to it before it goes away.
+// dispatcher stops routing to it before it goes away. Probes deliberately
+// carry no trace headers: they are background noise, not request work,
+// and must never register traces on the peer.
 func (b *HTTPBackend) CheckHealth(ctx context.Context) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.healthURL, nil)
 	if err != nil {

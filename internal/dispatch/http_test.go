@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dlvp/internal/metrics"
+	"dlvp/internal/obs"
 )
 
 // TestHTTPBackendRoundTrip: the wire request carries the forwarded marker
@@ -48,6 +49,107 @@ func TestHTTPBackendRoundTrip(t *testing.T) {
 	}
 	if !cached || st.Instructions != job.Instrs || st.Workload != job.Workload {
 		t.Errorf("round trip lost data: cached=%v stats=%+v", cached, st)
+	}
+}
+
+// TestHTTPBackendForwardsRequestID: regression test — a run forwarded to
+// a peer must carry the originating request ID and a traceparent linking
+// the peer's spans under the caller's current span, so the remote
+// access-log line and job record join the caller's trace instead of
+// minting a fresh unlinkable ID.
+func TestHTTPBackendForwardsRequestID(t *testing.T) {
+	type seen struct{ reqID, traceparent string }
+	got := make(chan seen, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got <- seen{r.Header.Get("X-Request-ID"), r.Header.Get(obs.TraceParentHeader)}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"stats": metrics.RunStats{}})
+	}))
+	defer ts.Close()
+	b, err := NewHTTPBackend(ts.URL, HTTPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracer := obs.NewTracer(4)
+	tracer.Begin("req-42")
+	ctx := obs.ContextWithTrace(context.Background(), tracer, "req-42")
+	ctx, sp := obs.StartSpanCtx(ctx, "dispatch.attempt")
+	if _, _, err := b.RunResult(ctx, baselineJob(1)); err != nil {
+		t.Fatal(err)
+	}
+	s := <-got
+	if s.reqID != "req-42" {
+		t.Errorf("X-Request-ID = %q, want the originating trace ID", s.reqID)
+	}
+	wantTP := obs.FormatTraceParent("req-42", sp.ID())
+	if s.traceparent != wantTP {
+		t.Errorf("traceparent = %q, want %q", s.traceparent, wantTP)
+	}
+	sp.End()
+}
+
+// TestHTTPBackendNoTraceNoHeaders: without a trace in ctx no trace headers
+// leak, and an invalid trace ID is never forwarded.
+func TestHTTPBackendNoTraceNoHeaders(t *testing.T) {
+	got := make(chan http.Header, 2)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got <- r.Header.Clone()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"stats": metrics.RunStats{}})
+	}))
+	defer ts.Close()
+	b, err := NewHTTPBackend(ts.URL, HTTPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := b.RunResult(context.Background(), baselineJob(1)); err != nil {
+		t.Fatal(err)
+	}
+	h := <-got
+	if h.Get("X-Request-ID") != "" || h.Get(obs.TraceParentHeader) != "" {
+		t.Errorf("trace headers sent without a trace: %v", h)
+	}
+
+	// A trace ID that fails ValidTraceID (e.g. adversarial header
+	// injection via context) must not be forwarded.
+	tracer := obs.NewTracer(4)
+	bad := "evil\r\nX-Injected: 1"
+	tracer.Begin(bad)
+	ctx := obs.ContextWithTrace(context.Background(), tracer, bad)
+	if _, _, err := b.RunResult(ctx, baselineJob(1)); err != nil {
+		t.Fatal(err)
+	}
+	h = <-got
+	if h.Get("X-Request-ID") != "" || h.Get(obs.TraceParentHeader) != "" {
+		t.Errorf("invalid trace ID forwarded: %v", h)
+	}
+}
+
+// TestHTTPBackendHealthProbeExcluded: health probes are background noise
+// and must never carry trace headers, even when the probing context has a
+// live trace.
+func TestHTTPBackendHealthProbeExcluded(t *testing.T) {
+	got := make(chan http.Header, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got <- r.Header.Clone()
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	b, err := NewHTTPBackend(ts.URL, HTTPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer(4)
+	tracer.Begin("probe-trace")
+	ctx := obs.ContextWithTrace(context.Background(), tracer, "probe-trace")
+	if err := b.CheckHealth(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h := <-got
+	if h.Get("X-Request-ID") != "" || h.Get(obs.TraceParentHeader) != "" {
+		t.Errorf("health probe carried trace headers: %v", h)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dlvp/internal/metrics"
+	"dlvp/internal/obs"
 	"dlvp/internal/runner"
 )
 
@@ -763,5 +764,128 @@ func TestAggregateSpeedupTable(t *testing.T) {
 	_ = sum
 	if fmt.Sprint(tables[2].Header[0]) != "scheme" {
 		t.Fatalf("summary header = %v", tables[2].Header)
+	}
+}
+
+// TestMatrixShardSpansJoinSubmitterTrace: SubmitCtx captures the
+// submitting request's trace and re-attaches it to the worker
+// goroutines, so every shard records a matrix.shard span parented under
+// the submit request's span and stolen shards carry the stolen marker —
+// even though execution happens long after the request returned.
+func TestMatrixShardSpansJoinSubmitterTrace(t *testing.T) {
+	fc := newFakeCluster("slow", "fast")
+	fc.rankFn = func(string) []string { return []string{"slow", "fast"} }
+	fc.delay["slow"] = 40 * time.Millisecond
+	ob := obs.NewObserver(nil)
+	o := New(Options{Cluster: fc, Obs: ob, Poll: time.Millisecond, WorkersPerTarget: 1})
+	defer o.Close()
+
+	ob.Tracer.Begin("submit-req")
+	ctx := obs.ContextWithTrace(context.Background(), ob.Tracer, "submit-req")
+	ctx, root := obs.StartSpanCtx(ctx, "http.request")
+	m, err := o.SubmitCtx(ctx, testSpec("linpack", "soplex", "milc", "astar"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, m)
+	root.End()
+	if v.Status != StatusDone || v.Stolen == 0 {
+		t.Fatalf("status=%s stolen=%d — scenario must complete with steals", v.Status, v.Stolen)
+	}
+
+	tv, ok := ob.Tracer.Get("submit-req")
+	if !ok {
+		t.Fatal("submit trace vanished")
+	}
+	shardSpans, stolenSpans := 0, 0
+	for _, sp := range tv.Spans {
+		if sp.Name != "matrix.shard" {
+			continue
+		}
+		shardSpans++
+		if sp.ParentID != root.ID() {
+			t.Errorf("shard span parent = %q, want submit span %q", sp.ParentID, root.ID())
+		}
+		if sp.Attrs["matrix"] != m.ID() || sp.Attrs["target"] == "" {
+			t.Errorf("shard span attrs incomplete: %v", sp.Attrs)
+		}
+		if sp.Marker == obs.MarkerStolen {
+			stolenSpans++
+		}
+	}
+	if shardSpans != len(v.Shards) {
+		t.Errorf("matrix.shard spans = %d, want one per shard (%d)", shardSpans, len(v.Shards))
+	}
+	if stolenSpans != v.Stolen {
+		t.Errorf("stolen-marked spans = %d, view reports %d stolen shards", stolenSpans, v.Stolen)
+	}
+}
+
+// TestMatrixRequeueRecordsRetrySpan: a shard failing on one target and
+// requeuing onto another leaves a retry-marked matrix.requeue span in
+// the submitter's trace naming both targets.
+func TestMatrixRequeueRecordsRetrySpan(t *testing.T) {
+	fc := newFakeCluster("ok", "dead")
+	fc.rankFn = func(string) []string { return []string{"dead", "ok"} }
+	fc.fail["dead"] = errors.New("connection refused")
+	fc.ejectAt = 1
+	ob := obs.NewObserver(nil)
+	o := New(Options{Cluster: fc, Obs: ob, Poll: time.Millisecond, WorkersPerTarget: 1})
+	defer o.Close()
+
+	ob.Tracer.Begin("requeue-req")
+	ctx := obs.ContextWithTrace(context.Background(), ob.Tracer, "requeue-req")
+	m, err := o.SubmitCtx(ctx, testSpec("linpack", "soplex"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, m)
+	if v.Status != StatusDone {
+		t.Fatalf("status = %s (%s)", v.Status, v.Error)
+	}
+
+	tv, ok := ob.Tracer.Get("requeue-req")
+	if !ok {
+		t.Fatal("trace vanished")
+	}
+	requeues, failedShards := 0, 0
+	for _, sp := range tv.Spans {
+		switch sp.Name {
+		case "matrix.requeue":
+			requeues++
+			if sp.Marker != obs.MarkerRetry {
+				t.Errorf("requeue span marker = %q, want %q", sp.Marker, obs.MarkerRetry)
+			}
+			if sp.Attrs["from"] != "dead" || sp.Attrs["to"] == "" || sp.Attrs["error"] == "" {
+				t.Errorf("requeue span attrs incomplete: %v", sp.Attrs)
+			}
+		case "matrix.shard":
+			if sp.Attrs["outcome"] == "failed" {
+				failedShards++
+				// The requeue span parents under the failed attempt's
+				// shard span, keeping the retry chain readable in the
+				// assembled tree.
+				if sp.SpanID == "" {
+					t.Error("failed shard span missing span ID")
+				}
+			}
+		}
+	}
+	// At least one shard hit the dead target first (rank pins it), so at
+	// least one requeue must be recorded — unless every dead-bound shard
+	// was stolen before its first attempt, which ejectAt=1 + rank pinning
+	// makes effectively impossible with a 40ms-free fast path. Guard on
+	// the view instead of assuming.
+	requeued := 0
+	for _, sv := range v.Shards {
+		if sv.Attempts > 1 {
+			requeued++
+		}
+	}
+	if requeues != requeued {
+		t.Errorf("matrix.requeue spans = %d, view shows %d requeued shards", requeues, requeued)
+	}
+	if requeued > 0 && failedShards == 0 {
+		t.Error("requeued shards left no failed matrix.shard span")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -105,6 +106,14 @@ func New(opts Options) *Orchestrator {
 type Matrix struct {
 	plan Plan
 
+	// traceID/parentSpan carry the submitting request's trace context into
+	// the orchestrator's worker goroutines, which outlive the request:
+	// shard spans (and, via traceparent propagation, the peers' subtrees)
+	// join the submitter's distributed trace. Set once before start, never
+	// mutated after; empty for resumed matrices — their submitter is gone.
+	traceID    string
+	parentSpan string
+
 	mu          sync.Mutex
 	shards      []*shardRun
 	queues      map[string][]int // target -> pending shard IDs
@@ -174,11 +183,23 @@ func newMatrix(plan Plan) *Matrix {
 
 // Submit validates, plans, registers, and starts a matrix.
 func (o *Orchestrator) Submit(spec Spec) (*Matrix, error) {
+	return o.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx is Submit carrying the submitting request's trace context.
+// Shard execution happens on orchestrator goroutines that outlive the
+// request, so the trace ID and current span are captured here and
+// re-attached to the worker context: every shard span — and, through
+// traceparent propagation, every peer-side subtree — lands in the
+// submitter's trace, parented under the submit request's span.
+func (o *Orchestrator) SubmitCtx(ctx context.Context, spec Spec) (*Matrix, error) {
 	plan, err := NewPlan(spec)
 	if err != nil {
 		return nil, err
 	}
 	m := newMatrix(plan)
+	m.traceID = obs.TraceID(ctx)
+	m.parentSpan = obs.SpanID(ctx)
 	if err := o.register(m); err != nil {
 		return nil, err
 	}
@@ -223,6 +244,12 @@ func (o *Orchestrator) register(m *Matrix) error {
 // launches the per-target worker pool.
 func (o *Orchestrator) start(m *Matrix) {
 	ctx, cancel := context.WithCancel(o.ctx)
+	if m.traceID != "" {
+		// Re-attach the submitter's trace (workers run under o.ctx, which
+		// carries none). If the trace has since been evicted from the
+		// tracer's ring, span recording degrades to a no-op.
+		ctx = obs.ContextWithRemoteParent(ctx, o.obs.Tracer, m.traceID, m.parentSpan)
+	}
 
 	m.mu.Lock()
 	m.cancel = cancel
@@ -311,7 +338,7 @@ func (o *Orchestrator) worker(ctx context.Context, m *Matrix, target string) {
 		if stole {
 			o.shardRuns.With("stolen").Inc()
 		}
-		o.runShard(ctx, m, id, target)
+		o.runShard(ctx, m, id, target, stole)
 	}
 }
 
@@ -379,15 +406,29 @@ func (m *Matrix) startShardLocked(id int, target string) {
 }
 
 // runShard executes every cell of one shard on target, committing the
-// results or routing the failure.
-func (o *Orchestrator) runShard(ctx context.Context, m *Matrix, id int, target string) {
+// results or routing the failure. The whole shard runs inside one
+// matrix.shard span (stolen shards carry the stolen marker), and every
+// cell dispatch happens in that span's context so the dispatcher's
+// attempt spans — and the remote subtree behind them — nest under it.
+func (o *Orchestrator) runShard(ctx context.Context, m *Matrix, id int, target string, stolen bool) {
 	shard := m.plan.Shards[id]
+	m.mu.Lock()
+	attempt := m.shards[id].attempts
+	m.mu.Unlock()
+	sctx, sp := obs.StartSpanCtx(ctx, "matrix.shard")
+	sp.Attr("matrix", m.plan.ID).Attr("shard", strconv.Itoa(id)).
+		Attr("workload", shard.Workload).Attr("target", target).
+		Attr("attempt", strconv.Itoa(attempt))
+	if stolen {
+		sp.Mark(obs.MarkerStolen)
+	}
 	results := make([]CellResult, 0, len(shard.Cells))
 	for _, cell := range shard.Cells {
 		begin := time.Now()
-		res, cached, err := o.cluster.RunOn(ctx, target, cell.Job)
+		res, cached, err := o.cluster.RunOn(sctx, target, cell.Job)
 		if err != nil {
-			o.shardFailed(ctx, m, id, target, err)
+			sp.Attr("outcome", "failed").Attr("error", err.Error()).End()
+			o.shardFailed(sctx, m, id, target, err)
 			return
 		}
 		results = append(results, CellResult{
@@ -400,6 +441,7 @@ func (o *Orchestrator) runShard(ctx context.Context, m *Matrix, id int, target s
 			ElapsedMS: time.Since(begin).Milliseconds(),
 		})
 	}
+	sp.Attr("outcome", "done").End()
 	o.shardDone(m, id, target, results)
 }
 
@@ -496,6 +538,10 @@ func (o *Orchestrator) shardFailed(ctx context.Context, m *Matrix, id int, targe
 	m.queues[next] = append(m.queues[next], id)
 	m.mu.Unlock()
 	o.shardRuns.With("requeued").Inc()
+	obs.StartSpan(ctx, "matrix.requeue").Mark(obs.MarkerRetry).
+		Attr("matrix", m.plan.ID).Attr("shard", strconv.Itoa(id)).
+		Attr("from", target).Attr("to", next).
+		Attr("error", err.Error()).End()
 	o.obs.Log.Info("matrix: shard requeued", "matrix", m.plan.ID, "shard", id, "from", target, "to", next, "attempts", attempts, "err", err)
 }
 

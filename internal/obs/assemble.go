@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// InstanceSpans is one daemon's contribution to a distributed trace: the
+// spans it recorded locally under a shared trace ID, tagged with the
+// instance name they came from.
+type InstanceSpans struct {
+	Instance string `json:"instance"`
+	Spans    []Span `json:"spans"`
+}
+
+// TreeNode is one span placed in the assembled cross-process tree.
+type TreeNode struct {
+	Span
+	Instance string      `json:"instance,omitempty"`
+	Children []*TreeNode `json:"children,omitempty"`
+}
+
+// Assembled is the result of stitching per-instance span lists into one
+// tree. Orphans counts spans whose parent span was not found anywhere in
+// the cluster (dropped by a span cap, evicted from a peer's ring, or the
+// peer was unreachable); they are promoted to roots rather than lost.
+type Assembled struct {
+	Roots      []*TreeNode `json:"roots"`
+	Spans      int         `json:"spans"`
+	Orphans    int         `json:"orphans,omitempty"`
+	Start      time.Time   `json:"start"`
+	DurationMS float64     `json:"duration_ms"`
+}
+
+// Assemble stitches per-instance span lists into one tree by
+// SpanID/ParentID links. Spans without a span ID (pre-propagation
+// recordings) and spans whose parent is missing become roots. The input
+// is untrusted (peers report their own spans), so parent links that would
+// form a cycle are broken: any span unreachable from a root is promoted
+// to a root and counted as an orphan.
+func Assemble(parts []InstanceSpans) Assembled {
+	var out Assembled
+	var nodes []*TreeNode
+	byID := make(map[string]*TreeNode)
+	for _, part := range parts {
+		for _, sp := range part.Spans {
+			n := &TreeNode{Span: sp, Instance: part.Instance}
+			nodes = append(nodes, n)
+			if sp.SpanID != "" && byID[sp.SpanID] == nil {
+				byID[sp.SpanID] = n
+			}
+		}
+	}
+	out.Spans = len(nodes)
+	if len(nodes) == 0 {
+		return out
+	}
+
+	for _, n := range nodes {
+		if parent := byID[n.ParentID]; n.ParentID != "" && parent != nil && parent != n {
+			parent.Children = append(parent.Children, n)
+		} else {
+			if n.ParentID != "" {
+				out.Orphans++
+			}
+			out.Roots = append(out.Roots, n)
+		}
+	}
+
+	// Break cycles: walk from the roots; whatever is unreachable sits on a
+	// parent cycle and is re-rooted (its in-cycle child edges are kept, so
+	// the cycle renders as a subtree instead of vanishing).
+	reached := make(map[*TreeNode]bool, len(nodes))
+	var walk func(n *TreeNode)
+	walk = func(n *TreeNode) {
+		if reached[n] {
+			return
+		}
+		reached[n] = true
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range out.Roots {
+		walk(r)
+	}
+	for _, n := range nodes {
+		if !reached[n] {
+			// Detach n from its (in-cycle) parent so no node is both a root
+			// and somebody's child — renderers walk a true tree.
+			parent := byID[n.ParentID]
+			for i, c := range parent.Children {
+				if c == n {
+					parent.Children = append(parent.Children[:i], parent.Children[i+1:]...)
+					break
+				}
+			}
+			out.Orphans++
+			out.Roots = append(out.Roots, n)
+			walk(n)
+		}
+	}
+
+	sortNodes := func(ns []*TreeNode) {
+		sort.SliceStable(ns, func(i, j int) bool { return ns[i].Start.Before(ns[j].Start) })
+	}
+	sortNodes(out.Roots)
+	for _, n := range nodes {
+		sortNodes(n.Children)
+	}
+
+	out.Start = nodes[0].Start
+	var end time.Time
+	for _, n := range nodes {
+		if n.Start.Before(out.Start) {
+			out.Start = n.Start
+		}
+		if e := n.Start.Add(time.Duration(n.DurationMS * float64(time.Millisecond))); e.After(end) {
+			end = e
+		}
+	}
+	out.DurationMS = float64(end.Sub(out.Start)) / float64(time.Millisecond)
+	return out
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func mkSpan(name, id, parent string, startMS, durMS float64) Span {
+	base := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	return Span{
+		Name:       name,
+		SpanID:     id,
+		ParentID:   parent,
+		Start:      base.Add(time.Duration(startMS * float64(time.Millisecond))),
+		DurationMS: durMS,
+	}
+}
+
+func TestAssembleCrossInstanceTree(t *testing.T) {
+	// Originating node: request -> dispatch attempt; peer: its server-side
+	// subtree parented under the attempt span via traceparent.
+	local := InstanceSpans{Instance: "local", Spans: []Span{
+		mkSpan("http.request", "aaaaaaaaaaaaaaaa", "", 0, 100),
+		mkSpan("dispatch.attempt", "bbbbbbbbbbbbbbbb", "aaaaaaaaaaaaaaaa", 5, 90),
+	}}
+	peer := InstanceSpans{Instance: "http://peer:1", Spans: []Span{
+		mkSpan("http.request", "cccccccccccccccc", "bbbbbbbbbbbbbbbb", 10, 80),
+		mkSpan("runner.run", "dddddddddddddddd", "cccccccccccccccc", 12, 70),
+	}}
+	a := Assemble([]InstanceSpans{local, peer})
+	if a.Spans != 4 || a.Orphans != 0 {
+		t.Fatalf("spans=%d orphans=%d, want 4/0", a.Spans, a.Orphans)
+	}
+	if len(a.Roots) != 1 || a.Roots[0].Name != "http.request" || a.Roots[0].Instance != "local" {
+		t.Fatalf("roots = %+v, want single local http.request", a.Roots)
+	}
+	attempt := a.Roots[0].Children[0]
+	if attempt.Name != "dispatch.attempt" || len(attempt.Children) != 1 {
+		t.Fatalf("attempt node = %+v", attempt)
+	}
+	remote := attempt.Children[0]
+	if remote.Instance != "http://peer:1" || remote.Children[0].Name != "runner.run" {
+		t.Errorf("peer subtree not attached under attempt: %+v", remote)
+	}
+	if a.DurationMS != 100 {
+		t.Errorf("duration = %v, want 100", a.DurationMS)
+	}
+}
+
+func TestAssembleOrphansAndLegacySpans(t *testing.T) {
+	parts := []InstanceSpans{{Instance: "local", Spans: []Span{
+		mkSpan("legacy", "", "", 0, 1),                                      // pre-propagation span: no IDs
+		mkSpan("lost-parent", "aaaaaaaaaaaaaaaa", "ffffffffffffffff", 1, 1), // parent evicted
+	}}}
+	a := Assemble(parts)
+	if len(a.Roots) != 2 {
+		t.Fatalf("roots = %d, want 2", len(a.Roots))
+	}
+	if a.Orphans != 1 {
+		t.Errorf("orphans = %d, want 1 (legacy spans are roots, not orphans)", a.Orphans)
+	}
+}
+
+func TestAssembleBreaksCycles(t *testing.T) {
+	parts := []InstanceSpans{{Instance: "evil", Spans: []Span{
+		mkSpan("a", "aaaaaaaaaaaaaaaa", "bbbbbbbbbbbbbbbb", 0, 1),
+		mkSpan("b", "bbbbbbbbbbbbbbbb", "aaaaaaaaaaaaaaaa", 1, 1),
+	}}}
+	a := Assemble(parts)
+	if len(a.Roots) != 1 {
+		t.Fatalf("roots = %d, want 1 (cycle re-rooted once)", len(a.Roots))
+	}
+	// Every span must appear exactly once in the tree.
+	seen := 0
+	var walk func(n *TreeNode)
+	walk = func(n *TreeNode) {
+		seen++
+		if seen > 10 {
+			t.Fatal("tree walk did not terminate: cycle survived")
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range a.Roots {
+		walk(r)
+	}
+	if seen != 2 {
+		t.Errorf("tree spans = %d, want 2", seen)
+	}
+}
+
+func TestAssembleEmpty(t *testing.T) {
+	a := Assemble(nil)
+	if a.Spans != 0 || len(a.Roots) != 0 {
+		t.Errorf("empty assemble = %+v", a)
+	}
+}

@@ -96,6 +96,67 @@ func TestExpositionMetadataAndEscaping(t *testing.T) {
 	validateExposition(t, out)
 }
 
+// TestLabelValueEscaping pins the text-exposition escaping of
+// attacker-controlled label values (workload names from user-uploaded
+// traces will flow into labels): newlines, quotes, and backslashes must
+// each escape to the Prometheus text-format sequences, alone and
+// combined, and the exposition must stay line- and block-well-formed.
+func TestLabelValueEscaping(t *testing.T) {
+	cases := []struct {
+		name    string
+		value   string
+		escaped string
+	}{
+		{"newline", "evil\nworkload", `evil\nworkload`},
+		{"carriage return survives raw", "a\rb", "a\rb"},
+		{"quote", `say "hi"`, `say \"hi\"`},
+		{"backslash", `c:\traces\x`, `c:\\traces\\x`},
+		{"backslash-n literal", `not\nnewline`, `not\\nnewline`},
+		{"all combined", "\\\"\n", `\\\"\n`},
+		{"trailing backslash", `dangling\`, `dangling\\`},
+	}
+	reg := NewRegistry()
+	vec := reg.Counter("workload_runs_total", "Runs by workload.", "workload")
+	for _, tc := range cases {
+		vec.With(tc.value).Inc()
+	}
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, tc := range cases {
+		want := `workload_runs_total{workload="` + tc.escaped + `"} 1`
+		if !strings.Contains(out, want) {
+			t.Errorf("%s: exposition missing %q:\n%s", tc.name, want, out)
+		}
+	}
+	// A raw (unescaped) newline inside a label value would split a sample
+	// across two lines; every non-comment line must still parse as
+	// name{...} value.
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "workload_runs_total{workload=\"") ||
+			!strings.HasSuffix(line, "\"} 1") {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+	validateExposition(t, out)
+}
+
+// TestLabelEscapingRoundTrip decodes the escaped form back and checks it
+// recovers the original value — proof the escaping is injective, so two
+// different hostile workload names can never collide into one series label.
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	unescape := strings.NewReplacer(`\\`, "\\", `\n`, "\n", `\"`, "\"")
+	for _, v := range []string{"plain", "a\nb", `a\nb`, `q"q`, `b\`, "mix\\\"\nend"} {
+		got := unescape.Replace(escapeLabel(v))
+		if got != v {
+			t.Errorf("escape(%q) round-tripped to %q", v, got)
+		}
+	}
+}
+
 // validateExposition parses a text exposition and asserts the format
 // invariants: every sample belongs to a family whose HELP and TYPE were
 // emitted first, and histogram bucket counts are monotone in le.

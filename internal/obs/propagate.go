@@ -1,0 +1,56 @@
+package obs
+
+import "strings"
+
+// TraceParentHeader carries trace context across daemon hops, W3C
+// traceparent style: "00-<trace-id>-<parent-span-id>-01". Unlike strict
+// W3C, the trace ID is any ValidTraceID string (request IDs are
+// operator-visible and may be human-chosen, e.g. "sweep-2026-08"), so the
+// format is parsed from both ends: the span ID is the dash-free 16-hex
+// field before the flags, leaving everything between version and span ID
+// as the trace ID even when it contains dashes.
+const TraceParentHeader = "Traceparent"
+
+// traceParentVersion is the only version this daemon emits or accepts.
+const traceParentVersion = "00"
+
+// FormatTraceParent renders the outbound header value, or "" when the
+// trace ID is unusable (the hop then propagates nothing). A missing or
+// malformed span ID degrades to the all-zero span ID, which receivers
+// treat as "no parent": the peer still joins the trace, rooted.
+func FormatTraceParent(traceID, spanID string) string {
+	if !ValidTraceID(traceID) {
+		return ""
+	}
+	if !ValidSpanID(spanID) {
+		spanID = "0000000000000000"
+	}
+	return traceParentVersion + "-" + traceID + "-" + spanID + "-01"
+}
+
+// ParseTraceParent decodes a header value into (traceID, parentSpanID).
+// ok is false for anything malformed; a well-formed header with the
+// all-zero span ID yields parentSpanID "".
+func ParseTraceParent(v string) (traceID, parentSpanID string, ok bool) {
+	v = strings.TrimSpace(v)
+	rest, found := strings.CutPrefix(v, traceParentVersion+"-")
+	if !found {
+		return "", "", false
+	}
+	rest, found = strings.CutSuffix(rest, "-01")
+	if !found {
+		return "", "", false
+	}
+	i := strings.LastIndexByte(rest, '-')
+	if i < 0 {
+		return "", "", false
+	}
+	traceID, parentSpanID = rest[:i], rest[i+1:]
+	if !ValidTraceID(traceID) || !ValidSpanID(parentSpanID) {
+		return "", "", false
+	}
+	if parentSpanID == "0000000000000000" {
+		parentSpanID = ""
+	}
+	return traceID, parentSpanID, true
+}

@@ -1,0 +1,47 @@
+package obs
+
+import "testing"
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ trace, span string }{
+		{NewTraceID(), NewSpanID()},
+		{"sweep-2026-08", NewSpanID()}, // dashes in the trace ID survive
+		{"a-01-b", "0123456789abcdef"}, // trace ID ending like the suffix
+		{"x_y.z", ""},                  // no parent -> zero span on the wire
+		{"sweep-trace-1", NewSpanID()},
+	} {
+		hdr := FormatTraceParent(tc.trace, tc.span)
+		if hdr == "" {
+			t.Fatalf("FormatTraceParent(%q, %q) empty", tc.trace, tc.span)
+		}
+		gotTrace, gotSpan, ok := ParseTraceParent(hdr)
+		if !ok {
+			t.Fatalf("ParseTraceParent(%q) failed", hdr)
+		}
+		if gotTrace != tc.trace || gotSpan != tc.span {
+			t.Errorf("round trip %q: got (%q, %q), want (%q, %q)", hdr, gotTrace, gotSpan, tc.trace, tc.span)
+		}
+	}
+}
+
+func TestFormatTraceParentRejectsBadTraceID(t *testing.T) {
+	if hdr := FormatTraceParent("has space", NewSpanID()); hdr != "" {
+		t.Errorf("got %q, want empty for invalid trace ID", hdr)
+	}
+}
+
+func TestParseTraceParentRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"00-abc",                     // no span/flags
+		"01-abc-0123456789abcdef-01", // unknown version
+		"00-abc-0123456789abcdef-00", // unknown flags
+		"00-abc-NOTHEX1234567890-01", // bad span ID
+		"00--0123456789abcdef-01",    // empty trace ID
+		"00-has space-0123456789abcdef-01",
+	} {
+		if _, _, ok := ParseTraceParent(bad); ok {
+			t.Errorf("ParseTraceParent(%q) = ok, want rejection", bad)
+		}
+	}
+}

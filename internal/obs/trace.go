@@ -17,13 +17,29 @@ const DefaultTraceCapacity = 256
 // Excess spans are counted but dropped.
 const maxSpansPerTrace = 512
 
-// Span is one timed region of a trace.
+// Span is one timed region of a trace. SpanID/ParentID link spans into a
+// tree that survives process boundaries: a span started under a context
+// that adopted a remote parent (see ContextWithRemoteParent) carries the
+// caller's span ID in ParentID, so the originating node can reassemble
+// the full cross-daemon tree from each peer's local span list.
 type Span struct {
-	Name       string            `json:"name"`
+	Name     string `json:"name"`
+	SpanID   string `json:"span_id,omitempty"`
+	ParentID string `json:"parent_id,omitempty"`
+	// Marker flags spans that explain why duplicate or repeated work
+	// appears in a trace: "hedge_loser", "retry", "stolen".
+	Marker     string            `json:"marker,omitempty"`
 	Start      time.Time         `json:"start"`
 	DurationMS float64           `json:"duration_ms"`
 	Attrs      map[string]string `json:"attrs,omitempty"`
 }
+
+// Span markers recorded by the dispatch and matrix layers.
+const (
+	MarkerHedgeLoser = "hedge_loser" // hedge race lost; its work was cancelled
+	MarkerRetry      = "retry"       // a failed attempt triggered re-routing
+	MarkerStolen     = "stolen"      // a shard executed away from its assigned target
+)
 
 // trace is one request/job's span collection.
 type trace struct {
@@ -79,6 +95,34 @@ func (t *Tracer) lookup(id string) *trace {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.byID[id]
+}
+
+// active is lookup plus an eviction-order refresh: a trace still
+// accumulating spans moves to the back of the ring. Without this the ring
+// is FIFO by Begin time, and a minutes-long operation (a distributed
+// sweep recording shard spans throughout) is evicted seconds after
+// submission by probe and poll traffic minting fresh traces. Read-only
+// queries (Get, Summaries) deliberately do not refresh.
+func (t *Tracer) active(id string) *trace {
+	if t == nil || id == "" {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr := t.byID[id]
+	if tr == nil {
+		return nil
+	}
+	if n := len(t.order); n > 1 && t.order[n-1] != id {
+		for i, v := range t.order {
+			if v == id {
+				copy(t.order[i:], t.order[i+1:])
+				t.order[n-1] = id
+				break
+			}
+		}
+	}
+	return tr
 }
 
 // TraceView is the wire shape of one trace.
@@ -177,6 +221,10 @@ type traceCtxKey struct{}
 type traceRef struct {
 	tracer *Tracer
 	id     string
+	// parent is the span ID new spans under this context attach to — the
+	// "current span". Empty for root-level spans. It crosses process
+	// boundaries via traceparent headers (see propagate.go).
+	parent string
 }
 
 // ContextWithTrace attaches a tracer and trace ID to ctx; StartSpan calls
@@ -185,10 +233,28 @@ func ContextWithTrace(ctx context.Context, t *Tracer, id string) context.Context
 	return context.WithValue(ctx, traceCtxKey{}, traceRef{tracer: t, id: id})
 }
 
+// ContextWithRemoteParent is ContextWithTrace for a hop that arrived with
+// trace context: spans started under the returned context carry parentSpan
+// in ParentID, linking this process's subtree under the caller's span. An
+// empty parentSpan degrades to ContextWithTrace.
+func ContextWithRemoteParent(ctx context.Context, t *Tracer, id, parentSpan string) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, traceRef{tracer: t, id: id, parent: parentSpan})
+}
+
 // TraceID returns the trace ID carried by ctx ("" if none).
 func TraceID(ctx context.Context) string {
 	if ref, ok := ctx.Value(traceCtxKey{}).(traceRef); ok {
 		return ref.id
+	}
+	return ""
+}
+
+// SpanID returns the current span ID carried by ctx ("" if none) — the
+// span a new child started under ctx would attach to, and the parent ID
+// an outbound hop should propagate.
+func SpanID(ctx context.Context) string {
+	if ref, ok := ctx.Value(traceCtxKey{}).(traceRef); ok {
+		return ref.parent
 	}
 	return ""
 }
@@ -202,6 +268,27 @@ func NewTraceID() string {
 		return hex.EncodeToString([]byte(time.Now().Format("150405.000")))
 	}
 	return hex.EncodeToString(b[:])
+}
+
+// NewSpanID returns a fresh 16-hex-char random span ID. Span IDs only
+// need to be unique within one trace, so the 64-bit space is ample.
+func NewSpanID() string { return NewTraceID() }
+
+// ValidSpanID reports whether a propagated span ID is safe to adopt as a
+// remote parent link: exactly 16 lowercase-hex characters, the shape
+// NewSpanID produces (and what the traceparent wire format requires —
+// span IDs must be dash-free so the trace ID may contain dashes).
+func ValidSpanID(id string) bool {
+	if len(id) != 16 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // ValidTraceID reports whether a caller-supplied X-Request-ID is safe to
@@ -225,26 +312,52 @@ func ValidTraceID(id string) bool {
 // ActiveSpan is an in-progress span started by StartSpan. The nil
 // ActiveSpan (returned when ctx carries no live trace) is a valid no-op.
 type ActiveSpan struct {
-	tr    *trace
-	name  string
-	start time.Time
-	attrs map[string]string
+	tr     *trace
+	name   string
+	id     string
+	parent string
+	marker string
+	start  time.Time
+	attrs  map[string]string
 }
 
 // StartSpan begins a span under ctx's trace. It returns nil — a no-op
 // handle — when ctx has no trace, the tracer is nil, or the trace has been
 // evicted, so instrumentation points cost one context lookup when tracing
-// is off.
+// is off. The span's parent is ctx's current span (see StartSpanCtx).
 func StartSpan(ctx context.Context, name string) *ActiveSpan {
 	ref, ok := ctx.Value(traceCtxKey{}).(traceRef)
 	if !ok {
 		return nil
 	}
-	tr := ref.tracer.lookup(ref.id)
+	tr := ref.tracer.active(ref.id)
 	if tr == nil {
 		return nil
 	}
-	return &ActiveSpan{tr: tr, name: name, start: time.Now()}
+	return &ActiveSpan{tr: tr, name: name, id: NewSpanID(), parent: ref.parent, start: time.Now()}
+}
+
+// StartSpanCtx begins a span like StartSpan and additionally returns a
+// context whose current span is the new one, so spans started beneath it —
+// in this process or, via traceparent propagation, on a peer — become its
+// children. When ctx has no live trace the original ctx and a nil no-op
+// span come back.
+func StartSpanCtx(ctx context.Context, name string) (context.Context, *ActiveSpan) {
+	sp := StartSpan(ctx, name)
+	if sp == nil {
+		return ctx, nil
+	}
+	ref := ctx.Value(traceCtxKey{}).(traceRef)
+	ref.parent = sp.id
+	return context.WithValue(ctx, traceCtxKey{}, ref), sp
+}
+
+// ID returns the span's ID ("" for the nil no-op span).
+func (s *ActiveSpan) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
 }
 
 // Attr attaches a key/value attribute and returns the span for chaining.
@@ -259,6 +372,16 @@ func (s *ActiveSpan) Attr(k, v string) *ActiveSpan {
 	return s
 }
 
+// Mark flags the span with one of the Marker* constants and returns it
+// for chaining.
+func (s *ActiveSpan) Mark(marker string) *ActiveSpan {
+	if s == nil {
+		return nil
+	}
+	s.marker = marker
+	return s
+}
+
 // End records the span into its trace.
 func (s *ActiveSpan) End() {
 	if s == nil {
@@ -266,6 +389,9 @@ func (s *ActiveSpan) End() {
 	}
 	sp := Span{
 		Name:       s.name,
+		SpanID:     s.id,
+		ParentID:   s.parent,
+		Marker:     s.marker,
 		Start:      s.start,
 		DurationMS: float64(time.Since(s.start)) / float64(time.Millisecond),
 		Attrs:      s.attrs,

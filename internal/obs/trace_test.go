@@ -101,6 +101,78 @@ func TestTraceIDValidation(t *testing.T) {
 	}
 }
 
+func TestSpanParentLinks(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Begin("t")
+	ctx := ContextWithTrace(context.Background(), tr, "t")
+
+	pctx, parent := StartSpanCtx(ctx, "parent")
+	if parent.ID() == "" {
+		t.Fatal("parent span has no ID")
+	}
+	if got := SpanID(pctx); got != parent.ID() {
+		t.Errorf("SpanID(pctx) = %q, want %q", got, parent.ID())
+	}
+	child := StartSpan(pctx, "child")
+	child.End()
+	sibling := StartSpan(ctx, "sibling") // original ctx: no parent
+	sibling.End()
+	parent.End()
+
+	view, _ := tr.Get("t")
+	byName := map[string]Span{}
+	for _, sp := range view.Spans {
+		byName[sp.Name] = sp
+	}
+	if byName["child"].ParentID != parent.ID() {
+		t.Errorf("child parent = %q, want %q", byName["child"].ParentID, parent.ID())
+	}
+	if byName["sibling"].ParentID != "" {
+		t.Errorf("sibling parent = %q, want root", byName["sibling"].ParentID)
+	}
+	if byName["parent"].SpanID == "" || byName["parent"].ParentID != "" {
+		t.Errorf("parent span = %+v, want root with ID", byName["parent"])
+	}
+}
+
+func TestRemoteParentAdopted(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Begin("t")
+	ctx := ContextWithRemoteParent(context.Background(), tr, "t", "00000000deadbeef")
+	if got := SpanID(ctx); got != "00000000deadbeef" {
+		t.Fatalf("SpanID = %q, want remote parent", got)
+	}
+	StartSpan(ctx, "local").End()
+	view, _ := tr.Get("t")
+	if view.Spans[0].ParentID != "00000000deadbeef" {
+		t.Errorf("ParentID = %q, want remote parent", view.Spans[0].ParentID)
+	}
+}
+
+func TestSpanMarker(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Begin("t")
+	ctx := ContextWithTrace(context.Background(), tr, "t")
+	StartSpan(ctx, "loser").Mark(MarkerHedgeLoser).End()
+	view, _ := tr.Get("t")
+	if view.Spans[0].Marker != MarkerHedgeLoser {
+		t.Errorf("marker = %q, want %q", view.Spans[0].Marker, MarkerHedgeLoser)
+	}
+	// Nil no-op span accepts Mark too.
+	StartSpan(context.Background(), "x").Mark(MarkerRetry).End()
+}
+
+func TestSpanIDValidation(t *testing.T) {
+	if !ValidSpanID(NewSpanID()) {
+		t.Error("NewSpanID not valid")
+	}
+	for _, bad := range []string{"", "short", "00000000DEADBEEF", "0123456789abcdefff", "0123456789abcdeg"} {
+		if ValidSpanID(bad) {
+			t.Errorf("ValidSpanID(%q) = true, want false", bad)
+		}
+	}
+}
+
 func TestBeginIdempotentKeepsSpans(t *testing.T) {
 	tr := NewTracer(4)
 	tr.Begin("t")
@@ -111,5 +183,33 @@ func TestBeginIdempotentKeepsSpans(t *testing.T) {
 	view, _ := tr.Get("t")
 	if len(view.Spans) != 2 {
 		t.Errorf("spans = %d, want 2 (Begin must not reset a live trace)", len(view.Spans))
+	}
+}
+
+// TestActiveTraceSurvivesChurn: recording spans into a trace refreshes
+// its eviction position, so a long-running traced operation outlives the
+// probe/poll traffic that mints fresh traces around it. An idle trace at
+// the same age is still evicted.
+func TestActiveTraceSurvivesChurn(t *testing.T) {
+	tr := NewTracer(3)
+	tr.Begin("sweep")
+	tr.Begin("idle")
+	ctx := ContextWithTrace(context.Background(), tr, "sweep")
+	for i := 0; i < 10; i++ {
+		tr.Begin(fmt.Sprintf("noise%d", i))
+		StartSpan(ctx, "shard").End() // touch: move sweep to the back
+	}
+	if _, ok := tr.Get("sweep"); !ok {
+		t.Fatal("actively-traced sweep evicted by churn")
+	}
+	if _, ok := tr.Get("idle"); ok {
+		t.Error("idle trace survived churn; eviction never happened")
+	}
+	if tr.Len() != 3 {
+		t.Errorf("retained = %d, want 3", tr.Len())
+	}
+	view, _ := tr.Get("sweep")
+	if len(view.Spans) != 10 {
+		t.Errorf("sweep spans = %d, want 10", len(view.Spans))
 	}
 }

@@ -364,8 +364,11 @@ func (r *Runner) RunResult(ctx context.Context, job Job) (Result, bool, error) {
 		return zero, false, err
 	}
 
-	sp := obs.StartSpan(ctx, "runner.run").
-		Attr("workload", job.Workload).
+	// StartSpanCtx (not StartSpan) so the phase spans below — queue wait,
+	// execute, capture/replay — parent under runner.run instead of landing
+	// as flat siblings in the assembled tree.
+	ctx, sp := obs.StartSpanCtx(ctx, "runner.run")
+	sp.Attr("workload", job.Workload).
 		Attr("instrs", strconv.FormatUint(job.Instrs, 10))
 
 	if r.cache != nil {

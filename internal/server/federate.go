@@ -1,0 +1,234 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dlvp/internal/obs"
+)
+
+// Federation scrape bounds. Each peer gets its own deadline so one slow
+// member degrades only its own contribution, and response bodies are
+// capped so a misbehaving peer cannot balloon the merged document.
+const (
+	// DefaultPeerScrapeTimeout bounds one peer scrape when the request
+	// does not override it with ?peer_timeout_ms=.
+	DefaultPeerScrapeTimeout = 2 * time.Second
+	// MaxPeerScrapeTimeout caps the override so a caller cannot pin the
+	// handler on a black-holed peer.
+	MaxPeerScrapeTimeout = 30 * time.Second
+	// maxFederatedBody caps one peer's response body.
+	maxFederatedBody = 8 << 20
+)
+
+// peerIssue reports one instance the federated view is missing.
+type peerIssue struct {
+	Instance string `json:"instance"`
+	Error    string `json:"error"`
+}
+
+// clusterTraceResponse is the GET /v1/traces/{id}?cluster=1 payload: the
+// cross-process span tree assembled from this daemon's tracer plus every
+// healthy peer's local view of the same trace ID.
+type clusterTraceResponse struct {
+	ID        string      `json:"id"`
+	Cluster   bool        `json:"cluster"`
+	Instances []string    `json:"instances"` // instances that contributed spans
+	Degraded  []peerIssue `json:"degraded,omitempty"`
+	obs.Assembled
+}
+
+// localInstance names this daemon in federated views: its ring name when
+// dispatching, "local" standalone.
+func (s *Server) localInstance() string {
+	if s.dispatcher != nil {
+		return s.dispatcher.LocalTarget()
+	}
+	return "local"
+}
+
+// peerBases returns the base URL of every healthy peer in the ring (the
+// dispatcher names HTTP backends by their scheme://host base). Unhealthy
+// peers are reported as issues instead of scraped: a federated view must
+// not stall on a peer the health machinery already ejected.
+func (s *Server) peerBases() (bases []string, down []peerIssue) {
+	if s.dispatcher == nil {
+		return nil, nil
+	}
+	for _, b := range s.dispatcher.Status().Backends {
+		if b.Kind != "peer" {
+			continue
+		}
+		if !b.Healthy {
+			down = append(down, peerIssue{Instance: b.Name, Error: "peer unhealthy (ejected)"})
+			continue
+		}
+		bases = append(bases, b.Name)
+	}
+	return bases, down
+}
+
+// peerScrapeTimeout resolves the per-peer deadline from ?peer_timeout_ms=.
+func peerScrapeTimeout(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("peer_timeout_ms")
+	if raw == "" {
+		return DefaultPeerScrapeTimeout, nil
+	}
+	ms, err := strconv.Atoi(raw)
+	if err != nil || ms < 1 {
+		return 0, fmt.Errorf("invalid peer_timeout_ms %q", raw)
+	}
+	return min(time.Duration(ms)*time.Millisecond, MaxPeerScrapeTimeout), nil
+}
+
+// scrapePeer GETs one peer URL under its own deadline and returns the
+// body and status (status 0 on transport failure). The parent context
+// still applies, so client disconnect cancels the whole fan-out.
+func (s *Server) scrapePeer(ctx context.Context, rawURL string, timeout time.Duration) ([]byte, int, error) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := s.fed.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxFederatedBody))
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return body, resp.StatusCode, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return body, resp.StatusCode, nil
+}
+
+// handleTraceCluster assembles the distributed trace for one ID: the
+// local tracer's spans plus each healthy peer's GET /v1/traces/{id}
+// (without the cluster parameter — peers answer from their own ring
+// only, so federation never recurses). Peers that cannot be scraped, or
+// that never saw the trace, degrade the view rather than fail it; 404 is
+// returned only when no instance anywhere has the trace.
+func (s *Server) handleTraceCluster(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	timeout, err := peerScrapeTimeout(r)
+	if err != nil {
+		s.writeJSON(w, r, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+
+	var parts []obs.InstanceSpans
+	var degraded []peerIssue
+	local := s.localInstance()
+	if view, ok := s.obs.Tracer.Get(id); ok {
+		parts = append(parts, obs.InstanceSpans{Instance: local, Spans: view.Spans})
+	}
+
+	bases, down := s.peerBases()
+	degraded = append(degraded, down...)
+	type scrape struct {
+		part  *obs.InstanceSpans
+		issue *peerIssue
+	}
+	results := make([]scrape, len(bases))
+	var wg sync.WaitGroup
+	for i, base := range bases {
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			body, status, err := s.scrapePeer(r.Context(), base+"/v1/traces/"+url.PathEscape(id), timeout)
+			if err != nil {
+				// A peer that simply never saw the trace is not degraded —
+				// it has nothing to contribute.
+				if status == http.StatusNotFound {
+					return
+				}
+				results[i].issue = &peerIssue{Instance: base, Error: err.Error()}
+				return
+			}
+			var view obs.TraceView
+			if err := json.Unmarshal(body, &view); err != nil {
+				results[i].issue = &peerIssue{Instance: base, Error: "decode trace: " + err.Error()}
+				return
+			}
+			results[i].part = &obs.InstanceSpans{Instance: base, Spans: view.Spans}
+		}(i, base)
+	}
+	wg.Wait()
+	for _, res := range results {
+		if res.part != nil {
+			parts = append(parts, *res.part)
+		}
+		if res.issue != nil {
+			degraded = append(degraded, *res.issue)
+		}
+	}
+
+	if len(parts) == 0 {
+		s.writeJSON(w, r, http.StatusNotFound, errorBody{Error: "trace unknown on every reachable instance"})
+		return
+	}
+	out := clusterTraceResponse{
+		ID:        id,
+		Cluster:   true,
+		Degraded:  degraded,
+		Assembled: obs.Assemble(parts),
+	}
+	for _, p := range parts {
+		out.Instances = append(out.Instances, p.Instance)
+	}
+	s.writeJSON(w, r, http.StatusOK, out)
+}
+
+// handleClusterMetrics serves GET /v1/cluster/metrics: this daemon's own
+// exposition merged with every healthy peer's /metrics under per-instance
+// labels. Unreachable peers annotate the document (comment + peer_up 0)
+// instead of failing the scrape, so dashboards keep working through a
+// partial outage.
+func (s *Server) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
+	timeout, err := peerScrapeTimeout(r)
+	if err != nil {
+		s.writeJSON(w, r, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+
+	var local strings.Builder
+	s.obs.Metrics.WritePrometheus(&local)
+	parts := []obs.Exposition{{Instance: s.localInstance(), Text: local.String()}}
+
+	bases, down := s.peerBases()
+	scraped := make([]obs.Exposition, len(bases))
+	var wg sync.WaitGroup
+	for i, base := range bases {
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			body, _, err := s.scrapePeer(r.Context(), base+"/metrics", timeout)
+			if err != nil {
+				scraped[i] = obs.Exposition{Instance: base, Err: err}
+				return
+			}
+			scraped[i] = obs.Exposition{Instance: base, Text: string(body)}
+		}(i, base)
+	}
+	wg.Wait()
+	parts = append(parts, scraped...)
+	for _, d := range down {
+		parts = append(parts, obs.Exposition{Instance: d.Instance, Err: fmt.Errorf("%s", d.Error)})
+	}
+
+	w.Header().Set("Content-Type", obs.ContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, obs.MergeExpositions(parts))
+}

@@ -1,0 +1,296 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dlvp/internal/dispatch"
+	"dlvp/internal/obs"
+	"dlvp/internal/runner"
+)
+
+// TestTraceparentAdoption: a request carrying X-Request-ID plus a matching
+// traceparent parents this daemon's http.request span under the remote
+// caller's span; a traceparent naming a different trace is ignored.
+func TestTraceparentAdoption(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	parent := obs.NewSpanID()
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "adopt-1")
+	req.Header.Set(obs.TraceParentHeader, obs.FormatTraceParent("adopt-1", parent))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// The http.request span records at End, after the response is visible;
+	// poll rather than race it.
+	sp := waitSpan(t, func() (obs.TraceView, bool) { return s.obs.Tracer.Get("adopt-1") }, "http.request")
+	if sp.ParentID != parent {
+		t.Errorf("http.request parent = %q, want remote span %q", sp.ParentID, parent)
+	}
+
+	// Mismatched trace in the traceparent: X-Request-ID stays authoritative
+	// and no foreign parent is adopted.
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "adopt-2")
+	req.Header.Set(obs.TraceParentHeader, obs.FormatTraceParent("other-trace", parent))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	sp = waitSpan(t, func() (obs.TraceView, bool) { return s.obs.Tracer.Get("adopt-2") }, "http.request")
+	if sp.ParentID != "" {
+		t.Errorf("mismatched traceparent adopted: parent = %q", sp.ParentID)
+	}
+}
+
+// waitSpan polls a tracer view until a span named name is recorded.
+func waitSpan(t *testing.T, get func() (obs.TraceView, bool), name string) obs.Span {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if view, ok := get(); ok {
+			for _, sp := range view.Spans {
+				if sp.Name == name {
+					return sp
+				}
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("span %q never appeared", name)
+	return obs.Span{}
+}
+
+// waitSpanHTTP is waitSpan over a daemon's /v1/traces/{id} endpoint.
+func waitSpanHTTP(t *testing.T, base, id, name string) obs.Span {
+	t.Helper()
+	return waitSpan(t, func() (obs.TraceView, bool) {
+		resp, err := http.Get(base + "/v1/traces/" + id)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			if resp != nil {
+				resp.Body.Close()
+			}
+			return obs.TraceView{}, false
+		}
+		return decode[obs.TraceView](t, resp), true
+	}, name)
+}
+
+// TestBuildInfoMetric: the exposition carries the build-identity gauge
+// with its identity in labels and a constant value of 1.
+func TestBuildInfoMetric(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	if !strings.Contains(text, "# TYPE dlvpd_build_info gauge") {
+		t.Error("dlvpd_build_info TYPE line missing")
+	}
+	line := ""
+	for _, l := range strings.Split(text, "\n") {
+		if strings.HasPrefix(l, "dlvpd_build_info{") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatal("dlvpd_build_info sample missing")
+	}
+	for _, want := range []string{`version="`, `revision=`, `go_version="go`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("build info line %q missing %s label", line, want)
+		}
+	}
+	if !strings.HasSuffix(line, " 1") {
+		t.Errorf("build info value: %q, want constant 1", line)
+	}
+}
+
+// TestClusterTraceAssembly: GET /v1/traces/{id}?cluster=1 on daemon A
+// scrapes peer B's local view of the trace and returns one stitched tree
+// in which B's spans nest under the A-side span that dispatched to it.
+func TestClusterTraceAssembly(t *testing.T) {
+	tsA, _, tsB, _, disp := newClusterPair(t, dispatch.Options{})
+	_ = disp
+
+	// Seed both tracers by hand: a root span on A, a child subtree on B
+	// whose parent link crosses the process boundary — exactly what
+	// traceparent propagation produces.
+	id := "fed-trace-1"
+	reqA, _ := http.NewRequest(http.MethodGet, tsA.URL+"/healthz", nil)
+	reqA.Header.Set("X-Request-ID", id)
+	respA, err := http.DefaultClient.Do(reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respA.Body.Close()
+
+	// Find A's http.request span ID to act as B's remote parent.
+	parent := waitSpanHTTP(t, tsA.URL, id, "http.request").SpanID
+	if parent == "" {
+		t.Fatal("no A-side span to parent under")
+	}
+
+	reqB, _ := http.NewRequest(http.MethodGet, tsB.URL+"/healthz", nil)
+	reqB.Header.Set("X-Request-ID", id)
+	reqB.Header.Set(obs.TraceParentHeader, obs.FormatTraceParent(id, parent))
+	respB, err := http.DefaultClient.Do(reqB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respB.Body.Close()
+	waitSpanHTTP(t, tsB.URL, id, "http.request")
+
+	out := decode[clusterTraceResponse](t, mustGetOK(t, tsA.URL+"/v1/traces/"+id+"?cluster=1"))
+	if !out.Cluster || out.ID != id {
+		t.Fatalf("envelope = %+v", out)
+	}
+	if len(out.Degraded) != 0 {
+		t.Fatalf("healthy ring reported degraded: %+v", out.Degraded)
+	}
+	if len(out.Instances) != 2 {
+		t.Fatalf("instances = %v, want local + peer", out.Instances)
+	}
+	// B's http.request span must hang under A's, tagged with B's instance.
+	peerBase := strings.TrimSuffix(tsB.URL, "/")
+	foundNested := false
+	var walk func(n *obs.TreeNode)
+	walk = func(n *obs.TreeNode) {
+		if n.Instance == peerBase && n.ParentID == parent {
+			foundNested = true
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range out.Roots {
+		walk(r)
+	}
+	if !foundNested {
+		t.Fatalf("peer span not nested under A's span; roots=%d spans=%d", len(out.Roots), out.Spans)
+	}
+}
+
+// TestClusterTraceNotFound: a trace no reachable instance knows is a 404.
+func TestClusterTraceNotFound(t *testing.T) {
+	tsA, _, _, _, _ := newClusterPair(t, dispatch.Options{})
+	resp, err := http.Get(tsA.URL + "/v1/traces/never-seen?cluster=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestClusterMetricsFederation: /v1/cluster/metrics merges the local and
+// peer expositions under instance labels with a peer_up gauge per member.
+func TestClusterMetricsFederation(t *testing.T) {
+	tsA, _, tsB, _, _ := newClusterPair(t, dispatch.Options{})
+
+	resp := mustGetOK(t, tsA.URL+"/v1/cluster/metrics")
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Errorf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+
+	peerBase := strings.TrimSuffix(tsB.URL, "/")
+	if !strings.Contains(text, `instance="local"`) {
+		t.Error("local instance label missing")
+	}
+	if !strings.Contains(text, `instance="`+peerBase+`"`) {
+		t.Error("peer instance label missing")
+	}
+	for _, member := range []string{"local", peerBase} {
+		want := obs.PeerUpMetric + `{instance="` + member + `"} 1`
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// The family invariant must hold after merging: uptime appears as one
+	// block with samples from both instances under a single TYPE line.
+	if n := strings.Count(text, "# TYPE dlvpd_uptime_seconds gauge"); n != 1 {
+		t.Errorf("dlvpd_uptime_seconds TYPE lines = %d, want 1", n)
+	}
+	if n := strings.Count(text, "dlvpd_uptime_seconds{instance="); n != 2 {
+		t.Errorf("dlvpd_uptime_seconds samples = %d, want one per instance", n)
+	}
+}
+
+// TestClusterMetricsDegradedPeer: an unreachable peer annotates the
+// merged document and reports peer_up 0 instead of failing the scrape.
+func TestClusterMetricsDegradedPeer(t *testing.T) {
+	// Ring with a peer whose listener is already gone: healthy per the
+	// (never-run) prober, unreachable in practice.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	peer, err := dispatch.NewHTTPBackend(deadURL, dispatch.HTTPOptions{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := runner.New(runner.Options{})
+	disp, err := dispatch.New(dispatch.Options{
+		Local:          dispatch.NewLocalBackend("", eng),
+		Peers:          []dispatch.Backend{peer},
+		HealthInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(disp.Close)
+	srv := New(Options{Runner: eng, Dispatcher: disp})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	resp := mustGetOK(t, ts.URL+"/v1/cluster/metrics?peer_timeout_ms=200")
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	peerBase := strings.TrimSuffix(deadURL, "/")
+	if !strings.Contains(text, "# federation: instance "+`"`+peerBase+`"`+" unavailable") {
+		t.Errorf("degraded annotation missing:\n%s", firstLines(text, 5))
+	}
+	if !strings.Contains(text, obs.PeerUpMetric+`{instance="`+peerBase+`"} 0`) {
+		t.Error("peer_up 0 sample missing for dead peer")
+	}
+	if !strings.Contains(text, obs.PeerUpMetric+`{instance="local"} 1`) {
+		t.Error("local peer_up 1 sample missing")
+	}
+}
+
+func mustGetOK(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	return resp
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -54,7 +54,7 @@ func (s *Server) handleMatrixSubmit(w http.ResponseWriter, r *http.Request) {
 	if len(spec.Schemes) == 0 && len(spec.Configs) == 0 {
 		spec.Schemes = config.SchemeNames()
 	}
-	m, err := s.matrices.Submit(spec)
+	m, err := s.matrices.SubmitCtx(r.Context(), spec)
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, matrix.ErrTooManyMatrices) {

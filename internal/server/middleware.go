@@ -47,15 +47,32 @@ func (w *statusWriter) Flush() {
 // one), echoes it on the response, registers the trace, and threads both
 // tracer and ID through the request context so every layer below — the
 // handlers, the runner, the experiment drivers — records spans under it.
+// A traceparent header whose trace matches additionally carries the
+// caller's span ID, so this daemon's whole span subtree parents under
+// the remote caller's span and the assembled cross-process tree connects.
+// X-Request-ID stays authoritative for the trace identity: a traceparent
+// naming a different trace is ignored rather than trusted.
 func (s *Server) requestIDMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-ID")
-		if !obs.ValidTraceID(id) {
+		fromCaller := obs.ValidTraceID(id)
+		if !fromCaller {
 			id = obs.NewTraceID()
 		}
 		w.Header().Set("X-Request-ID", id)
-		s.obs.Tracer.Begin(id)
-		ctx := obs.ContextWithTrace(r.Context(), s.obs.Tracer, id)
+		// Anonymous health probes (peer health checks arrive with no trace
+		// headers by design) would mint a trace every few hundred ms per
+		// peer and churn real traces out of the bounded ring; only register
+		// them when the caller explicitly asked by supplying an ID.
+		if fromCaller || r.URL.Path != "/healthz" {
+			s.obs.Tracer.Begin(id)
+		}
+		ctx := r.Context()
+		if tid, parent, ok := obs.ParseTraceParent(r.Header.Get(obs.TraceParentHeader)); ok && tid == id && parent != "" {
+			ctx = obs.ContextWithRemoteParent(ctx, s.obs.Tracer, id, parent)
+		} else {
+			ctx = obs.ContextWithTrace(ctx, s.obs.Tracer, id)
+		}
 		next.ServeHTTP(w, r.WithContext(ctx))
 	})
 }
@@ -67,11 +84,11 @@ func (s *Server) accessLogMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		route := s.routePattern(r)
-		sp := obs.StartSpan(r.Context(), "http.request").
-			Attr("method", r.Method).
+		ctx, sp := obs.StartSpanCtx(r.Context(), "http.request")
+		sp.Attr("method", r.Method).
 			Attr("route", route)
 		start := time.Now()
-		next.ServeHTTP(sw, r)
+		next.ServeHTTP(sw, r.WithContext(ctx))
 		elapsed := time.Since(start)
 
 		status := strconv.Itoa(sw.status)

@@ -22,6 +22,8 @@
 //	GET  /v1/matrices/{id}/stream SSE tail: shard completions with partial tables
 //	GET  /v1/traces              recent request/job traces, newest first
 //	GET  /v1/traces/{id}         span records for one trace ID
+//	GET  /v1/traces/{id}?cluster=1 assembled cross-process span tree (scrapes peers)
+//	GET  /v1/cluster/metrics     federated Prometheus exposition across healthy peers
 //
 // POST bodies accept "async": true, turning the request into a job whose
 // status and result are polled from /v1/jobs/{id}. Identical work is
@@ -123,6 +125,11 @@ type Server struct {
 	httpDur   *obs.HistogramVec // request latency by route/status
 	panics    *obs.Counter      // recovered handler panics
 	encodeDur *obs.Histogram    // response JSON encode time
+
+	// fed is the HTTP client used for federation scrapes (peer traces and
+	// metrics). Per-scrape deadlines come from the request context, not the
+	// client, so one slow peer never stretches the whole fan-out.
+	fed *http.Client
 }
 
 // New returns a ready-to-serve Server.
@@ -171,6 +178,13 @@ func New(opts Options) *Server {
 			"Handler panics recovered into 500 responses.").With(),
 		encodeDur: reg.Histogram("dlvpd_response_encode_seconds",
 			"Time spent JSON-encoding response bodies.", nil).With(),
+		fed: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        16,
+				MaxIdleConnsPerHost: 4,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
 	}
 	s.jobs = newJobStore(opts.MaxTrackedJobs, &jobInstruments{
 		transitions: reg.Counter("dlvpd_jobs_transitions_total",
@@ -212,6 +226,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/runs/{id}/sites", s.handleRunSites)
 	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/cluster/metrics", s.handleClusterMetrics)
 	return s
 }
 
@@ -219,6 +234,11 @@ func New(opts Options) *Server {
 // hand-rolled /metrics string dump — as scrape-time families with HELP/TYPE
 // metadata. Names are kept from the PR-1 exposition.
 func (s *Server) registerStatsMetrics(reg *obs.Registry) {
+	bi := ReadBuildInfo()
+	reg.Gauge("dlvpd_build_info",
+		"Build identity of the running binary; value is constant 1, identity in the labels.",
+		"version", "revision", "go_version").
+		With(bi.Version, bi.Revision, bi.GoVersion).Set(1)
 	rs := func() runner.Stats { return s.runner.Stats() }
 	reg.GaugeFunc("dlvpd_uptime_seconds", "Seconds since the server was constructed.",
 		func() float64 { return time.Since(s.started).Seconds() })
@@ -471,7 +491,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		if key, err := job.Key(); err == nil {
 			rec.setRun(key, req.Workload, req.Scheme)
 		}
-		s.spawn(rec, rec.trace, func(ctx context.Context) (any, error) {
+		s.spawn(rec, rec.trace, obs.SpanID(r.Context()), func(ctx context.Context) (any, error) {
 			start := time.Now()
 			st, sampled, cached, err := runJob(ctx)
 			if err != nil {
@@ -571,7 +591,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 
 	if req.Async {
 		rec := s.jobs.add("experiment", obs.TraceID(r.Context()))
-		s.spawn(rec, rec.trace, func(ctx context.Context) (any, error) {
+		s.spawn(rec, rec.trace, obs.SpanID(r.Context()), func(ctx context.Context) (any, error) {
 			start := time.Now()
 			a, cached, err := build(ctx)
 			if err != nil {
@@ -746,7 +766,13 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTrace returns the span records collected under one trace ID.
+// ?cluster=1 additionally scrapes every healthy peer's local view of the
+// same trace and returns the assembled cross-process span tree instead.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if v := r.URL.Query().Get("cluster"); v == "1" || v == "true" {
+		s.handleTraceCluster(w, r)
+		return
+	}
 	view, ok := s.obs.Tracer.Get(r.PathValue("id"))
 	if !ok {
 		s.writeJSON(w, r, http.StatusNotFound, errorBody{Error: "unknown or evicted trace id"})
@@ -758,19 +784,21 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 // --- helpers -----------------------------------------------------------------
 
 // spawn runs fn as a tracked async job under the server's base context.
-// The originating request's trace ID is re-attached to the job context so
-// runner spans land in the same trace the caller was given, and a job-level
+// The originating request's trace ID and current span are re-attached to
+// the job context so runner spans land in the same trace the caller was
+// given — parented under the accepting request's span — and a job-level
 // span brackets the whole execution.
-func (s *Server) spawn(rec *asyncJob, traceID string, fn func(context.Context) (any, error)) {
+func (s *Server) spawn(rec *asyncJob, traceID, parentSpan string, fn func(context.Context) (any, error)) {
 	s.async.Add(1)
 	go func() {
 		defer s.async.Done()
 		ctx := s.baseCtx
 		if traceID != "" {
-			ctx = obs.ContextWithTrace(ctx, s.obs.Tracer, traceID)
+			ctx = obs.ContextWithRemoteParent(ctx, s.obs.Tracer, traceID, parentSpan)
 		}
 		rec.setRunning()
-		sp := obs.StartSpan(ctx, "job.execute").Attr("kind", rec.kind).Attr("job_id", rec.id)
+		ctx, sp := obs.StartSpanCtx(ctx, "job.execute")
+		sp.Attr("kind", rec.kind).Attr("job_id", rec.id)
 		result, err := fn(ctx)
 		if err != nil {
 			sp.Attr("error", err.Error())

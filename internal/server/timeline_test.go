@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -171,9 +172,15 @@ func TestRunTimelineStreamSSE(t *testing.T) {
 
 func TestTracesLimit(t *testing.T) {
 	_, ts := newTestServer(t)
-	// Generate some traced requests.
+	// Generate some traced requests. Anonymous /healthz hits are untraced
+	// (probe-noise suppression), so supply explicit request IDs.
 	for i := 0; i < 5; i++ {
-		resp := mustGet(t, ts.URL+"/healthz")
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+		req.Header.Set("X-Request-ID", fmt.Sprintf("trace-limit-%d", i))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
 		resp.Body.Close()
 	}
 	type envelope struct {
